@@ -1,0 +1,1 @@
+bench/ablation.ml: Bytestruct Core Engine Mthread Netstack Platform Printf String Util Xensim

@@ -1,0 +1,1 @@
+bench/fig10.ml: Dns Engine List Mthread Netstack Platform Printf Util

@@ -1,0 +1,1 @@
+bench/fig11.ml: Engine List Netstack Openflow Platform Printf Util

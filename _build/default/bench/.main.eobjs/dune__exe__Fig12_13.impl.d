@@ -1,0 +1,1 @@
+bench/fig12_13.ml: Array Baseline Engine Hashtbl List Mthread Netstack Platform Printf String Uhttp Util

@@ -1,0 +1,1 @@
+bench/fig5_6.ml: Baseline Core Engine List Mthread Platform Printf Util Xensim

@@ -1,0 +1,1 @@
+bench/fig7.ml: Engine List Platform Printf Pvboot Util

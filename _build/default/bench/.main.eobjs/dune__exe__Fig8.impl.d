@@ -1,0 +1,1 @@
+bench/fig8.ml: Bytestruct Engine List Mthread Netstack Platform Printf String Util

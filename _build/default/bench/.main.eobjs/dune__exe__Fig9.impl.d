@@ -1,0 +1,1 @@
+bench/fig9.ml: Blockdev Bytestruct Devices Engine List Mthread Platform Printf Util Xensim

@@ -1,0 +1,1 @@
+bench/main.ml: Ablation Array Fig10 Fig11 Fig12_13 Fig5_6 Fig7 Fig8 Fig9 List Micro Printf String Sys Tables

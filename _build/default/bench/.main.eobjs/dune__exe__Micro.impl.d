@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Bytestruct Char Crypto Dns Formats Hashtbl Instance List Measure Netsim Netstack Openflow Printf Staged String Test Time Toolkit Uhttp Util Xensim

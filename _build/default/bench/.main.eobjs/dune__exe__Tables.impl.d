@@ -1,0 +1,1 @@
+bench/tables.ml: Baseline Core List Printf String Util

@@ -1,0 +1,1 @@
+bench/util.ml: Bytestruct Devices Engine Mthread Netsim Netstack Platform Printf String Xensim

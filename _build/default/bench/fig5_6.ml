@@ -1,0 +1,81 @@
+(* Figures 5 and 6: domain boot time vs. memory size.
+
+   Figure 5: synchronous (stock) toolstack, total time-to-readiness for a
+   Debian+Apache guest, a minimal Linux kernel, and a Mirage unikernel.
+   Figure 6: parallel (modified) toolstack — guest initialisation isolated
+   from domain build. *)
+
+module P = Mthread.Promise
+
+let mirage_profile () =
+  let cfg = Core.Appliance.dns_appliance () in
+  let plan = Core.Specialize.plan cfg Core.Specialize.Ocamlclean in
+  let image = Core.Linker.link plan ~seed:1 in
+  Core.Unikernel.mirage_profile ~image_bytes:image.Core.Linker.total_bytes
+
+let boot_time ~mode ~profile ~mem_mib =
+  let w = Util.make_world () in
+  let t0 = Engine.Sim.now w.sim in
+  let _, ready =
+    Util.run w
+      (Xensim.Toolstack.boot w.Util.toolstack ~mode ~profile ~name:"guest" ~mem_mib
+         ~platform:Platform.linux_pv)
+  in
+  ready - t0
+
+let memories = [ 32; 64; 128; 256; 512; 1024; 2048; 3072 ]
+
+let profiles () =
+  [
+    ("Linux PV + Apache", Baseline.Linux_vm.debian_apache_profile);
+    ("Linux PV (minimal)", Baseline.Linux_vm.minimal_profile);
+    ("Mirage", mirage_profile ());
+  ]
+
+let fig5 () =
+  Util.header "Figure 5: domain boot time, synchronous toolstack (s)";
+  Printf.printf "  %-8s %-20s %-20s %-20s\n" "MiB" "Linux PV+Apache" "Linux PV" "Mirage";
+  List.iter
+    (fun mem ->
+      let times =
+        List.map (fun (_, p) -> boot_time ~mode:`Sync ~profile:p ~mem_mib:mem) (profiles ())
+      in
+      match times with
+      | [ a; b; c ] ->
+        Printf.printf "  %-8d %-20.2f %-20.2f %-20.2f\n" mem (Engine.Sim.to_sec a)
+          (Engine.Sim.to_sec b) (Engine.Sim.to_sec c)
+      | _ -> assert false)
+    memories;
+  (* the paper's decomposition note *)
+  let mirage_total = boot_time ~mode:`Sync ~profile:(mirage_profile ()) ~mem_mib:3072 in
+  let build =
+    Xensim.Toolstack.build_time_ns ~mem_mib:3072
+      ~image_bytes:(mirage_profile ()).Xensim.Toolstack.image_bytes
+  in
+  Printf.printf
+    "  note: at 3072 MiB, domain build is %.0f%% of Mirage boot (paper: ~60%%)\n"
+    (100.0 *. float_of_int build /. float_of_int mirage_total)
+
+let fig6 () =
+  Util.header "Figure 6: guest startup time, asynchronous toolstack (s)";
+  Printf.printf "  %-8s %-20s %-20s\n" "MiB" "Linux PV" "Mirage";
+  List.iter
+    (fun mem ->
+      let isolate profile =
+        let total = boot_time ~mode:`Async ~profile ~mem_mib:mem in
+        total
+        - Xensim.Toolstack.build_time_ns ~mem_mib:mem
+            ~image_bytes:profile.Xensim.Toolstack.image_bytes
+      in
+      let linux = isolate Baseline.Linux_vm.minimal_profile in
+      let mirage = isolate (mirage_profile ()) in
+      Printf.printf "  %-8d %-20.3f %-20.3f\n" mem (Engine.Sim.to_sec linux)
+        (Engine.Sim.to_sec mirage))
+    [ 64; 128; 256; 512; 1024; 2048 ];
+  let m = mirage_profile () in
+  Printf.printf "  note: Mirage guest init at 2048 MiB = %.1f ms (paper: < 50 ms)\n"
+    (Engine.Sim.to_ms (m.Xensim.Toolstack.kernel_init_ns ~mem_mib:2048))
+
+let run () =
+  fig5 ();
+  fig6 ()

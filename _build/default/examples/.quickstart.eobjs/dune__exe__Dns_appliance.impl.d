@@ -1,0 +1,1 @@
+examples/dns_appliance.ml: Core Devices Dns Engine List Mthread Netsim Netstack Platform Printf String Xensim

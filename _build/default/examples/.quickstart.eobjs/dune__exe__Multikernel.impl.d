@@ -1,0 +1,1 @@
+examples/multikernel.ml: Bytestruct Char Core Engine Mthread Platform Printf String Xensim

@@ -1,0 +1,1 @@
+examples/openflow_learning.ml: Devices Engine List Mthread Netsim Netstack Openflow Platform Printf String Xensim

@@ -1,0 +1,1 @@
+examples/openflow_learning.mli:

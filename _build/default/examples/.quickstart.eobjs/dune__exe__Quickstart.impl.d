@@ -1,0 +1,1 @@
+examples/quickstart.ml: Core Devices Engine List Mthread Netsim Netstack Platform Printf String Uhttp Xensim

@@ -1,0 +1,1 @@
+examples/web_twitter.ml: Blockdev Devices Engine Formats List Mthread Netsim Netstack Platform Printf Storage Uhttp Xensim

@@ -1,0 +1,1 @@
+lib/baseline/appliances.ml: Mthread Netstack String Uhttp Xensim

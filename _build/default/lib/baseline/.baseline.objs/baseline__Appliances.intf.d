@@ -1,0 +1,1 @@
+lib/baseline/appliances.mli: Engine Mthread Netstack Uhttp Xensim

@@ -1,0 +1,1 @@
+lib/baseline/linux_vm.ml: Xensim

@@ -1,0 +1,37 @@
+(* Calibration (Figures 5 and 6): with the async toolstack the paper shows
+   linux-pv guest init growing from ~0.2 s at 64 MiB to ~0.55 s at 2 GiB;
+   the Debian+Apache appliance boots in roughly twice the minimal kernel's
+   total time under the sync toolstack. *)
+
+let kernel_fixed_ns = 165_000_000 (* decompress + core init + netfront *)
+let kernel_per_mib_ns = 190_000 (* struct page init etc. *)
+let initrd_ns = 25_000_000
+
+let minimal_init ~mem_mib = kernel_fixed_ns + (kernel_per_mib_ns * mem_mib) + initrd_ns
+
+let debian_phases =
+  [
+    ("kernel+initrd", minimal_init ~mem_mib:256);
+    ("udev + device probing", 210_000_000);
+    ("filesystem check + mount", 160_000_000);
+    ("sysvinit script cascade (rsyslog, cron, ntp, ssh)", 420_000_000);
+    ("apache2 start", 240_000_000);
+  ]
+
+let debian_extra_ns = 210_000_000 + 160_000_000 + 420_000_000 + 240_000_000
+
+let minimal_profile =
+  {
+    Xensim.Toolstack.kind = "linux-minimal";
+    (* vmlinuz + initrd *)
+    image_bytes = 18 * 1024 * 1024;
+    kernel_init_ns = (fun ~mem_mib -> minimal_init ~mem_mib);
+  }
+
+let debian_apache_profile =
+  {
+    Xensim.Toolstack.kind = "debian-apache";
+    (* kernel + initrd + the root filesystem blocks actually read at boot *)
+    image_bytes = 180 * 1024 * 1024;
+    kernel_init_ns = (fun ~mem_mib -> minimal_init ~mem_mib + debian_extra_ns);
+  }

@@ -1,0 +1,17 @@
+(** Boot profiles for the conventional Linux guests of Figures 5 and 6.
+
+    Guest initialisation is structural: the kernel pays a per-MiB memory
+    initialisation cost (struct page setup), then a fixed device/initrd
+    phase, then — for the realistic Debian appliance — the sysvinit script
+    cascade and Apache2 startup. "Time-to-userspace" is when the guest can
+    transmit its first UDP packet, exactly the paper's instrumentation. *)
+
+(** Minimal kernel + initrd that ifconfigs and transmits immediately. *)
+val minimal_profile : Xensim.Toolstack.profile
+
+(** Debian + Apache2 with the standard boot scripts. *)
+val debian_apache_profile : Xensim.Toolstack.profile
+
+(** Component inventory behind the Debian profile, for reporting:
+    [(phase, ns at 256 MiB)]. *)
+val debian_phases : (string * int) list

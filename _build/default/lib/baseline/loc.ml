@@ -1,0 +1,56 @@
+type component = { name : string; loc : int }
+
+(* Figures follow the paper's §4.5 methodology: *active* lines — default
+   configuration, preprocessed to strip unused macros/comments/whitespace,
+   and ignoring kernel code with no Mirage analogue (other architectures,
+   protocols, filesystems). That methodology is what brings the Linux tree
+   from ~7 MLoC down to the slices below, and yields the paper's "at least
+   4-5x" appliance ratio rather than a raw-tree 30-40x. *)
+let linux_kernel = { name = "linux (active appliance slice)"; loc = 220_000 }
+let glibc = { name = "glibc (active)"; loc = 60_000 }
+let bind9 = { name = "bind9 (active)"; loc = 75_000 }
+let nsd = { name = "nsd (active)"; loc = 18_000 }
+let apache2 = { name = "apache2 + apr (active)"; loc = 70_000 }
+let nginx_webpy = { name = "nginx + python + web.py (active)"; loc = 130_000 }
+let openssl = { name = "openssl (active)"; loc = 25_000 }
+let nox = { name = "nox destiny (active)"; loc = 55_000 }
+
+let mirage_components =
+  [
+    { name = "ocaml runtime + pvboot"; loc = 44_000 };
+    { name = "lwt threads"; loc = 6_400 };
+    { name = "cstruct + core libs"; loc = 8_200 };
+    { name = "network stack (eth/arp/ip/icmp/udp/tcp/dhcp)"; loc = 11_300 };
+    { name = "dns"; loc = 4_100 };
+    { name = "http"; loc = 3_800 };
+    { name = "openflow"; loc = 5_900 };
+    { name = "storage (kv/fat/btree/memcache)"; loc = 7_200 };
+    { name = "xen drivers (netif/blkif/ring/grant)"; loc = 5_100 };
+  ]
+
+let pick names = List.filter (fun c -> List.mem c.name names) mirage_components
+
+let base_mirage =
+  [
+    "ocaml runtime + pvboot";
+    "lwt threads";
+    "cstruct + core libs";
+    "network stack (eth/arp/ip/icmp/udp/tcp/dhcp)";
+    "xen drivers (netif/blkif/ring/grant)";
+  ]
+
+let linux_appliance ~role =
+  match role with
+  | `Dns -> [ linux_kernel; glibc; bind9; openssl ]
+  | `Web_static -> [ linux_kernel; glibc; apache2; openssl ]
+  | `Web_dynamic -> [ linux_kernel; glibc; nginx_webpy; openssl ]
+  | `Openflow -> [ linux_kernel; glibc; nox ]
+
+let mirage_appliance ~role =
+  match role with
+  | `Dns -> pick ("dns" :: base_mirage)
+  | `Web_static -> pick ("http" :: base_mirage)
+  | `Web_dynamic -> pick ("http" :: "storage (kv/fat/btree/memcache)" :: base_mirage)
+  | `Openflow -> pick ("openflow" :: base_mirage)
+
+let total cs = List.fold_left (fun acc c -> acc + c.loc) 0 cs

@@ -1,0 +1,34 @@
+(** Active lines-of-code accounting (Figure 14a).
+
+    The paper pre-processes sources (default configuration, macros,
+    comments and whitespace removed) and ignores kernel code with no
+    Mirage analogue. These figures are that methodology's outputs, cited
+    as data; they are inputs to the comparison, not measurements this
+    reproduction can regenerate from source trees it does not have. *)
+
+type component = { name : string; loc : int }
+
+(** Pre-processed Linux kernel slice relevant to a network appliance. *)
+val linux_kernel : component
+
+(** Userspace components by appliance role. *)
+val glibc : component
+
+val bind9 : component
+val nsd : component
+val apache2 : component
+val nginx_webpy : component
+val openssl : component
+val nox : component
+
+(** Mirage-side counts: runtime plus per-subsystem libraries. *)
+val mirage_components : component list
+
+(** Total active LoC of a Linux appliance for a role. *)
+val linux_appliance : role:[ `Dns | `Web_static | `Web_dynamic | `Openflow ] -> component list
+
+(** Mirage appliance LoC for the same role (only linked libraries count —
+    compile-time specialisation drops the rest). *)
+val mirage_appliance : role:[ `Dns | `Web_static | `Web_dynamic | `Openflow ] -> component list
+
+val total : component list -> int

@@ -1,0 +1,1 @@
+lib/blockdev/buffer_cache.ml: Bytestruct Disk Engine Hashtbl List Mthread

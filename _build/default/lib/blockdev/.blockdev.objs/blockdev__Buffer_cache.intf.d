@@ -1,0 +1,1 @@
+lib/blockdev/buffer_cache.mli: Bytestruct Disk Engine Mthread

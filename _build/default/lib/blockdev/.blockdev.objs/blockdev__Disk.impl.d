@@ -1,0 +1,1 @@
+lib/blockdev/disk.ml: Bytestruct Engine Mthread Printf

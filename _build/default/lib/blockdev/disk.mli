@@ -1,0 +1,45 @@
+(** Simulated PCI-express SSD (the device behind Figure 9).
+
+    Requests are serviced in arrival order through a single queue; each
+    request costs a fixed access latency plus size divided by internal
+    bandwidth. Contents are backed by real bytes so filesystems and the
+    B-tree store read back exactly what they wrote. *)
+
+type t
+
+val create :
+  Engine.Sim.t ->
+  ?sector_bytes:int ->
+  ?access_ns:int ->
+  ?bandwidth_bytes_per_sec:int ->
+  sectors:int ->
+  unit ->
+  t
+
+val sector_bytes : t -> int
+val sectors : t -> int
+val capacity_bytes : t -> int
+
+exception Out_of_range of string
+
+(** [read t ~sector ~count] returns a fresh buffer of [count] sectors.
+    @raise Out_of_range beyond the device end. *)
+val read : t -> sector:int -> count:int -> Bytestruct.t Mthread.Promise.t
+
+(** [write t ~sector data] persists whole sectors ([data] length must be a
+    sector multiple). *)
+val write : t -> sector:int -> Bytestruct.t -> unit Mthread.Promise.t
+
+(** [peek t ~sector ~count] reads contents instantly, bypassing the timing
+    model — for layers (the buffer cache) that already hold the data
+    resident, and for tests inspecting device state. *)
+val peek : t -> sector:int -> count:int -> Bytestruct.t
+
+(** Torn-write failure injection: the next write persists only its first
+    [sectors] sectors and then fails — used to test B-tree crash safety. *)
+val inject_torn_write : t -> sectors:int -> unit
+
+exception Torn_write
+
+val reads_issued : t -> int
+val writes_issued : t -> int

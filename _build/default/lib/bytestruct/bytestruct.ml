@@ -1,0 +1,170 @@
+type t = { buffer : bytes; off : int; len : int }
+
+let create n =
+  if n < 0 then invalid_arg "Bytestruct.create: negative length";
+  { buffer = Bytes.make n '\000'; off = 0; len = n }
+
+let of_bytes b = { buffer = b; off = 0; len = Bytes.length b }
+let of_string s = of_bytes (Bytes.of_string s)
+
+let length t = t.len
+
+let check_view t off len =
+  if off < 0 || len < 0 || off + len > t.len then
+    invalid_arg
+      (Printf.sprintf "Bytestruct: view [%d,%d) outside buffer of length %d" off (off + len) t.len)
+
+let view ?(off = 0) ?len t =
+  let len = match len with Some l -> l | None -> t.len - off in
+  check_view t off len;
+  { buffer = t.buffer; off = t.off + off; len }
+
+let sub t off len = view ~off ~len t
+let shift t n = view ~off:n t
+let split t n = (sub t 0 n, shift t n)
+
+let to_string t = Bytes.sub_string t.buffer t.off t.len
+
+let equal a b = a.len = b.len && to_string a = to_string b
+let compare a b = String.compare (to_string a) (to_string b)
+
+let same_storage a b = a.buffer == b.buffer && a.off = b.off && a.len = b.len
+
+let blit src srcoff dst dstoff len =
+  check_view src srcoff len;
+  check_view dst dstoff len;
+  Bytes.blit src.buffer (src.off + srcoff) dst.buffer (dst.off + dstoff) len
+
+let blit_from_string s srcoff dst dstoff len =
+  if srcoff < 0 || len < 0 || srcoff + len > String.length s then
+    invalid_arg "Bytestruct.blit_from_string: source out of range";
+  check_view dst dstoff len;
+  Bytes.blit_string s srcoff dst.buffer (dst.off + dstoff) len
+
+let fill t c = Bytes.fill t.buffer t.off t.len c
+
+let copy t =
+  let fresh = create t.len in
+  blit t 0 fresh 0 t.len;
+  fresh
+
+let lenv ts = List.fold_left (fun acc t -> acc + t.len) 0 ts
+
+let concat ts =
+  let out = create (lenv ts) in
+  let _ =
+    List.fold_left
+      (fun pos t ->
+        blit t 0 out pos t.len;
+        pos + t.len)
+      0 ts
+  in
+  out
+
+let append a b = concat [ a; b ]
+
+let bounds t off n =
+  if off < 0 || off + n > t.len then
+    invalid_arg
+      (Printf.sprintf "Bytestruct: access [%d,%d) outside buffer of length %d" off (off + n) t.len)
+
+let get_uint8 t off =
+  bounds t off 1;
+  Char.code (Bytes.get t.buffer (t.off + off))
+
+let set_uint8 t off v =
+  bounds t off 1;
+  Bytes.set t.buffer (t.off + off) (Char.chr (v land 0xff))
+
+let get_char t off =
+  bounds t off 1;
+  Bytes.get t.buffer (t.off + off)
+
+let set_char t off c =
+  bounds t off 1;
+  Bytes.set t.buffer (t.off + off) c
+
+module BE = struct
+  let get_uint16 t off =
+    bounds t off 2;
+    Bytes.get_uint16_be t.buffer (t.off + off)
+
+  let set_uint16 t off v =
+    bounds t off 2;
+    Bytes.set_uint16_be t.buffer (t.off + off) (v land 0xffff)
+
+  let get_uint32 t off =
+    bounds t off 4;
+    Bytes.get_int32_be t.buffer (t.off + off)
+
+  let set_uint32 t off v =
+    bounds t off 4;
+    Bytes.set_int32_be t.buffer (t.off + off) v
+
+  let get_uint64 t off =
+    bounds t off 8;
+    Bytes.get_int64_be t.buffer (t.off + off)
+
+  let set_uint64 t off v =
+    bounds t off 8;
+    Bytes.set_int64_be t.buffer (t.off + off) v
+end
+
+module LE = struct
+  let get_uint16 t off =
+    bounds t off 2;
+    Bytes.get_uint16_le t.buffer (t.off + off)
+
+  let set_uint16 t off v =
+    bounds t off 2;
+    Bytes.set_uint16_le t.buffer (t.off + off) (v land 0xffff)
+
+  let get_uint32 t off =
+    bounds t off 4;
+    Bytes.get_int32_le t.buffer (t.off + off)
+
+  let set_uint32 t off v =
+    bounds t off 4;
+    Bytes.set_int32_le t.buffer (t.off + off) v
+
+  let get_uint64 t off =
+    bounds t off 8;
+    Bytes.get_int64_le t.buffer (t.off + off)
+
+  let set_uint64 t off v =
+    bounds t off 8;
+    Bytes.set_int64_le t.buffer (t.off + off) v
+end
+
+let get_string t off len =
+  bounds t off len;
+  Bytes.sub_string t.buffer (t.off + off) len
+
+let set_string t off s =
+  let len = String.length s in
+  bounds t off len;
+  Bytes.blit_string s 0 t.buffer (t.off + off) len
+
+let hexdump t =
+  let buf = Buffer.create (t.len * 4) in
+  for line = 0 to (t.len - 1) / 16 do
+    Buffer.add_string buf (Printf.sprintf "%04x  " (line * 16));
+    for i = 0 to 15 do
+      let idx = (line * 16) + i in
+      if idx < t.len then Buffer.add_string buf (Printf.sprintf "%02x " (get_uint8 t idx))
+      else Buffer.add_string buf "   ";
+      if i = 7 then Buffer.add_char buf ' '
+    done;
+    Buffer.add_char buf ' ';
+    for i = 0 to 15 do
+      let idx = (line * 16) + i in
+      if idx < t.len then begin
+        let c = get_char t idx in
+        Buffer.add_char buf (if c >= ' ' && c <= '~' then c else '.')
+      end
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+let pp fmt t = Format.fprintf fmt "<bytestruct len=%d>" t.len

@@ -1,0 +1,1 @@
+lib/core/appliance.ml: Config Devices Mthread Netsim Netstack Unikernel Xensim

@@ -1,0 +1,1 @@
+lib/core/appliance.mli: Config Devices Mthread Netsim Netstack Unikernel Xensim

@@ -1,0 +1,1 @@
+lib/core/library_registry.mli:

@@ -1,0 +1,1 @@
+lib/core/linker.ml: Array Config Engine Library_registry List Specialize Xensim

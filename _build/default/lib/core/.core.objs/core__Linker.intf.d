@@ -1,0 +1,1 @@
+lib/core/linker.mli: Specialize Xensim

@@ -1,0 +1,1 @@
+lib/core/specialize.ml: Config Library_registry List Printf String

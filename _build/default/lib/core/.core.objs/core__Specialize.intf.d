@@ -1,0 +1,1 @@
+lib/core/specialize.mli: Config Library_registry

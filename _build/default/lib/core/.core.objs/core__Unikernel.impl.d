@@ -1,0 +1,1 @@
+lib/core/unikernel.ml: Config Devices Engine Hashtbl Linker List Mthread Platform Printf Pvboot Specialize Xensim

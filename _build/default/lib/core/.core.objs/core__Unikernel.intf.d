@@ -1,0 +1,1 @@
+lib/core/unikernel.mli: Config Linker Mthread Platform Specialize Xensim

@@ -1,0 +1,71 @@
+let dns_appliance ?(aslr_seed = 0xd15) () =
+  Config.make ~app_name:"dns-appliance"
+    ~roots:[ "dns"; "dhcp" ]
+    ~bindings:
+      [
+        Config.static "zone_origin" (Config.String "example.org");
+        Config.static "zone_file" (Config.String "/zones/example.org");
+        Config.dynamic "ip" (Config.String "dhcp");
+      ]
+    ~aslr_seed ~app_text_bytes:(6 * 1024) ~app_loc:450 ()
+
+let web_server ?(aslr_seed = 0x3eb) () =
+  Config.make ~app_name:"web-server"
+    ~roots:[ "http"; "btree"; "json"; "xml"; "css"; "cryptokit"; "fat32" ]
+    ~bindings:
+      [
+        Config.static "port" (Config.Int 80);
+        Config.static "ip" (Config.Ip (Netstack.Ipaddr.v4 10 0 0 2));
+      ]
+    ~aslr_seed ~app_text_bytes:(10 * 1024) ~app_loc:900 ()
+
+let openflow_switch ?(aslr_seed = 0x0f5) () =
+  Config.make ~app_name:"openflow-switch"
+    ~roots:[ "openflow" ]
+    ~bindings:[ Config.static "controller" (Config.Ip (Netstack.Ipaddr.v4 10 0 0 100)) ]
+    ~aslr_seed ~app_text_bytes:(7 * 1024) ~app_loc:520 ()
+
+let openflow_controller ?(aslr_seed = 0x0fc) () =
+  Config.make ~app_name:"openflow-controller"
+    ~roots:[ "openflow" ]
+    ~bindings:[ Config.static "listen_port" (Config.Int 6633) ]
+    ~aslr_seed ~app_text_bytes:(6 * 1024) ~app_loc:420 ()
+
+let table2 () =
+  [
+    ("DNS", dns_appliance ());
+    ("Web Server", web_server ());
+    ("OpenFlow switch", openflow_switch ());
+    ("OpenFlow controller", openflow_controller ());
+  ]
+
+type networked = {
+  unikernel : Unikernel.t;
+  netif : Devices.Netif.t;
+  stack : Netstack.Stack.t;
+}
+
+let boot_networked hv ts ~backend_dom ~bridge ~config ?(mode = `Async) ?(mem_mib = 32) ?ip ~main
+    () =
+  let open Mthread.Promise in
+  let sim = hv.Xensim.Hypervisor.sim in
+  let result, result_waker = wait () in
+  bind
+    (Unikernel.boot hv ts ~mode ~config ~mem_mib
+       ~main:(fun unikernel ->
+         let dom = unikernel.Unikernel.domain in
+         let nic =
+           Netsim.Bridge.new_nic bridge ~mac:(Netsim.mac_of_int (0x1000 + dom.Xensim.Domain.id)) ()
+         in
+         let netif = Devices.Netif.connect hv ~dom ~backend_dom ~nic () in
+         let cfg =
+           match ip with
+           | Some static -> Netstack.Stack.Static static
+           | None -> Netstack.Stack.Dhcp
+         in
+         bind (Netstack.Stack.create sim ~dom ~netif cfg) (fun stack ->
+             let networked = { unikernel; netif; stack } in
+             wakeup result_waker networked;
+             main networked))
+       ())
+    (fun _unikernel -> result)

@@ -1,0 +1,38 @@
+(** The four appliances of the paper's evaluation (Table 2, Figure 14),
+    as configurations over the library registry, plus a helper that boots
+    an appliance with a network interface attached. *)
+
+(** DNS server: UDP stack + DHCP + in-memory zone store (paper §4.2). *)
+val dns_appliance : ?aslr_seed:int -> unit -> Config.t
+
+(** Dynamic web server: HTTP + B-tree store + formats (paper §4.4). *)
+val web_server : ?aslr_seed:int -> unit -> Config.t
+
+val openflow_switch : ?aslr_seed:int -> unit -> Config.t
+val openflow_controller : ?aslr_seed:int -> unit -> Config.t
+
+(** All four, in Table 2 order, with their display names. *)
+val table2 : unit -> (string * Config.t) list
+
+(** A booted appliance with its network plumbing. *)
+type networked = {
+  unikernel : Unikernel.t;
+  netif : Devices.Netif.t;
+  stack : Netstack.Stack.t;
+}
+
+(** [boot_networked hv ts ~backend_dom ~bridge ~config ~ip ()] boots the
+    unikernel, attaches a NIC on [bridge], brings up the stack (static
+    [ip] or DHCP when omitted) and runs [main] once the network is ready. *)
+val boot_networked :
+  Xensim.Hypervisor.t ->
+  Xensim.Toolstack.t ->
+  backend_dom:Xensim.Domain.t ->
+  bridge:Netsim.Bridge.t ->
+  config:Config.t ->
+  ?mode:[ `Sync | `Async ] ->
+  ?mem_mib:int ->
+  ?ip:Netstack.Ipv4.config ->
+  main:(networked -> int Mthread.Promise.t) ->
+  unit ->
+  networked Mthread.Promise.t

@@ -1,0 +1,38 @@
+(** The Mirage library universe (paper Table 1): every system facility is
+    a library with explicit dependencies, code size and binary footprint.
+    Specialisation (dead-code elimination, Table 2) is computed over this
+    registry: only the dependency closure of a configuration's roots is
+    linked, and function-level cleaning shrinks each library by its
+    measured unused fraction. *)
+
+type lib = {
+  lib_name : string;
+  subsystem : string;  (** Table 1 row: Core / Network / Storage / Application / Formats *)
+  loc : int;  (** source lines *)
+  text_bytes : int;  (** code contribution to a standard build *)
+  data_bytes : int;
+  unused_fraction : float;
+      (** share of [text_bytes] removable by ocamlclean-style dataflow
+          analysis when the library is linked but only partly used *)
+  deps : string list;
+}
+
+exception Unknown_library of string
+
+(** Every registered library. *)
+val all : unit -> lib list
+
+(** @raise Unknown_library *)
+val find : string -> lib
+
+val mem : string -> bool
+
+(** Transitive dependency closure of the roots, dependencies first,
+    duplicates removed. @raise Unknown_library *)
+val dependency_closure : string list -> lib list
+
+(** Table 1 layout: [(subsystem, library names)] in presentation order. *)
+val by_subsystem : unit -> (string * string list) list
+
+(** Direct reverse dependencies. *)
+val dependants : string -> string list

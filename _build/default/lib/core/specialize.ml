@@ -1,0 +1,64 @@
+type dce = Standard | Ocamlclean
+
+type plan = {
+  config : Config.t;
+  dce : dce;
+  libs : Library_registry.lib list;
+  text_bytes : int;
+  data_bytes : int;
+  total_bytes : int;
+  total_loc : int;
+}
+
+let lib_text dce (l : Library_registry.lib) =
+  match dce with
+  | Standard -> l.Library_registry.text_bytes
+  | Ocamlclean ->
+    int_of_float
+      (float_of_int l.Library_registry.text_bytes
+      *. (1.0 -. l.Library_registry.unused_fraction))
+
+let plan config dce =
+  let libs = Library_registry.dependency_closure config.Config.roots in
+  let text =
+    List.fold_left (fun acc l -> acc + lib_text dce l) config.Config.app_text_bytes libs
+  in
+  let data = List.fold_left (fun acc l -> acc + l.Library_registry.data_bytes) 0 libs in
+  let loc =
+    List.fold_left (fun acc l -> acc + l.Library_registry.loc) config.Config.app_loc libs
+  in
+  { config; dce; libs; text_bytes = text; data_bytes = data; total_bytes = text + data; total_loc = loc }
+
+let contains plan name =
+  List.exists (fun l -> l.Library_registry.lib_name = name) plan.libs
+
+let verify plan =
+  let linked = List.map (fun l -> l.Library_registry.lib_name) plan.libs in
+  (* Closure: every dependency of a linked library is linked. *)
+  let missing_dep =
+    List.find_map
+      (fun l ->
+        List.find_map
+          (fun d -> if List.mem d linked then None else Some (l.Library_registry.lib_name, d))
+          l.Library_registry.deps)
+      plan.libs
+  in
+  match missing_dep with
+  | Some (l, d) -> Error (Printf.sprintf "library %s depends on %s which is not linked" l d)
+  | None ->
+    (* Minimality: everything linked is reachable from the roots. *)
+    let reachable =
+      List.map
+        (fun l -> l.Library_registry.lib_name)
+        (Library_registry.dependency_closure plan.config.Config.roots)
+    in
+    let stray = List.filter (fun n -> not (List.mem n reachable)) linked in
+    if stray = [] then Ok ()
+    else Error ("unrequested services linked: " ^ String.concat ", " stray)
+
+let elided plan =
+  List.filter_map
+    (fun l ->
+      if contains plan l.Library_registry.lib_name then None
+      else Some l.Library_registry.lib_name)
+    (Library_registry.all ())

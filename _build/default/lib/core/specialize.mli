@@ -1,0 +1,31 @@
+(** Compile-time specialisation (paper §2.2, §2.3.1, §4.5, Table 2).
+
+    [Standard] linking already performs module-level dead-code elimination:
+    only the dependency closure of the configuration's roots is linked, so
+    an appliance that uses no filesystem carries no block drivers.
+    [Ocamlclean] additionally performs function-level dataflow elimination
+    within each linked library — safe because unikernels never dynamically
+    link. *)
+
+type dce = Standard | Ocamlclean
+
+type plan = {
+  config : Config.t;
+  dce : dce;
+  libs : Library_registry.lib list;  (** dependency order *)
+  text_bytes : int;
+  data_bytes : int;
+  total_bytes : int;
+  total_loc : int;
+}
+
+val plan : Config.t -> dce -> plan
+
+(** The static verification of §2.3.1: the linked set is dependency-closed
+    and contains nothing outside the closure of the requested roots. *)
+val verify : plan -> (unit, string) result
+
+val contains : plan -> string -> bool
+
+(** Libraries in the registry that specialisation dropped. *)
+val elided : plan -> string list

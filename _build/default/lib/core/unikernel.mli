@@ -1,0 +1,55 @@
+(** The unikernel build-and-boot pipeline — the paper's Figure 1 right-hand
+    column: configuration + application source + libraries, whole-system
+    specialised into a sealed single-address-space VM.
+
+    Pipeline: {!Specialize.plan} (dependency resolution + DCE) →
+    {!Specialize.verify} (static check that only requested services link) →
+    {!Linker.link} (compile-time ASR) → toolstack domain build → memory
+    layout install → seal hypercall → application main thread. The VM
+    shuts down when main returns, its exit code the thread's return
+    (paper §3.3). *)
+
+(** The three specialisation steps of the paper's developer workflow
+    (§5.4): debug as an ordinary process with host sockets, then swap in
+    the unikernel network stack over tuntap, then cross-compile to the
+    sealed Xen image. *)
+type target =
+  | Posix_sockets  (** host kernel networking; bytecode-friendly; no seal *)
+  | Posix_direct  (** unikernel stack via tuntap (copy-taxed); no seal *)
+  | Xen_direct  (** standalone sealed VM on the hypervisor *)
+
+type t = {
+  domain : Xensim.Domain.t;
+  image : Linker.image;
+  plan : Specialize.plan;
+  config : Config.t;
+  sealed : bool;  (** false on an unpatched hypervisor (§2.3.3) *)
+  ready_at_ns : int;  (** boot-complete instant *)
+  target : target;
+}
+
+exception Build_error of string
+
+(** Boot-time profile of a Mirage image (Figures 5/6: tens of ms,
+    near-flat in memory size). *)
+val mirage_profile : image_bytes:int -> Xensim.Toolstack.profile
+
+(** [boot hv ts ~config ~mem_mib ~main ()] runs the full pipeline.
+    [main] returns the VM exit code. Defaults: [`Async] toolstack,
+    [Ocamlclean] DCE, sealing requested. *)
+val boot :
+  Xensim.Hypervisor.t ->
+  Xensim.Toolstack.t ->
+  ?mode:[ `Sync | `Async ] ->
+  ?dce:Specialize.dce ->
+  ?seal:bool ->
+  ?platform:Platform.t ->
+  ?target:target ->
+  config:Config.t ->
+  mem_mib:int ->
+  main:(t -> int Mthread.Promise.t) ->
+  unit ->
+  t Mthread.Promise.t
+
+(** Exit code once the main thread has returned. *)
+val exit_code : t -> int option

@@ -1,0 +1,1 @@
+lib/crypto/dh.ml: Engine Printf Sha256

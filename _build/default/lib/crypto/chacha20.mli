@@ -1,0 +1,9 @@
+(** ChaCha20 stream cipher (RFC 8439) — the SSH transport cipher. *)
+
+(** [crypt ~key ~nonce ~counter data]: XOR keystream over [data].
+    Encryption and decryption are the same operation.
+    @raise Invalid_argument unless key is 32 bytes and nonce 12. *)
+val crypt : key:string -> nonce:string -> ?counter:int -> string -> string
+
+(** One 64-byte keystream block (exposed for tests against RFC vectors). *)
+val block : key:string -> nonce:string -> counter:int -> string

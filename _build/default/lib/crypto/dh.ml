@@ -1,0 +1,35 @@
+(* p = 0x1ffffffffffff6bb is a safe prime (p = 2q+1, q prime) just below
+   2^61; g = 2 generates the full group of order p-1 (2^q = -1 mod p).
+   Exponentiation uses square-and-multiply with a multiply-mod that stays
+   inside 63-bit ints by splitting the operand. *)
+let p = 0x1ffffffffffff6bb
+let g = 2
+
+let mulmod a b m =
+  (* Double-and-add: every intermediate stays below 2m < 2^62, so nothing
+     overflows the 63-bit int range. *)
+  let rec go acc a b =
+    if b = 0 then acc
+    else
+      go (if b land 1 = 1 then (acc + a) mod m else acc) ((a + a) mod m) (b lsr 1)
+  in
+  go 0 (a mod m) b
+
+let powmod base exp m =
+  let rec go acc base exp =
+    if exp = 0 then acc
+    else
+      go (if exp land 1 = 1 then mulmod acc base m else acc) (mulmod base base m) (exp lsr 1)
+  in
+  go 1 (base mod m) exp
+
+type keypair = { secret : int; public : int }
+
+let generate prng =
+  let secret = 2 + Engine.Prng.int prng (p - 4) in
+  { secret; public = powmod g secret p }
+
+let shared ~secret ~peer_public = powmod peer_public secret p
+
+let derive_key ~shared ~transcript ~label =
+  Sha256.digest (Printf.sprintf "%d|%s|%s" shared label transcript)

@@ -1,0 +1,118 @@
+(* Straightforward FIPS 180-4 implementation over 32-bit words kept in
+   OCaml ints (masked to 32 bits). *)
+
+let ( &. ) a b = a land b
+let ( |. ) a b = a lor b
+let ( ^. ) a b = a lxor b
+let mask = 0xFFFFFFFF
+let ( +. ) a b = (a + b) land mask
+let rotr x n = ((x lsr n) |. (x lsl (32 - n))) land mask
+let shr x n = x lsr n
+
+let k =
+  [|
+    0x428a2f98; 0x71374491; 0xb5c0fbcf; 0xe9b5dba5; 0x3956c25b; 0x59f111f1; 0x923f82a4;
+    0xab1c5ed5; 0xd807aa98; 0x12835b01; 0x243185be; 0x550c7dc3; 0x72be5d74; 0x80deb1fe;
+    0x9bdc06a7; 0xc19bf174; 0xe49b69c1; 0xefbe4786; 0x0fc19dc6; 0x240ca1cc; 0x2de92c6f;
+    0x4a7484aa; 0x5cb0a9dc; 0x76f988da; 0x983e5152; 0xa831c66d; 0xb00327c8; 0xbf597fc7;
+    0xc6e00bf3; 0xd5a79147; 0x06ca6351; 0x14292967; 0x27b70a85; 0x2e1b2138; 0x4d2c6dfc;
+    0x53380d13; 0x650a7354; 0x766a0abb; 0x81c2c92e; 0x92722c85; 0xa2bfe8a1; 0xa81a664b;
+    0xc24b8b70; 0xc76c51a3; 0xd192e819; 0xd6990624; 0xf40e3585; 0x106aa070; 0x19a4c116;
+    0x1e376c08; 0x2748774c; 0x34b0bcb5; 0x391c0cb3; 0x4ed8aa4a; 0x5b9cca4f; 0x682e6ff3;
+    0x748f82ee; 0x78a5636f; 0x84c87814; 0x8cc70208; 0x90befffa; 0xa4506ceb; 0xbef9a3f7;
+    0xc67178f2;
+  |]
+
+type ctx = {
+  mutable h : int array;
+  buf : Buffer.t;  (* pending partial block *)
+  mutable total : int;  (* bytes fed *)
+}
+
+let init () =
+  {
+    h = [| 0x6a09e667; 0xbb67ae85; 0x3c6ef372; 0xa54ff53a; 0x510e527f; 0x9b05688c; 0x1f83d9ab; 0x5be0cd19 |];
+    buf = Buffer.create 64;
+    total = 0;
+  }
+
+let compress ctx block off =
+  let w = Array.make 64 0 in
+  for i = 0 to 15 do
+    w.(i) <-
+      (Char.code block.[off + (4 * i)] lsl 24)
+      |. (Char.code block.[off + (4 * i) + 1] lsl 16)
+      |. (Char.code block.[off + (4 * i) + 2] lsl 8)
+      |. Char.code block.[off + (4 * i) + 3]
+  done;
+  for i = 16 to 63 do
+    let s0 = rotr w.(i - 15) 7 ^. rotr w.(i - 15) 18 ^. shr w.(i - 15) 3 in
+    let s1 = rotr w.(i - 2) 17 ^. rotr w.(i - 2) 19 ^. shr w.(i - 2) 10 in
+    w.(i) <- w.(i - 16) +. s0 +. w.(i - 7) +. s1
+  done;
+  let a = ref ctx.h.(0) and b = ref ctx.h.(1) and c = ref ctx.h.(2) and d = ref ctx.h.(3) in
+  let e = ref ctx.h.(4) and f = ref ctx.h.(5) and g = ref ctx.h.(6) and hh = ref ctx.h.(7) in
+  for i = 0 to 63 do
+    let s1 = rotr !e 6 ^. rotr !e 11 ^. rotr !e 25 in
+    let ch = (!e &. !f) ^. (lnot !e &. !g) in
+    let t1 = !hh +. s1 +. ch +. k.(i) +. w.(i) in
+    let s0 = rotr !a 2 ^. rotr !a 13 ^. rotr !a 22 in
+    let maj = (!a &. !b) ^. (!a &. !c) ^. (!b &. !c) in
+    let t2 = s0 +. maj in
+    hh := !g;
+    g := !f;
+    f := !e;
+    e := !d +. t1;
+    d := !c;
+    c := !b;
+    b := !a;
+    a := t1 +. t2
+  done;
+  ctx.h.(0) <- ctx.h.(0) +. !a;
+  ctx.h.(1) <- ctx.h.(1) +. !b;
+  ctx.h.(2) <- ctx.h.(2) +. !c;
+  ctx.h.(3) <- ctx.h.(3) +. !d;
+  ctx.h.(4) <- ctx.h.(4) +. !e;
+  ctx.h.(5) <- ctx.h.(5) +. !f;
+  ctx.h.(6) <- ctx.h.(6) +. !g;
+  ctx.h.(7) <- ctx.h.(7) +. !hh
+
+let feed ctx s =
+  ctx.total <- ctx.total + String.length s;
+  Buffer.add_string ctx.buf s;
+  let data = Buffer.contents ctx.buf in
+  let blocks = String.length data / 64 in
+  for i = 0 to blocks - 1 do
+    compress ctx data (i * 64)
+  done;
+  Buffer.clear ctx.buf;
+  Buffer.add_string ctx.buf (String.sub data (blocks * 64) (String.length data - (blocks * 64)))
+
+let finalize ctx =
+  let bitlen = ctx.total * 8 in
+  let pad_len =
+    let rem = (ctx.total + 1 + 8) mod 64 in
+    if rem = 0 then 0 else 64 - rem
+  in
+  let tail = Bytes.make (1 + pad_len + 8) '\000' in
+  Bytes.set tail 0 '\x80';
+  for i = 0 to 7 do
+    Bytes.set tail (1 + pad_len + i) (Char.chr ((bitlen lsr (8 * (7 - i))) land 0xff))
+  done;
+  feed ctx (Bytes.to_string tail);
+  assert (Buffer.length ctx.buf = 0);
+  String.init 32 (fun i -> Char.chr ((ctx.h.(i / 4) lsr (8 * (3 - (i mod 4)))) land 0xff))
+
+let digest s =
+  let ctx = init () in
+  feed ctx s;
+  finalize ctx
+
+let hex s =
+  String.concat "" (List.init (String.length s) (fun i -> Printf.sprintf "%02x" (Char.code s.[i])))
+
+let hmac ~key msg =
+  let key = if String.length key > 64 then digest key else key in
+  let key = key ^ String.make (64 - String.length key) '\000' in
+  let xor_with c = String.map (fun k -> Char.chr (Char.code k lxor c)) key in
+  digest (xor_with 0x5c ^ digest (xor_with 0x36 ^ msg))

@@ -1,0 +1,17 @@
+(** SHA-256 (FIPS 180-4) — part of the Cryptokit substrate backing the SSH
+    library (Table 1 "Cryptokit"). Pure OCaml, operating on strings. *)
+
+(** 32-byte digest. *)
+val digest : string -> string
+
+val hex : string -> string
+
+(** Incremental interface. *)
+type ctx
+
+val init : unit -> ctx
+val feed : ctx -> string -> unit
+val finalize : ctx -> string
+
+(** HMAC-SHA256 (RFC 2104). *)
+val hmac : key:string -> string -> string

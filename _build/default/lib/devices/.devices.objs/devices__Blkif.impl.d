@@ -1,0 +1,1 @@
+lib/devices/blkif.ml: Blockdev Bytestruct Hashtbl Int32 Int64 List Mthread Platform Xensim

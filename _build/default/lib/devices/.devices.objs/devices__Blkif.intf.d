@@ -1,0 +1,1 @@
+lib/devices/blkif.mli: Blockdev Bytestruct Mthread Xensim

@@ -1,0 +1,1 @@
+lib/devices/console.ml: Buffer Hashtbl List String Xensim

@@ -1,0 +1,1 @@
+lib/devices/io_page.mli: Bytestruct

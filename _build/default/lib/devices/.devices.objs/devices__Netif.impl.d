@@ -1,0 +1,1 @@
+lib/devices/netif.ml: Bytestruct Hashtbl Int32 Io_page List Mthread Netsim Platform Queue Xensim

@@ -1,0 +1,1 @@
+lib/devices/netif.mli: Bytestruct Io_page Mthread Netsim Xensim

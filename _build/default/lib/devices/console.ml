@@ -1,0 +1,26 @@
+type t = {
+  dom : Xensim.Domain.t;
+  mutable lines : string list;  (* newest first *)
+  buf : Buffer.t;
+}
+
+let registry : (int, t) Hashtbl.t = Hashtbl.create 16
+
+let create _hv ~dom =
+  let t = { dom; lines = []; buf = Buffer.create 80 } in
+  Hashtbl.replace registry dom.Xensim.Domain.id t;
+  t
+
+let write t s =
+  String.iter
+    (fun c ->
+      if c = '\n' then begin
+        t.lines <- Buffer.contents t.buf :: t.lines;
+        Buffer.clear t.buf
+      end
+      else Buffer.add_char t.buf c)
+    s
+
+let log t = List.rev t.lines
+let partial t = Buffer.contents t.buf
+let of_domain dom = Hashtbl.find_opt registry dom.Xensim.Domain.id

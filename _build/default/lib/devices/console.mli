@@ -1,0 +1,20 @@
+(** The paravirtual console: a byte ring to dom0, surfaced as per-domain
+    log lines (what `xl console` would show). The unikernel runtime writes
+    its boot banner here. *)
+
+type t
+
+val create : Xensim.Hypervisor.t -> dom:Xensim.Domain.t -> t
+
+(** [write t s] appends to the console; complete lines (ending ['\n'])
+    become log entries. *)
+val write : t -> string -> unit
+
+(** [log t] returns the complete lines so far, oldest first. *)
+val log : t -> string list
+
+(** Any unterminated partial line. *)
+val partial : t -> string
+
+(** Console of a domain, if one was created. *)
+val of_domain : Xensim.Domain.t -> t option

@@ -1,0 +1,27 @@
+let page_bytes = 4096
+
+type t = { free : Bytestruct.t Queue.t; mutable handed_out : int }
+
+let create ?(initial = 0) () =
+  let t = { free = Queue.create (); handed_out = 0 } in
+  for _ = 1 to initial do
+    Queue.add (Bytestruct.create page_bytes) t.free
+  done;
+  t
+
+let alloc t =
+  t.handed_out <- t.handed_out + 1;
+  match Queue.take_opt t.free with
+  | Some page ->
+    Bytestruct.fill page '\000';
+    page
+  | None -> Bytestruct.create page_bytes
+
+let recycle t page =
+  if Bytestruct.length page <> page_bytes then
+    invalid_arg "Io_page.recycle: not a full page";
+  t.handed_out <- t.handed_out - 1;
+  Queue.add page t.free
+
+let free_count t = Queue.length t.free
+let outstanding t = t.handed_out

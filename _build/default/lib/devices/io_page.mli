@@ -1,0 +1,25 @@
+(** Pool of 4 kB I/O pages drawn from the reserved external-memory region
+    of the unikernel layout (paper §3.3): device data lives here, outside
+    the garbage-collected heap, so the collector never scans packet
+    payloads. Pages are recycled explicitly once their views are done —
+    the free-page-pool behaviour of §3.4.1. *)
+
+type t
+
+val page_bytes : int
+
+val create : ?initial:int -> unit -> t
+
+(** [alloc t] returns a zeroed page (recycled if available, fresh
+    otherwise). *)
+val alloc : t -> Bytestruct.t
+
+(** [recycle t page] returns a page to the pool.
+    @raise Invalid_argument if [page] is not page-sized. *)
+val recycle : t -> Bytestruct.t -> unit
+
+(** Pages currently in the free list. *)
+val free_count : t -> int
+
+(** Pages handed out and not yet recycled. *)
+val outstanding : t -> int

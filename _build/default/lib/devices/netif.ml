@@ -1,0 +1,261 @@
+(* Ring slot layout (16 bytes, little-endian, shared by requests and
+   responses exactly as Xen's netif structs are):
+     TX request:  id u16@0, size u16@2, gref u32@4
+     TX response: id u16@0, status u16@2
+     RX request:  id u16@0, gref u32@4
+     RX response: id u16@0, size u16@2 *)
+
+let slot_bytes = 16
+let mtu_bytes = 1500
+let backend_per_packet_ns = 1_600 (* dom0 netback work per frame *)
+
+type tx_pending = { gref : Xensim.Gnttab.grant_ref; waker : unit Mthread.Promise.u }
+
+type t = {
+  hv : Xensim.Hypervisor.t;
+  dom : Xensim.Domain.t;
+  backend_dom : Xensim.Domain.t;
+  nic : Netsim.Nic.t;
+  pool : Io_page.t;
+  tx_front : Xensim.Ring.Front.t;
+  tx_back : Xensim.Ring.Back.t;
+  rx_front : Xensim.Ring.Front.t;
+  rx_back : Xensim.Ring.Back.t;
+  tx_port_front : Xensim.Evtchn.port;  (* notify -> backend wakes *)
+  tx_port_back : Xensim.Evtchn.port;  (* notify -> frontend wakes *)
+  rx_port_front : Xensim.Evtchn.port;
+  rx_port_back : Xensim.Evtchn.port;
+  tx_pending : (int, tx_pending) Hashtbl.t;
+  rx_posted : (int, Xensim.Gnttab.grant_ref * Bytestruct.t) Hashtbl.t;
+  rx_avail : (int * Xensim.Gnttab.grant_ref) Queue.t;  (* backend side *)
+  tx_waiters : unit Mthread.Promise.u Queue.t;
+  mutable listener : (Bytestruct.t -> unit) option;
+  mutable next_tx_id : int;
+  mutable next_rx_id : int;
+  mutable tx_frames : int;
+  mutable rx_frames : int;
+  mutable rx_dropped : int;
+}
+
+let gnttab t = t.hv.Xensim.Hypervisor.gnttab
+let evtchn t = t.hv.Xensim.Hypervisor.evtchn
+
+(* ---- backend ---- *)
+
+let backend_handle_tx t () =
+  let n =
+    Xensim.Ring.Back.consume_requests t.tx_back (fun slot ->
+        let id = Bytestruct.LE.get_uint16 slot 0 in
+        let size = Bytestruct.LE.get_uint16 slot 2 in
+        let gref = Int32.to_int (Bytestruct.LE.get_uint32 slot 4) in
+        let page = Xensim.Gnttab.map (gnttab t) ~by:t.backend_dom.Xensim.Domain.id gref in
+        let frame = Bytestruct.sub page 0 size in
+        Netsim.Nic.send t.nic frame;
+        Xensim.Gnttab.unmap (gnttab t) ~by:t.backend_dom.Xensim.Domain.id gref;
+        let rsp = Xensim.Ring.Back.next_response t.tx_back in
+        Bytestruct.LE.set_uint16 rsp 0 id;
+        Bytestruct.LE.set_uint16 rsp 2 0 (* NETIF_RSP_OKAY *))
+  in
+  if n > 0 then begin
+    Xensim.Domain.charge_k t.backend_dom ~cost:(n * backend_per_packet_ns) (fun () -> ());
+    if Xensim.Ring.Back.push_responses_and_check_notify t.tx_back then
+      Xensim.Evtchn.notify (evtchn t) t.tx_port_back
+  end
+
+let backend_handle_rx_credit t () =
+  ignore
+    (Xensim.Ring.Back.consume_requests t.rx_back (fun slot ->
+         let id = Bytestruct.LE.get_uint16 slot 0 in
+         let gref = Int32.to_int (Bytestruct.LE.get_uint32 slot 4) in
+         Queue.add (id, gref) t.rx_avail))
+
+let backend_handle_frame t frame =
+  (* Pull any freshly-posted credit before deciding to drop. *)
+  backend_handle_rx_credit t ();
+  match Queue.take_opt t.rx_avail with
+  | None -> t.rx_dropped <- t.rx_dropped + 1
+  | Some (id, gref) ->
+    Xensim.Gnttab.copy_to (gnttab t) ~by:t.backend_dom.Xensim.Domain.id gref ~src:frame;
+    let rsp = Xensim.Ring.Back.next_response t.rx_back in
+    Bytestruct.LE.set_uint16 rsp 0 id;
+    Bytestruct.LE.set_uint16 rsp 2 (Bytestruct.length frame);
+    Xensim.Domain.charge_k t.backend_dom ~cost:backend_per_packet_ns (fun () -> ());
+    if Xensim.Ring.Back.push_responses_and_check_notify t.rx_back then
+      Xensim.Evtchn.notify (evtchn t) t.rx_port_back
+
+(* ---- frontend ---- *)
+
+let post_rx_buffer t =
+  let page = Io_page.alloc t.pool in
+  let gref =
+    Xensim.Gnttab.grant_access (gnttab t) ~dom:t.dom.Xensim.Domain.id
+      ~peer:t.backend_dom.Xensim.Domain.id ~writable:true page
+  in
+  let id = t.next_rx_id in
+  t.next_rx_id <- (t.next_rx_id + 1) land 0xffff;
+  Hashtbl.replace t.rx_posted id (gref, page);
+  let slot = Xensim.Ring.Front.next_request t.rx_front in
+  Bytestruct.LE.set_uint16 slot 0 id;
+  Bytestruct.LE.set_uint32 slot 4 (Int32.of_int gref)
+
+let frontend_handle_tx_responses t () =
+  ignore
+    (Xensim.Ring.Front.consume_responses t.tx_front (fun slot ->
+         let id = Bytestruct.LE.get_uint16 slot 0 in
+         match Hashtbl.find_opt t.tx_pending id with
+         | None -> ()
+         | Some { gref; waker } ->
+           Hashtbl.remove t.tx_pending id;
+           Xensim.Gnttab.end_access (gnttab t) gref;
+           if Mthread.Promise.wakener_pending waker then Mthread.Promise.wakeup waker ()));
+  (* Ring space freed: wake writers blocked on a full ring. *)
+  let rec wake () =
+    if Xensim.Ring.Front.free_requests t.tx_front > 0 then
+      match Queue.take_opt t.tx_waiters with
+      | Some u when Mthread.Promise.wakener_pending u ->
+        Mthread.Promise.wakeup u ();
+        wake ()
+      | Some _ -> wake ()
+      | None -> ()
+  in
+  wake ()
+
+let frontend_handle_rx_responses t () =
+  let arrived = ref [] in
+  let n =
+    Xensim.Ring.Front.consume_responses t.rx_front (fun slot ->
+        let id = Bytestruct.LE.get_uint16 slot 0 in
+        let size = Bytestruct.LE.get_uint16 slot 2 in
+        match Hashtbl.find_opt t.rx_posted id with
+        | None -> ()
+        | Some (gref, page) ->
+          Hashtbl.remove t.rx_posted id;
+          Xensim.Gnttab.end_access (gnttab t) gref;
+          arrived := (page, size) :: !arrived)
+  in
+  if n > 0 then begin
+    let plat = t.dom.Xensim.Domain.platform in
+    List.iter
+      (fun (page, size) ->
+        t.rx_frames <- t.rx_frames + 1;
+        (* Deliver once the vCPU has done the receive-path work; charge_k
+           keeps per-frame ordering (sequential reservations on one vCPU). *)
+        Xensim.Domain.charge_k t.dom ~cost:(Platform.rx_cost plat ~bytes_len:size) (fun () ->
+            (match t.listener with
+            | Some f -> f (Bytestruct.sub page 0 size)
+            | None -> ());
+            Io_page.recycle t.pool page;
+            (* Replace the consumed credit. *)
+            post_rx_buffer t;
+            if Xensim.Ring.Front.push_requests_and_check_notify t.rx_front then
+              Xensim.Evtchn.notify (evtchn t) t.rx_port_front))
+      (List.rev !arrived)
+  end
+
+let connect hv ~dom ~backend_dom ~nic ?(rx_slots = 512) () =
+  (* Multi-page rings (as blkif's multi-page ring extension): 16 KiB gives
+     512 receive slots, enough burst absorption for several full TCP
+     windows before the backend must drop. *)
+  let make_ring () =
+    let page = Bytestruct.create 16384 in
+    let sring = Xensim.Ring.Sring.init page ~slot_bytes in
+    (Xensim.Ring.Front.init sring, Xensim.Ring.Back.init (Xensim.Ring.Sring.attach page ~slot_bytes))
+  in
+  let tx_front, tx_back = make_ring () in
+  let rx_front, rx_back = make_ring () in
+  let ev = hv.Xensim.Hypervisor.evtchn in
+  let alloc_pair () =
+    let back_port = Xensim.Evtchn.alloc_unbound ev ~owner:backend_dom.Xensim.Domain.id in
+    let front_port =
+      Xensim.Evtchn.bind_interdomain ev ~local:dom.Xensim.Domain.id ~remote_port:back_port
+    in
+    (front_port, back_port)
+  in
+  let tx_port_front, tx_port_back = alloc_pair () in
+  let rx_port_front, rx_port_back = alloc_pair () in
+  let t =
+    {
+      hv;
+      dom;
+      backend_dom;
+      nic;
+      pool = Io_page.create ~initial:rx_slots ();
+      tx_front;
+      tx_back;
+      rx_front;
+      rx_back;
+      tx_port_front;
+      tx_port_back;
+      rx_port_front;
+      rx_port_back;
+      tx_pending = Hashtbl.create 64;
+      rx_posted = Hashtbl.create 64;
+      rx_avail = Queue.create ();
+      tx_waiters = Queue.create ();
+      listener = None;
+      next_tx_id = 0;
+      next_rx_id = 0;
+      tx_frames = 0;
+      rx_frames = 0;
+      rx_dropped = 0;
+    }
+  in
+  Xensim.Evtchn.set_handler ev tx_port_back (fun () -> backend_handle_tx t ());
+  Xensim.Evtchn.set_handler ev tx_port_front (fun () -> frontend_handle_tx_responses t ());
+  Xensim.Evtchn.set_handler ev rx_port_back (fun () -> backend_handle_rx_credit t ());
+  Xensim.Evtchn.set_handler ev rx_port_front (fun () -> frontend_handle_rx_responses t ());
+  Netsim.Nic.set_rx nic (fun frame -> backend_handle_frame t frame);
+  (* Seed receive credit; a 16 kB ring with 16-byte slots holds 512. *)
+  let slots = min rx_slots 511 in
+  for _ = 1 to slots do
+    post_rx_buffer t
+  done;
+  if Xensim.Ring.Front.push_requests_and_check_notify t.rx_front then
+    Xensim.Evtchn.notify ev t.rx_port_front;
+  (* Ensure the backend sees the initial credit even without a notify edge. *)
+  backend_handle_rx_credit t ();
+  t
+
+let mac t = Netsim.Nic.mac t.nic
+let mtu _ = mtu_bytes
+let pool t = t.pool
+
+let rec write t frame =
+  let open Mthread.Promise in
+  let len = Bytestruct.length frame in
+  if len > mtu_bytes + 14 then invalid_arg "Netif.write: frame exceeds MTU";
+  if Xensim.Ring.Front.free_requests t.tx_front = 0 then begin
+    let p, u = wait () in
+    Queue.add u t.tx_waiters;
+    bind p (fun () -> write t frame)
+  end
+  else begin
+    let gref =
+      Xensim.Gnttab.grant_access (gnttab t) ~dom:t.dom.Xensim.Domain.id
+        ~peer:t.backend_dom.Xensim.Domain.id ~writable:false frame
+    in
+    let id = t.next_tx_id in
+    t.next_tx_id <- (t.next_tx_id + 1) land 0xffff;
+    let done_p, waker = Mthread.Promise.wait () in
+    Hashtbl.replace t.tx_pending id { gref; waker };
+    let slot = Xensim.Ring.Front.next_request t.tx_front in
+    Bytestruct.LE.set_uint16 slot 0 id;
+    Bytestruct.LE.set_uint16 slot 2 len;
+    Bytestruct.LE.set_uint32 slot 4 (Int32.of_int gref);
+    t.tx_frames <- t.tx_frames + 1;
+    (* The vCPU does the driver work before the frame reaches the ring —
+       this is what makes a busy guest the throughput bottleneck. *)
+    bind
+      (Xensim.Domain.charge t.dom
+         ~cost:(Platform.tx_cost t.dom.Xensim.Domain.platform ~bytes_len:len))
+      (fun () ->
+        if Xensim.Ring.Front.push_requests_and_check_notify t.tx_front then
+          Xensim.Evtchn.notify (evtchn t) t.tx_port_front;
+        done_p)
+  end
+
+let set_listener t f = t.listener <- Some f
+
+let tx_frames t = t.tx_frames
+let rx_frames t = t.rx_frames
+let rx_dropped t = t.rx_dropped

@@ -1,0 +1,47 @@
+(** The Xen split network driver (paper §3.4): a frontend in the guest and
+    a backend attached to a simulated NIC, connected by two shared rings
+    (TX, RX), grant references for payload pages, and event channels for
+    notifications.
+
+    Transmit is zero-copy from the guest's perspective: the frame buffer
+    (an I/O page view) is granted to the backend, which maps it and puts it
+    on the wire; the grant is revoked when the TX response returns. Receive
+    pre-posts granted pages; the backend grant-copies each arriving frame
+    into one (netback's GNTTABOP_copy path) and the frontend hands the
+    filled view to the listener without further copying. *)
+
+type t
+
+(** [connect hv ~dom ~backend_dom ~nic ()] wires a frontend in [dom] to a
+    backend in [backend_dom] driving [nic]. [rx_slots] bounds posted
+    receive buffers (default 128). *)
+val connect :
+  Xensim.Hypervisor.t ->
+  dom:Xensim.Domain.t ->
+  backend_dom:Xensim.Domain.t ->
+  nic:Netsim.Nic.t ->
+  ?rx_slots:int ->
+  unit ->
+  t
+
+val mac : t -> string
+val mtu : t -> int
+
+(** The frontend's I/O page pool; the network stack allocates transmit
+    buffers here. *)
+val pool : t -> Io_page.t
+
+(** [write t frame] transmits, blocking while the TX ring is full. The
+    promise resolves once the request is on the ring (the driver pipelines;
+    grant cleanup happens on the TX response). *)
+val write : t -> Bytestruct.t -> unit Mthread.Promise.t
+
+(** Frames delivered to the listener are views over pool pages recycled
+    after the listener returns — retain only copies. *)
+val set_listener : t -> (Bytestruct.t -> unit) -> unit
+
+val tx_frames : t -> int
+val rx_frames : t -> int
+
+(** Frames dropped because no receive buffer was posted. *)
+val rx_dropped : t -> int

@@ -1,0 +1,1 @@
+lib/dns/compress.ml: Dns_name Hashtbl List Map

@@ -1,0 +1,1 @@
+lib/dns/compress.mli: Dns_name

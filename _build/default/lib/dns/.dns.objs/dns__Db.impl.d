@@ -1,0 +1,1 @@
+lib/dns/db.ml: Dns_name Dns_wire Hashtbl List Zone

@@ -1,0 +1,1 @@
+lib/dns/db.mli: Dns_name Dns_wire Zone

@@ -1,0 +1,1 @@
+lib/dns/dns_name.ml: Format List String

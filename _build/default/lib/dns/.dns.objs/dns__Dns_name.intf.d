@@ -1,0 +1,1 @@
+lib/dns/dns_name.mli: Format

@@ -1,0 +1,1 @@
+lib/dns/dns_wire.ml: Buffer Bytestruct Char Compress Dns_name Int32 List Netstack String

@@ -1,0 +1,1 @@
+lib/dns/dns_wire.mli: Bytestruct Compress Dns_name Netstack

@@ -1,0 +1,1 @@
+lib/dns/memo.ml: Bytestruct Dns_name Dns_wire Hashtbl

@@ -1,0 +1,1 @@
+lib/dns/memo.mli: Bytestruct Dns_name Dns_wire

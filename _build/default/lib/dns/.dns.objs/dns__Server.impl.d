@@ -1,0 +1,1 @@
+lib/dns/server.ml: Db Dns_wire Engine Memo Mthread Netstack Platform Xensim

@@ -1,0 +1,1 @@
+lib/dns/server.mli: Db Dns_name Dns_wire Engine Memo Mthread Netstack Platform Xensim

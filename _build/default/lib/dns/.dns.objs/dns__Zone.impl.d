@@ -1,0 +1,1 @@
+lib/dns/zone.ml: Buffer Dns_name Dns_wire List Netstack Printf String

@@ -1,0 +1,1 @@
+lib/dns/zone.mli: Dns_name Dns_wire

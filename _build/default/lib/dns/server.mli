@@ -1,0 +1,50 @@
+(** Authoritative DNS server engines over UDP.
+
+    One real answering path (decode, database lookup, encode / memo) is
+    shared by all engines; what differs is (a) whether memoisation is on
+    and (b) the per-query virtual-CPU cost model, which encodes each
+    baseline's documented algorithmic structure (see the calibration
+    comments in the implementation). This is how Figure 10's six curves
+    are produced from one correct implementation plus explicit models of
+    BIND's and NSD's processing costs. *)
+
+type engine =
+  | Mirage of { memoize : bool }  (** the real Mirage appliance path *)
+  | Bind_like  (** general-purpose database, per-query feature checks *)
+  | Nsd_like  (** precompiled answer set, minimal per-query work *)
+
+type t
+
+val create :
+  Engine.Sim.t ->
+  ?dom:Xensim.Domain.t ->
+  udp:Netstack.Udp.t ->
+  ?port:int ->
+  db:Db.t ->
+  engine:engine ->
+  unit ->
+  t
+
+val queries_served : t -> int
+val decode_failures : t -> int
+val memo : t -> Memo.t option
+
+(** The per-query vCPU cost the engine charges, exposed for the analytical
+    crosscheck in the benchmark harness. *)
+val query_cost_ns : engine -> zone_entries:int -> platform:Platform.t -> memo_hit:bool -> int
+
+(** {1 Client} (tests, examples, load generators) *)
+
+module Client : sig
+  (** [query sim udp ~server ~qname ~qtype] sends one query and resolves
+      with the response ([None] on 2 s timeout). *)
+  val query :
+    Engine.Sim.t ->
+    Netstack.Udp.t ->
+    server:Netstack.Ipaddr.t ->
+    ?port:int ->
+    qname:Dns_name.t ->
+    qtype:Dns_wire.qtype ->
+    unit ->
+    Dns_wire.message option Mthread.Promise.t
+end

@@ -1,0 +1,95 @@
+type handle = {
+  time : int;
+  seq : int;
+  action : unit -> unit;
+  mutable cancelled : bool;
+}
+
+type t = {
+  mutable heap : handle array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let dummy = { time = 0; seq = 0; action = (fun () -> ()); cancelled = true }
+
+let create () = { heap = Array.make 64 dummy; size = 0; next_seq = 0 }
+
+let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let swap t i j =
+  let tmp = t.heap.(i) in
+  t.heap.(i) <- t.heap.(j);
+  t.heap.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if before t.heap.(i) t.heap.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && before t.heap.(l) t.heap.(!smallest) then smallest := l;
+  if r < t.size && before t.heap.(r) t.heap.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let grow t =
+  let bigger = Array.make (2 * Array.length t.heap) dummy in
+  Array.blit t.heap 0 bigger 0 t.size;
+  t.heap <- bigger
+
+let push t ~time action =
+  let h = { time; seq = t.next_seq; action; cancelled = false } in
+  t.next_seq <- t.next_seq + 1;
+  if t.size = Array.length t.heap then grow t;
+  t.heap.(t.size) <- h;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1);
+  h
+
+let cancel h = h.cancelled <- true
+
+let is_cancelled h = h.cancelled
+
+let pop_raw t =
+  if t.size = 0 then None
+  else begin
+    let top = t.heap.(0) in
+    t.size <- t.size - 1;
+    t.heap.(0) <- t.heap.(t.size);
+    t.heap.(t.size) <- dummy;
+    if t.size > 0 then sift_down t 0;
+    Some top
+  end
+
+let rec drop_cancelled t =
+  if t.size > 0 && t.heap.(0).cancelled then begin
+    ignore (pop_raw t);
+    drop_cancelled t
+  end
+
+let peek_time t =
+  drop_cancelled t;
+  if t.size = 0 then None else Some t.heap.(0).time
+
+let rec pop t =
+  match pop_raw t with
+  | None -> None
+  | Some h -> if h.cancelled then pop t else Some (h.time, h.action)
+
+let length t =
+  let n = ref 0 in
+  for i = 0 to t.size - 1 do
+    if not t.heap.(i).cancelled then incr n
+  done;
+  !n
+
+let is_empty t = length t = 0

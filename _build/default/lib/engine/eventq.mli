@@ -1,0 +1,30 @@
+(** Priority queue of timestamped events, the heart of the simulator.
+
+    Events fire in (time, insertion-order) order; cancellation is O(1)
+    (lazy deletion at pop time). *)
+
+type t
+
+(** Handle to a scheduled event, usable for cancellation. *)
+type handle
+
+val create : unit -> t
+
+(** Number of live (non-cancelled) events. *)
+val length : t -> int
+
+val is_empty : t -> bool
+
+(** [push t ~time f] schedules [f] at absolute virtual [time]. *)
+val push : t -> time:int -> (unit -> unit) -> handle
+
+(** [cancel h] prevents the event from firing; idempotent. *)
+val cancel : handle -> unit
+
+val is_cancelled : handle -> bool
+
+(** Time of the earliest live event. *)
+val peek_time : t -> int option
+
+(** Pop the earliest live event, or [None] if the queue is empty. *)
+val pop : t -> (int * (unit -> unit)) option

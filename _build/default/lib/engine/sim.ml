@@ -1,0 +1,58 @@
+type t = {
+  mutable now : int;
+  q : Eventq.t;
+  prng : Prng.t;
+  mutable stopped : bool;
+}
+
+type handle = Eventq.handle
+
+let create ?(seed = 42) () =
+  { now = 0; q = Eventq.create (); prng = Prng.create ~seed (); stopped = false }
+
+let now t = t.now
+let prng t = t.prng
+
+let at t ~time f =
+  let time = max time t.now in
+  Eventq.push t.q ~time f
+
+let schedule t ~delay f = at t ~time:(t.now + max 0 delay) f
+
+let cancel = Eventq.cancel
+
+let pending t = Eventq.length t.q
+
+let step t =
+  match Eventq.pop t.q with
+  | None -> false
+  | Some (time, action) ->
+    t.now <- max t.now time;
+    action ();
+    true
+
+let run ?until t =
+  t.stopped <- false;
+  let continue () =
+    (not t.stopped)
+    &&
+    match Eventq.peek_time t.q with
+    | None -> false
+    | Some time -> ( match until with None -> true | Some limit -> time <= limit)
+  in
+  while continue () do
+    ignore (step t)
+  done;
+  match until with
+  | Some limit when not t.stopped -> t.now <- max t.now limit
+  | _ -> ()
+
+let stop t = t.stopped <- true
+
+let ns x = x
+let us x = x * 1_000
+let ms x = x * 1_000_000
+let sec x = x * 1_000_000_000
+let sec_f x = int_of_float (x *. 1e9)
+let to_sec x = float_of_int x /. 1e9
+let to_ms x = float_of_int x /. 1e6

@@ -1,0 +1,55 @@
+(** The discrete-event simulator: a virtual clock driving an event queue.
+
+    All virtual times are integer nanoseconds. Every subsystem (hypervisor,
+    network links, block devices, thread timers) schedules callbacks here. *)
+
+type t
+
+(** Scheduled-event handle; see {!cancel}. *)
+type handle = Eventq.handle
+
+(** [create ~seed ()] makes a simulator whose PRNG is seeded with [seed]. *)
+val create : ?seed:int -> unit -> t
+
+(** Current virtual time in nanoseconds. *)
+val now : t -> int
+
+(** The simulator's root PRNG. *)
+val prng : t -> Prng.t
+
+(** [schedule t ~delay f] runs [f] at [now t + delay] (clamped to now for
+    negative delays). *)
+val schedule : t -> delay:int -> (unit -> unit) -> handle
+
+(** [at t ~time f] runs [f] at absolute virtual [time]. *)
+val at : t -> time:int -> (unit -> unit) -> handle
+
+val cancel : handle -> unit
+
+(** Number of pending events. *)
+val pending : t -> int
+
+(** [run t] executes events until the queue drains.
+    @param until stop (leaving later events pending) once the clock would
+    pass this absolute time. *)
+val run : ?until:int -> t -> unit
+
+(** [step t] executes the single earliest event; returns [false] when the
+    queue was empty. *)
+val step : t -> bool
+
+(** Stop the current [run] after the in-flight event completes. *)
+val stop : t -> unit
+
+(** Time-unit helpers (all return nanoseconds). *)
+
+val ns : int -> int
+val us : int -> int
+val ms : int -> int
+val sec : int -> int
+val sec_f : float -> int
+
+(** Nanoseconds to floating-point seconds / milliseconds. *)
+val to_sec : int -> float
+
+val to_ms : int -> float

@@ -1,0 +1,44 @@
+(** Summary statistics and distribution helpers used by every benchmark. *)
+
+(** Online accumulator (Welford's algorithm). *)
+type acc
+
+val acc_create : unit -> acc
+val acc_add : acc -> float -> unit
+val acc_count : acc -> int
+val acc_mean : acc -> float
+
+(** Unbiased sample standard deviation; 0 for fewer than two samples. *)
+val acc_stddev : acc -> float
+
+val acc_min : acc -> float
+val acc_max : acc -> float
+
+(** Batch helpers over float lists. *)
+
+val mean : float list -> float
+val stddev : float list -> float
+val minimum : float list -> float
+val maximum : float list -> float
+
+(** [percentile p xs] with [p] in [0, 100], linear interpolation between
+    order statistics. @raise Invalid_argument on empty input or bad [p]. *)
+val percentile : float -> float list -> float
+
+val median : float list -> float
+
+(** [cdf xs] returns the empirical CDF as [(value, cumulative_fraction)]
+    pairs sorted by value. *)
+val cdf : float list -> (float * float) list
+
+(** Fixed-bin histogram. *)
+type histogram
+
+val histogram_create : lo:float -> hi:float -> bins:int -> histogram
+val histogram_add : histogram -> float -> unit
+
+(** [(bin_low, bin_high, count)] triples in order. Out-of-range samples are
+    clamped into the first/last bin. *)
+val histogram_bins : histogram -> (float * float * int) list
+
+val histogram_total : histogram -> int

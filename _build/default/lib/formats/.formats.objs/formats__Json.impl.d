@@ -1,0 +1,1 @@
+lib/formats/json.ml: Buffer Char Float List Printf String

@@ -1,0 +1,1 @@
+lib/formats/sexp.ml: Buffer List String

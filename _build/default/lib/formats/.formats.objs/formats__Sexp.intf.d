@@ -1,0 +1,1 @@
+lib/formats/sexp.mli:

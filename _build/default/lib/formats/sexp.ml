@@ -1,0 +1,97 @@
+type t = Atom of string | List of t list
+
+exception Parse_error of int * string
+
+let needs_quoting s =
+  s = ""
+  || String.exists
+       (fun c -> c = ' ' || c = '(' || c = ')' || c = '"' || c = '\\' || c = '\n' || c = '\t' || c = '\r')
+       s
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      if c = '\\' || c = '"' then Buffer.add_char buf '\\';
+      Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let rec to_string = function
+  | Atom s -> if needs_quoting s then "\"" ^ escape s ^ "\"" else s
+  | List items -> "(" ^ String.concat " " (List.map to_string items) ^ ")"
+
+let parse input =
+  let pos = ref 0 in
+  let len = String.length input in
+  let error msg = raise (Parse_error (!pos, msg)) in
+  let peek () = if !pos < len then Some input.[!pos] else None in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\n' | '\t' | '\r') ->
+      incr pos;
+      skip_ws ()
+    | _ -> ()
+  in
+  let quoted_atom () =
+    incr pos;
+    let buf = Buffer.create 8 in
+    let rec go () =
+      match peek () with
+      | None -> error "unterminated quoted atom"
+      | Some '"' ->
+        incr pos;
+        Atom (Buffer.contents buf)
+      | Some '\\' ->
+        incr pos;
+        (match peek () with
+        | Some c ->
+          incr pos;
+          Buffer.add_char buf c;
+          go ()
+        | None -> error "dangling escape")
+      | Some c ->
+        incr pos;
+        Buffer.add_char buf c;
+        go ()
+    in
+    go ()
+  in
+  let bare_atom () =
+    let start = !pos in
+    let rec go () =
+      match peek () with
+      | Some (' ' | '\n' | '\t' | '\r' | '(' | ')' | '"') | None -> ()
+      | Some _ ->
+        incr pos;
+        go ()
+    in
+    go ();
+    Atom (String.sub input start (!pos - start))
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | None -> error "unexpected end of input"
+    | Some '(' ->
+      incr pos;
+      let rec items acc =
+        skip_ws ();
+        match peek () with
+        | Some ')' ->
+          incr pos;
+          List (List.rev acc)
+        | None -> error "unterminated list"
+        | Some _ -> items (value () :: acc)
+      in
+      items []
+    | Some ')' -> error "unexpected )"
+    | Some '"' -> quoted_atom ()
+    | Some _ -> bare_atom ()
+  in
+  let v = value () in
+  skip_ws ();
+  if !pos <> len then error "trailing garbage";
+  v
+
+let equal = ( = )

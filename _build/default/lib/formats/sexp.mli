@@ -1,0 +1,12 @@
+(** S-expressions — Table 1 "Formats". *)
+
+type t = Atom of string | List of t list
+
+exception Parse_error of int * string
+
+val parse : string -> t
+
+(** Atoms containing whitespace, parens or quotes render quoted. *)
+val to_string : t -> string
+
+val equal : t -> t -> bool

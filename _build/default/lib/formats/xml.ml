@@ -1,0 +1,160 @@
+type t = Element of string * (string * string) list * t list | Text of string
+
+exception Parse_error of int * string
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let rec to_string = function
+  | Text s -> escape s
+  | Element (tag, attrs, children) ->
+    let attrs_s =
+      String.concat "" (List.map (fun (k, v) -> Printf.sprintf " %s=\"%s\"" k (escape v)) attrs)
+    in
+    if children = [] then Printf.sprintf "<%s%s/>" tag attrs_s
+    else
+      Printf.sprintf "<%s%s>%s</%s>" tag attrs_s
+        (String.concat "" (List.map to_string children))
+        tag
+
+let parse input =
+  let pos = ref 0 in
+  let len = String.length input in
+  let error msg = raise (Parse_error (!pos, msg)) in
+  let peek () = if !pos < len then Some input.[!pos] else None in
+  let starts_with s =
+    !pos + String.length s <= len && String.sub input !pos (String.length s) = s
+  in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\n' | '\t' | '\r') ->
+      incr pos;
+      skip_ws ()
+    | _ -> ()
+  in
+  let unescape s =
+    let buf = Buffer.create (String.length s) in
+    let i = ref 0 in
+    while !i < String.length s do
+      if s.[!i] = '&' then begin
+        let rest = String.sub s !i (min 6 (String.length s - !i)) in
+        let take entity c = Buffer.add_char buf c; i := !i + String.length entity in
+        if String.length rest >= 4 && String.sub rest 0 4 = "&lt;" then take "&lt;" '<'
+        else if String.length rest >= 4 && String.sub rest 0 4 = "&gt;" then take "&gt;" '>'
+        else if String.length rest >= 5 && String.sub rest 0 5 = "&amp;" then take "&amp;" '&'
+        else if String.length rest >= 6 && String.sub rest 0 6 = "&quot;" then take "&quot;" '"'
+        else begin Buffer.add_char buf '&'; incr i end
+      end
+      else begin
+        Buffer.add_char buf s.[!i];
+        incr i
+      end
+    done;
+    Buffer.contents buf
+  in
+  let name () =
+    let start = !pos in
+    let ok c =
+      (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '-'
+      || c = '_' || c = ':'
+    in
+    let rec go () = match peek () with Some c when ok c -> incr pos; go () | _ -> () in
+    go ();
+    if !pos = start then error "expected a name";
+    String.sub input start (!pos - start)
+  in
+  let attribute () =
+    let k = name () in
+    skip_ws ();
+    if peek () <> Some '=' then error "expected = in attribute";
+    incr pos;
+    skip_ws ();
+    if peek () <> Some '"' then error "expected quoted attribute value";
+    incr pos;
+    let start = !pos in
+    while peek () <> Some '"' && peek () <> None do
+      incr pos
+    done;
+    if peek () = None then error "unterminated attribute";
+    let v = unescape (String.sub input start (!pos - start)) in
+    incr pos;
+    (k, v)
+  in
+  let rec element () =
+    if peek () <> Some '<' then error "expected <";
+    incr pos;
+    let tag = name () in
+    let rec attrs acc =
+      skip_ws ();
+      match peek () with
+      | Some '/' | Some '>' -> List.rev acc
+      | _ -> attrs (attribute () :: acc)
+    in
+    let attributes = attrs [] in
+    if starts_with "/>" then begin
+      pos := !pos + 2;
+      Element (tag, attributes, [])
+    end
+    else if peek () = Some '>' then begin
+      incr pos;
+      let children = content tag [] in
+      Element (tag, attributes, children)
+    end
+    else error "malformed start tag"
+  and content tag acc =
+    if starts_with "</" then begin
+      pos := !pos + 2;
+      let closing = name () in
+      if closing <> tag then error (Printf.sprintf "mismatched closing tag %s for %s" closing tag);
+      skip_ws ();
+      if peek () <> Some '>' then error "malformed closing tag";
+      incr pos;
+      List.rev acc
+    end
+    else if peek () = Some '<' then content tag (element () :: acc)
+    else if peek () = None then error ("unterminated element " ^ tag)
+    else begin
+      let start = !pos in
+      while peek () <> Some '<' && peek () <> None do
+        incr pos
+      done;
+      let raw = String.sub input start (!pos - start) in
+      let t = unescape raw in
+      if String.trim t = "" then content tag acc else content tag (Text t :: acc)
+    end
+  in
+  (* skip an optional prolog *)
+  skip_ws ();
+  if starts_with "<?" then begin
+    while not (starts_with "?>") && !pos < len do
+      incr pos
+    done;
+    if starts_with "?>" then pos := !pos + 2
+  end;
+  skip_ws ();
+  let root = element () in
+  skip_ws ();
+  if !pos <> len then error "trailing garbage";
+  root
+
+let child tag = function
+  | Element (_, _, children) ->
+    List.find_opt (function Element (t, _, _) -> t = tag | Text _ -> false) children
+  | Text _ -> None
+
+let attr key = function Element (_, attrs, _) -> List.assoc_opt key attrs | Text _ -> None
+
+let text = function
+  | Element (_, _, children) ->
+    String.concat "" (List.filter_map (function Text s -> Some s | Element _ -> None) children)
+  | Text s -> s

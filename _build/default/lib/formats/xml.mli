@@ -1,0 +1,21 @@
+(** A small XML subset — elements, attributes, text; no namespaces, no
+    DTDs, no processing instructions beyond an ignored prolog. Enough for
+    configuration documents and the XMPP-style streams of Table 1. *)
+
+type t =
+  | Element of string * (string * string) list * t list
+  | Text of string
+
+exception Parse_error of int * string
+
+val parse : string -> t
+val to_string : t -> string
+
+(** First child element with the given tag. *)
+val child : string -> t -> t option
+
+(** Attribute value. *)
+val attr : string -> t -> string option
+
+(** Concatenated text content of the node's immediate children. *)
+val text : t -> string

@@ -1,0 +1,1 @@
+lib/mthread/mcond.mli: Promise

@@ -1,0 +1,1 @@
+lib/mthread/msem.ml: Promise Queue

@@ -1,0 +1,1 @@
+lib/mthread/msem.mli: Promise

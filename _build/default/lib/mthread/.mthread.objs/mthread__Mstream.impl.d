@@ -1,0 +1,1 @@
+lib/mthread/mstream.ml: Promise Queue

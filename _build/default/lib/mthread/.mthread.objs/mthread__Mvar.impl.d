@@ -1,0 +1,1 @@
+lib/mthread/mvar.ml: Promise Queue

@@ -1,0 +1,1 @@
+lib/mthread/promise.mli: Engine

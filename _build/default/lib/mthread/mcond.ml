@@ -1,0 +1,20 @@
+type 'a t = { waiters : 'a Promise.u Queue.t }
+
+let create () = { waiters = Queue.create () }
+
+let wait t =
+  let p, u = Promise.wait () in
+  Queue.add u t.waiters;
+  p
+
+let rec signal t v =
+  match Queue.take_opt t.waiters with
+  | None -> ()
+  | Some u -> if Promise.wakener_pending u then Promise.wakeup u v else signal t v
+
+let broadcast t v =
+  let all = Queue.to_seq t.waiters |> List.of_seq in
+  Queue.clear t.waiters;
+  List.iter (fun u -> if Promise.wakener_pending u then Promise.wakeup u v) all
+
+let waiter_count t = Queue.length t.waiters

@@ -1,0 +1,58 @@
+type 'a t = {
+  buffered : 'a Queue.t;
+  waiters : ('a option Promise.u) Queue.t;
+  mutable closed : bool;
+}
+
+let create () = { buffered = Queue.create (); waiters = Queue.create (); closed = false }
+
+let rec next_live_waiter t =
+  match Queue.take_opt t.waiters with
+  | None -> None
+  | Some u -> if Promise.wakener_pending u then Some u else next_live_waiter t
+
+let push t v =
+  if t.closed then invalid_arg "Mstream.push: closed stream";
+  match next_live_waiter t with
+  | Some u -> Promise.wakeup u (Some v)
+  | None -> Queue.add v t.buffered
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    let rec flush () =
+      match next_live_waiter t with
+      | Some u ->
+        Promise.wakeup u None;
+        flush ()
+      | None -> ()
+    in
+    flush ()
+  end
+
+let is_closed t = t.closed
+
+let length t = Queue.length t.buffered
+
+let next t =
+  match Queue.take_opt t.buffered with
+  | Some v -> Promise.return (Some v)
+  | None ->
+    if t.closed then Promise.return None
+    else begin
+      let p, u = Promise.wait () in
+      Queue.add u t.waiters;
+      p
+    end
+
+let next_opt t = Queue.take_opt t.buffered
+
+let rec iter f t =
+  Promise.bind (next t) (function
+    | None -> Promise.return ()
+    | Some v -> Promise.bind (f v) (fun () -> iter f t))
+
+let rec fold f t acc =
+  Promise.bind (next t) (function
+    | None -> Promise.return acc
+    | Some v -> Promise.bind (f acc v) (fun acc -> fold f t acc))

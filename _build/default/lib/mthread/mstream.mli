@@ -1,0 +1,31 @@
+(** Unbounded stream of values with blocking reads — the channel-iteratee
+    bridge the paper uses between packets and typed streams (§3.5). *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+(** [push t v] appends a value; never blocks. *)
+val push : 'a t -> 'a -> unit
+
+(** [close t] ends the stream; subsequent {!next} calls return [None] once
+    buffered values drain. *)
+val close : 'a t -> unit
+
+val is_closed : 'a t -> bool
+
+(** Buffered (not yet consumed) element count. *)
+val length : 'a t -> int
+
+(** [next t] blocks until a value or end-of-stream is available. *)
+val next : 'a t -> 'a option Promise.t
+
+(** Non-blocking variant: [None] when nothing is buffered. *)
+val next_opt : 'a t -> 'a option
+
+(** [iter f t] consumes the stream, applying [f] to each element; the
+    promise resolves at end-of-stream. *)
+val iter : ('a -> unit Promise.t) -> 'a t -> unit Promise.t
+
+(** [fold f t init] folds over the whole stream. *)
+val fold : ('acc -> 'a -> 'acc Promise.t) -> 'a t -> 'acc -> 'acc Promise.t

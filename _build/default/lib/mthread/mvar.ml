@@ -1,0 +1,71 @@
+type 'a t = {
+  mutable contents : 'a option;
+  takers : ('a Promise.u) Queue.t;
+  putters : ('a * unit Promise.u) Queue.t;
+}
+
+let create_empty () = { contents = None; takers = Queue.create (); putters = Queue.create () }
+
+let create v =
+  let t = create_empty () in
+  t.contents <- Some v;
+  t
+
+let rec next_live_taker t =
+  match Queue.take_opt t.takers with
+  | None -> None
+  | Some u -> if Promise.wakener_pending u then Some u else next_live_taker t
+
+let rec next_live_putter t =
+  match Queue.take_opt t.putters with
+  | None -> None
+  | Some ((_, u) as entry) ->
+    if Promise.wakener_pending u then Some entry else next_live_putter t
+
+let put t v =
+  match next_live_taker t with
+  | Some taker ->
+    Promise.wakeup taker v;
+    Promise.return ()
+  | None ->
+    if t.contents = None then begin
+      t.contents <- Some v;
+      Promise.return ()
+    end
+    else begin
+      let p, u = Promise.wait () in
+      Queue.add (v, u) t.putters;
+      p
+    end
+
+let take t =
+  match t.contents with
+  | Some v ->
+    (match next_live_putter t with
+    | Some (v', u) ->
+      t.contents <- Some v';
+      Promise.wakeup u ()
+    | None -> t.contents <- None);
+    Promise.return v
+  | None -> (
+    match next_live_putter t with
+    | Some (v, u) ->
+      Promise.wakeup u ();
+      Promise.return v
+    | None ->
+      let p, u = Promise.wait () in
+      Queue.add u t.takers;
+      p)
+
+let take_opt t =
+  match t.contents with
+  | Some v ->
+    (match next_live_putter t with
+    | Some (v', u) ->
+      t.contents <- Some v';
+      Promise.wakeup u ()
+    | None -> t.contents <- None);
+    Some v
+  | None -> None
+
+let is_empty t = t.contents = None

@@ -1,0 +1,20 @@
+(** Single-slot synchronising mailbox (Lwt_mvar analogue). *)
+
+type 'a t
+
+(** Empty mailbox. *)
+val create_empty : unit -> 'a t
+
+(** Mailbox holding an initial value. *)
+val create : 'a -> 'a t
+
+(** [put t v] blocks while the mailbox is full. *)
+val put : 'a t -> 'a -> unit Promise.t
+
+(** [take t] blocks while the mailbox is empty. *)
+val take : 'a t -> 'a Promise.t
+
+(** Non-blocking take. *)
+val take_opt : 'a t -> 'a option
+
+val is_empty : 'a t -> bool

@@ -1,0 +1,246 @@
+exception Canceled
+exception Timeout
+
+type 'a outcome = ('a, exn) result
+
+type 'a record = {
+  mutable state : 'a inner;
+  mutable cancel_hooks : (unit -> unit) list;
+}
+
+and 'a inner =
+  | Pending of ('a outcome -> unit) list
+  | Settled of 'a outcome
+
+type 'a t = 'a record
+type 'a u = 'a record
+
+let created = ref 0
+let resolved = ref 0
+let created_count () = !created
+let resolved_count () = !resolved
+
+let reset_counters () =
+  created := 0;
+  resolved := 0
+
+let make_pending () =
+  incr created;
+  { state = Pending []; cancel_hooks = [] }
+
+let make_settled outcome =
+  incr created;
+  incr resolved;
+  { state = Settled outcome; cancel_hooks = [] }
+
+let return v = make_settled (Ok v)
+let fail e = make_settled (Error e)
+
+let settle t outcome =
+  match t.state with
+  | Settled _ -> invalid_arg "Promise: already settled"
+  | Pending callbacks ->
+    t.state <- Settled outcome;
+    t.cancel_hooks <- [];
+    incr resolved;
+    List.iter (fun cb -> cb outcome) (List.rev callbacks)
+
+let wait () =
+  let p = make_pending () in
+  (p, p)
+
+let wakeup u v = match u.state with Settled (Error Canceled) -> () | _ -> settle u (Ok v)
+
+let wakeup_exn u e = match u.state with Settled (Error Canceled) -> () | _ -> settle u (Error e)
+
+let wakener_pending (u : 'a u) = match u.state with Pending _ -> true | Settled _ -> false
+
+let state t =
+  match t.state with
+  | Pending _ -> `Pending
+  | Settled (Ok v) -> `Resolved v
+  | Settled (Error e) -> `Failed e
+
+let on_resolve t f =
+  match t.state with
+  | Settled outcome -> f outcome
+  | Pending callbacks -> t.state <- Pending (f :: callbacks)
+
+let on_cancel t f =
+  match t.state with Settled _ -> () | Pending _ -> t.cancel_hooks <- f :: t.cancel_hooks
+
+let cancel t =
+  match t.state with
+  | Settled _ -> ()
+  | Pending _ ->
+    let hooks = t.cancel_hooks in
+    t.cancel_hooks <- [];
+    List.iter (fun h -> h ()) (List.rev hooks);
+    (* A hook may itself have settled the promise (e.g. by cancelling an
+       upstream promise we were waiting on). *)
+    (match t.state with Settled _ -> () | Pending _ -> settle t (Error Canceled))
+
+let async_exception_hook = ref (fun e -> raise e)
+let set_async_exception_hook f = async_exception_hook := f
+
+let run_thunk f = try Ok (f ()) with e -> Error e
+
+let bind t f =
+  match t.state with
+  | Settled (Ok v) -> ( match run_thunk (fun () -> f v) with Ok p -> p | Error e -> fail e)
+  | Settled (Error e) -> fail e
+  | Pending _ ->
+    let r = make_pending () in
+    on_cancel r (fun () -> cancel t);
+    on_resolve t (fun outcome ->
+        match outcome with
+        | Error e -> ( match r.state with Settled _ -> () | Pending _ -> settle r (Error e))
+        | Ok v -> (
+          match r.state with
+          | Settled _ -> ()
+          | Pending _ -> (
+            match run_thunk (fun () -> f v) with
+            | Error e -> settle r (Error e)
+            | Ok inner ->
+              on_cancel r (fun () -> cancel inner);
+              on_resolve inner (fun o ->
+                  match r.state with Settled _ -> () | Pending _ -> settle r o))));
+    r
+
+let map f t = bind t (fun v -> match run_thunk (fun () -> f v) with Ok r -> return r | Error e -> fail e)
+
+module Infix = struct
+  let ( >>= ) = bind
+  let ( >|= ) t f = map f t
+end
+
+let catch f handler =
+  let t = match run_thunk f with Ok p -> p | Error e -> fail e in
+  match t.state with
+  | Settled (Ok _) -> t
+  | Settled (Error e) -> ( match run_thunk (fun () -> handler e) with Ok p -> p | Error e' -> fail e')
+  | Pending _ ->
+    let r = make_pending () in
+    on_cancel r (fun () -> cancel t);
+    on_resolve t (fun outcome ->
+        match r.state with
+        | Settled _ -> ()
+        | Pending _ -> (
+          match outcome with
+          | Ok v -> settle r (Ok v)
+          | Error e -> (
+            match run_thunk (fun () -> handler e) with
+            | Error e' -> settle r (Error e')
+            | Ok inner ->
+              on_resolve inner (fun o ->
+                  match r.state with Settled _ -> () | Pending _ -> settle r o))));
+    r
+
+let try_bind f on_ok on_err =
+  let t = match run_thunk f with Ok p -> p | Error e -> fail e in
+  bind (catch (fun () -> map (fun v -> Ok v) t) (fun e -> return (Error e))) (function
+    | Ok v -> on_ok v
+    | Error e -> on_err e)
+
+let finalize f cleanup =
+  try_bind f
+    (fun v -> bind (cleanup ()) (fun () -> return v))
+    (fun e -> bind (cleanup ()) (fun () -> fail e))
+
+let async f =
+  let t = match run_thunk f with Ok p -> p | Error e -> fail e in
+  on_resolve t (function Ok () -> () | Error Canceled -> () | Error e -> !async_exception_hook e)
+
+let choose ts =
+  match List.find_opt (fun t -> match t.state with Settled _ -> true | Pending _ -> false) ts with
+  | Some t -> t
+  | None ->
+    let r = make_pending () in
+    List.iter
+      (fun t ->
+        on_resolve t (fun o -> match r.state with Settled _ -> () | Pending _ -> settle r o))
+      ts;
+    r
+
+let pick ts =
+  let r = choose ts in
+  let cancel_losers () = List.iter (fun t -> if t != r then cancel t) ts in
+  (match r.state with
+  | Settled _ -> cancel_losers ()
+  | Pending _ ->
+    on_resolve r (fun _ -> List.iter cancel ts);
+    on_cancel r (fun () -> List.iter cancel ts));
+  r
+
+let join ts =
+  let remaining = ref 0 in
+  let failure = ref None in
+  let r = make_pending () in
+  let finish () =
+    match r.state with
+    | Settled _ -> ()
+    | Pending _ -> (
+      match !failure with None -> settle r (Ok ()) | Some e -> settle r (Error e))
+  in
+  List.iter
+    (fun t ->
+      incr remaining;
+      on_resolve t (fun o ->
+          (match o with
+          | Ok () -> ()
+          | Error e -> if !failure = None then failure := Some e);
+          decr remaining;
+          if !remaining = 0 then finish ()))
+    ts;
+  if !remaining = 0 then finish ();
+  on_cancel r (fun () -> List.iter cancel ts);
+  r
+
+let all ts =
+  let arr = Array.of_list ts in
+  let n = Array.length arr in
+  let results = Array.make n None in
+  let unit_threads =
+    Array.to_list
+      (Array.mapi
+         (fun i t ->
+           bind t (fun v ->
+               results.(i) <- Some v;
+               return ()))
+         arr)
+  in
+  bind (join unit_threads) (fun () ->
+      return
+        (Array.to_list
+           (Array.map (function Some v -> v | None -> assert false) results)))
+
+let both a b =
+  bind (all [ map (fun v -> `A v) a; map (fun v -> `B v) b ]) (function
+    | [ `A va; `B vb ] -> return (va, vb)
+    | _ -> assert false)
+
+let sleep sim ns =
+  let p = make_pending () in
+  let handle =
+    Engine.Sim.schedule sim ~delay:ns (fun () ->
+        match p.state with Settled _ -> () | Pending _ -> settle p (Ok ()))
+  in
+  on_cancel p (fun () -> Engine.Sim.cancel handle);
+  p
+
+let yield sim = sleep sim 0
+
+let with_timeout sim ns f =
+  let timer = bind (sleep sim ns) (fun () -> fail Timeout) in
+  pick [ timer; (match run_thunk f with Ok p -> p | Error e -> fail e) ]
+
+let run sim t =
+  let rec drive () =
+    match t.state with
+    | Settled (Ok v) -> v
+    | Settled (Error e) -> raise e
+    | Pending _ ->
+      if Engine.Sim.step sim then drive ()
+      else failwith "Promise.run: deadlock - event queue drained with thread pending"
+  in
+  drive ()

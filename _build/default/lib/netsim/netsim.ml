@@ -1,0 +1,135 @@
+let broadcast_mac = "\xff\xff\xff\xff\xff\xff"
+
+let mac_to_string m =
+  String.concat ":" (List.init (String.length m) (fun i -> Printf.sprintf "%02x" (Char.code m.[i])))
+
+let mac_of_int i =
+  (* 0x02 prefix: locally administered, unicast. *)
+  let b = Bytes.create 6 in
+  Bytes.set b 0 '\x02';
+  Bytes.set b 1 (Char.chr ((i lsr 24) land 0xff));
+  Bytes.set b 2 (Char.chr ((i lsr 16) land 0xff));
+  Bytes.set b 3 (Char.chr ((i lsr 8) land 0xff));
+  Bytes.set b 4 (Char.chr (i land 0xff));
+  Bytes.set b 5 '\x01';
+  Bytes.to_string b
+
+type nic = {
+  mac : string;
+  bandwidth_bps : int;
+  latency_ns : int;
+  mutable loss : float;
+  bridge : bridge;
+  mutable rx : (Bytestruct.t -> unit) option;
+  mutable tx_free_at : int;
+  mutable frames_sent : int;
+  mutable frames_received : int;
+  mutable bytes_sent : int;
+}
+
+and bridge = {
+  sim : Engine.Sim.t;
+  prng : Engine.Prng.t;
+  mutable nics : nic list;
+  table : (string, nic) Hashtbl.t;  (* learned MAC -> port *)
+  mutable forwarded : int;
+  mutable flooded : int;
+  mutable dropped : int;
+  mutable taps : (time_ns:int -> Bytestruct.t -> unit) list;
+}
+
+module Nic = struct
+  type t = nic
+
+  let mac t = t.mac
+  let frames_sent t = t.frames_sent
+  let frames_received t = t.frames_received
+  let bytes_sent t = t.bytes_sent
+  let set_rx t f = t.rx <- Some f
+
+  let deliver t frame =
+    t.frames_received <- t.frames_received + 1;
+    match t.rx with None -> () | Some f -> f frame
+
+  let send t frame =
+    let len = Bytestruct.length frame in
+    if len < 14 then invalid_arg "Netsim: frame shorter than an Ethernet header";
+    let b = t.bridge in
+    t.frames_sent <- t.frames_sent + 1;
+    t.bytes_sent <- t.bytes_sent + len;
+    (* Copy at the wire: the sender's buffer is free for reuse, and the
+       bridge observes an immutable frame. *)
+    let wire_frame = Bytestruct.copy frame in
+    let now = Engine.Sim.now b.sim in
+    let serialisation = int_of_float (float_of_int (len * 8) /. float_of_int t.bandwidth_bps *. 1e9) in
+    let start = max now t.tx_free_at in
+    t.tx_free_at <- start + serialisation;
+    let arrival = start + serialisation + t.latency_ns in
+    if Engine.Prng.float b.prng 1.0 < t.loss then begin
+      b.dropped <- b.dropped + 1;
+      ignore arrival
+    end
+    else
+      ignore
+        (Engine.Sim.at b.sim ~time:arrival (fun () ->
+             List.iter (fun tap -> tap ~time_ns:arrival wire_frame) b.taps;
+             (* Learn the source port. *)
+             let src = Bytestruct.get_string wire_frame 6 6 in
+             Hashtbl.replace b.table src t;
+             let dst = Bytestruct.get_string wire_frame 0 6 in
+             if dst = broadcast_mac then begin
+               b.flooded <- b.flooded + 1;
+               List.iter (fun n -> if n != t then deliver n wire_frame) b.nics
+             end
+             else
+               match Hashtbl.find_opt b.table dst with
+               | Some port when port != t ->
+                 b.forwarded <- b.forwarded + 1;
+                 deliver port wire_frame
+               | Some _ -> ()
+               | None ->
+                 b.flooded <- b.flooded + 1;
+                 List.iter (fun n -> if n != t then deliver n wire_frame) b.nics))
+end
+
+module Bridge = struct
+  type t = bridge
+
+  let create sim =
+    {
+      sim;
+      prng = Engine.Prng.split (Engine.Sim.prng sim);
+      nics = [];
+      table = Hashtbl.create 32;
+      forwarded = 0;
+      flooded = 0;
+      dropped = 0;
+      taps = [];
+    }
+
+  let new_nic t ?(bandwidth_bps = 1_000_000_000) ?(latency_ns = 30_000) ?(loss = 0.0) ~mac () =
+    if String.length mac <> 6 then invalid_arg "Netsim.Bridge.new_nic: MAC must be 6 bytes";
+    let nic =
+      {
+        mac;
+        bandwidth_bps;
+        latency_ns;
+        loss;
+        bridge = t;
+        rx = None;
+        tx_free_at = 0;
+        frames_sent = 0;
+        frames_received = 0;
+        bytes_sent = 0;
+      }
+    in
+    t.nics <- nic :: t.nics;
+    nic
+
+  let set_loss _t nic p = nic.loss <- p
+
+  let forwarded t = t.forwarded
+  let flooded t = t.flooded
+  let dropped t = t.dropped
+  let tap t f = t.taps <- f :: t.taps
+end

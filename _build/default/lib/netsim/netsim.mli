@@ -1,0 +1,65 @@
+(** Physical-network substrate: NICs attached to a learning-switch bridge
+    through links with bandwidth, propagation latency and loss.
+
+    This stands in for the gigabit segment + Xen bridge of the paper's
+    testbed. Frames are raw Ethernet (destination MAC in bytes 0-5, source
+    in 6-11). Serialisation delay models link bandwidth: a NIC's transmit
+    path is busy for [8·len/bandwidth] per frame, which is what caps iperf
+    throughput in the Figure 8 reproduction. *)
+
+module Nic : sig
+  type t
+
+  (** Six-byte MAC address of this NIC. *)
+  val mac : t -> string
+
+  (** [send t frame] queues a frame for transmission; the frame is copied
+      at the simulated wire, so callers may reuse the buffer. *)
+  val send : t -> Bytestruct.t -> unit
+
+  (** Install the receive callback (frames destined to this NIC, broadcast,
+      or flooded by the bridge). *)
+  val set_rx : t -> (Bytestruct.t -> unit) -> unit
+
+  val frames_sent : t -> int
+  val frames_received : t -> int
+  val bytes_sent : t -> int
+end
+
+module Bridge : sig
+  type t
+
+  val create : Engine.Sim.t -> t
+
+  (** [new_nic t ~mac] attaches a NIC. Defaults: 1 Gb/s, 30 µs propagation
+      latency, no loss. [loss] is a per-frame drop probability. *)
+  val new_nic :
+    t ->
+    ?bandwidth_bps:int ->
+    ?latency_ns:int ->
+    ?loss:float ->
+    mac:string ->
+    unit ->
+    Nic.t
+
+  (** [set_loss t nic p] changes a link's drop probability mid-run (failure
+      injection for the TCP tests). *)
+  val set_loss : t -> Nic.t -> float -> unit
+
+  val forwarded : t -> int
+  val flooded : t -> int
+  val dropped : t -> int
+
+  (** [tap t f] observes every frame traversing the bridge (pcap-style). *)
+  val tap : t -> (time_ns:int -> Bytestruct.t -> unit) -> unit
+end
+
+(** Broadcast MAC, [ff:ff:ff:ff:ff:ff]. *)
+val broadcast_mac : string
+
+(** Render a six-byte MAC as [aa:bb:cc:dd:ee:ff]. *)
+val mac_to_string : string -> string
+
+(** [mac_of_int i] derives a locally-administered unicast MAC from an
+    integer — handy for generating fleets of NICs. *)
+val mac_of_int : int -> string

@@ -1,0 +1,1 @@
+lib/netstack/arp.ml: Bytestruct Engine Ethernet Hashtbl Ipaddr List Macaddr Mthread

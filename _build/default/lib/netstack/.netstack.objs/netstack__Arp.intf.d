@@ -1,0 +1,1 @@
+lib/netstack/arp.mli: Engine Ethernet Ipaddr Macaddr Mthread

@@ -1,0 +1,1 @@
+lib/netstack/dhcp.ml: Bytestruct Char Engine Hashtbl Int32 Ipaddr List Macaddr Mthread String Udp

@@ -1,0 +1,1 @@
+lib/netstack/dhcp.mli: Engine Ipaddr Macaddr Mthread Udp

@@ -1,0 +1,1 @@
+lib/netstack/ethernet.ml: Bytestruct Devices Hashtbl List Macaddr Mthread

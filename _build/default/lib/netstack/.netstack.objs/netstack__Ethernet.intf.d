@@ -1,0 +1,1 @@
+lib/netstack/ethernet.mli: Bytestruct Devices Macaddr Mthread

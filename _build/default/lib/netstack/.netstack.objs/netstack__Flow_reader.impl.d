@@ -1,0 +1,1 @@
+lib/netstack/flow_reader.ml: Buffer Bytestruct Mthread String Tcp

@@ -1,0 +1,1 @@
+lib/netstack/flow_reader.mli: Mthread Tcp

@@ -1,0 +1,1 @@
+lib/netstack/icmp4.ml: Bytestruct Checksum Engine Hashtbl Ipv4 Mthread Platform Xensim

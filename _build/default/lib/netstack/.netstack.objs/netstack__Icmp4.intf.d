@@ -1,0 +1,1 @@
+lib/netstack/icmp4.mli: Engine Ipaddr Ipv4 Mthread Xensim

@@ -1,0 +1,1 @@
+lib/netstack/ipaddr.ml: Bytestruct Format Int32 List Printf String

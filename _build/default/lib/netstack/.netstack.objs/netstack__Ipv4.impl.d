@@ -1,0 +1,1 @@
+lib/netstack/ipv4.ml: Arp Bytestruct Checksum Engine Ethernet Hashtbl Ipaddr Macaddr Mthread

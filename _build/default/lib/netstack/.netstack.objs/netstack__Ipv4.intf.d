@@ -1,0 +1,1 @@
+lib/netstack/ipv4.mli: Arp Bytestruct Engine Ethernet Ipaddr Mthread

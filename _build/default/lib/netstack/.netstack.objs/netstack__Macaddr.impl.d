@@ -1,0 +1,1 @@
+lib/netstack/macaddr.ml: Bytes Bytestruct Char Format List Printf String

@@ -1,0 +1,1 @@
+lib/netstack/macaddr.mli: Bytestruct Format

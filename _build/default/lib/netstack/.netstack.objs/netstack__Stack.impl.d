@@ -1,0 +1,1 @@
+lib/netstack/stack.ml: Arp Dhcp Ethernet Icmp4 Ipaddr Ipv4 Mthread Tcp Udp

@@ -1,0 +1,1 @@
+lib/netstack/stack.mli: Arp Devices Engine Ethernet Icmp4 Ipaddr Ipv4 Macaddr Mthread Tcp Udp Xensim

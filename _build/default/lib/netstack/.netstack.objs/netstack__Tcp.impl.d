@@ -1,0 +1,1 @@
+lib/netstack/tcp.ml: Bytestruct Engine Hashtbl Ipaddr Ipv4 List Mthread Platform Queue Tcp_wire Xensim

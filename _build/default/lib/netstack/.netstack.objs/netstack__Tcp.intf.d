@@ -1,0 +1,1 @@
+lib/netstack/tcp.mli: Bytestruct Engine Ipaddr Ipv4 Mthread Xensim

@@ -1,0 +1,1 @@
+lib/netstack/tcp_wire.ml: Bytestruct Checksum Format Int32 List

@@ -1,0 +1,1 @@
+lib/netstack/tcp_wire.mli: Bytestruct Format Ipaddr

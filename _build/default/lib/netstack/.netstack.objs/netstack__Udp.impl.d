@@ -1,0 +1,1 @@
+lib/netstack/udp.ml: Bytestruct Checksum Hashtbl Ipaddr Ipv4

@@ -1,0 +1,1 @@
+lib/netstack/udp.mli: Bytestruct Engine Ipaddr Ipv4 Mthread

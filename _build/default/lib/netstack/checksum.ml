@@ -1,0 +1,40 @@
+(* One's-complement sum carried across buffer boundaries: an odd-length
+   buffer contributes its last byte as the high half of a 16-bit word whose
+   low half is the first byte of the next buffer. *)
+
+let fold_buffer (sum, carry_byte) buf =
+  let len = Bytestruct.length buf in
+  let sum = ref sum in
+  let i = ref 0 in
+  (match carry_byte with
+  | Some hi when len > 0 ->
+    sum := !sum + ((hi lsl 8) lor Bytestruct.get_uint8 buf 0);
+    incr i
+  | _ -> ());
+  let carry = ref (match carry_byte with Some hi when len = 0 -> Some hi | _ -> None) in
+  while !i + 1 < len do
+    sum := !sum + Bytestruct.BE.get_uint16 buf !i;
+    i := !i + 2
+  done;
+  if !i < len then carry := Some (Bytestruct.get_uint8 buf !i);
+  (!sum, !carry)
+
+let finish (sum, carry_byte) =
+  let sum = match carry_byte with Some hi -> sum + (hi lsl 8) | None -> sum in
+  let rec fold s = if s > 0xffff then fold ((s land 0xffff) + (s lsr 16)) else s in
+  lnot (fold sum) land 0xffff
+
+let ones_complement_list bufs = finish (List.fold_left fold_buffer (0, None) bufs)
+
+let ones_complement buf = ones_complement_list [ buf ]
+
+let pseudo_header ~src ~dst ~proto ~len =
+  let b = Bytestruct.create 12 in
+  Ipaddr.set b 0 src;
+  Ipaddr.set b 4 dst;
+  Bytestruct.set_uint8 b 8 0;
+  Bytestruct.set_uint8 b 9 proto;
+  Bytestruct.BE.set_uint16 b 10 len;
+  b
+
+let valid bufs = ones_complement_list bufs = 0

@@ -1,0 +1,17 @@
+(** The Internet checksum (RFC 1071): one's-complement sum of 16-bit words.
+    Hardware offload is disabled throughout the evaluation (paper §4.1.3),
+    so every IP/ICMP/UDP/TCP packet is summed in software here. *)
+
+(** Checksum of a single buffer. *)
+val ones_complement : Bytestruct.t -> int
+
+(** Checksum over a list of buffers treated as one contiguous byte stream
+    (scatter-gather: used for the pseudo-header + header + payload sum). *)
+val ones_complement_list : Bytestruct.t list -> int
+
+(** IPv4 pseudo-header for TCP/UDP checksums. *)
+val pseudo_header : src:Ipaddr.t -> dst:Ipaddr.t -> proto:int -> len:int -> Bytestruct.t
+
+(** [valid bufs] — a correctly-summed packet (with its checksum field
+    included) folds to zero. *)
+val valid : Bytestruct.t list -> bool

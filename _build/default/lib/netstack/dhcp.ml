@@ -1,0 +1,245 @@
+type lease = {
+  address : Ipaddr.t;
+  netmask : Ipaddr.t;
+  gateway : Ipaddr.t option;
+  server : Ipaddr.t;
+  lease_s : int;
+}
+
+let client_port = 68
+let server_port = 67
+let magic_cookie = 0x63825363l
+
+let msg_discover = 1
+let msg_offer = 2
+let msg_request = 3
+let msg_ack = 5
+
+(* options *)
+let opt_subnet = 1
+let opt_router = 3
+let opt_lease = 51
+let opt_msg_type = 53
+let opt_server_id = 54
+let opt_requested_ip = 50
+let opt_end = 255
+
+let header_bytes = 240 (* BOOTP fixed fields + magic cookie *)
+
+let build ~op ~xid ~mac ~yiaddr ~options =
+  let opts_len = List.fold_left (fun acc (_, v) -> acc + 2 + String.length v) 0 options + 1 in
+  let b = Bytestruct.create (header_bytes + opts_len) in
+  Bytestruct.set_uint8 b 0 op;
+  Bytestruct.set_uint8 b 1 1 (* ethernet *);
+  Bytestruct.set_uint8 b 2 6;
+  Bytestruct.set_uint8 b 3 0;
+  Bytestruct.BE.set_uint32 b 4 (Int32.of_int xid);
+  Ipaddr.set b 16 yiaddr;
+  Bytestruct.set_string b 28 (Macaddr.to_bytes mac);
+  Bytestruct.BE.set_uint32 b 236 magic_cookie;
+  let off = ref header_bytes in
+  List.iter
+    (fun (code, v) ->
+      Bytestruct.set_uint8 b !off code;
+      Bytestruct.set_uint8 b (!off + 1) (String.length v);
+      Bytestruct.set_string b (!off + 2) v;
+      off := !off + 2 + String.length v)
+    options;
+  Bytestruct.set_uint8 b !off opt_end;
+  b
+
+let ip_bytes ip =
+  let b = Bytestruct.create 4 in
+  Ipaddr.set b 0 ip;
+  Bytestruct.to_string b
+
+let byte v = String.make 1 (Char.chr v)
+
+let parse_options b =
+  let len = Bytestruct.length b in
+  let rec go off acc =
+    if off >= len then acc
+    else
+      match Bytestruct.get_uint8 b off with
+      | 255 -> acc
+      | 0 -> go (off + 1) acc
+      | code ->
+        if off + 1 >= len then acc
+        else begin
+          let l = Bytestruct.get_uint8 b (off + 1) in
+          if off + 2 + l > len then acc
+          else go (off + 2 + l) ((code, Bytestruct.get_string b (off + 2) l) :: acc)
+        end
+  in
+  go header_bytes []
+
+let option_ip options code =
+  match List.assoc_opt code options with
+  | Some v when String.length v = 4 -> Some (Ipaddr.get (Bytestruct.of_string v) 0)
+  | _ -> None
+
+let option_u8 options code =
+  match List.assoc_opt code options with
+  | Some v when String.length v >= 1 -> Some (Char.code v.[0])
+  | _ -> None
+
+let option_u32 options code =
+  match List.assoc_opt code options with
+  | Some v when String.length v = 4 ->
+    Some (Int32.to_int (Bytestruct.BE.get_uint32 (Bytestruct.of_string v) 0) land 0xFFFFFFFF)
+  | _ -> None
+
+module Client = struct
+  let acquire sim udp ~mac =
+    let open Mthread.Promise in
+    let xid = Engine.Prng.int (Engine.Sim.prng sim) 0x7FFFFFFF in
+    let responses = Mthread.Mstream.create () in
+    Udp.listen udp ~port:client_port (fun ~src:_ ~src_port:_ ~dst_port:_ ~payload ->
+        if
+          Bytestruct.length payload >= header_bytes
+          && Bytestruct.get_uint8 payload 0 = 2 (* BOOTREPLY *)
+          && Int32.to_int (Bytestruct.BE.get_uint32 payload 4) = xid
+        then Mthread.Mstream.push responses (Bytestruct.copy payload));
+    let send ~msg ~extra =
+      let options = ((opt_msg_type, byte msg) :: extra) in
+      let packet = build ~op:1 ~xid ~mac ~yiaddr:Ipaddr.any ~options in
+      Udp.sendto udp ~src_port:client_port ~dst:Ipaddr.broadcast ~dst_port:server_port packet
+    in
+    let next_reply ~want =
+      let rec loop () =
+        bind (Mthread.Mstream.next responses) (function
+          | None -> fail Timeout
+          | Some reply ->
+            let options = parse_options reply in
+            if option_u8 options opt_msg_type = Some want then return (reply, options)
+            else loop ())
+      in
+      with_timeout sim (Engine.Sim.sec 2) loop
+    in
+    let attempt () =
+      bind (send ~msg:msg_discover ~extra:[]) (fun () ->
+          bind (next_reply ~want:msg_offer) (fun (offer, offer_opts) ->
+              let offered = Ipaddr.get offer 16 in
+              let server =
+                match option_ip offer_opts opt_server_id with
+                | Some s -> s
+                | None -> Ipaddr.any
+              in
+              bind
+                (send ~msg:msg_request
+                   ~extra:
+                     [
+                       (opt_requested_ip, ip_bytes offered); (opt_server_id, ip_bytes server);
+                     ])
+                (fun () ->
+                  bind (next_reply ~want:msg_ack) (fun (ack, ack_opts) ->
+                      let address = Ipaddr.get ack 16 in
+                      let netmask =
+                        match option_ip ack_opts opt_subnet with
+                        | Some m -> m
+                        | None -> Ipaddr.v4 255 255 255 0
+                      in
+                      return
+                        {
+                          address;
+                          netmask;
+                          gateway = option_ip ack_opts opt_router;
+                          server;
+                          lease_s =
+                            (match option_u32 ack_opts opt_lease with Some s -> s | None -> 3600);
+                        }))))
+    in
+    let rec retry n =
+      catch attempt (fun e ->
+          if n >= 4 then fail e
+          else match e with Timeout -> retry (n + 1) | other -> fail other)
+    in
+    finalize
+      (fun () -> retry 1)
+      (fun () ->
+        Udp.unlisten udp ~port:client_port;
+        return ())
+end
+
+module Server = struct
+  type t = {
+    server_ip : Ipaddr.t;
+    netmask : Ipaddr.t;
+    gateway : Ipaddr.t option;
+    pool_start : Ipaddr.t;
+    pool_size : int;
+    assigned : (string, Ipaddr.t) Hashtbl.t;  (* chaddr -> ip *)
+    mutable next : int;
+    mutable granted : int;
+  }
+
+  let allocate t chaddr =
+    match Hashtbl.find_opt t.assigned chaddr with
+    | Some ip -> Some ip
+    | None ->
+      if t.next >= t.pool_size then None
+      else begin
+        let ip =
+          Ipaddr.of_int32 (Int32.add (Ipaddr.to_int32 t.pool_start) (Int32.of_int t.next))
+        in
+        t.next <- t.next + 1;
+        Hashtbl.replace t.assigned chaddr ip;
+        Some ip
+      end
+
+  let lease_bytes = "\x00\x00\x0e\x10" (* 3600 s *)
+
+  let reply t udp ~request ~msg ~yiaddr =
+    let xid = Int32.to_int (Bytestruct.BE.get_uint32 request 4) in
+    let chaddr = Bytestruct.get_string request 28 6 in
+    let base_options =
+      [
+        (opt_msg_type, byte msg);
+        (opt_server_id, ip_bytes t.server_ip);
+        (opt_subnet, ip_bytes t.netmask);
+        (opt_lease, lease_bytes);
+      ]
+    in
+    let options =
+      match t.gateway with
+      | Some gw -> base_options @ [ (opt_router, ip_bytes gw) ]
+      | None -> base_options
+    in
+    let packet = build ~op:2 ~xid ~mac:(Macaddr.of_bytes chaddr) ~yiaddr ~options in
+    Mthread.Promise.async (fun () ->
+        Udp.sendto udp ~src_port:server_port ~dst:Ipaddr.broadcast ~dst_port:client_port packet)
+
+  let create _sim udp ~server_ip ~netmask ?gateway ~pool_start ~pool_size () =
+    let t =
+      {
+        server_ip;
+        netmask;
+        gateway;
+        pool_start;
+        pool_size;
+        assigned = Hashtbl.create 16;
+        next = 0;
+        granted = 0;
+      }
+    in
+    Udp.listen udp ~port:server_port (fun ~src:_ ~src_port:_ ~dst_port:_ ~payload ->
+        if Bytestruct.length payload >= header_bytes && Bytestruct.get_uint8 payload 0 = 1 then begin
+          let options = parse_options payload in
+          let chaddr = Bytestruct.get_string payload 28 6 in
+          match option_u8 options opt_msg_type with
+          | Some m when m = msg_discover -> (
+            match allocate t chaddr with
+            | Some ip -> reply t udp ~request:payload ~msg:msg_offer ~yiaddr:ip
+            | None -> ())
+          | Some m when m = msg_request -> (
+            match allocate t chaddr with
+            | Some ip ->
+              t.granted <- t.granted + 1;
+              reply t udp ~request:payload ~msg:msg_ack ~yiaddr:ip
+            | None -> ())
+          | _ -> ()
+        end);
+    t
+
+  let leases_granted t = t.granted
+end

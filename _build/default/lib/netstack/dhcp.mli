@@ -1,0 +1,39 @@
+(** DHCP: the paper's canonical "dynamic configuration directive" — the
+    alternative to compiling a static IP into the image when unikernels
+    must remain clonable (§2.3.1). Client plus a small server (used as the
+    test fixture and by the multi-unikernel examples). *)
+
+(** Result of a successful lease acquisition. *)
+type lease = {
+  address : Ipaddr.t;
+  netmask : Ipaddr.t;
+  gateway : Ipaddr.t option;
+  server : Ipaddr.t;
+  lease_s : int;
+}
+
+module Client : sig
+  (** [acquire sim udp ~mac] runs DISCOVER/OFFER/REQUEST/ACK and resolves
+      with the lease. Retries with 2 s timeouts; fails with
+      [Mthread.Promise.Timeout] after 4 attempts. *)
+  val acquire : Engine.Sim.t -> Udp.t -> mac:Macaddr.t -> lease Mthread.Promise.t
+end
+
+module Server : sig
+  type t
+
+  (** [create sim udp ~server_ip ~netmask ?gateway ~pool_start ~pool_size ()]
+      serves addresses [pool_start .. pool_start+pool_size-1]. *)
+  val create :
+    Engine.Sim.t ->
+    Udp.t ->
+    server_ip:Ipaddr.t ->
+    netmask:Ipaddr.t ->
+    ?gateway:Ipaddr.t ->
+    pool_start:Ipaddr.t ->
+    pool_size:int ->
+    unit ->
+    t
+
+  val leases_granted : t -> int
+end

@@ -1,0 +1,55 @@
+let ethertype_ipv4 = 0x0800
+let ethertype_arp = 0x0806
+let header_bytes = 14
+
+type handler = src:Macaddr.t -> dst:Macaddr.t -> payload:Bytestruct.t -> unit
+
+type t = {
+  netif : Devices.Netif.t;
+  handlers : (int, handler) Hashtbl.t;
+  mutable unknown : int;
+}
+
+let handle t frame =
+  if Bytestruct.length frame >= header_bytes then begin
+    let dst = Macaddr.get frame 0 in
+    let src = Macaddr.get frame 6 in
+    let ethertype = Bytestruct.BE.get_uint16 frame 12 in
+    let payload = Bytestruct.shift frame header_bytes in
+    match Hashtbl.find_opt t.handlers ethertype with
+    | Some f -> f ~src ~dst ~payload
+    | None -> t.unknown <- t.unknown + 1
+  end
+
+let create netif =
+  let t = { netif; handlers = Hashtbl.create 4; unknown = 0 } in
+  Devices.Netif.set_listener netif (fun frame -> handle t frame);
+  t
+
+let mac t = Macaddr.of_bytes (Devices.Netif.mac t.netif)
+let mtu t = Devices.Netif.mtu t.netif
+
+let set_handler t ~ethertype f = Hashtbl.replace t.handlers ethertype f
+
+let output t ~dst ~ethertype fragments =
+  let payload_len = Bytestruct.lenv fragments in
+  if payload_len > Devices.Netif.mtu t.netif then
+    invalid_arg "Ethernet.output: payload exceeds MTU";
+  (* Assemble header + fragments into a transmit I/O page. *)
+  let page = Devices.Io_page.alloc (Devices.Netif.pool t.netif) in
+  let frame = Bytestruct.sub page 0 (header_bytes + payload_len) in
+  Macaddr.set frame 0 dst;
+  Macaddr.set frame 6 (mac t);
+  Bytestruct.BE.set_uint16 frame 12 ethertype;
+  let _ =
+    List.fold_left
+      (fun off frag ->
+        Bytestruct.blit frag 0 frame off (Bytestruct.length frag);
+        off + Bytestruct.length frag)
+      header_bytes fragments
+  in
+  Mthread.Promise.bind (Devices.Netif.write t.netif frame) (fun () ->
+      Devices.Io_page.recycle (Devices.Netif.pool t.netif) page;
+      Mthread.Promise.return ())
+
+let unknown_frames t = t.unknown

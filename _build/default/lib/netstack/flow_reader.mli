@@ -1,0 +1,22 @@
+(** Buffered reading over a TCP flow: lines and counted blocks. The
+    channel-iteratee bridge between packet streams and typed protocol
+    streams (paper §3.5) that the HTTP and memcache parsers share. *)
+
+type t
+
+val create : Tcp.flow -> t
+
+(** Next CRLF- (or bare-LF-) terminated line, without the terminator;
+    [None] at end-of-stream. *)
+val line : t -> string option Mthread.Promise.t
+
+(** Exactly [n] bytes; [None] if the stream ends first. *)
+val exactly : t -> int -> string option Mthread.Promise.t
+
+(** Like {!exactly} but also consumes a trailing CRLF (memcache framing). *)
+val block_crlf : t -> int -> string option Mthread.Promise.t
+
+(** Bytes buffered but not yet consumed. *)
+val buffered : t -> int
+
+val eof : t -> bool

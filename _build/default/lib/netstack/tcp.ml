@@ -1,0 +1,801 @@
+module Seq = Tcp_wire.Seq
+
+exception Connection_refused
+exception Connection_reset
+
+let default_mss = 1448
+(* Sized below the netfront receive credit (127 frames ~ 180 KB) so a
+   full window burst cannot overrun the posted buffers. *)
+let rcv_wnd_bytes = 131072
+let snd_buf_bytes = 262144
+let our_wscale = 7
+let initial_rto_ns = Engine.Sim.ms 200
+let min_rto_ns = Engine.Sim.ms 50
+let max_rto_ns = Engine.Sim.sec 60
+let msl_ns = Engine.Sim.sec 1
+let max_syn_retries = 5
+
+type state =
+  | Syn_sent
+  | Syn_rcvd
+  | Established
+  | Fin_wait_1
+  | Fin_wait_2
+  | Close_wait
+  | Closing
+  | Last_ack
+  | Time_wait
+  | Closed
+
+type rtx_entry = {
+  e_seq : Seq.t;
+  e_len : int;  (* sequence space consumed, incl. SYN/FIN *)
+  e_payload : Bytestruct.t;
+  e_syn : bool;
+  e_fin : bool;
+  mutable e_sent_at : int;
+  mutable e_retx : bool;
+}
+
+type key = { k_port : int; k_rip : Ipaddr.t; k_rport : int }
+
+type flow = {
+  t : engine;
+  key : key;
+  mutable state : state;
+  (* send side *)
+  mutable snd_una : Seq.t;
+  mutable snd_nxt : Seq.t;
+  mutable snd_wnd : int;
+  mutable snd_wscale : int;
+  mutable mss : int;
+  mutable cwnd : int;
+  mutable ssthresh : int;
+  mutable dupacks : int;
+  mutable in_recovery : bool;
+  mutable recover : Seq.t;
+  mutable rtx : rtx_entry list;  (* ascending seq *)
+  tx_chunks : Bytestruct.t Queue.t;
+  mutable tx_head_off : int;
+  mutable tx_buffered : int;
+  tx_waiters : unit Mthread.Promise.u Queue.t;
+  mutable fin_queued : bool;
+  mutable fin_sent : bool;
+  (* receive side *)
+  mutable rcv_nxt : Seq.t;
+  mutable rcv_wscale : int;
+  mutable ooo : (Seq.t * Bytestruct.t) list;  (* ascending seq, disjoint *)
+  rx : Bytestruct.t Mthread.Mstream.t;
+  (* timers and RTT estimation *)
+  mutable rto_ns : int;
+  mutable srtt_ns : int;
+  mutable rttvar_ns : int;
+  mutable rtt_probe : (Seq.t * int) option;
+  mutable rto_timer : Engine.Sim.handle option;
+  (* lifecycle *)
+  mutable connect_waker : flow Mthread.Promise.u option;
+  mutable close_waker : unit Mthread.Promise.u option;
+  mutable syn_tries : int;
+  mutable error : exn option;
+  mutable bytes_acked : int;
+  mutable bytes_received : int;
+}
+
+and engine = {
+  sim : Engine.Sim.t;
+  ip : Ipv4.t;
+  dom : Xensim.Domain.t option;
+  flows : (key, flow) Hashtbl.t;
+  listeners : (int, flow -> unit Mthread.Promise.t) Hashtbl.t;
+  mutable next_ephemeral : int;
+  mutable segs_sent : int;
+  mutable segs_received : int;
+  mutable retransmissions : int;
+  mutable fast_retransmits : int;
+  mutable rto_fires : int;
+}
+
+type t = engine
+
+(* ---------- low-level output ---------- *)
+
+let advertised_window (_fl : flow) = rcv_wnd_bytes lsr our_wscale
+
+let send_segment t ~key ~seq ~ack ~flags ~options ~window ~payload =
+  t.segs_sent <- t.segs_sent + 1;
+  let seg =
+    {
+      Tcp_wire.src_port = key.k_port;
+      dst_port = key.k_rport;
+      seq;
+      ack;
+      flags;
+      window;
+      options;
+      payload;
+    }
+  in
+  let frags = Tcp_wire.encode ~src:(Ipv4.address t.ip) ~dst:key.k_rip seg in
+  let emit () = Ipv4.output t.ip ~dst:key.k_rip ~proto:Ipv4.proto_tcp frags in
+  match t.dom with
+  | None -> Mthread.Promise.async emit
+  | Some d ->
+    (* Segment preparation occupies the vCPU before the packet can leave:
+       data-bearing segments pay the full transmit path, pure ACKs a small
+       fixed cost. This gating is what caps Figure 8's throughput. *)
+    let cost =
+      if Bytestruct.length payload > 0 || flags.Tcp_wire.syn || flags.Tcp_wire.fin then
+        d.Xensim.Domain.platform.Platform.tcp_tx_extra_ns
+      else d.Xensim.Domain.platform.Platform.tcp_ack_extra_ns
+    in
+    Mthread.Promise.async (fun () ->
+        Mthread.Promise.bind (Xensim.Domain.charge d ~cost) (fun () -> emit ()))
+
+let send_rst_for t ~key ~seq ~ack =
+  send_segment t ~key ~seq ~ack
+    ~flags:{ Tcp_wire.flags_none with rst = true; ack = true }
+    ~options:[] ~window:0 ~payload:(Bytestruct.create 0)
+
+(* ---------- timers ---------- *)
+
+let cancel_rto fl =
+  match fl.rto_timer with
+  | Some h ->
+    Engine.Sim.cancel h;
+    fl.rto_timer <- None
+  | None -> ()
+
+let rec arm_rto fl =
+  cancel_rto fl;
+  if fl.rtx <> [] then
+    fl.rto_timer <- Some (Engine.Sim.schedule fl.t.sim ~delay:fl.rto_ns (fun () -> on_rto fl))
+
+and on_rto fl =
+  fl.rto_timer <- None;
+  match fl.rtx with
+  | [] -> ()
+  | e :: _ ->
+    fl.t.rto_fires <- fl.t.rto_fires + 1;
+    (match fl.state with
+    | Syn_sent | Syn_rcvd ->
+      fl.syn_tries <- fl.syn_tries + 1;
+      if fl.syn_tries > max_syn_retries then begin
+        fail_flow fl Mthread.Promise.Timeout;
+        cancel_rto fl
+      end
+      else retransmit_entry fl e
+    | _ ->
+      (* Timeout: collapse to slow start (RFC 5681). *)
+      let flight = Seq.diff fl.snd_nxt fl.snd_una in
+      fl.ssthresh <- max (flight / 2) (2 * fl.mss);
+      fl.cwnd <- fl.mss;
+      fl.in_recovery <- false;
+      fl.dupacks <- 0;
+      retransmit_entry fl e);
+    fl.rto_ns <- min (fl.rto_ns * 2) max_rto_ns;
+    fl.rtt_probe <- None;
+    arm_rto fl
+
+and retransmit_entry fl e =
+  fl.t.retransmissions <- fl.t.retransmissions + 1;
+  e.e_retx <- true;
+  e.e_sent_at <- Engine.Sim.now fl.t.sim;
+  let flags =
+    {
+      Tcp_wire.flags_none with
+      syn = e.e_syn;
+      fin = e.e_fin;
+      ack = fl.state <> Syn_sent;
+      psh = Bytestruct.length e.e_payload > 0;
+    }
+  in
+  let options =
+    if e.e_syn then [ Tcp_wire.Mss fl.mss; Tcp_wire.Window_scale our_wscale ] else []
+  in
+  send_segment fl.t ~key:fl.key ~seq:e.e_seq
+    ~ack:(if fl.state = Syn_sent then Seq.zero else fl.rcv_nxt)
+    ~flags ~options ~window:(advertised_window fl) ~payload:e.e_payload
+
+(* ---------- failure ---------- *)
+
+and fail_flow fl err =
+  if fl.state <> Closed then begin
+    fl.state <- Closed;
+    fl.error <- Some err;
+    cancel_rto fl;
+    Hashtbl.remove fl.t.flows fl.key;
+    Mthread.Mstream.close fl.rx;
+    (match fl.connect_waker with
+    | Some u when Mthread.Promise.wakener_pending u -> Mthread.Promise.wakeup_exn u err
+    | _ -> ());
+    (match fl.close_waker with
+    | Some u when Mthread.Promise.wakener_pending u -> Mthread.Promise.wakeup u ()
+    | _ -> ());
+    Queue.iter
+      (fun u -> if Mthread.Promise.wakener_pending u then Mthread.Promise.wakeup_exn u err)
+      fl.tx_waiters;
+    Queue.clear fl.tx_waiters
+  end
+
+(* ---------- send path ---------- *)
+
+let flight_size fl = Seq.diff fl.snd_nxt fl.snd_una
+
+let effective_snd_wnd fl = min fl.snd_wnd fl.cwnd
+
+(* Gather up to [n] bytes from the transmit chunk queue into one buffer. *)
+let gather_tx fl n =
+  let out = Bytestruct.create n in
+  let filled = ref 0 in
+  while !filled < n do
+    let chunk = Queue.peek fl.tx_chunks in
+    let avail = Bytestruct.length chunk - fl.tx_head_off in
+    let take = min avail (n - !filled) in
+    Bytestruct.blit chunk fl.tx_head_off out !filled take;
+    filled := !filled + take;
+    if take = avail then begin
+      ignore (Queue.pop fl.tx_chunks);
+      fl.tx_head_off <- 0
+    end
+    else fl.tx_head_off <- fl.tx_head_off + take
+  done;
+  fl.tx_buffered <- fl.tx_buffered - n;
+  out
+
+let wake_tx_waiters fl =
+  while
+    fl.tx_buffered < snd_buf_bytes
+    &&
+    match Queue.take_opt fl.tx_waiters with
+    | Some u ->
+      if Mthread.Promise.wakener_pending u then Mthread.Promise.wakeup u ();
+      true
+    | None -> false
+  do
+    ()
+  done
+
+let rec try_output fl =
+  match fl.state with
+  | Established | Close_wait | Fin_wait_1 | Closing | Last_ack ->
+    let window = effective_snd_wnd fl in
+    let in_flight = flight_size fl in
+    if fl.tx_buffered > 0 && in_flight < window then begin
+      let room = window - in_flight in
+      let len = min (min fl.tx_buffered room) fl.mss in
+      if len > 0 then begin
+        let payload = gather_tx fl len in
+        let entry =
+          {
+            e_seq = fl.snd_nxt;
+            e_len = len;
+            e_payload = payload;
+            e_syn = false;
+            e_fin = false;
+            e_sent_at = Engine.Sim.now fl.t.sim;
+            e_retx = false;
+          }
+        in
+        fl.rtx <- fl.rtx @ [ entry ];
+        if fl.rtt_probe = None then
+          fl.rtt_probe <- Some (Seq.add fl.snd_nxt len, Engine.Sim.now fl.t.sim);
+        fl.snd_nxt <- Seq.add fl.snd_nxt len;
+        send_segment fl.t ~key:fl.key ~seq:entry.e_seq ~ack:fl.rcv_nxt
+          ~flags:{ Tcp_wire.flags_none with ack = true; psh = fl.tx_buffered = 0 }
+          ~options:[] ~window:(advertised_window fl) ~payload;
+        if fl.rto_timer = None then arm_rto fl;
+        wake_tx_waiters fl;
+        try_output fl
+      end
+    end
+    else maybe_send_fin fl
+  | Syn_sent | Syn_rcvd | Fin_wait_2 | Time_wait | Closed -> ()
+
+and maybe_send_fin fl =
+  if
+    fl.fin_queued && (not fl.fin_sent) && fl.tx_buffered = 0
+    && flight_size fl < effective_snd_wnd fl
+  then begin
+    fl.fin_sent <- true;
+    let entry =
+      {
+        e_seq = fl.snd_nxt;
+        e_len = 1;
+        e_payload = Bytestruct.create 0;
+        e_syn = false;
+        e_fin = true;
+        e_sent_at = Engine.Sim.now fl.t.sim;
+        e_retx = false;
+      }
+    in
+    fl.rtx <- fl.rtx @ [ entry ];
+    fl.snd_nxt <- Seq.add fl.snd_nxt 1;
+    send_segment fl.t ~key:fl.key ~seq:entry.e_seq ~ack:fl.rcv_nxt
+      ~flags:{ Tcp_wire.flags_none with ack = true; fin = true }
+      ~options:[] ~window:(advertised_window fl) ~payload:entry.e_payload;
+    if fl.rto_timer = None then arm_rto fl
+  end
+
+(* ---------- RTT estimation (RFC 6298) ---------- *)
+
+let rtt_sample fl sample_ns =
+  if fl.srtt_ns = 0 then begin
+    fl.srtt_ns <- sample_ns;
+    fl.rttvar_ns <- sample_ns / 2
+  end
+  else begin
+    let err = abs (fl.srtt_ns - sample_ns) in
+    fl.rttvar_ns <- ((3 * fl.rttvar_ns) + err) / 4;
+    fl.srtt_ns <- ((7 * fl.srtt_ns) + sample_ns) / 8
+  end;
+  fl.rto_ns <- min max_rto_ns (max min_rto_ns (fl.srtt_ns + (4 * fl.rttvar_ns)))
+
+(* ---------- ACK processing ---------- *)
+
+let remove_acked fl ack =
+  let rec go acked = function
+    | e :: rest when Seq.leq (Seq.add e.e_seq e.e_len) ack -> go (acked + e.e_len) rest
+    | rest -> (acked, rest)
+  in
+  let acked, remaining = go 0 fl.rtx in
+  fl.rtx <- remaining;
+  acked
+
+let congestion_avoidance_ack fl acked_bytes =
+  if fl.cwnd < fl.ssthresh then fl.cwnd <- fl.cwnd + min acked_bytes fl.mss
+  else fl.cwnd <- fl.cwnd + max 1 (fl.mss * fl.mss / fl.cwnd)
+
+let enter_fast_retransmit fl =
+  fl.t.fast_retransmits <- fl.t.fast_retransmits + 1;
+  let flight = flight_size fl in
+  fl.ssthresh <- max (flight / 2) (2 * fl.mss);
+  fl.recover <- fl.snd_nxt;
+  fl.in_recovery <- true;
+  fl.cwnd <- fl.ssthresh + (3 * fl.mss);
+  (match fl.rtx with e :: _ -> retransmit_entry fl e | [] -> ());
+  arm_rto fl
+
+let handle_ack fl (seg : Tcp_wire.segment) =
+  let ack = seg.ack in
+  if Seq.gt ack fl.snd_una && Seq.leq ack fl.snd_nxt then begin
+    (* New data acknowledged. *)
+    let acked = remove_acked fl ack in
+    fl.snd_una <- ack;
+    fl.bytes_acked <- fl.bytes_acked + acked;
+    fl.dupacks <- 0;
+    (match fl.rtt_probe with
+    | Some (probe_seq, t0) when Seq.geq ack probe_seq ->
+      (* Karn: only sample if nothing acked was retransmitted — the probe
+         segment is cleared on RTO, so reaching here is a clean sample. *)
+      rtt_sample fl (Engine.Sim.now fl.t.sim - t0);
+      fl.rtt_probe <- None
+    | _ -> ());
+    if fl.in_recovery then begin
+      if Seq.geq ack fl.recover then begin
+        (* Full acknowledgment: leave recovery (NewReno). *)
+        fl.in_recovery <- false;
+        fl.cwnd <- fl.ssthresh
+      end
+      else begin
+        (* Partial ack: retransmit the next hole, deflate. *)
+        (match fl.rtx with e :: _ -> retransmit_entry fl e | [] -> ());
+        fl.cwnd <- max fl.mss (fl.cwnd - acked + fl.mss)
+      end
+    end
+    else congestion_avoidance_ack fl acked;
+    if fl.rtx = [] then cancel_rto fl else arm_rto fl;
+    wake_tx_waiters fl
+  end
+  else if
+    Seq.equal ack fl.snd_una && fl.rtx <> []
+    && Bytestruct.length seg.payload = 0
+    && not seg.flags.Tcp_wire.syn
+  then begin
+    fl.dupacks <- fl.dupacks + 1;
+    if fl.in_recovery then begin
+      fl.cwnd <- fl.cwnd + fl.mss;
+      try_output fl
+    end
+    else if fl.dupacks = 3 then enter_fast_retransmit fl
+  end
+
+(* ---------- receive path ---------- *)
+
+let deliver_rx fl payload =
+  (* Copy out of the driver page: the view is recycled after this handler
+     returns (zero-copy ends at the application boundary by necessity of
+     the page pool; cf. paper §3.4.1 where GC tracking plays this role). *)
+  fl.bytes_received <- fl.bytes_received + Bytestruct.length payload;
+  Mthread.Mstream.push fl.rx (Bytestruct.copy payload)
+
+let rec integrate_ooo fl =
+  match fl.ooo with
+  | (seq, data) :: rest when Seq.leq seq fl.rcv_nxt ->
+    let skip = Seq.diff fl.rcv_nxt seq in
+    if skip < Bytestruct.length data then begin
+      let fresh = Bytestruct.shift data skip in
+      fl.rcv_nxt <- Seq.add fl.rcv_nxt (Bytestruct.length fresh);
+      fl.bytes_received <- fl.bytes_received + Bytestruct.length fresh;
+      Mthread.Mstream.push fl.rx fresh
+    end;
+    fl.ooo <- rest;
+    integrate_ooo fl
+  | _ -> ()
+
+let insert_ooo fl seq data =
+  (* Keep segments sorted; drop exact duplicates, keep overlaps (they are
+     trimmed during integration). *)
+  let rec ins = function
+    | [] -> [ (seq, Bytestruct.copy data) ]
+    | (s, d) :: rest when Seq.lt seq s -> (seq, Bytestruct.copy data) :: (s, d) :: rest
+    | (s, d) :: rest when Seq.equal seq s -> (s, d) :: rest
+    | (s, d) :: rest -> (s, d) :: ins rest
+  in
+  fl.ooo <- ins fl.ooo
+
+let send_ack fl =
+  send_segment fl.t ~key:fl.key ~seq:fl.snd_nxt ~ack:fl.rcv_nxt
+    ~flags:{ Tcp_wire.flags_none with ack = true }
+    ~options:[] ~window:(advertised_window fl) ~payload:(Bytestruct.create 0)
+
+let enter_time_wait fl =
+  fl.state <- Time_wait;
+  cancel_rto fl;
+  (* Reaching TIME_WAIT means our FIN is acknowledged: [close]'s contract
+     is satisfied now, not after the 2-MSL linger. *)
+  (match fl.close_waker with
+  | Some u when Mthread.Promise.wakener_pending u -> Mthread.Promise.wakeup u ()
+  | _ -> ());
+  ignore
+    (Engine.Sim.schedule fl.t.sim ~delay:(2 * msl_ns) (fun () ->
+         fl.state <- Closed;
+         Hashtbl.remove fl.t.flows fl.key))
+
+let finish_close fl =
+  fl.state <- Closed;
+  cancel_rto fl;
+  Hashtbl.remove fl.t.flows fl.key;
+  match fl.close_waker with
+  | Some u when Mthread.Promise.wakener_pending u -> Mthread.Promise.wakeup u ()
+  | _ -> ()
+
+let fin_acked fl = fl.fin_sent && fl.rtx = [] && Seq.equal fl.snd_una fl.snd_nxt
+
+(* [close]'s contract is "our direction is shut down and acknowledged";
+   full teardown may wait on the peer's FIN indefinitely. *)
+let wake_close fl =
+  match fl.close_waker with
+  | Some u when Mthread.Promise.wakener_pending u -> Mthread.Promise.wakeup u ()
+  | _ -> ()
+
+let rec handle_segment fl (seg : Tcp_wire.segment) =
+  let t = fl.t in
+  if seg.flags.Tcp_wire.rst then begin
+    match fl.state with
+    | Syn_sent -> fail_flow fl Connection_refused
+    | _ -> fail_flow fl Connection_reset
+  end
+  else begin
+    (* Window update (scaled except during handshake). *)
+    if seg.flags.Tcp_wire.ack then
+      fl.snd_wnd <-
+        (if seg.flags.Tcp_wire.syn then seg.window else seg.window lsl fl.snd_wscale);
+    match fl.state with
+    | Syn_sent when seg.flags.Tcp_wire.syn && seg.flags.Tcp_wire.ack ->
+      if Seq.equal seg.ack fl.snd_nxt then begin
+        List.iter
+          (function
+            | Tcp_wire.Mss m -> fl.mss <- min fl.mss m
+            | Tcp_wire.Window_scale s -> fl.snd_wscale <- s)
+          seg.options;
+        fl.rcv_nxt <- Seq.add seg.seq 1;
+        fl.snd_una <- seg.ack;
+        fl.rtx <- [];
+        cancel_rto fl;
+        fl.rto_ns <- initial_rto_ns;
+        fl.state <- Established;
+        fl.cwnd <- 10 * fl.mss;
+        send_ack fl;
+        match fl.connect_waker with
+        | Some u when Mthread.Promise.wakener_pending u -> Mthread.Promise.wakeup u fl
+        | _ -> ()
+      end
+      else send_rst_for t ~key:fl.key ~seq:seg.ack ~ack:Seq.zero
+    | Syn_sent ->
+      () (* simultaneous open not supported; ignore *)
+    | Syn_rcvd when seg.flags.Tcp_wire.ack && Seq.equal seg.ack fl.snd_nxt ->
+      fl.state <- Established;
+      fl.snd_una <- seg.ack;
+      fl.rtx <- [];
+      cancel_rto fl;
+      fl.rto_ns <- initial_rto_ns;
+      fl.cwnd <- 10 * fl.mss;
+      (match Hashtbl.find_opt t.listeners fl.key.k_port with
+      | Some accept_cb -> Mthread.Promise.async (fun () -> accept_cb fl)
+      | None -> ());
+      (* The ACK completing the handshake may carry data: fall through by
+         re-processing below. *)
+      if Bytestruct.length seg.payload > 0 || seg.flags.Tcp_wire.fin then handle_segment fl seg
+    | Syn_rcvd -> ()
+    | Established | Fin_wait_1 | Fin_wait_2 | Close_wait | Closing | Last_ack | Time_wait ->
+      if seg.flags.Tcp_wire.ack then handle_ack fl seg;
+      (* Data. Any data-bearing segment elicits an ACK — including stale
+         retransmissions arriving after our receive side closed; without
+         this, a sender whose final ACKs were lost retransmits forever. *)
+      let paylen = Bytestruct.length seg.payload in
+      let had_data = ref (paylen > 0) in
+      if paylen > 0 && (fl.state = Established || fl.state = Fin_wait_1 || fl.state = Fin_wait_2)
+      then begin
+        if Seq.equal seg.seq fl.rcv_nxt then begin
+          deliver_rx fl seg.payload;
+          fl.rcv_nxt <- Seq.add fl.rcv_nxt paylen;
+          integrate_ooo fl
+        end
+        else if Seq.gt seg.seq fl.rcv_nxt then insert_ooo fl seg.seq seg.payload
+        (* else: pure duplicate, just re-ACK *)
+      end;
+      (* FIN. *)
+      let fin_in_order =
+        seg.flags.Tcp_wire.fin && Seq.equal (Seq.add seg.seq paylen) fl.rcv_nxt
+      in
+      if fin_in_order then begin
+        fl.rcv_nxt <- Seq.add fl.rcv_nxt 1;
+        Mthread.Mstream.close fl.rx;
+        (match fl.state with
+        | Established -> fl.state <- Close_wait
+        | Fin_wait_1 -> if fin_acked fl then enter_time_wait fl else fl.state <- Closing
+        | Fin_wait_2 -> enter_time_wait fl
+        | _ -> ());
+        send_ack fl
+      end
+      else if !had_data || (seg.flags.Tcp_wire.fin && Seq.lt (Seq.add seg.seq paylen) fl.rcv_nxt)
+      then send_ack fl;
+      (* Our FIN's fate drives the closing states. *)
+      (match fl.state with
+      | Fin_wait_1 when fin_acked fl ->
+        fl.state <- Fin_wait_2;
+        wake_close fl
+      | Closing when fin_acked fl -> enter_time_wait fl
+      | Last_ack when fin_acked fl -> finish_close fl
+      | _ -> ());
+      try_output fl
+    | Closed -> ()
+  end
+
+(* ---------- engine & demux ---------- *)
+
+let make_flow t key state =
+  let iss = Seq.of_int (Engine.Prng.int (Engine.Sim.prng t.sim) 0x10000000) in
+  {
+    t;
+    key;
+    state;
+    snd_una = iss;
+    snd_nxt = iss;
+    snd_wnd = default_mss;
+    snd_wscale = 0;
+    mss = default_mss;
+    cwnd = 10 * default_mss;
+    ssthresh = max_int / 2;
+    dupacks = 0;
+    in_recovery = false;
+    recover = iss;
+    rtx = [];
+    tx_chunks = Queue.create ();
+    tx_head_off = 0;
+    tx_buffered = 0;
+    tx_waiters = Queue.create ();
+    fin_queued = false;
+    fin_sent = false;
+    rcv_nxt = Seq.zero;
+    rcv_wscale = our_wscale;
+    ooo = [];
+    rx = Mthread.Mstream.create ();
+    rto_ns = initial_rto_ns;
+    srtt_ns = 0;
+    rttvar_ns = 0;
+    rtt_probe = None;
+    rto_timer = None;
+    connect_waker = None;
+    close_waker = None;
+    syn_tries = 0;
+    error = None;
+    bytes_acked = 0;
+    bytes_received = 0;
+  }
+
+let handle_syn t ~src (seg : Tcp_wire.segment) =
+  match Hashtbl.find_opt t.listeners seg.dst_port with
+  | None ->
+    send_rst_for t
+      ~key:{ k_port = seg.dst_port; k_rip = src; k_rport = seg.src_port }
+      ~seq:Seq.zero ~ack:(Seq.add seg.seq 1)
+  | Some _ ->
+    let key = { k_port = seg.dst_port; k_rip = src; k_rport = seg.src_port } in
+    let fl = make_flow t key Syn_rcvd in
+    List.iter
+      (function
+        | Tcp_wire.Mss m -> fl.mss <- min fl.mss m
+        | Tcp_wire.Window_scale s -> fl.snd_wscale <- s)
+      seg.options;
+    fl.rcv_nxt <- Seq.add seg.seq 1;
+    fl.snd_wnd <- seg.window;
+    Hashtbl.replace t.flows key fl;
+    let entry =
+      {
+        e_seq = fl.snd_nxt;
+        e_len = 1;
+        e_payload = Bytestruct.create 0;
+        e_syn = true;
+        e_fin = false;
+        e_sent_at = Engine.Sim.now t.sim;
+        e_retx = false;
+      }
+    in
+    fl.rtx <- [ entry ];
+    fl.snd_nxt <- Seq.add fl.snd_nxt 1;
+    send_segment t ~key ~seq:entry.e_seq ~ack:fl.rcv_nxt
+      ~flags:{ Tcp_wire.flags_none with syn = true; ack = true }
+      ~options:[ Tcp_wire.Mss default_mss; Tcp_wire.Window_scale our_wscale ]
+      ~window:(min 0xffff rcv_wnd_bytes) ~payload:entry.e_payload;
+    arm_rto fl
+
+let handle_datagram t ~src ~dst ~payload =
+  match Tcp_wire.decode ~src ~dst payload with
+  | Error _ -> ()
+  | Ok seg ->
+    t.segs_received <- t.segs_received + 1;
+    (* The payload view aliases a driver page that is recycled when this
+       callback returns; keep a copy for deferred processing. *)
+    let seg = { seg with Tcp_wire.payload = Bytestruct.copy seg.Tcp_wire.payload } in
+    let process () =
+      let key = { k_port = seg.dst_port; k_rip = src; k_rport = seg.src_port } in
+      match Hashtbl.find_opt t.flows key with
+      | Some fl -> handle_segment fl seg
+      | None ->
+        if seg.flags.Tcp_wire.syn && not seg.flags.Tcp_wire.ack then handle_syn t ~src seg
+        else if not seg.flags.Tcp_wire.rst then
+          send_rst_for t ~key ~seq:seg.ack ~ack:(Seq.add seg.seq (Bytestruct.length seg.payload))
+    in
+    (match t.dom with
+    | None -> process ()
+    | Some d ->
+      let cost =
+        if Bytestruct.length seg.Tcp_wire.payload > 0 then
+          d.Xensim.Domain.platform.Platform.tcp_rx_extra_ns
+        else d.Xensim.Domain.platform.Platform.tcp_ack_extra_ns
+      in
+      Xensim.Domain.charge_k d ~cost process)
+
+let create sim ?dom ip =
+  let t =
+    {
+      sim;
+      ip;
+      dom;
+      flows = Hashtbl.create 64;
+      listeners = Hashtbl.create 8;
+      next_ephemeral = 32768;
+      segs_sent = 0;
+      segs_received = 0;
+      retransmissions = 0;
+      fast_retransmits = 0;
+      rto_fires = 0;
+    }
+  in
+  Ipv4.set_handler ip ~proto:Ipv4.proto_tcp (fun ~src ~dst ~payload ->
+      handle_datagram t ~src ~dst ~payload);
+  t
+
+let listen t ~port f = Hashtbl.replace t.listeners port f
+let unlisten t ~port = Hashtbl.remove t.listeners port
+
+let connect t ~dst ~dst_port =
+  let open Mthread.Promise in
+  let rec fresh_port () =
+    let p = t.next_ephemeral in
+    t.next_ephemeral <- (if t.next_ephemeral >= 60999 then 32768 else t.next_ephemeral + 1);
+    if Hashtbl.mem t.flows { k_port = p; k_rip = dst; k_rport = dst_port } then fresh_port ()
+    else p
+  in
+  let key = { k_port = fresh_port (); k_rip = dst; k_rport = dst_port } in
+  let fl = make_flow t key Syn_sent in
+  Hashtbl.replace t.flows key fl;
+  let p, u = wait () in
+  fl.connect_waker <- Some u;
+  let entry =
+    {
+      e_seq = fl.snd_nxt;
+      e_len = 1;
+      e_payload = Bytestruct.create 0;
+      e_syn = true;
+      e_fin = false;
+      e_sent_at = Engine.Sim.now t.sim;
+      e_retx = false;
+    }
+  in
+  fl.rtx <- [ entry ];
+  fl.snd_nxt <- Seq.add fl.snd_nxt 1;
+  send_segment t ~key ~seq:entry.e_seq ~ack:Seq.zero
+    ~flags:{ Tcp_wire.flags_none with syn = true }
+    ~options:[ Tcp_wire.Mss default_mss; Tcp_wire.Window_scale our_wscale ]
+    ~window:(min 0xffff rcv_wnd_bytes) ~payload:entry.e_payload;
+  arm_rto fl;
+  p
+
+(* ---------- flow API ---------- *)
+
+let read fl = Mthread.Mstream.next fl.rx
+
+let write fl buf =
+  let open Mthread.Promise in
+  match fl.error with
+  | Some e -> fail e
+  | None ->
+    if fl.fin_queued then fail (Invalid_argument "Tcp.write: flow closed for sending")
+    else begin
+      let rec wait_for_room () =
+        if fl.tx_buffered >= snd_buf_bytes then begin
+          let p, u = wait () in
+          Queue.add u fl.tx_waiters;
+          bind p (fun () -> wait_for_room ())
+        end
+        else begin
+          Queue.add (Bytestruct.copy buf) fl.tx_chunks;
+          fl.tx_buffered <- fl.tx_buffered + Bytestruct.length buf;
+          try_output fl;
+          return ()
+        end
+      in
+      wait_for_room ()
+    end
+
+let close fl =
+  let open Mthread.Promise in
+  match fl.state with
+  | Closed | Time_wait -> return ()
+  | _ ->
+    if not fl.fin_queued then begin
+      fl.fin_queued <- true;
+      (match fl.state with
+      | Established -> fl.state <- Fin_wait_1
+      | Close_wait -> fl.state <- Last_ack
+      | _ -> ());
+      try_output fl
+    end;
+    let p, u = wait () in
+    fl.close_waker <- Some u;
+    if fl.state = Closed then return () else p
+
+let abort fl =
+  if fl.state <> Closed then begin
+    send_rst_for fl.t ~key:fl.key ~seq:fl.snd_nxt ~ack:fl.rcv_nxt;
+    fail_flow fl Connection_reset
+  end
+
+let remote fl = (fl.key.k_rip, fl.key.k_rport)
+let local_port fl = fl.key.k_port
+
+let state_name fl =
+  match fl.state with
+  | Syn_sent -> "SYN_SENT"
+  | Syn_rcvd -> "SYN_RCVD"
+  | Established -> "ESTABLISHED"
+  | Fin_wait_1 -> "FIN_WAIT_1"
+  | Fin_wait_2 -> "FIN_WAIT_2"
+  | Close_wait -> "CLOSE_WAIT"
+  | Closing -> "CLOSING"
+  | Last_ack -> "LAST_ACK"
+  | Time_wait -> "TIME_WAIT"
+  | Closed -> "CLOSED"
+
+let bytes_acked fl = fl.bytes_acked
+let bytes_received fl = fl.bytes_received
+let cwnd fl = fl.cwnd
+
+let segments_sent t = t.segs_sent
+let segments_received t = t.segs_received
+let retransmissions t = t.retransmissions
+let fast_retransmits t = t.fast_retransmits
+let rto_fires t = t.rto_fires
+let active_flows t = Hashtbl.length t.flows

@@ -1,0 +1,66 @@
+(** TCP (paper §4.1.3): the full connection lifecycle, retransmission with
+    Jacobson/Karn RTO estimation, fast retransmit and recovery, New Reno
+    congestion control, and window scaling — in type-safe OCaml over
+    {!Ipv4}.
+
+    Divergences from deployed stacks, chosen for deterministic simulation:
+    every data segment is acknowledged immediately (no delayed-ACK timer),
+    the advertised receive window is fixed (readers in the evaluation drain
+    promptly; flow control is exercised through the congestion window and
+    the peer's advertised window), and TIME_WAIT lasts 2 s (2 x a 1 s MSL). *)
+
+type t
+
+type flow
+
+exception Connection_refused
+exception Connection_reset
+
+(** [create sim ?dom ip] attaches a TCP engine to an IPv4 layer. When [dom]
+    is given, per-segment processing is charged to that domain's vCPU
+    using its platform's [tcp_tx_extra_ns]/[tcp_rx_extra_ns]. *)
+val create : Engine.Sim.t -> ?dom:Xensim.Domain.t -> Ipv4.t -> t
+
+(** [listen t ~port f] accepts connections on [port], spawning [f] per
+    established flow. *)
+val listen : t -> port:int -> (flow -> unit Mthread.Promise.t) -> unit
+
+val unlisten : t -> port:int -> unit
+
+(** Active open. The promise fails with {!Connection_refused} on RST and
+    [Mthread.Promise.Timeout] when SYN retransmission gives up. *)
+val connect : t -> dst:Ipaddr.t -> dst_port:int -> flow Mthread.Promise.t
+
+(** {1 Flow I/O} *)
+
+(** [read fl] blocks for the next chunk; [None] at end-of-stream. *)
+val read : flow -> Bytestruct.t option Mthread.Promise.t
+
+(** [write fl buf] queues bytes for transmission, blocking while the send
+    buffer is full. Fails with {!Connection_reset} after a RST. *)
+val write : flow -> Bytestruct.t -> unit Mthread.Promise.t
+
+(** Half-close our direction (sends FIN after queued data). *)
+val close : flow -> unit Mthread.Promise.t
+
+(** Abortive close (RST). *)
+val abort : flow -> unit
+
+val remote : flow -> Ipaddr.t * int
+val local_port : flow -> int
+val state_name : flow -> string
+
+(** Bytes acked by the peer — the iperf measurement hook. *)
+val bytes_acked : flow -> int
+
+val bytes_received : flow -> int
+val cwnd : flow -> int
+
+(** {1 Engine statistics} *)
+
+val segments_sent : t -> int
+val segments_received : t -> int
+val retransmissions : t -> int
+val fast_retransmits : t -> int
+val rto_fires : t -> int
+val active_flows : t -> int

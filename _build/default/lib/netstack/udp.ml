@@ -1,0 +1,80 @@
+(* src u16, dst u16, len u16, csum u16. *)
+
+type callback = src:Ipaddr.t -> src_port:int -> dst_port:int -> payload:Bytestruct.t -> unit
+
+type t = {
+  ip : Ipv4.t;
+  listeners : (int, callback) Hashtbl.t;
+  mutable sent : int;
+  mutable received : int;
+  mutable checksum_failures : int;
+  mutable no_listener : int;
+}
+
+let header_bytes = 8
+
+let handle t ~src ~dst ~payload =
+  if Bytestruct.length payload < header_bytes then t.checksum_failures <- t.checksum_failures + 1
+  else begin
+    let src_port = Bytestruct.BE.get_uint16 payload 0 in
+    let dst_port = Bytestruct.BE.get_uint16 payload 2 in
+    let len = Bytestruct.BE.get_uint16 payload 4 in
+    let csum = Bytestruct.BE.get_uint16 payload 6 in
+    if len < header_bytes || len > Bytestruct.length payload then
+      t.checksum_failures <- t.checksum_failures + 1
+    else begin
+      let ok =
+        csum = 0
+        || Checksum.valid
+             [
+               Checksum.pseudo_header ~src ~dst ~proto:Ipv4.proto_udp ~len;
+               Bytestruct.sub payload 0 len;
+             ]
+      in
+      if not ok then t.checksum_failures <- t.checksum_failures + 1
+      else begin
+        t.received <- t.received + 1;
+        let body = Bytestruct.sub payload header_bytes (len - header_bytes) in
+        match Hashtbl.find_opt t.listeners dst_port with
+        | Some f -> f ~src ~src_port ~dst_port ~payload:body
+        | None -> t.no_listener <- t.no_listener + 1
+      end
+    end
+  end
+
+let create _sim ip =
+  let t =
+    {
+      ip;
+      listeners = Hashtbl.create 8;
+      sent = 0;
+      received = 0;
+      checksum_failures = 0;
+      no_listener = 0;
+    }
+  in
+  Ipv4.set_handler ip ~proto:Ipv4.proto_udp (fun ~src ~dst ~payload -> handle t ~src ~dst ~payload);
+  t
+
+let listen t ~port f = Hashtbl.replace t.listeners port f
+let unlisten t ~port = Hashtbl.remove t.listeners port
+
+let sendto t ~src_port ~dst ~dst_port payload =
+  let len = header_bytes + Bytestruct.length payload in
+  let h = Bytestruct.create header_bytes in
+  Bytestruct.BE.set_uint16 h 0 src_port;
+  Bytestruct.BE.set_uint16 h 2 dst_port;
+  Bytestruct.BE.set_uint16 h 4 len;
+  Bytestruct.BE.set_uint16 h 6 0;
+  let pseudo =
+    Checksum.pseudo_header ~src:(Ipv4.address t.ip) ~dst ~proto:Ipv4.proto_udp ~len
+  in
+  let csum = Checksum.ones_complement_list [ pseudo; h; payload ] in
+  Bytestruct.BE.set_uint16 h 6 (if csum = 0 then 0xffff else csum);
+  t.sent <- t.sent + 1;
+  Ipv4.output t.ip ~dst ~proto:Ipv4.proto_udp [ h; payload ]
+
+let datagrams_sent t = t.sent
+let datagrams_received t = t.received
+let checksum_failures t = t.checksum_failures
+let no_listener t = t.no_listener

@@ -1,0 +1,25 @@
+(** UDP: datagram send/receive with per-port listeners. *)
+
+type t
+
+type callback =
+  src:Ipaddr.t -> src_port:int -> dst_port:int -> payload:Bytestruct.t -> unit
+
+val create : Engine.Sim.t -> Ipv4.t -> t
+
+(** [listen t ~port f] registers [f] for datagrams to [port]; replaces any
+    previous listener. *)
+val listen : t -> port:int -> callback -> unit
+
+val unlisten : t -> port:int -> unit
+
+(** [sendto t ~src_port ~dst ~dst_port payload]. *)
+val sendto :
+  t -> src_port:int -> dst:Ipaddr.t -> dst_port:int -> Bytestruct.t -> unit Mthread.Promise.t
+
+val datagrams_sent : t -> int
+val datagrams_received : t -> int
+val checksum_failures : t -> int
+
+(** Datagrams for ports nobody listens on. *)
+val no_listener : t -> int

@@ -1,0 +1,1 @@
+lib/openflow/cbench.ml: Array Buffer Bytes Bytestruct Engine Int32 Int64 List Mthread Netsim Netstack Of_wire String

@@ -1,0 +1,1 @@
+lib/openflow/cbench.mli: Engine Mthread Netstack

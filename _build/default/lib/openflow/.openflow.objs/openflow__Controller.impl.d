@@ -1,0 +1,1 @@
+lib/openflow/controller.ml: Buffer Bytestruct Engine Hashtbl List Mthread Netstack Of_wire String Xensim

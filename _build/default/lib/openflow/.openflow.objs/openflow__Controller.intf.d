@@ -1,0 +1,1 @@
+lib/openflow/controller.mli: Engine Netstack Of_wire Xensim

@@ -1,0 +1,1 @@
+lib/openflow/flow_table.ml: List Of_wire

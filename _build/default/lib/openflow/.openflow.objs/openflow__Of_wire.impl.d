@@ -1,0 +1,1 @@
+lib/openflow/of_wire.ml: Bytes Char Int32 Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/openflow/switch.ml: Bytestruct Engine Flow_table Hashtbl Int32 List Mthread Netstack Of_wire String

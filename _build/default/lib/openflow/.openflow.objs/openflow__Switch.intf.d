@@ -1,0 +1,1 @@
+lib/openflow/switch.mli: Engine Flow_table Mthread Netstack

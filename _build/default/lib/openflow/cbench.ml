@@ -1,0 +1,152 @@
+type mode = [ `Batch | `Single ]
+
+type result = {
+  responses : int;
+  duration_s : float;
+  throughput : float;
+  per_switch : int array;
+  fairness_cv : float;
+}
+
+let ( >>= ) = Mthread.Promise.bind
+
+let batch_window_bytes = 65536
+
+(* A synthetic Ethernet frame whose src cycles through the switch's MAC
+   set and whose dst is another MAC of the same set, so the controller's
+   learning table converges and replies Flow_mods. *)
+let frame ~switch ~src_idx ~dst_idx =
+  let mac i = Netsim.mac_of_int ((switch lsl 12) lor i) in
+  let b = Bytes.make 64 '\000' in
+  Bytes.blit_string (mac dst_idx) 0 b 0 6;
+  Bytes.blit_string (mac src_idx) 0 b 6 6;
+  Bytes.set b 12 '\x08';
+  Bytes.set b 13 '\x00';
+  Bytes.to_string b
+
+let run sim tcp ~controller ?(port = 6633) ~switches ~macs_per_switch ~mode ~duration_ns () =
+  let open Mthread.Promise in
+  let per_switch = Array.make switches 0 in
+  let stop_at = Engine.Sim.now sim + duration_ns in
+  let t0 = Engine.Sim.now sim in
+  let one_switch idx =
+    Netstack.Tcp.connect tcp ~dst:controller ~dst_port:port >>= fun flow ->
+    let xid = ref 0 in
+    let send msg =
+      incr xid;
+      Netstack.Tcp.write flow (Bytestruct.of_string (Of_wire.encode ~xid:!xid msg))
+    in
+    let outstanding = ref 0 (* bytes (batch) or messages (single) *) in
+    let waiters = Mthread.Mcond.create () in
+    let seq = ref 0 in
+    let next_packet_in () =
+      incr seq;
+      let src_idx = !seq mod macs_per_switch in
+      let dst_idx = (!seq + 1) mod macs_per_switch in
+      Of_wire.Packet_in
+        {
+          Of_wire.pi_buffer_id = Int32.of_int !seq;
+          total_len = 64;
+          pi_in_port = 1 + (!seq mod 4);
+          reason = `No_match;
+          data = frame ~switch:idx ~src_idx ~dst_idx;
+        }
+    in
+    (* Reader: count Flow_mod responses, release window. *)
+    let buf = ref "" in
+    let reader () =
+      let rec drain () =
+        match Of_wire.decode_header !buf 0 with
+        | Some (_, _, len, _) when String.length !buf >= len ->
+          let _, msg = Of_wire.decode !buf 0 len in
+          buf := String.sub !buf len (String.length !buf - len);
+          (match msg with
+          | Of_wire.Flow_mod _ ->
+            per_switch.(idx) <- per_switch.(idx) + 1;
+            (match mode with
+            | `Batch -> outstanding := max 0 (!outstanding - 72)
+            | `Single -> outstanding := 0);
+            Mthread.Mcond.broadcast waiters ()
+          | Of_wire.Packet_out _ ->
+            (* flood during learning transient: window still releases *)
+            (match mode with
+            | `Batch -> outstanding := max 0 (!outstanding - 72)
+            | `Single -> outstanding := 0);
+            Mthread.Mcond.broadcast waiters ()
+          | Of_wire.Hello -> ()
+          | Of_wire.Features_request ->
+            Mthread.Promise.async (fun () ->
+                send
+                  (Of_wire.Features_reply
+                     { Of_wire.datapath_id = Int64.of_int (idx + 1); n_buffers = 256; n_tables = 1 }))
+          | Of_wire.Echo_request s ->
+            Mthread.Promise.async (fun () -> send (Of_wire.Echo_reply s))
+          | _ -> ());
+          drain ()
+        | _ -> return ()
+      in
+      let rec loop () =
+        Netstack.Tcp.read flow >>= function
+        | None -> return ()
+        | Some chunk ->
+          buf := !buf ^ Bytestruct.to_string chunk;
+          drain () >>= loop
+      in
+      loop ()
+    in
+    async reader;
+    send Of_wire.Hello >>= fun () ->
+    (* Generator loop. *)
+    let window_full () =
+      match mode with
+      (* Keep room for a whole burst so refills stay mss-sized instead of
+         degenerating into per-message lockstep. *)
+      | `Batch -> !outstanding > batch_window_bytes - 2048
+      | `Single -> !outstanding >= 1
+    in
+    (* Batch mode coalesces a run of packet-ins into one socket write,
+       exactly as cbench fills its 64 kB buffer. *)
+    let rec generate () =
+      if Engine.Sim.now sim >= stop_at then begin
+        Netstack.Tcp.close flow
+      end
+      else if window_full () then Mthread.Mcond.wait waiters >>= generate
+      else begin
+        match mode with
+        | `Single ->
+          outstanding := 1;
+          send (next_packet_in ()) >>= generate
+        | `Batch ->
+          let burst = Buffer.create 2048 in
+          (* fill against the absolute cap; window_full only gates wakeup *)
+          while !outstanding + 72 <= batch_window_bytes && Buffer.length burst < 2048 do
+            outstanding := !outstanding + 72;
+            incr xid;
+            Buffer.add_string burst (Of_wire.encode ~xid:!xid (next_packet_in ()))
+          done;
+          Netstack.Tcp.write flow (Bytestruct.of_string (Buffer.contents burst)) >>= generate
+      end
+    in
+    catch generate (fun _ -> return ())
+  in
+  join (List.init switches (fun i -> one_switch i)) >>= fun () ->
+  let duration_s = Engine.Sim.to_sec (Engine.Sim.now sim - t0) in
+  let responses = Array.fold_left ( + ) 0 per_switch in
+  let mean = float_of_int responses /. float_of_int switches in
+  let var =
+    Array.fold_left
+      (fun acc c ->
+        let d = float_of_int c -. mean in
+        acc +. (d *. d))
+      0.0 per_switch
+    /. float_of_int switches
+  in
+  let cv = if mean > 0.0 then sqrt var /. mean else 0.0 in
+  return
+    {
+      responses;
+      duration_s;
+      throughput = (if duration_s > 0.0 then float_of_int responses /. duration_s else 0.0);
+      per_switch;
+      fairness_cv = cv;
+    }

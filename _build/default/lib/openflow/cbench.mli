@@ -1,0 +1,29 @@
+(** cbench: the OFlops controller benchmark the paper uses for Figure 11.
+
+    Emulates [switches] datapaths concurrently connected to one controller,
+    each generating PACKET_INs over [macs_per_switch] source addresses.
+    [`Batch] keeps a 64 kB window of outstanding messages per switch;
+    [`Single] allows one in flight per switch. Responses (Flow_mods) are
+    counted per switch, giving both throughput and a fairness measure. *)
+
+type mode = [ `Batch | `Single ]
+
+type result = {
+  responses : int;
+  duration_s : float;
+  throughput : float;  (** responses per second *)
+  per_switch : int array;
+  fairness_cv : float;  (** coefficient of variation across switches *)
+}
+
+val run :
+  Engine.Sim.t ->
+  Netstack.Tcp.t ->
+  controller:Netstack.Ipaddr.t ->
+  ?port:int ->
+  switches:int ->
+  macs_per_switch:int ->
+  mode:mode ->
+  duration_ns:int ->
+  unit ->
+  result Mthread.Promise.t

@@ -1,0 +1,52 @@
+(** OpenFlow controllers (paper §4.3, Figure 11).
+
+    One protocol engine — handshake, echo, packet-in dispatch — is shared;
+    a {!profile} supplies the per-read and per-message vCPU costs that
+    model each implementation's dispatch structure:
+
+    - {!mirage_profile}: the OCaml appliance (costs from our stack).
+    - {!nox_profile}: NOX destiny-fast, optimised C++ — lowest per-message
+      cost, negligible per-read overhead; drains whole connection buffers,
+      which is the source of its short-term unfairness under batch load.
+    - {!maestro_profile}: Java — JVM allocation and wakeup overheads give
+      a high fixed cost per read that only batching can amortise, which is
+      why its single-outstanding-message throughput collapses in the
+      paper. *)
+
+type profile = {
+  prof_name : string;
+  per_read_fixed_ns : int;
+  per_msg_ns : int;
+}
+
+val mirage_profile : profile
+val nox_profile : profile
+val maestro_profile : profile
+
+(** Application logic: replies to send for a packet-in. *)
+type app = { packet_in : dpid:int64 -> Of_wire.packet_in -> Of_wire.msg list }
+
+(** L2 learning switch application (the cbench workload's target):
+    learns [dl_src -> in_port]; known destinations get a Flow_mod (counted
+    by cbench) plus a Packet_out, unknown ones a flood Packet_out. *)
+val learning_app : unit -> app
+
+(** Reply Flow_mod to every packet-in unconditionally (destiny-fast
+    semantics; maximises measurable throughput). *)
+val blind_app : unit -> app
+
+type t
+
+val create :
+  Engine.Sim.t ->
+  ?dom:Xensim.Domain.t ->
+  tcp:Netstack.Tcp.t ->
+  ?port:int ->
+  profile:profile ->
+  ?app:app ->
+  unit ->
+  t
+
+val packet_ins : t -> int
+val replies_sent : t -> int
+val switches_connected : t -> int

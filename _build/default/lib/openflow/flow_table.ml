@@ -1,0 +1,37 @@
+type entry = {
+  priority : int;
+  match_ : Of_wire.match_;
+  actions : Of_wire.action list;
+  cookie : int64;
+}
+
+type t = { mutable entries : entry list; mutable lookups : int; mutable hits : int }
+
+let create () = { entries = []; lookups = 0; hits = 0 }
+
+(* Keep entries sorted by descending priority; stable insert preserves
+   first-added-wins among equal priorities. *)
+let add t e =
+  let rec insert = function
+    | [] -> [ e ]
+    | x :: rest when x.priority >= e.priority -> x :: insert rest
+    | rest -> e :: rest
+  in
+  t.entries <- insert t.entries
+
+let delete t m = t.entries <- List.filter (fun e -> e.match_ <> m) t.entries
+
+let field_matches m ~in_port ~dl_src ~dl_dst =
+  (m.Of_wire.wildcard_in_port || m.Of_wire.in_port = in_port)
+  && (m.Of_wire.wildcard_dl_src || m.Of_wire.dl_src = dl_src)
+  && (m.Of_wire.wildcard_dl_dst || m.Of_wire.dl_dst = dl_dst)
+
+let lookup t ~in_port ~dl_src ~dl_dst =
+  t.lookups <- t.lookups + 1;
+  let r = List.find_opt (fun e -> field_matches e.match_ ~in_port ~dl_src ~dl_dst) t.entries in
+  if r <> None then t.hits <- t.hits + 1;
+  r
+
+let size t = List.length t.entries
+let lookups t = t.lookups
+let hits t = t.hits

@@ -1,0 +1,25 @@
+(** An OpenFlow datapath's flow table: priority-ordered wildcard matching. *)
+
+type entry = {
+  priority : int;
+  match_ : Of_wire.match_;
+  actions : Of_wire.action list;
+  cookie : int64;
+}
+
+type t
+
+val create : unit -> t
+
+(** Higher priority wins; equal priorities resolve to the earlier entry. *)
+val add : t -> entry -> unit
+
+(** Remove entries whose match equals the given one exactly. *)
+val delete : t -> Of_wire.match_ -> unit
+
+(** [lookup t ~in_port ~dl_src ~dl_dst] returns the best-matching entry. *)
+val lookup : t -> in_port:int -> dl_src:string -> dl_dst:string -> entry option
+
+val size : t -> int
+val lookups : t -> int
+val hits : t -> int

@@ -1,0 +1,1 @@
+lib/pvboot/domainpoll.ml: List Mthread Xensim

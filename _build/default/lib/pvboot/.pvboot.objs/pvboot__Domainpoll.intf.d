@@ -1,0 +1,1 @@
+lib/pvboot/domainpoll.mli: Mthread Xensim

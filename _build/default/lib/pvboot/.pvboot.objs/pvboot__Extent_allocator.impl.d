@@ -1,0 +1,1 @@
+lib/pvboot/extent_allocator.ml: Layout List

@@ -1,0 +1,1 @@
+lib/pvboot/heap.ml: Platform

@@ -1,0 +1,1 @@
+lib/pvboot/layout.ml: List Xensim

@@ -1,0 +1,1 @@
+lib/pvboot/slab_allocator.ml: Array Hashtbl Printf

@@ -1,0 +1,1 @@
+lib/pvboot/slab_allocator.mli:

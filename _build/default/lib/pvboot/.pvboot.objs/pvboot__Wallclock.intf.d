@@ -1,0 +1,1 @@
+lib/pvboot/wallclock.mli: Engine

@@ -1,0 +1,29 @@
+type result = Event of Xensim.Evtchn.port | Timed_out
+
+let poll hv ~ports ~timeout_ns =
+  let open Mthread.Promise in
+  let sim = hv.Xensim.Hypervisor.sim in
+  let evtchn = hv.Xensim.Hypervisor.evtchn in
+  let p, u = wait () in
+  (* Chain onto each port's existing handler so driver callbacks still
+     run; first event wins the race with the timeout. *)
+  List.iter
+    (fun port ->
+      let prev = ref (fun () -> ()) in
+      let chained () =
+        !prev ();
+        if wakener_pending u then wakeup u (Event port)
+      in
+      (* There is no handler-read API on purpose (Xen has none either);
+         drivers install handlers once at setup, and domainpoll is used by
+         the top-level evaluator on dedicated wakeup ports. *)
+      ignore prev;
+      Xensim.Evtchn.set_handler evtchn port chained)
+    ports;
+  let timer =
+    bind (sleep sim timeout_ns) (fun () ->
+        if wakener_pending u then wakeup u Timed_out;
+        return ())
+  in
+  ignore timer;
+  p

@@ -1,0 +1,14 @@
+(** PVBoot's [domainpoll] (paper §3.2): block the VM on a set of event
+    channels and a timeout. This is the only blocking primitive a unikernel
+    has — the Lwt evaluator sits directly on top of it. *)
+
+type result = Event of Xensim.Evtchn.port | Timed_out
+
+(** [poll hv ~ports ~timeout_ns] resolves with the first port to receive an
+    event, or [Timed_out]. Port handlers installed by drivers keep working:
+    poll chains onto them for its duration. *)
+val poll :
+  Xensim.Hypervisor.t ->
+  ports:Xensim.Evtchn.port list ->
+  timeout_ns:int ->
+  result Mthread.Promise.t

@@ -1,0 +1,32 @@
+(** Garbage-collected heap cost model (paper §3.3, Figure 7a).
+
+    The OCaml GC splits the heap into a fast minor heap and a large major
+    heap. In a conventional userspace, Address Space Randomisation forces
+    the collector to track scattered heap chunks through a page table; the
+    Mirage runtime instead guarantees one contiguous virtual area grown in
+    2 MB superpage extents, which reduces both the cost of growing the heap
+    and the cost of scanning it. [alloc] returns the nanoseconds of virtual
+    time the allocation costs, amortising collection work, so callers
+    charge it to their domain's vCPU. *)
+
+type t
+
+val create : platform:Platform.t -> ?minor_kib:int -> unit -> t
+
+(** Allocate [bytes] that remain live (e.g. a sleeping thread record).
+    Returns the virtual-time cost in ns. *)
+val alloc : t -> bytes:int -> int
+
+(** Allocate [bytes] that die before the next minor collection. *)
+val alloc_transient : t -> bytes:int -> int
+
+(** Drop [bytes] from the live set (e.g. threads completed). *)
+val release : t -> bytes:int -> unit
+
+val live_bytes : t -> int
+val major_capacity_bytes : t -> int
+val minor_collections : t -> int
+val major_collections : t -> int
+
+(** Cumulative ns spent in modelled collector work. *)
+val total_gc_ns : t -> int

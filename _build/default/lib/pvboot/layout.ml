@@ -1,0 +1,67 @@
+type region_kind = Text | Data | Guard | Io_pages | Minor_heap | Major_heap | Xen_reserved
+
+type region = { kind : region_kind; va : int; len : int }
+
+type t = { regions : region list }
+
+let page = 4096
+let superpage_bytes = 2 * 1024 * 1024
+let text_base = 0x400000
+let xen_reserved_base = 0x7FFF80000000
+let xen_reserved_len = 64 * superpage_bytes
+let minor_heap_extent_bytes = superpage_bytes
+
+let round_up v granule = (v + granule - 1) / granule * granule
+
+let kind_to_string = function
+  | Text -> "text"
+  | Data -> "data"
+  | Guard -> "guard"
+  | Io_pages -> "io_pages"
+  | Minor_heap -> "minor_heap"
+  | Major_heap -> "major_heap"
+  | Xen_reserved -> "xen_reserved"
+
+let standard ~mem_mib ~text_bytes ~data_bytes =
+  let text_len = round_up (max text_bytes page) page in
+  let data_va = round_up (text_base + text_len + page) page + page (* guard page gap *) in
+  let data_len = round_up (max data_bytes page) page in
+  let io_va = 0x10000000 in
+  let io_len = 16 * superpage_bytes in
+  let minor_va = 0x20000000 in
+  let major_va = 0x40000000 in
+  let major_len = round_up (mem_mib * 1024 * 1024) superpage_bytes in
+  let regions =
+    [
+      { kind = Text; va = text_base; len = text_len };
+      { kind = Guard; va = text_base + text_len; len = page };
+      { kind = Data; va = data_va; len = data_len };
+      { kind = Guard; va = data_va + data_len; len = page };
+      { kind = Io_pages; va = io_va; len = io_len };
+      { kind = Minor_heap; va = minor_va; len = minor_heap_extent_bytes };
+      { kind = Major_heap; va = major_va; len = major_len };
+      { kind = Xen_reserved; va = xen_reserved_base; len = xen_reserved_len };
+    ]
+  in
+  { regions }
+
+let regions t = t.regions
+
+let find t kind =
+  match List.find_opt (fun r -> r.kind = kind) t.regions with
+  | Some r -> r
+  | None -> invalid_arg ("Layout.find: no region " ^ kind_to_string kind)
+
+let perm_of_kind = function
+  | Text -> Xensim.Pagetable.Read_exec
+  | Guard | Xen_reserved -> Xensim.Pagetable.Read_only
+  | Data | Io_pages | Minor_heap | Major_heap -> Xensim.Pagetable.Read_write
+
+let install_region pt r =
+  Xensim.Pagetable.add_region pt ~va:r.va ~len:r.len ~perm:(perm_of_kind r.kind)
+    ~label:(kind_to_string r.kind)
+
+let install t pt = List.iter (install_region pt) t.regions
+
+let install_only t pt kinds =
+  List.iter (fun r -> if List.mem r.kind kinds then install_region pt r) t.regions

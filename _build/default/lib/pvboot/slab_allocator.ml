@@ -1,0 +1,57 @@
+exception Bad_free
+
+type slab_class = {
+  size : int;
+  mutable live : int;
+  mutable capacity : int;  (* object slots backed by reserved pages *)
+}
+
+type t = {
+  classes : slab_class array;
+  min_class : int;
+  ids : (int, slab_class) Hashtbl.t;  (* live object id -> class *)
+  mutable next_id : int;
+}
+
+let page = 4096
+
+let create ?(min_class = 5) ?(max_class = 12) () =
+  if min_class < 0 || max_class < min_class then invalid_arg "Slab_allocator.create";
+  let classes =
+    Array.init (max_class - min_class + 1) (fun i ->
+        { size = 1 lsl (min_class + i); live = 0; capacity = 0 })
+  in
+  { classes; min_class; ids = Hashtbl.create 64; next_id = 1 }
+
+let class_for t bytes =
+  if bytes <= 0 then invalid_arg "Slab_allocator: non-positive size";
+  let rec find i =
+    if i >= Array.length t.classes then
+      invalid_arg (Printf.sprintf "Slab_allocator: size %d exceeds largest class" bytes)
+    else if t.classes.(i).size >= bytes then t.classes.(i)
+    else find (i + 1)
+  in
+  find 0
+
+let alloc t ~bytes =
+  let c = class_for t bytes in
+  if c.live = c.capacity then c.capacity <- c.capacity + max 1 (page / c.size);
+  c.live <- c.live + 1;
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  Hashtbl.replace t.ids id c;
+  id
+
+let free t id =
+  match Hashtbl.find_opt t.ids id with
+  | None -> raise Bad_free
+  | Some c ->
+    Hashtbl.remove t.ids id;
+    c.live <- c.live - 1
+
+let live_objects t = Hashtbl.length t.ids
+
+let bytes_reserved t =
+  Array.fold_left (fun acc c -> acc + (c.capacity * c.size)) 0 t.classes
+
+let class_live t ~bytes = (class_for t bytes).live

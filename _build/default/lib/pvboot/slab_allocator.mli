@@ -1,0 +1,23 @@
+(** The PVBoot slab allocator (paper §3.2), serving the small amount of C
+    code in the runtime. Objects are binned into power-of-two size classes;
+    each class grows by grabbing pages and threading a free list. *)
+
+type t
+
+exception Bad_free
+
+(** [create ~min_class ~max_class] serves sizes [2^min .. 2^max] bytes. *)
+val create : ?min_class:int -> ?max_class:int -> unit -> t
+
+(** [alloc t ~bytes] returns an opaque object id.
+    @raise Invalid_argument when [bytes] exceeds the largest class. *)
+val alloc : t -> bytes:int -> int
+
+(** @raise Bad_free on double free or unknown id. *)
+val free : t -> int -> unit
+
+val live_objects : t -> int
+val bytes_reserved : t -> int
+
+(** Objects currently allocated in the class serving [bytes]. *)
+val class_live : t -> bytes:int -> int

@@ -1,0 +1,7 @@
+type t = { sim : Engine.Sim.t; epoch_s : int }
+
+let create sim ~epoch_s = { sim; epoch_s }
+
+let time t = float_of_int t.epoch_s +. Engine.Sim.to_sec (Engine.Sim.now t.sim)
+
+let uptime_ns t = Engine.Sim.now t.sim

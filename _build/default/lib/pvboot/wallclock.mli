@@ -1,0 +1,13 @@
+(** Guest wallclock: virtual nanoseconds since boot mapped onto an epoch. *)
+
+type t
+
+(** [create sim ~epoch_s] anchors virtual time zero at [epoch_s] seconds
+    since the Unix epoch. *)
+val create : Engine.Sim.t -> epoch_s:int -> t
+
+(** Seconds since the Unix epoch, with sub-second precision. *)
+val time : t -> float
+
+(** Nanoseconds since boot. *)
+val uptime_ns : t -> int

@@ -1,0 +1,133 @@
+module P = Mthread.Promise
+open P.Infix
+
+type message = { sender : string; recipients : string list; body : string }
+
+let write flow s = Netstack.Tcp.write flow (Bytestruct.of_string s)
+
+module Server = struct
+  type t = {
+    domain : string;
+    mutable delivered : message list;
+    mutable rejected : int;
+  }
+
+  (* Session state threaded through the command loop. *)
+  type session = { mutable sender : string option; mutable rcpts : string list }
+
+  let address_of s =
+    (* MAIL FROM:<a@b> / RCPT TO:<a@b> *)
+    match (String.index_opt s '<', String.index_opt s '>') with
+    | Some i, Some j when j > i -> Some (String.sub s (i + 1) (j - i - 1))
+    | _ -> None
+
+  let in_domain t addr =
+    match String.index_opt addr '@' with
+    | Some i -> String.sub addr (i + 1) (String.length addr - i - 1) = t.domain
+    | None -> false
+
+    let handle t flow =
+    let reader = Netstack.Flow_reader.create flow in
+    let session = { sender = None; rcpts = [] } in
+    let reply code text = write flow (Printf.sprintf "%d %s\r\n" code text) in
+    let rec data_mode lines =
+      Netstack.Flow_reader.line reader >>= function
+      | None -> Netstack.Tcp.close flow
+      | Some "." ->
+        (match session.sender with
+        | Some sender when session.rcpts <> [] ->
+          t.delivered <-
+            t.delivered
+            @ [ { sender; recipients = List.rev session.rcpts; body = String.concat "\n" (List.rev lines) } ];
+          session.sender <- None;
+          session.rcpts <- [];
+          reply 250 "OK: queued" >>= command_mode
+        | _ -> reply 554 "no valid transaction" >>= command_mode)
+      | Some line ->
+        (* dot-stuffing *)
+        let line =
+          if String.length line >= 2 && line.[0] = '.' then String.sub line 1 (String.length line - 1)
+          else line
+        in
+        data_mode (line :: lines)
+    and command_mode () =
+      Netstack.Flow_reader.line reader >>= function
+      | None -> Netstack.Tcp.close flow
+      | Some line -> (
+        let upper = String.uppercase_ascii line in
+        let has_prefix p = String.length upper >= String.length p && String.sub upper 0 (String.length p) = p in
+        if has_prefix "HELO" || has_prefix "EHLO" then
+          reply 250 t.domain >>= command_mode
+        else if has_prefix "MAIL FROM:" then (
+          match address_of line with
+          | Some addr ->
+            session.sender <- Some addr;
+            session.rcpts <- [];
+            reply 250 "OK" >>= command_mode
+          | None -> reply 501 "syntax: MAIL FROM:<address>" >>= command_mode)
+        else if has_prefix "RCPT TO:" then (
+          match (session.sender, address_of line) with
+          | None, _ -> reply 503 "need MAIL FROM first" >>= command_mode
+          | Some _, Some addr when in_domain t addr ->
+            session.rcpts <- addr :: session.rcpts;
+            reply 250 "OK" >>= command_mode
+          | Some _, Some _ ->
+            t.rejected <- t.rejected + 1;
+            reply 550 "relay denied" >>= command_mode
+          | Some _, None -> reply 501 "syntax: RCPT TO:<address>" >>= command_mode)
+        else if has_prefix "DATA" then
+          if session.rcpts = [] then reply 503 "need RCPT TO first" >>= command_mode
+          else reply 354 "end with <CRLF>.<CRLF>" >>= fun () -> data_mode []
+        else if has_prefix "QUIT" then reply 221 "bye" >>= fun () -> Netstack.Tcp.close flow
+        else if has_prefix "RSET" then begin
+          session.sender <- None;
+          session.rcpts <- [];
+          reply 250 "OK" >>= command_mode
+        end
+        else reply 502 "command not implemented" >>= command_mode)
+    in
+    reply 220 (t.domain ^ " ESMTP mirage-sim") >>= command_mode
+
+  let create tcp ~port ~domain () =
+    let t = { domain; delivered = []; rejected = 0 } in
+    Netstack.Tcp.listen tcp ~port (fun flow ->
+        P.catch (fun () -> handle t flow) (fun _ -> Netstack.Tcp.close flow));
+    t
+
+  let delivered t = t.delivered
+  let rejected_rcpts t = t.rejected
+end
+
+module Client = struct
+  exception Smtp_error of int * string
+
+  let send tcp ~dst ?(port = 25) ~helo ~sender ~recipients ~body () =
+    Netstack.Tcp.connect tcp ~dst ~dst_port:port >>= fun flow ->
+    let reader = Netstack.Flow_reader.create flow in
+    let expect_code ok =
+      Netstack.Flow_reader.line reader >>= function
+      | None -> P.fail (Smtp_error (0, "connection closed"))
+      | Some line ->
+        let code = try int_of_string (String.sub line 0 3) with _ -> 0 in
+        if List.mem code ok then P.return () else P.fail (Smtp_error (code, line))
+    in
+    let cmd c ok = write flow (c ^ "\r\n") >>= fun () -> expect_code ok in
+    let dot_stuff line = if String.length line > 0 && line.[0] = '.' then "." ^ line else line in
+    P.finalize
+      (fun () ->
+        expect_code [ 220 ] >>= fun () ->
+        cmd ("HELO " ^ helo) [ 250 ] >>= fun () ->
+        cmd (Printf.sprintf "MAIL FROM:<%s>" sender) [ 250 ] >>= fun () ->
+        let rec rcpts = function
+          | [] -> P.return ()
+          | r :: rest -> cmd (Printf.sprintf "RCPT TO:<%s>" r) [ 250 ] >>= fun () -> rcpts rest
+        in
+        rcpts recipients >>= fun () ->
+        cmd "DATA" [ 354 ] >>= fun () ->
+        let payload =
+          String.concat "\r\n" (List.map dot_stuff (String.split_on_char '\n' body))
+        in
+        write flow (payload ^ "\r\n.\r\n") >>= fun () ->
+        expect_code [ 250 ] >>= fun () -> cmd "QUIT" [ 221 ])
+      (fun () -> Netstack.Tcp.close flow)
+end

@@ -1,0 +1,38 @@
+(** SMTP (RFC 5321 subset) — Table 1 "Application": HELO, MAIL FROM,
+    RCPT TO, DATA, QUIT; a delivering server and a sending client. *)
+
+type message = {
+  sender : string;
+  recipients : string list;
+  body : string;  (** headers + body as received *)
+}
+
+module Server : sig
+  type t
+
+  (** [create tcp ~port ~domain ()] accepts mail for [domain]; delivered
+      messages are queued in order. *)
+  val create : Netstack.Tcp.t -> port:int -> domain:string -> unit -> t
+
+  val delivered : t -> message list
+
+  (** RCPT TO addresses outside our domain are refused with 550. *)
+  val rejected_rcpts : t -> int
+end
+
+module Client : sig
+  exception Smtp_error of int * string  (** status code, server line *)
+
+  (** [send tcp ~dst ~port ~helo ~sender ~recipients ~body ()] runs a full
+      SMTP session. Fails with {!Smtp_error} on any non-2xx/3xx reply. *)
+  val send :
+    Netstack.Tcp.t ->
+    dst:Netstack.Ipaddr.t ->
+    ?port:int ->
+    helo:string ->
+    sender:string ->
+    recipients:string list ->
+    body:string ->
+    unit ->
+    unit Mthread.Promise.t
+end

@@ -1,0 +1,1 @@
+lib/ssh/session.ml: Buffer Crypto Mthread Netstack Ssh_wire Transport

@@ -1,0 +1,1 @@
+lib/ssh/session.mli: Engine Mthread Netstack

@@ -1,0 +1,1 @@
+lib/ssh/ssh_wire.ml: Char Crypto Printf String

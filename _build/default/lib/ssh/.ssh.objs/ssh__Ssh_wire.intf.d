@@ -1,0 +1,1 @@
+lib/ssh/ssh_wire.mli:

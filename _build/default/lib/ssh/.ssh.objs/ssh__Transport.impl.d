@@ -1,0 +1,1 @@
+lib/ssh/transport.ml: Bytestruct Char Crypto Engine Mthread Netstack Printf Ssh_wire String

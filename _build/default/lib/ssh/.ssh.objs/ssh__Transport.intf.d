@@ -1,0 +1,1 @@
+lib/ssh/transport.mli: Engine Mthread Netstack Ssh_wire

@@ -1,0 +1,49 @@
+(** SSH session layer: a server executing commands over a secure channel,
+    and a client running them — the "let applications trust external
+    entities via protocol libraries such as SSL or SSH" of paper §2.3. *)
+
+module Server : sig
+  type t
+
+  (** [create sim tcp ~port ~host_secret handler] serves SSH on [port];
+      [handler command] produces the command's output. *)
+  val create :
+    Engine.Sim.t ->
+    Netstack.Tcp.t ->
+    port:int ->
+    host_secret:string ->
+    (string -> string Mthread.Promise.t) ->
+    t
+
+  (** The public host key clients should pin. *)
+  val public_host_key : host_secret:string -> string
+
+  val sessions : t -> int
+  val commands_run : t -> int
+end
+
+module Client : sig
+  type t
+
+  exception Remote_error of string
+
+  (** [connect sim tcp ~dst ~port ?known_host_key ()]: TCP connect plus the
+      full SSH handshake. Fails with {!Transport.Host_key_mismatch} when
+      the pinned key does not match. *)
+  val connect :
+    Engine.Sim.t ->
+    Netstack.Tcp.t ->
+    dst:Netstack.Ipaddr.t ->
+    ?port:int ->
+    ?known_host_key:string ->
+    unit ->
+    t Mthread.Promise.t
+
+  (** Run one command over a fresh channel; resolves with its output. *)
+  val exec : t -> string -> string Mthread.Promise.t
+
+  (** Server host key observed at connect time (for pinning). *)
+  val host_key : t -> string
+
+  val close : t -> unit Mthread.Promise.t
+end

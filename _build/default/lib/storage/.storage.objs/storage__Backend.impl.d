@@ -1,0 +1,1 @@
+lib/storage/backend.ml: Blockdev Bytestruct Devices Mthread

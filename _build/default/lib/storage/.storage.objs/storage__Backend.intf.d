@@ -1,0 +1,1 @@
+lib/storage/backend.mli: Blockdev Bytestruct Devices Mthread

@@ -1,0 +1,1 @@
+lib/storage/btree.ml: Backend Buffer Bytestruct Hashtbl Int32 Int64 List Mthread Printf String

@@ -1,0 +1,1 @@
+lib/storage/fat.ml: Array Backend Bytestruct Int32 List Mthread String

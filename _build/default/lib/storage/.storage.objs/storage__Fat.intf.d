@@ -1,0 +1,1 @@
+lib/storage/fat.mli: Backend Bytestruct Mthread

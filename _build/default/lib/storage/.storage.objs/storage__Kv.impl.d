@@ -1,0 +1,1 @@
+lib/storage/kv.ml: Backend Bytestruct Hashtbl Int32 List Mthread String

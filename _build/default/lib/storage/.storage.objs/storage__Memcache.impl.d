@@ -1,0 +1,1 @@
+lib/storage/memcache.ml: Bytestruct Kv List Mthread Netstack Printf String

@@ -1,0 +1,1 @@
+lib/storage/memcache.mli: Kv Mthread Netstack

@@ -1,0 +1,44 @@
+type t = {
+  sector_bytes : int;
+  sectors : int;
+  read : sector:int -> count:int -> Bytestruct.t Mthread.Promise.t;
+  write : sector:int -> Bytestruct.t -> unit Mthread.Promise.t;
+}
+
+let of_disk disk =
+  {
+    sector_bytes = Blockdev.Disk.sector_bytes disk;
+    sectors = Blockdev.Disk.sectors disk;
+    read = (fun ~sector ~count -> Blockdev.Disk.read disk ~sector ~count);
+    write = (fun ~sector data -> Blockdev.Disk.write disk ~sector data);
+  }
+
+let of_blkif blkif =
+  {
+    sector_bytes = Devices.Blkif.sector_bytes blkif;
+    sectors = Devices.Blkif.sectors blkif;
+    read = (fun ~sector ~count -> Devices.Blkif.read blkif ~sector ~count);
+    write = (fun ~sector data -> Devices.Blkif.write blkif ~sector data);
+  }
+
+let of_ram ?(sector_bytes = 512) ~sectors () =
+  let data = Bytestruct.create (sector_bytes * sectors) in
+  let check sector count =
+    if sector < 0 || count < 0 || sector + count > sectors then
+      invalid_arg "Backend.of_ram: out of range"
+  in
+  {
+    sector_bytes;
+    sectors;
+    read =
+      (fun ~sector ~count ->
+        check sector count;
+        let out = Bytestruct.create (count * sector_bytes) in
+        Bytestruct.blit data (sector * sector_bytes) out 0 (count * sector_bytes);
+        Mthread.Promise.return out);
+    write =
+      (fun ~sector buf ->
+        check sector (Bytestruct.length buf / sector_bytes);
+        Bytestruct.blit buf 0 data (sector * sector_bytes) (Bytestruct.length buf);
+        Mthread.Promise.return ());
+  }

@@ -1,0 +1,17 @@
+(** Uniform sector-addressed storage interface so library filesystems run
+    identically over a raw {!Blockdev.Disk} (unit tests) or a paravirtual
+    {!Devices.Blkif} (appliances) — Mirage's "block devices share the same
+    Ring abstraction" (paper §3.5.2). *)
+
+type t = {
+  sector_bytes : int;
+  sectors : int;
+  read : sector:int -> count:int -> Bytestruct.t Mthread.Promise.t;
+  write : sector:int -> Bytestruct.t -> unit Mthread.Promise.t;
+}
+
+val of_disk : Blockdev.Disk.t -> t
+val of_blkif : Devices.Blkif.t -> t
+
+(** In-memory backend (fast unit tests). *)
+val of_ram : ?sector_bytes:int -> sectors:int -> unit -> t

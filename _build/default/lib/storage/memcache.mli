@@ -1,0 +1,30 @@
+(** Memcache text protocol (Table 1 "Memcache"): server and client over
+    TCP flows. Subset: get / set / delete / stats, no expiry or flags
+    semantics (accepted and ignored), no cas. *)
+
+module Server : sig
+  type t
+
+  (** [create tcp ~port] starts serving; storage is an internal {!Kv}. *)
+  val create : Netstack.Tcp.t -> port:int -> t
+
+  val kv : t -> Kv.t
+  val gets : t -> int
+  val sets : t -> int
+  val hits : t -> int
+  val misses : t -> int
+end
+
+module Client : sig
+  type t
+
+  val connect : Netstack.Tcp.t -> dst:Netstack.Ipaddr.t -> port:int -> t Mthread.Promise.t
+  val get : t -> string -> string option Mthread.Promise.t
+  val set : t -> key:string -> value:string -> unit Mthread.Promise.t
+
+  (** True when the key existed. *)
+  val delete : t -> string -> bool Mthread.Promise.t
+
+  val stats : t -> (string * string) list Mthread.Promise.t
+  val close : t -> unit Mthread.Promise.t
+end

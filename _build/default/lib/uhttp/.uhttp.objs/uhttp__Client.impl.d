@@ -1,0 +1,1 @@
+lib/uhttp/client.ml: Bytestruct Http_wire Mthread Netstack

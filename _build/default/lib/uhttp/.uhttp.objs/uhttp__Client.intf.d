@@ -1,0 +1,1 @@
+lib/uhttp/client.mli: Http_wire Mthread Netstack

@@ -1,0 +1,1 @@
+lib/uhttp/http_wire.ml: Buffer List Mthread Netstack Printf String

@@ -1,0 +1,1 @@
+lib/uhttp/http_wire.mli: Mthread Netstack

@@ -1,0 +1,1 @@
+lib/uhttp/httperf.ml: Client Engine Http_wire Mthread

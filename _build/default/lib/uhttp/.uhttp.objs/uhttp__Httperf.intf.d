@@ -1,0 +1,1 @@
+lib/uhttp/httperf.mli: Client Engine Mthread Netstack

@@ -1,0 +1,1 @@
+lib/uhttp/router.ml: Http_wire List String

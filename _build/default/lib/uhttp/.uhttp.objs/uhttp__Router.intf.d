@@ -1,0 +1,1 @@
+lib/uhttp/router.mli: Http_wire

@@ -1,0 +1,1 @@
+lib/uhttp/server.ml: Bytestruct Engine Http_wire Mthread Netstack Platform Router Xensim

@@ -1,0 +1,1 @@
+lib/uhttp/server.mli: Engine Http_wire Mthread Netstack Router Xensim

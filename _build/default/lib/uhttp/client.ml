@@ -1,0 +1,29 @@
+exception Connection_closed
+
+type t = { flow : Netstack.Tcp.flow; reader : Netstack.Flow_reader.t }
+
+let ( >>= ) = Mthread.Promise.bind
+let return = Mthread.Promise.return
+let fail = Mthread.Promise.fail
+
+let connect tcp ~dst ~port =
+  Netstack.Tcp.connect tcp ~dst ~dst_port:port >>= fun flow ->
+  return { flow; reader = Netstack.Flow_reader.create flow }
+
+let request t ?(headers = []) ?(body = "") ~meth ~path () =
+  let req =
+    { Http_wire.meth; path; version = "HTTP/1.1"; headers; body }
+  in
+  Netstack.Tcp.write t.flow (Bytestruct.of_string (Http_wire.render_request req)) >>= fun () ->
+  Http_wire.read_response t.reader >>= function
+  | None -> fail Connection_closed
+  | Some resp -> return resp
+
+let get t path = request t ~meth:Http_wire.GET ~path ()
+let post t path ~body = request t ~meth:Http_wire.POST ~path ~body ()
+let close t = Netstack.Tcp.close t.flow
+
+let get_once tcp ~dst ~port path =
+  connect tcp ~dst ~port >>= fun t ->
+  get t path >>= fun resp ->
+  close t >>= fun () -> return resp

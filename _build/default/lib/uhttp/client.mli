@@ -1,0 +1,29 @@
+(** HTTP/1.1 client with keep-alive connection reuse. *)
+
+type t
+
+val connect : Netstack.Tcp.t -> dst:Netstack.Ipaddr.t -> port:int -> t Mthread.Promise.t
+
+exception Connection_closed
+
+(** One request/response on the (kept-alive) connection. *)
+val request :
+  t ->
+  ?headers:(string * string) list ->
+  ?body:string ->
+  meth:Http_wire.meth ->
+  path:string ->
+  unit ->
+  Http_wire.response Mthread.Promise.t
+
+val get : t -> string -> Http_wire.response Mthread.Promise.t
+val post : t -> string -> body:string -> Http_wire.response Mthread.Promise.t
+val close : t -> unit Mthread.Promise.t
+
+(** One-shot convenience: connect, GET, close. *)
+val get_once :
+  Netstack.Tcp.t ->
+  dst:Netstack.Ipaddr.t ->
+  port:int ->
+  string ->
+  Http_wire.response Mthread.Promise.t

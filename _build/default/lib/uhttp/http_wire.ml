@@ -1,0 +1,140 @@
+let ( >>= ) = Mthread.Promise.bind
+let return = Mthread.Promise.return
+let fail = Mthread.Promise.fail
+
+type meth = GET | POST | PUT | DELETE | HEAD
+
+let meth_to_string = function
+  | GET -> "GET"
+  | POST -> "POST"
+  | PUT -> "PUT"
+  | DELETE -> "DELETE"
+  | HEAD -> "HEAD"
+
+let meth_of_string = function
+  | "GET" -> Some GET
+  | "POST" -> Some POST
+  | "PUT" -> Some PUT
+  | "DELETE" -> Some DELETE
+  | "HEAD" -> Some HEAD
+  | _ -> None
+
+type request = {
+  meth : meth;
+  path : string;
+  version : string;
+  headers : (string * string) list;
+  body : string;
+}
+
+type response = {
+  status : int;
+  reason : string;
+  resp_headers : (string * string) list;
+  resp_body : string;
+}
+
+exception Bad_request of string
+
+let header headers name = List.assoc_opt (String.lowercase_ascii name) headers
+
+let keep_alive headers =
+  match header headers "connection" with
+  | Some v -> String.lowercase_ascii v <> "close"
+  | None -> true
+
+let reason_of_status = function
+  | 200 -> "OK"
+  | 201 -> "Created"
+  | 204 -> "No Content"
+  | 301 -> "Moved Permanently"
+  | 302 -> "Found"
+  | 400 -> "Bad Request"
+  | 403 -> "Forbidden"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 500 -> "Internal Server Error"
+  | 501 -> "Not Implemented"
+  | s -> if s < 400 then "OK" else "Error"
+
+let response ?(headers = []) ~status body =
+  { status; reason = reason_of_status status; resp_headers = headers; resp_body = body }
+
+let render_headers buf headers body_len =
+  List.iter (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "%s: %s\r\n" k v)) headers;
+  if not (List.exists (fun (k, _) -> String.lowercase_ascii k = "content-length") headers) then
+    Buffer.add_string buf (Printf.sprintf "Content-Length: %d\r\n" body_len);
+  Buffer.add_string buf "\r\n"
+
+let render_request r =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "%s %s %s\r\n" (meth_to_string r.meth) r.path r.version);
+  render_headers buf r.headers (String.length r.body);
+  Buffer.add_string buf r.body;
+  Buffer.contents buf
+
+let render_response r =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "HTTP/1.1 %d %s\r\n" r.status r.reason);
+  render_headers buf r.resp_headers (String.length r.resp_body);
+  Buffer.add_string buf r.resp_body;
+  Buffer.contents buf
+
+let read_headers reader =
+  let rec go acc =
+    Netstack.Flow_reader.line reader >>= function
+    | None -> fail (Bad_request "eof in headers")
+    | Some "" -> return (List.rev acc)
+    | Some line -> (
+      match String.index_opt line ':' with
+      | None -> fail (Bad_request ("malformed header: " ^ line))
+      | Some i ->
+        let k = String.lowercase_ascii (String.trim (String.sub line 0 i)) in
+        let v = String.trim (String.sub line (i + 1) (String.length line - i - 1)) in
+        go ((k, v) :: acc))
+  in
+  go []
+
+let read_body reader headers =
+  match header headers "content-length" with
+  | None -> return ""
+  | Some l -> (
+    match int_of_string_opt l with
+    | None -> fail (Bad_request "bad content-length")
+    | Some 0 -> return ""
+    | Some n when n < 0 || n > 16 * 1024 * 1024 -> fail (Bad_request "unreasonable content-length")
+    | Some n -> (
+      Netstack.Flow_reader.exactly reader n >>= function
+      | None -> fail (Bad_request "truncated body")
+      | Some body -> return body))
+
+let read_request reader =
+  Netstack.Flow_reader.line reader >>= function
+  | None -> return None
+  | Some request_line -> (
+    match String.split_on_char ' ' request_line with
+    | [ m; path; version ] -> (
+      match meth_of_string m with
+      | None -> fail (Bad_request ("unknown method " ^ m))
+      | Some meth ->
+        read_headers reader >>= fun headers ->
+        read_body reader headers >>= fun body ->
+        return (Some { meth; path; version; headers; body }))
+    | _ -> fail (Bad_request ("malformed request line: " ^ request_line)))
+
+let read_response reader =
+  Netstack.Flow_reader.line reader >>= function
+  | None -> return None
+  | Some status_line -> (
+    match String.split_on_char ' ' status_line with
+    | _http :: code :: rest -> (
+      match int_of_string_opt code with
+      | None -> fail (Bad_request ("malformed status line: " ^ status_line))
+      | Some status ->
+        read_headers reader >>= fun headers ->
+        read_body reader headers >>= fun body ->
+        return
+          (Some
+             { status; reason = String.concat " " rest; resp_headers = headers; resp_body = body }))
+    | _ -> fail (Bad_request ("malformed status line: " ^ status_line)))

@@ -1,0 +1,41 @@
+(** HTTP/1.1 server over TCP flows with keep-alive.
+
+    [per_request_cost_ns] is charged to the appliance's vCPU per request
+    served (application work: routing, handler, rendering); the default
+    models the lean Mirage dynamic-web path of §4.4. *)
+
+type t
+
+type handler = Http_wire.request -> Http_wire.response Mthread.Promise.t
+
+val create :
+  Engine.Sim.t ->
+  ?dom:Xensim.Domain.t ->
+  ?per_request_cost_ns:int ->
+  tcp:Netstack.Tcp.t ->
+  port:int ->
+  handler ->
+  t
+
+(** A server not bound to any port: callers accept connections themselves
+    and pass flows to {!handle_flow} (used by the baseline appliances,
+    which gate accepts on a worker pool). *)
+val create_detached :
+  Engine.Sim.t -> ?dom:Xensim.Domain.t -> ?per_request_cost_ns:int -> handler -> t
+
+(** Serve one connection to completion (keep-alive loop). *)
+val handle_flow : t -> Netstack.Tcp.flow -> unit Mthread.Promise.t
+
+(** Convenience: serve a {!Router.t} of handlers, 404 otherwise. *)
+val of_router :
+  Engine.Sim.t ->
+  ?dom:Xensim.Domain.t ->
+  ?per_request_cost_ns:int ->
+  tcp:Netstack.Tcp.t ->
+  port:int ->
+  (Http_wire.request -> Http_wire.response Mthread.Promise.t) Router.t ->
+  t
+
+val requests_served : t -> int
+val connections_accepted : t -> int
+val bad_requests : t -> int

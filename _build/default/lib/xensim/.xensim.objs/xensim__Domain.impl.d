@@ -1,0 +1,1 @@
+lib/xensim/domain.ml: Array Engine Format Mthread Pagetable Platform Xstats

@@ -1,0 +1,1 @@
+lib/xensim/domain.mli: Engine Format Mthread Pagetable Platform Xstats

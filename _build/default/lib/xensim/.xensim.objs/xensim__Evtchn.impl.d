@@ -1,0 +1,1 @@
+lib/xensim/evtchn.ml: Engine Hashtbl Xstats

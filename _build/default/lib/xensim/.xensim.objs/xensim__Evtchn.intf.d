@@ -1,0 +1,1 @@
+lib/xensim/evtchn.mli: Engine Xstats

@@ -1,0 +1,1 @@
+lib/xensim/gnttab.ml: Bytestruct Hashtbl Xstats

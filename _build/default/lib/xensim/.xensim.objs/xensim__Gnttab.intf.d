@@ -1,0 +1,1 @@
+lib/xensim/gnttab.mli: Bytestruct Xstats

@@ -1,0 +1,1 @@
+lib/xensim/hypervisor.ml: Domain Engine Evtchn Gnttab List Pagetable Xenstore Xstats

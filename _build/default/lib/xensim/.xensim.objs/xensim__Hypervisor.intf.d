@@ -1,0 +1,1 @@
+lib/xensim/hypervisor.mli: Domain Engine Evtchn Gnttab Platform Xenstore Xstats

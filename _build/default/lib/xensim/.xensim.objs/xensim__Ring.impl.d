@@ -1,0 +1,1 @@
+lib/xensim/ring.ml: Bytestruct Int32

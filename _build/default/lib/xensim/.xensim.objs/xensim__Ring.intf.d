@@ -1,0 +1,1 @@
+lib/xensim/ring.mli: Bytestruct

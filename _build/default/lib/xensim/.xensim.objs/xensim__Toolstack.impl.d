@@ -1,0 +1,1 @@
+lib/xensim/toolstack.ml: Domain Engine Hypervisor Mthread Xstats

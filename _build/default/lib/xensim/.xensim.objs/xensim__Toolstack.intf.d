@@ -1,0 +1,1 @@
+lib/xensim/toolstack.mli: Domain Hypervisor Mthread Platform

@@ -1,0 +1,1 @@
+lib/xensim/vchan.ml: Bytestruct Domain Evtchn Gnttab Hypervisor Int32 List Mthread Platform

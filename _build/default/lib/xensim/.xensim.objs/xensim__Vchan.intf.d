@@ -1,0 +1,1 @@
+lib/xensim/vchan.mli: Bytestruct Domain Hypervisor Mthread

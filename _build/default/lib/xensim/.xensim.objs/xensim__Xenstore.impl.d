@@ -1,0 +1,1 @@
+lib/xensim/xenstore.ml: Hashtbl List String

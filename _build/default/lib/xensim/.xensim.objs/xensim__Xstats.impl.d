@@ -1,0 +1,1 @@
+lib/xensim/xstats.ml: Format

@@ -1,0 +1,1 @@
+lib/xensim/xstats.mli: Format

@@ -1,0 +1,70 @@
+type state = Building | Running | Blocked | Shutdown of int
+
+type t = {
+  id : int;
+  name : string;
+  mem_mib : int;
+  platform : Platform.t;
+  sim : Engine.Sim.t;
+  stats : Xstats.t;
+  pagetable : Pagetable.t;
+  mutable state : state;
+  cpu_free_at : int array;
+  mutable busy_ns : int;
+}
+
+let create ~sim ~stats ~id ~name ~mem_mib ~platform ?(vcpus = 1) () =
+  if vcpus < 1 then invalid_arg "Domain.create: need at least one vCPU";
+  {
+    id;
+    name;
+    mem_mib;
+    platform;
+    sim;
+    stats;
+    pagetable = Pagetable.create ();
+    state = Building;
+    cpu_free_at = Array.make vcpus 0;
+    busy_ns = 0;
+  }
+
+let vcpus d = Array.length d.cpu_free_at
+
+(* SMP tax: shared run-queues, locks and cache traffic make each unit of
+   work dearer as vCPUs are added — the reason Figure 13's scale-out
+   configurations beat scale-up. *)
+let contention_factor d = 1.0 +. (0.15 *. float_of_int (vcpus d - 1))
+
+let reserve d cost =
+  let cost = int_of_float (float_of_int (max 0 cost) *. contention_factor d) in
+  let now = Engine.Sim.now d.sim in
+  (* Least-loaded vCPU. *)
+  let lane = ref 0 in
+  Array.iteri (fun i v -> if v < d.cpu_free_at.(!lane) then lane := i) d.cpu_free_at;
+  let start = max now d.cpu_free_at.(!lane) in
+  let finish = start + cost in
+  d.cpu_free_at.(!lane) <- finish;
+  d.busy_ns <- d.busy_ns + cost;
+  finish
+
+let charge d ~cost =
+  let finish = reserve d cost in
+  Mthread.Promise.sleep d.sim (finish - Engine.Sim.now d.sim)
+
+let charge_k d ~cost k =
+  let finish = reserve d cost in
+  ignore (Engine.Sim.at d.sim ~time:finish k)
+
+let utilisation d ~span_ns =
+  if span_ns <= 0 then 0.0
+  else float_of_int d.busy_ns /. float_of_int (span_ns * vcpus d)
+
+let hypercall d ~name:_ =
+  d.stats.Xstats.hypercalls <- d.stats.Xstats.hypercalls + 1;
+  ignore (reserve d d.platform.Platform.hypercall_ns)
+
+let shutdown d ~exit_code = d.state <- Shutdown exit_code
+
+let is_running d = match d.state with Running -> true | Building | Blocked | Shutdown _ -> false
+
+let pp fmt d = Format.fprintf fmt "dom%d(%s)" d.id d.name

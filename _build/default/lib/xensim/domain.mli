@@ -1,0 +1,55 @@
+(** A Xen domain (VM). Execution inside a domain is serialised through its
+    single virtual CPU (the paper adopts the multikernel philosophy of one
+    vCPU per unikernel, §3.1): virtual-time costs charged with {!charge}
+    queue behind each other, which is what produces CPU saturation in the
+    appliance benchmarks. *)
+
+type state = Building | Running | Blocked | Shutdown of int
+
+type t = {
+  id : int;
+  name : string;
+  mem_mib : int;
+  platform : Platform.t;
+  sim : Engine.Sim.t;
+  stats : Xstats.t;
+  pagetable : Pagetable.t;
+  mutable state : state;
+  cpu_free_at : int array;  (** per-vCPU: virtual time at which it next idles *)
+  mutable busy_ns : int;  (** cumulative vCPU busy time, all vCPUs *)
+}
+
+(** [vcpus] defaults to 1 — the multikernel one-vCPU-per-unikernel model;
+    conventional guests in Figure 13 use more. *)
+val create :
+  sim:Engine.Sim.t ->
+  stats:Xstats.t ->
+  id:int ->
+  name:string ->
+  mem_mib:int ->
+  platform:Platform.t ->
+  ?vcpus:int ->
+  unit ->
+  t
+
+val vcpus : t -> int
+
+(** [charge d ~cost] occupies the least-loaded vCPU for [cost] ns, queueing
+    behind work already scheduled; resolves when done. On multi-vCPU
+    domains the cost is inflated by a lock-contention factor (~15% per
+    additional vCPU), the scaling-up penalty Figure 13 exhibits. *)
+val charge : t -> cost:int -> unit Mthread.Promise.t
+
+(** Non-blocking variant: reserve [cost] ns of vCPU and call [k] when it has
+    elapsed. *)
+val charge_k : t -> cost:int -> (unit -> unit) -> unit
+
+(** Fraction of virtual time [0..span] the vCPU was busy, given a span. *)
+val utilisation : t -> span_ns:int -> float
+
+(** Issue a hypercall: bumps counters and charges the crossing cost. *)
+val hypercall : t -> name:string -> unit
+
+val shutdown : t -> exit_code:int -> unit
+val is_running : t -> bool
+val pp : Format.formatter -> t -> unit

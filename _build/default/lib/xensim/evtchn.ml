@@ -1,0 +1,99 @@
+type port = int
+
+exception Invalid_port of port
+
+type port_state = {
+  owner : int;
+  mutable peer : port option;
+  mutable handler : (unit -> unit) option;
+  mutable masked : bool;
+  mutable pending : bool;
+  mutable closed : bool;
+}
+
+type t = {
+  sim : Engine.Sim.t;
+  stats : Xstats.t;
+  ports : (port, port_state) Hashtbl.t;
+  mutable next_port : int;
+}
+
+(* Event delivery latency: the upcall into the guest after the hypervisor
+   sets the pending bit. *)
+let delivery_latency_ns = 700
+
+let create ~sim ~stats = { sim; stats; ports = Hashtbl.create 64; next_port = 1 }
+
+let get t p =
+  match Hashtbl.find_opt t.ports p with
+  | Some st when not st.closed -> st
+  | Some _ | None -> raise (Invalid_port p)
+
+let fresh t ~owner =
+  let p = t.next_port in
+  t.next_port <- t.next_port + 1;
+  Hashtbl.replace t.ports p
+    { owner; peer = None; handler = None; masked = false; pending = false; closed = false };
+  p
+
+let alloc_unbound t ~owner = fresh t ~owner
+
+let bind_interdomain t ~local ~remote_port =
+  let remote = get t remote_port in
+  if remote.peer <> None then raise (Invalid_port remote_port);
+  let p = fresh t ~owner:local in
+  let local_state = get t p in
+  local_state.peer <- Some remote_port;
+  remote.peer <- Some p;
+  p
+
+let set_handler t p f = (get t p).handler <- Some f
+
+let deliver t p =
+  let st = get t p in
+  if st.pending && not st.masked then begin
+    match st.handler with
+    | None -> ()
+    | Some f ->
+      st.pending <- false;
+      f ()
+  end
+
+let notify t p =
+  let st = get t p in
+  t.stats.Xstats.hypercalls <- t.stats.Xstats.hypercalls + 1;
+  t.stats.Xstats.evtchn_notifies <- t.stats.Xstats.evtchn_notifies + 1;
+  match st.peer with
+  | None -> ()
+  | Some peer_port ->
+    let peer = get t peer_port in
+    if not peer.pending then begin
+      peer.pending <- true;
+      ignore
+        (Engine.Sim.schedule t.sim ~delay:delivery_latency_ns (fun () ->
+             if not peer.closed then deliver t peer_port))
+    end
+
+let mask t p = (get t p).masked <- true
+
+let unmask t p =
+  let st = get t p in
+  st.masked <- false;
+  if st.pending then ignore (Engine.Sim.schedule t.sim ~delay:0 (fun () -> if not st.closed then deliver t p))
+
+let is_pending t p = (get t p).pending
+
+let close t p =
+  let st = get t p in
+  st.closed <- true;
+  match st.peer with
+  | None -> ()
+  | Some q -> (
+    match Hashtbl.find_opt t.ports q with
+    | Some peer ->
+      peer.peer <- None;
+      peer.closed <- true
+    | None -> ())
+
+let owner t p = (get t p).owner
+let peer t p = (get t p).peer

@@ -1,0 +1,70 @@
+type grant_ref = int
+
+exception Invalid_grant of grant_ref
+exception Grant_busy of grant_ref
+exception Permission_denied of grant_ref
+
+type entry = {
+  dom : int;
+  peer : int;
+  writable : bool;
+  page : Bytestruct.t;
+  mutable mapped_by : int list;
+}
+
+type t = { stats : Xstats.t; entries : (grant_ref, entry) Hashtbl.t; mutable next_ref : int }
+
+let create ~stats = { stats; entries = Hashtbl.create 128; next_ref = 8 }
+
+let get t r =
+  match Hashtbl.find_opt t.entries r with Some e -> e | None -> raise (Invalid_grant r)
+
+let grant_access t ~dom ~peer ~writable page =
+  let r = t.next_ref in
+  t.next_ref <- t.next_ref + 1;
+  Hashtbl.replace t.entries r { dom; peer; writable; page; mapped_by = [] };
+  r
+
+let map t ~by r =
+  let e = get t r in
+  if e.peer <> by then raise (Permission_denied r);
+  e.mapped_by <- by :: e.mapped_by;
+  t.stats.Xstats.grant_maps <- t.stats.Xstats.grant_maps + 1;
+  e.page
+
+let map_rw t ~by r =
+  let e = get t r in
+  if not e.writable then raise (Permission_denied r);
+  map t ~by r
+
+let unmap t ~by r =
+  let e = get t r in
+  let rec remove_one = function
+    | [] -> []
+    | d :: rest when d = by -> rest
+    | d :: rest -> d :: remove_one rest
+  in
+  e.mapped_by <- remove_one e.mapped_by
+
+let copy t ~by r ~dst =
+  let e = get t r in
+  if e.peer <> by then raise (Permission_denied r);
+  t.stats.Xstats.grant_copies <- t.stats.Xstats.grant_copies + 1;
+  let len = min (Bytestruct.length e.page) (Bytestruct.length dst) in
+  Bytestruct.blit e.page 0 dst 0 len
+
+let copy_to t ~by r ~src =
+  let e = get t r in
+  if e.peer <> by || not e.writable then raise (Permission_denied r);
+  t.stats.Xstats.grant_copies <- t.stats.Xstats.grant_copies + 1;
+  let len = min (Bytestruct.length e.page) (Bytestruct.length src) in
+  Bytestruct.blit src 0 e.page 0 len
+
+let end_access t r =
+  let e = get t r in
+  if e.mapped_by <> [] then raise (Grant_busy r);
+  Hashtbl.remove t.entries r
+
+let active_grants t = Hashtbl.length t.entries
+
+let is_mapped t r = (get t r).mapped_by <> []

@@ -1,0 +1,46 @@
+type t = {
+  sim : Engine.Sim.t;
+  stats : Xstats.t;
+  evtchn : Evtchn.t;
+  gnttab : Gnttab.t;
+  xenstore : Xenstore.t;
+  seal_patch : bool;
+  mutable domains : Domain.t list;
+  mutable next_domid : int;
+}
+
+exception Seal_unsupported
+
+let create ?(seal_patch = true) sim =
+  let stats = Xstats.create () in
+  {
+    sim;
+    stats;
+    evtchn = Evtchn.create ~sim ~stats;
+    gnttab = Gnttab.create ~stats;
+    xenstore = Xenstore.create ();
+    seal_patch;
+    domains = [];
+    next_domid = 0;
+  }
+
+let create_domain t ~name ~mem_mib ~platform ?(vcpus = 1) () =
+  let id = t.next_domid in
+  t.next_domid <- id + 1;
+  let d = Domain.create ~sim:t.sim ~stats:t.stats ~id ~name ~mem_mib ~platform ~vcpus () in
+  t.domains <- d :: t.domains;
+  d
+
+let domain t id = List.find_opt (fun d -> d.Domain.id = id) t.domains
+
+let seal t d =
+  if not t.seal_patch then raise Seal_unsupported;
+  Domain.hypercall d ~name:"seal";
+  Pagetable.seal d.Domain.pagetable;
+  t.stats.Xstats.seals <- t.stats.Xstats.seals + 1
+
+let destroy t d =
+  Domain.shutdown d ~exit_code:(-1);
+  t.domains <- List.filter (fun x -> x != d) t.domains
+
+let domain_count t = List.length t.domains

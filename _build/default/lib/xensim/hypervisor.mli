@@ -1,0 +1,38 @@
+(** The simulated hypervisor: domain table plus the shared facilities
+    (event channels, grant tables, XenStore).
+
+    [seal_patch] models the paper's optional <50-line Xen extension
+    (§2.3.3): when absent, unikernels still run but the seal hypercall is
+    refused and the defence-in-depth layer is lost, exactly as the paper
+    describes for unmodified Xen. *)
+
+type t = {
+  sim : Engine.Sim.t;
+  stats : Xstats.t;
+  evtchn : Evtchn.t;
+  gnttab : Gnttab.t;
+  xenstore : Xenstore.t;
+  seal_patch : bool;
+  mutable domains : Domain.t list;
+  mutable next_domid : int;
+}
+
+exception Seal_unsupported
+
+val create : ?seal_patch:bool -> Engine.Sim.t -> t
+
+(** Allocate a domain record (state [Building]); the toolstack runs the
+    boot sequence. *)
+val create_domain :
+  t -> name:string -> mem_mib:int -> platform:Platform.t -> ?vcpus:int -> unit -> Domain.t
+
+val domain : t -> int -> Domain.t option
+
+(** The seal hypercall (§2.3.3).
+    @raise Seal_unsupported on an unpatched hypervisor
+    @raise Pagetable.Sealed_violation on a double seal. *)
+val seal : t -> Domain.t -> unit
+
+val destroy : t -> Domain.t -> unit
+
+val domain_count : t -> int

@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Baseline Engine List Mthread Netstack Platform Printf Testlib Uhttp Xensim

@@ -1,0 +1,1 @@
+test/test_blockdev.ml: Alcotest Blockdev Bytestruct Engine Mthread Printf String Testlib

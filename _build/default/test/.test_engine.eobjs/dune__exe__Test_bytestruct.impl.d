@@ -1,0 +1,1 @@
+test/test_bytestruct.ml: Alcotest Bytestruct Int32 QCheck String Testlib

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Baseline Core Engine List Mthread Netstack Platform Printf QCheck String Testlib Xensim

@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Char Crypto Engine List QCheck String Testlib

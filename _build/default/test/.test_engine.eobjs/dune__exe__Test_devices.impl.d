@@ -1,0 +1,1 @@
+test/test_devices.ml: Alcotest Blockdev Bytestruct Char Core Devices Engine List Mthread Netsim Platform Printf String Testlib Xensim

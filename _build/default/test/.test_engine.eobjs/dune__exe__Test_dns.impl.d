@@ -1,0 +1,1 @@
+test/test_dns.ml: Alcotest Bytestruct Dns Engine Int32 List Mthread Netstack Platform Printf QCheck Testlib

@@ -1,0 +1,1 @@
+test/test_formats.ml: Alcotest Formats List QCheck String Testlib

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Bytes Bytestruct Char Devices Dns Engine Formats Mthread Netsim Netstack Openflow Platform Ssh String Testlib

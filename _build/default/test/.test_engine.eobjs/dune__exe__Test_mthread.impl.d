@@ -1,0 +1,1 @@
+test/test_mthread.ml: Alcotest Engine List Mthread Testlib

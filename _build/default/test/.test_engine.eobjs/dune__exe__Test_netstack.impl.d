@@ -1,0 +1,1 @@
+test/test_netstack.ml: Alcotest Array Buffer Bytestruct Char Devices Engine List Mthread Netsim Netstack Platform Printf QCheck String Testlib Xensim

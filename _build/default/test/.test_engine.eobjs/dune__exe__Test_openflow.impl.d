@@ -1,0 +1,1 @@
+test/test_openflow.ml: Alcotest Array Bytes Engine List Mthread Netsim Netstack Openflow Platform Printf String Testlib

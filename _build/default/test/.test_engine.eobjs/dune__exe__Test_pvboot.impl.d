@@ -1,0 +1,1 @@
+test/test_pvboot.ml: Alcotest Engine List Mthread Platform Printf Pvboot QCheck Testlib Xensim

@@ -1,0 +1,1 @@
+test/test_smtp.ml: Alcotest List Mthread Netstack Platform Printf Smtp String Testlib

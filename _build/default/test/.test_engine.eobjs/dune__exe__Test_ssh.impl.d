@@ -1,0 +1,1 @@
+test/test_ssh.ml: Alcotest Buffer Bytes Bytestruct Char Crypto List Mthread Netsim Netstack Platform Printf Ssh String Testlib

@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Blockdev Buffer Bytestruct Engine Hashtbl List Mthread Netstack Platform Printf QCheck Storage String Testlib

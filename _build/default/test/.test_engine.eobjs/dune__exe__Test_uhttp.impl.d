@@ -1,0 +1,1 @@
+test/test_uhttp.ml: Alcotest Hashtbl List Mthread Netstack Platform String Testlib Uhttp

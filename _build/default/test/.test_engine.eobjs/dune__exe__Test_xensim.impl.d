@@ -1,0 +1,1 @@
+test/test_xensim.ml: Alcotest Buffer Bytestruct Engine Int32 List Mthread Platform Printf QCheck String Testlib Xensim

@@ -1,0 +1,1 @@
+test/test_xmpp.ml: Alcotest Engine List Mthread Netstack Platform Testlib Xmpp

@@ -1,0 +1,150 @@
+open Testlib
+module P = Mthread.Promise
+
+let disk_world ?(sectors = 8192) () =
+  let sim = Engine.Sim.create () in
+  (sim, Blockdev.Disk.create sim ~sectors ())
+
+let test_disk_rw () =
+  let sim, disk = disk_world () in
+  let data = pattern 1024 in
+  ignore (P.run sim (Blockdev.Disk.write disk ~sector:4 (bs data)));
+  let back = P.run sim (Blockdev.Disk.read disk ~sector:4 ~count:2) in
+  check_bool "roundtrip" true (Bytestruct.to_string back = data);
+  check_int "reads counted" 1 (Blockdev.Disk.reads_issued disk);
+  check_int "writes counted" 1 (Blockdev.Disk.writes_issued disk)
+
+let test_disk_peek_no_timing () =
+  let sim, disk = disk_world () in
+  ignore (P.run sim (Blockdev.Disk.write disk ~sector:0 (bs (pattern 512))));
+  let t = Engine.Sim.now sim in
+  ignore (Blockdev.Disk.peek disk ~sector:0 ~count:1);
+  check_int "peek advances no time" t (Engine.Sim.now sim)
+
+let test_disk_out_of_range () =
+  let _, disk = disk_world ~sectors:10 () in
+  match Blockdev.Disk.read disk ~sector:9 ~count:2 with
+  | exception Blockdev.Disk.Out_of_range _ -> ()
+  | _ -> Alcotest.fail "expected Out_of_range"
+
+let test_disk_service_time_scales () =
+  let sim, disk = disk_world () in
+  let t0 = Engine.Sim.now sim in
+  ignore (P.run sim (Blockdev.Disk.read disk ~sector:0 ~count:1));
+  let small = Engine.Sim.now sim - t0 in
+  let t1 = Engine.Sim.now sim in
+  ignore (P.run sim (Blockdev.Disk.read disk ~sector:0 ~count:4096));
+  let large = Engine.Sim.now sim - t1 in
+  check_bool "larger reads take longer" true (large > small);
+  check_bool "access latency floor" true (small >= 55_000)
+
+let test_disk_queueing () =
+  let sim, disk = disk_world () in
+  (* Two concurrent requests serialise through the device. *)
+  let t0 = Engine.Sim.now sim in
+  ignore
+    (P.run sim
+       (P.join
+          [
+            P.bind (Blockdev.Disk.read disk ~sector:0 ~count:1) (fun _ -> P.return ());
+            P.bind (Blockdev.Disk.read disk ~sector:0 ~count:1) (fun _ -> P.return ());
+          ]));
+  let elapsed = Engine.Sim.now sim - t0 in
+  check_bool "requests serialise" true (elapsed >= 2 * 55_000)
+
+let test_disk_torn_write () =
+  let sim, disk = disk_world () in
+  ignore (P.run sim (Blockdev.Disk.write disk ~sector:0 (bs (String.make 2048 'A'))));
+  Blockdev.Disk.inject_torn_write disk ~sectors:2;
+  (match P.run sim (Blockdev.Disk.write disk ~sector:0 (bs (String.make 2048 'B'))) with
+  | exception Blockdev.Disk.Torn_write -> ()
+  | _ -> Alcotest.fail "expected Torn_write");
+  let back = Blockdev.Disk.peek disk ~sector:0 ~count:4 in
+  check_string "first two sectors new" (String.make 1024 'B') (Bytestruct.get_string back 0 1024);
+  check_string "last two sectors old" (String.make 1024 'A') (Bytestruct.get_string back 1024 1024)
+
+(* ---- Buffer cache ---- *)
+
+let test_cache_hits () =
+  let sim, disk = disk_world () in
+  let bc = Blockdev.Buffer_cache.create sim disk in
+  ignore (P.run sim (Blockdev.Buffer_cache.read bc ~sector:0 ~count:8));
+  check_bool "first read misses" true (Blockdev.Buffer_cache.misses bc > 0);
+  let reads_before = Blockdev.Disk.reads_issued disk in
+  ignore (P.run sim (Blockdev.Buffer_cache.read bc ~sector:0 ~count:8));
+  check_int "second read hits without device I/O" reads_before (Blockdev.Disk.reads_issued disk);
+  check_bool "hits counted" true (Blockdev.Buffer_cache.hits bc > 0)
+
+let test_cache_correctness () =
+  let sim, disk = disk_world () in
+  let bc = Blockdev.Buffer_cache.create sim disk in
+  let data = pattern 4096 in
+  ignore (P.run sim (Blockdev.Buffer_cache.write bc ~sector:8 (bs data)));
+  let back = P.run sim (Blockdev.Buffer_cache.read bc ~sector:8 ~count:8) in
+  check_bool "write-through read-back" true (Bytestruct.to_string back = data)
+
+let test_cache_write_invalidates () =
+  let sim, disk = disk_world () in
+  let bc = Blockdev.Buffer_cache.create sim disk in
+  ignore (P.run sim (Blockdev.Buffer_cache.read bc ~sector:0 ~count:8));
+  ignore (P.run sim (Blockdev.Buffer_cache.write bc ~sector:0 (bs (pattern 4096))));
+  let back = P.run sim (Blockdev.Buffer_cache.read bc ~sector:0 ~count:8) in
+  check_bool "sees fresh data" true (Bytestruct.to_string back = pattern 4096)
+
+let test_cache_eviction_bounded () =
+  let sim, disk = disk_world ~sectors:65536 () in
+  let bc = Blockdev.Buffer_cache.create sim ~cache_pages:16 disk in
+  for i = 0 to 63 do
+    ignore (P.run sim (Blockdev.Buffer_cache.read bc ~sector:(i * 8) ~count:8))
+  done;
+  check_bool "resident bounded" true (Blockdev.Buffer_cache.resident_pages bc <= 16)
+
+let test_buffered_plateau_vs_direct () =
+  (* Figure 9's shape: at large block sizes, direct I/O far exceeds the
+     buffered path, which plateaus at the cache-copy bandwidth. *)
+  let sim, disk = disk_world ~sectors:(1 lsl 21) () in
+  let bc = Blockdev.Buffer_cache.create sim disk in
+  let prng = Engine.Prng.create ~seed:1 () in
+  let block_sectors = 2048 (* 1 MiB *) in
+  let spread = (1 lsl 21) / block_sectors in
+  let measure f =
+    let t0 = Engine.Sim.now sim in
+    let bytes = ref 0 in
+    for _ = 1 to 32 do
+      let sector = Engine.Prng.int prng spread * block_sectors in
+      let data = P.run sim (f ~sector ~count:block_sectors) in
+      bytes := !bytes + Bytestruct.length data
+    done;
+    float_of_int !bytes /. Engine.Sim.to_sec (Engine.Sim.now sim - t0)
+  in
+  let direct = measure (fun ~sector ~count -> Blockdev.Disk.read disk ~sector ~count) in
+  let buffered = measure (fun ~sector ~count -> Blockdev.Buffer_cache.read bc ~sector ~count) in
+  check_bool
+    (Printf.sprintf "direct (%.0f MB/s) well above buffered (%.0f MB/s)" (direct /. 1e6)
+       (buffered /. 1e6))
+    true
+    (direct > 3.0 *. buffered);
+  check_bool "buffered plateaus near copy bandwidth (~320 MB/s)" true
+    (buffered < 400e6 && buffered > 150e6)
+
+let () =
+  Alcotest.run "blockdev"
+    [
+      ( "disk",
+        [
+          Alcotest.test_case "read/write" `Quick test_disk_rw;
+          Alcotest.test_case "peek bypasses timing" `Quick test_disk_peek_no_timing;
+          Alcotest.test_case "out of range" `Quick test_disk_out_of_range;
+          Alcotest.test_case "service time scales" `Quick test_disk_service_time_scales;
+          Alcotest.test_case "requests queue" `Quick test_disk_queueing;
+          Alcotest.test_case "torn write" `Quick test_disk_torn_write;
+        ] );
+      ( "buffer_cache",
+        [
+          Alcotest.test_case "hits avoid device" `Quick test_cache_hits;
+          Alcotest.test_case "correctness" `Quick test_cache_correctness;
+          Alcotest.test_case "write invalidates" `Quick test_cache_write_invalidates;
+          Alcotest.test_case "eviction bounded" `Quick test_cache_eviction_bounded;
+          Alcotest.test_case "buffered plateau vs direct" `Quick test_buffered_plateau_vs_direct;
+        ] );
+    ]

@@ -1,0 +1,180 @@
+open Testlib
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let test_create_zeroed () =
+  let b = Bytestruct.create 16 in
+  check_int "length" 16 (Bytestruct.length b);
+  for i = 0 to 15 do
+    check_int "zeroed" 0 (Bytestruct.get_uint8 b i)
+  done
+
+let test_of_to_string () =
+  let b = bs "hello world" in
+  check_string "roundtrip" "hello world" (Bytestruct.to_string b);
+  check_int "length" 11 (Bytestruct.length b)
+
+let test_views_alias_storage () =
+  let b = bs "abcdefgh" in
+  let v = Bytestruct.sub b 2 4 in
+  check_string "view contents" "cdef" (Bytestruct.to_string v);
+  Bytestruct.set_char v 0 'X';
+  check_string "writes visible through parent" "abXdefgh" (Bytestruct.to_string b);
+  check_bool "copy does not alias" false
+    (Bytestruct.same_storage (Bytestruct.copy v) v)
+
+let test_shift_split () =
+  let b = bs "0123456789" in
+  check_string "shift" "56789" (Bytestruct.to_string (Bytestruct.shift b 5));
+  let l, r = Bytestruct.split b 3 in
+  check_string "split left" "012" (Bytestruct.to_string l);
+  check_string "split right" "3456789" (Bytestruct.to_string r)
+
+let test_bounds_checks () =
+  let b = bs "abc" in
+  let expect_invalid f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected Invalid_argument"
+  in
+  expect_invalid (fun () -> Bytestruct.get_uint8 b 3);
+  expect_invalid (fun () -> Bytestruct.get_uint8 b (-1));
+  expect_invalid (fun () -> Bytestruct.BE.get_uint16 b 2);
+  expect_invalid (fun () -> Bytestruct.BE.get_uint32 b 0);
+  expect_invalid (fun () -> Bytestruct.sub b 1 3);
+  expect_invalid (fun () -> Bytestruct.shift b 4);
+  expect_invalid (fun () -> Bytestruct.set_string b 1 "toolong")
+
+let test_view_cannot_escape () =
+  let b = bs "abcdefgh" in
+  let v = Bytestruct.sub b 2 3 in
+  match Bytestruct.get_uint8 v 3 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "view leaked past its bounds"
+
+let test_be_accessors () =
+  let b = Bytestruct.create 8 in
+  Bytestruct.BE.set_uint16 b 0 0xBEEF;
+  check_int "u16" 0xBEEF (Bytestruct.BE.get_uint16 b 0);
+  check_int "byte order" 0xBE (Bytestruct.get_uint8 b 0);
+  Bytestruct.BE.set_uint32 b 0 0xDEADBEEFl;
+  Alcotest.(check int32) "u32" 0xDEADBEEFl (Bytestruct.BE.get_uint32 b 0);
+  Bytestruct.BE.set_uint64 b 0 0x0102030405060708L;
+  Alcotest.(check int64) "u64" 0x0102030405060708L (Bytestruct.BE.get_uint64 b 0);
+  check_int "big end first" 1 (Bytestruct.get_uint8 b 0)
+
+let test_le_accessors () =
+  let b = Bytestruct.create 8 in
+  Bytestruct.LE.set_uint16 b 0 0xBEEF;
+  check_int "u16" 0xBEEF (Bytestruct.LE.get_uint16 b 0);
+  check_int "little end first" 0xEF (Bytestruct.get_uint8 b 0);
+  Bytestruct.LE.set_uint32 b 2 0x11223344l;
+  Alcotest.(check int32) "u32" 0x11223344l (Bytestruct.LE.get_uint32 b 2);
+  Bytestruct.LE.set_uint64 b 0 0x0102030405060708L;
+  Alcotest.(check int64) "u64" 0x0102030405060708L (Bytestruct.LE.get_uint64 b 0)
+
+let test_uint8_masking () =
+  let b = Bytestruct.create 1 in
+  Bytestruct.set_uint8 b 0 0x1FF;
+  check_int "masked to byte" 0xFF (Bytestruct.get_uint8 b 0)
+
+let test_blit () =
+  let src = bs "HELLO" in
+  let dst = bs "xxxxxxxxxx" in
+  Bytestruct.blit src 1 dst 2 3;
+  check_string "blit" "xxELLxxxxx" (Bytestruct.to_string dst);
+  Bytestruct.blit_from_string "world" 0 dst 5 5;
+  check_string "blit_from_string" "xxELLworld" (Bytestruct.to_string dst)
+
+let test_fill () =
+  let b = bs "abcdef" in
+  Bytestruct.fill (Bytestruct.sub b 2 2) '.';
+  check_string "partial fill through view" "ab..ef" (Bytestruct.to_string b)
+
+let test_concat_append_lenv () =
+  let parts = [ bs "ab"; bs ""; bs "cde"; bs "f" ] in
+  check_int "lenv" 6 (Bytestruct.lenv parts);
+  check_string "concat" "abcdef" (Bytestruct.to_string (Bytestruct.concat parts));
+  check_string "append" "abcd" (Bytestruct.to_string (Bytestruct.append (bs "ab") (bs "cd")));
+  check_int "empty concat" 0 (Bytestruct.length (Bytestruct.concat []))
+
+let test_equal_compare () =
+  check_bool "equal by contents" true (Bytestruct.equal (bs "abc") (bs "abc"));
+  check_bool "unequal" false (Bytestruct.equal (bs "abc") (bs "abd"));
+  check_bool "compare" true (Bytestruct.compare (bs "abc") (bs "abd") < 0);
+  let parent = bs "xabcabc" in
+  check_bool "views equal" true
+    (Bytestruct.equal (Bytestruct.sub parent 1 3) (Bytestruct.sub parent 4 3))
+
+let test_get_set_string () =
+  let b = Bytestruct.create 10 in
+  Bytestruct.set_string b 2 "hey";
+  check_string "get_string" "hey" (Bytestruct.get_string b 2 3)
+
+let test_hexdump () =
+  let dump = Bytestruct.hexdump (bs "ABC\x00\xff") in
+  check_bool "contains hex bytes" true (contains dump "41 42 43 00 ff");
+  check_bool "contains ascii gutter" true (contains dump "ABC")
+
+let prop_sub_shift_consistent =
+  qtest "sub consistent with String.sub"
+    QCheck.(pair (string_of_size (QCheck.Gen.int_range 1 200)) (pair small_nat small_nat))
+    (fun (s, (a, b)) ->
+      let len = String.length s in
+      let off = a mod (len + 1) in
+      let sub_len = b mod (len - off + 1) in
+      let v = Bytestruct.sub (Bytestruct.of_string s) off sub_len in
+      Bytestruct.to_string v = String.sub s off sub_len)
+
+let prop_be_u16_roundtrip =
+  qtest "BE u16 roundtrip" QCheck.(int_bound 0xffff) (fun v ->
+      let b = Bytestruct.create 2 in
+      Bytestruct.BE.set_uint16 b 0 v;
+      Bytestruct.BE.get_uint16 b 0 = v)
+
+let prop_le_u32_roundtrip =
+  qtest "LE u32 roundtrip" QCheck.(map Int32.of_int int) (fun v ->
+      let b = Bytestruct.create 4 in
+      Bytestruct.LE.set_uint32 b 0 v;
+      Bytestruct.LE.get_uint32 b 0 = v)
+
+let prop_concat_split =
+  qtest "concat of split is identity"
+    QCheck.(pair (string_of_size (QCheck.Gen.int_range 1 100)) small_nat)
+    (fun (s, n) ->
+      let b = Bytestruct.of_string s in
+      let k = n mod (String.length s + 1) in
+      let l, r = Bytestruct.split b k in
+      Bytestruct.to_string (Bytestruct.concat [ l; r ]) = s)
+
+let () =
+  Alcotest.run "bytestruct"
+    [
+      ( "views",
+        [
+          Alcotest.test_case "create zeroed" `Quick test_create_zeroed;
+          Alcotest.test_case "of/to string" `Quick test_of_to_string;
+          Alcotest.test_case "views alias storage" `Quick test_views_alias_storage;
+          Alcotest.test_case "shift and split" `Quick test_shift_split;
+          Alcotest.test_case "bounds checks" `Quick test_bounds_checks;
+          Alcotest.test_case "view cannot escape" `Quick test_view_cannot_escape;
+        ] );
+      ( "accessors",
+        [
+          Alcotest.test_case "big endian" `Quick test_be_accessors;
+          Alcotest.test_case "little endian" `Quick test_le_accessors;
+          Alcotest.test_case "uint8 masking" `Quick test_uint8_masking;
+          Alcotest.test_case "blit" `Quick test_blit;
+          Alcotest.test_case "fill" `Quick test_fill;
+          Alcotest.test_case "concat/append/lenv" `Quick test_concat_append_lenv;
+          Alcotest.test_case "equal/compare" `Quick test_equal_compare;
+          Alcotest.test_case "string get/set" `Quick test_get_set_string;
+          Alcotest.test_case "hexdump" `Quick test_hexdump;
+        ] );
+      ( "properties",
+        [ prop_sub_shift_consistent; prop_be_u16_roundtrip; prop_le_u32_roundtrip; prop_concat_split ]
+      );
+    ]

@@ -1,0 +1,129 @@
+open Testlib
+
+(* ---- SHA-256 against FIPS/NIST vectors ---- *)
+
+let test_sha256_vectors () =
+  let cases =
+    [
+      ("", "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+      ("abc", "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+      ( "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+        "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1" );
+    ]
+  in
+  List.iter
+    (fun (input, expect) -> check_string input expect (Crypto.Sha256.hex (Crypto.Sha256.digest input)))
+    cases
+
+let test_sha256_million_a () =
+  let ctx = Crypto.Sha256.init () in
+  for _ = 1 to 10_000 do
+    Crypto.Sha256.feed ctx (String.make 100 'a')
+  done;
+  check_string "10^6 x 'a'" "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+    (Crypto.Sha256.hex (Crypto.Sha256.finalize ctx))
+
+let test_sha256_incremental_equals_batch () =
+  let data = pattern 1000 in
+  let ctx = Crypto.Sha256.init () in
+  Crypto.Sha256.feed ctx (String.sub data 0 137);
+  Crypto.Sha256.feed ctx (String.sub data 137 500);
+  Crypto.Sha256.feed ctx (String.sub data 637 363);
+  check_string "chunked = batch"
+    (Crypto.Sha256.hex (Crypto.Sha256.digest data))
+    (Crypto.Sha256.hex (Crypto.Sha256.finalize ctx))
+
+let test_hmac_rfc4231 () =
+  (* test case 1 and 2 *)
+  check_string "tc1" "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+    (Crypto.Sha256.hex (Crypto.Sha256.hmac ~key:(String.make 20 '\x0b') "Hi There"));
+  check_string "tc2" "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+    (Crypto.Sha256.hex (Crypto.Sha256.hmac ~key:"Jefe" "what do ya want for nothing?"))
+
+(* ---- ChaCha20 RFC 8439 ---- *)
+
+let test_chacha_block_vector () =
+  (* 2.3.2: keystream block with key 00..1f, nonce 00000009:0000004a:00000000, ctr 1 *)
+  let key = String.init 32 Char.chr in
+  let nonce = "\x00\x00\x00\x09\x00\x00\x00\x4a\x00\x00\x00\x00" in
+  let block = Crypto.Chacha20.block ~key ~nonce ~counter:1 in
+  check_string "first 16 bytes" "10f1e7e4d13b5915500fdd1fa32071c4"
+    (Crypto.Sha256.hex (String.sub block 0 16));
+  check_string "last 4 bytes" "a2503c4e" (Crypto.Sha256.hex (String.sub block 60 4))
+
+let test_chacha_rfc_encryption () =
+  (* 2.4.2 sunscreen vector *)
+  let key = String.init 32 Char.chr in
+  let nonce = "\x00\x00\x00\x00\x00\x00\x00\x4a\x00\x00\x00\x00" in
+  let plain =
+    "Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it."
+  in
+  let cipher = Crypto.Chacha20.crypt ~key ~nonce ~counter:1 plain in
+  check_string "first bytes" "6e2e359a2568f980"
+    (Crypto.Sha256.hex (String.sub cipher 0 8));
+  check_string "roundtrip" plain (Crypto.Chacha20.crypt ~key ~nonce ~counter:1 cipher)
+
+let test_chacha_bad_args () =
+  (match Crypto.Chacha20.crypt ~key:"short" ~nonce:(String.make 12 '\000') "x" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "short key");
+  match Crypto.Chacha20.crypt ~key:(String.make 32 'k') ~nonce:"short" "x" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "short nonce"
+
+let prop_chacha_involution =
+  qtest "crypt is an involution" QCheck.(string_of_size (QCheck.Gen.int_range 0 300)) (fun s ->
+      let key = Crypto.Sha256.digest "key" in
+      let nonce = String.sub (Crypto.Sha256.digest "nonce") 0 12 in
+      Crypto.Chacha20.crypt ~key ~nonce (Crypto.Chacha20.crypt ~key ~nonce s) = s)
+
+(* ---- DH ---- *)
+
+let test_dh_agreement () =
+  let prng = Engine.Prng.create ~seed:11 () in
+  for _ = 1 to 50 do
+    let a = Crypto.Dh.generate prng in
+    let b = Crypto.Dh.generate prng in
+    check_bool "shared secret agrees" true
+      (Crypto.Dh.shared ~secret:a.Crypto.Dh.secret ~peer_public:b.Crypto.Dh.public
+      = Crypto.Dh.shared ~secret:b.Crypto.Dh.secret ~peer_public:a.Crypto.Dh.public)
+  done
+
+let test_dh_public_in_group () =
+  let prng = Engine.Prng.create ~seed:12 () in
+  for _ = 1 to 100 do
+    let kp = Crypto.Dh.generate prng in
+    check_bool "public in (1, p)" true (kp.Crypto.Dh.public > 1 && kp.Crypto.Dh.public < Crypto.Dh.p)
+  done
+
+let test_dh_derive_key_depends_on_all_inputs () =
+  let k l t s = Crypto.Dh.derive_key ~shared:s ~transcript:t ~label:l in
+  check_bool "label matters" true (k "a" "t" 1 <> k "b" "t" 1);
+  check_bool "transcript matters" true (k "a" "t" 1 <> k "a" "u" 1);
+  check_bool "secret matters" true (k "a" "t" 1 <> k "a" "t" 2);
+  check_int "32 bytes" 32 (String.length (k "a" "t" 1))
+
+let () =
+  Alcotest.run "crypto"
+    [
+      ( "sha256",
+        [
+          Alcotest.test_case "NIST vectors" `Quick test_sha256_vectors;
+          Alcotest.test_case "10^6 a's" `Quick test_sha256_million_a;
+          Alcotest.test_case "incremental = batch" `Quick test_sha256_incremental_equals_batch;
+          Alcotest.test_case "hmac rfc4231" `Quick test_hmac_rfc4231;
+        ] );
+      ( "chacha20",
+        [
+          Alcotest.test_case "block vector" `Quick test_chacha_block_vector;
+          Alcotest.test_case "rfc encryption vector" `Quick test_chacha_rfc_encryption;
+          Alcotest.test_case "bad arguments" `Quick test_chacha_bad_args;
+          prop_chacha_involution;
+        ] );
+      ( "dh",
+        [
+          Alcotest.test_case "agreement" `Quick test_dh_agreement;
+          Alcotest.test_case "public in group" `Quick test_dh_public_in_group;
+          Alcotest.test_case "key derivation" `Quick test_dh_derive_key_depends_on_all_inputs;
+        ] );
+    ]

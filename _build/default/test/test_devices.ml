@@ -1,0 +1,250 @@
+open Testlib
+module P = Mthread.Promise
+open P.Infix
+
+(* ---- Io_page ---- *)
+
+let test_io_page_pool () =
+  let pool = Devices.Io_page.create ~initial:2 () in
+  check_int "initial free" 2 (Devices.Io_page.free_count pool);
+  let p1 = Devices.Io_page.alloc pool in
+  let _p2 = Devices.Io_page.alloc pool in
+  let p3 = Devices.Io_page.alloc pool in
+  check_int "grew beyond initial" 0 (Devices.Io_page.free_count pool);
+  check_int "outstanding" 3 (Devices.Io_page.outstanding pool);
+  check_int "page size" Devices.Io_page.page_bytes (Bytestruct.length p1);
+  Bytestruct.set_string p1 0 "dirty";
+  Devices.Io_page.recycle pool p1;
+  Devices.Io_page.recycle pool p3;
+  check_int "recycled" 2 (Devices.Io_page.free_count pool);
+  let p4 = Devices.Io_page.alloc pool in
+  check_int "recycled page zeroed" 0 (Bytestruct.get_uint8 p4 0)
+
+let test_io_page_recycle_rejects_views () =
+  let pool = Devices.Io_page.create () in
+  let p = Devices.Io_page.alloc pool in
+  match Devices.Io_page.recycle pool (Bytestruct.sub p 0 100) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "partial view must not be recycled"
+
+(* ---- Netif ---- *)
+
+let netif_pair () =
+  let w = make_world () in
+  let mk name =
+    let dom = Xensim.Hypervisor.create_domain w.hv ~name ~mem_mib:32 ~platform:Platform.xen_extent () in
+    dom.Xensim.Domain.state <- Xensim.Domain.Running;
+    let nic = Netsim.Bridge.new_nic w.bridge ~mac:(Netsim.mac_of_int (10 + dom.Xensim.Domain.id)) () in
+    (dom, nic, Devices.Netif.connect w.hv ~dom ~backend_dom:w.dom0 ~nic ())
+  in
+  let _, _, na = mk "neta" in
+  let _, nic_b, nb = mk "netb" in
+  (w, na, nic_b, nb)
+
+let eth_frame ~dst ~src payload =
+  let b = Bytestruct.create (14 + String.length payload) in
+  Bytestruct.set_string b 0 dst;
+  Bytestruct.set_string b 6 src;
+  Bytestruct.BE.set_uint16 b 12 0x0800;
+  Bytestruct.set_string b 14 payload;
+  b
+
+let test_netif_tx_rx () =
+  let w, na, _, nb = netif_pair () in
+  let got = ref [] in
+  Devices.Netif.set_listener nb (fun frame -> got := Bytestruct.to_string frame :: !got);
+  let frame = eth_frame ~dst:(Devices.Netif.mac nb) ~src:(Devices.Netif.mac na) "payload!" in
+  ignore (run w (Devices.Netif.write na frame));
+  Engine.Sim.run w.sim;
+  (match !got with
+  | [ f ] -> check_string "payload intact" "payload!" (String.sub f 14 8)
+  | l -> Alcotest.fail (Printf.sprintf "expected 1 frame, got %d" (List.length l)));
+  check_int "tx counted" 1 (Devices.Netif.tx_frames na);
+  check_int "rx counted" 1 (Devices.Netif.rx_frames nb)
+
+let test_netif_tx_zero_copy_rx_grant_copy () =
+  (* Paper 3.4.1: transmit passes pages by grant reference (maps, no
+     copies); receive uses grant copy (netback's GNTTABOP_copy). *)
+  let w, na, _, nb = netif_pair () in
+  Devices.Netif.set_listener nb (fun _ -> ());
+  let stats = w.hv.Xensim.Hypervisor.stats in
+  Xensim.Xstats.reset stats;
+  let frame = eth_frame ~dst:(Devices.Netif.mac nb) ~src:(Devices.Netif.mac na) "zc" in
+  ignore (run w (Devices.Netif.write na frame));
+  Engine.Sim.run w.sim;
+  check_bool "tx used grant map" true (stats.Xensim.Xstats.grant_maps >= 1);
+  check_int "rx used exactly one grant copy" 1 stats.Xensim.Xstats.grant_copies
+
+let test_netif_grants_released () =
+  let w, na, _, nb = netif_pair () in
+  Devices.Netif.set_listener nb (fun _ -> ());
+  let gt = w.hv.Xensim.Hypervisor.gnttab in
+  let before = Xensim.Gnttab.active_grants gt in
+  let frame = eth_frame ~dst:(Devices.Netif.mac nb) ~src:(Devices.Netif.mac na) "x" in
+  for _ = 1 to 50 do
+    ignore (run w (Devices.Netif.write na frame))
+  done;
+  Engine.Sim.run w.sim;
+  (* TX grants are revoked on response; RX credit stays constant. *)
+  check_int "no grant leak" before (Xensim.Gnttab.active_grants gt)
+
+let test_netif_pipelining_many_frames () =
+  let w, na, _, nb = netif_pair () in
+  let count = ref 0 in
+  Devices.Netif.set_listener nb (fun _ -> incr count);
+  let frame = eth_frame ~dst:(Devices.Netif.mac nb) ~src:(Devices.Netif.mac na) (String.make 1000 'd') in
+  let send_all = P.join (List.init 500 (fun _ -> Devices.Netif.write na frame)) in
+  ignore (run w send_all);
+  Engine.Sim.run w.sim;
+  check_int "all 500 through the ring" 500 !count
+
+let test_netif_rx_drop_without_credit () =
+  let w, na, _, nb = netif_pair () in
+  ignore na;
+  Devices.Netif.set_listener nb (fun _ -> ());
+  (* A third NIC with effectively infinite bandwidth and zero latency
+     delivers a burst in one instant, exhausting the 511 posted receive
+     buffers before the frontend can repost. *)
+  let src = Netsim.mac_of_int 99 in
+  let c =
+    Netsim.Bridge.new_nic w.bridge ~bandwidth_bps:max_int ~latency_ns:0 ~mac:src ()
+  in
+  for _ = 1 to 1200 do
+    Netsim.Nic.send c (eth_frame ~dst:(Devices.Netif.mac nb) ~src "flood")
+  done;
+  Engine.Sim.run w.sim;
+  check_bool "some frames dropped for lack of credit" true (Devices.Netif.rx_dropped nb > 0);
+  check_bool "some frames delivered" true (Devices.Netif.rx_frames nb > 0)
+
+let test_netif_mtu_enforced () =
+  let w, na, _, _ = netif_pair () in
+  ignore w;
+  let big = Bytestruct.create 1600 in
+  match Devices.Netif.write na big with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "oversized frame rejected"
+
+(* ---- Blkif ---- *)
+
+let blkif_world () =
+  let w = make_world () in
+  let dom = Xensim.Hypervisor.create_domain w.hv ~name:"guest" ~mem_mib:32 ~platform:Platform.xen_extent () in
+  dom.Xensim.Domain.state <- Xensim.Domain.Running;
+  let disk = Blockdev.Disk.create w.sim ~sectors:4096 () in
+  let blkif = Devices.Blkif.connect w.hv ~dom ~backend_dom:w.dom0 ~disk () in
+  (w, disk, blkif)
+
+let test_blkif_write_read () =
+  let w, _, blkif = blkif_world () in
+  let data = pattern 2048 in
+  ignore (run w (Devices.Blkif.write blkif ~sector:10 (bs data)));
+  let back = run w (Devices.Blkif.read blkif ~sector:10 ~count:4) in
+  check_bool "read back" true (Bytestruct.to_string back = data)
+
+let test_blkif_write_durable_on_disk () =
+  let w, disk, blkif = blkif_world () in
+  ignore (run w (Devices.Blkif.write blkif ~sector:0 (bs (pattern 512))));
+  check_string "bytes on the device" (pattern 512)
+    (Bytestruct.to_string (Blockdev.Disk.peek disk ~sector:0 ~count:1))
+
+let test_blkif_concurrent_requests () =
+  let w, _, blkif = blkif_world () in
+  let write i =
+    Devices.Blkif.write blkif ~sector:(i * 8) (bs (String.make 512 (Char.chr (65 + i))))
+  in
+  ignore (run w (P.join (List.init 20 write)));
+  let read i =
+    Devices.Blkif.read blkif ~sector:(i * 8) ~count:1 >|= fun b -> Bytestruct.get_char b 0
+  in
+  let chars = run w (P.all (List.init 20 read)) in
+  List.iteri (fun i c -> check_bool "right sector" true (c = Char.chr (65 + i))) chars
+
+let test_blkif_out_of_range () =
+  let w, _, blkif = blkif_world () in
+  match run w (Devices.Blkif.read blkif ~sector:100_000 ~count:1) with
+  | exception _ -> ()
+  | _ -> Alcotest.fail "out of range read must fail"
+
+let test_blkif_partial_sector_rejected () =
+  let w, _, blkif = blkif_world () in
+  ignore w;
+  match Devices.Blkif.write blkif ~sector:0 (bs "short") with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "partial sector write rejected"
+
+let test_blkif_large_request_single_ring_slot () =
+  let w, _, blkif = blkif_world () in
+  let big = pattern (512 * 1024) in
+  ignore (run w (Devices.Blkif.write blkif ~sector:0 (bs big)));
+  let back = run w (Devices.Blkif.read blkif ~sector:0 ~count:1024) in
+  check_bool "512 KiB roundtrip" true (Bytestruct.to_string back = big);
+  (* one write + one read *)
+  check_int "two ring requests" 2 (Devices.Blkif.requests_issued blkif)
+
+(* ---- Console ---- *)
+
+let test_console_lines () =
+  let w = make_world () in
+  let dom = Xensim.Hypervisor.create_domain w.hv ~name:"g" ~mem_mib:16 ~platform:Platform.xen_extent () in
+  let c = Devices.Console.create w.hv ~dom in
+  Devices.Console.write c "boot";
+  Devices.Console.write c "ing\n";
+  Devices.Console.write c "two\nthree: part";
+  Alcotest.(check (list string)) "complete lines" [ "booting"; "two" ] (Devices.Console.log c);
+  check_string "partial retained" "three: part" (Devices.Console.partial c);
+  check_bool "lookup by domain" true
+    (match Devices.Console.of_domain dom with Some c2 -> c2 == c | None -> false)
+
+let test_console_boot_banner () =
+  let w = make_world () in
+  let ts = Xensim.Toolstack.create w.hv in
+  let u =
+    run w
+      (Core.Unikernel.boot w.hv ts ~config:(Core.Appliance.dns_appliance ()) ~mem_mib:32
+         ~main:(fun _ -> Mthread.Promise.return 0) ())
+  in
+  Engine.Sim.run w.sim;
+  match Devices.Console.of_domain u.Core.Unikernel.domain with
+  | Some c -> (
+    match Devices.Console.log c with
+    | banner :: _ ->
+      check_bool "banner mentions the appliance" true
+        (let needle = "dns-appliance" in
+         let n = String.length needle and h = String.length banner in
+         let rec go i = i + n <= h && (String.sub banner i n = needle || go (i + 1)) in
+         go 0)
+    | [] -> Alcotest.fail "no banner line")
+  | None -> Alcotest.fail "unikernel has no console"
+
+let () =
+  Alcotest.run "devices"
+    [
+      ( "io_page",
+        [
+          Alcotest.test_case "pool alloc/recycle" `Quick test_io_page_pool;
+          Alcotest.test_case "recycle rejects views" `Quick test_io_page_recycle_rejects_views;
+        ] );
+      ( "netif",
+        [
+          Alcotest.test_case "tx/rx" `Quick test_netif_tx_rx;
+          Alcotest.test_case "tx zero-copy, rx grant-copy" `Quick test_netif_tx_zero_copy_rx_grant_copy;
+          Alcotest.test_case "grants released" `Quick test_netif_grants_released;
+          Alcotest.test_case "pipelines many frames" `Quick test_netif_pipelining_many_frames;
+          Alcotest.test_case "rx drops without credit" `Quick test_netif_rx_drop_without_credit;
+          Alcotest.test_case "mtu enforced" `Quick test_netif_mtu_enforced;
+        ] );
+      ( "console",
+        [
+          Alcotest.test_case "line buffering" `Quick test_console_lines;
+          Alcotest.test_case "unikernel boot banner" `Quick test_console_boot_banner;
+        ] );
+      ( "blkif",
+        [
+          Alcotest.test_case "write/read" `Quick test_blkif_write_read;
+          Alcotest.test_case "durable on disk" `Quick test_blkif_write_durable_on_disk;
+          Alcotest.test_case "concurrent requests" `Quick test_blkif_concurrent_requests;
+          Alcotest.test_case "out of range" `Quick test_blkif_out_of_range;
+          Alcotest.test_case "partial sector rejected" `Quick test_blkif_partial_sector_rejected;
+          Alcotest.test_case "large single request" `Quick test_blkif_large_request_single_ring_slot;
+        ] );
+    ]

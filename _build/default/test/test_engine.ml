@@ -1,0 +1,245 @@
+open Testlib
+
+(* ---- Prng ---- *)
+
+let test_prng_determinism () =
+  let a = Engine.Prng.create ~seed:7 () in
+  let b = Engine.Prng.create ~seed:7 () in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Engine.Prng.next_int64 a) (Engine.Prng.next_int64 b)
+  done
+
+let test_prng_seeds_differ () =
+  let a = Engine.Prng.create ~seed:1 () in
+  let b = Engine.Prng.create ~seed:2 () in
+  let same = ref 0 in
+  for _ = 1 to 50 do
+    if Engine.Prng.next_int64 a = Engine.Prng.next_int64 b then incr same
+  done;
+  check_bool "streams differ" true (!same < 5)
+
+let test_prng_int_bounds () =
+  let p = Engine.Prng.create ~seed:3 () in
+  for _ = 1 to 1000 do
+    let v = Engine.Prng.int p 17 in
+    check_bool "in range" true (v >= 0 && v < 17)
+  done;
+  Alcotest.check_raises "zero bound" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Engine.Prng.int p 0))
+
+let test_prng_float_bounds () =
+  let p = Engine.Prng.create ~seed:4 () in
+  for _ = 1 to 1000 do
+    let v = Engine.Prng.float p 2.5 in
+    check_bool "in range" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_prng_split_independent () =
+  let p = Engine.Prng.create ~seed:5 () in
+  let q = Engine.Prng.split p in
+  check_bool "split differs from parent" true
+    (Engine.Prng.next_int64 p <> Engine.Prng.next_int64 q)
+
+let test_prng_shuffle_permutation () =
+  let p = Engine.Prng.create ~seed:6 () in
+  let arr = Array.init 50 (fun i -> i) in
+  Engine.Prng.shuffle p arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 50 (fun i -> i)) sorted
+
+let test_prng_exponential_positive () =
+  let p = Engine.Prng.create ~seed:8 () in
+  let acc = ref 0.0 in
+  for _ = 1 to 2000 do
+    let v = Engine.Prng.exponential p ~mean:5.0 in
+    check_bool "positive" true (v >= 0.0);
+    acc := !acc +. v
+  done;
+  let mean = !acc /. 2000.0 in
+  check_bool "mean near 5" true (mean > 4.0 && mean < 6.0)
+
+(* ---- Stats ---- *)
+
+let test_stats_mean_stddev () =
+  let xs = [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ] in
+  check (Alcotest.float 1e-9) "mean" 5.0 (Engine.Stats.mean xs);
+  check (Alcotest.float 1e-6) "stddev (sample)" 2.13809 (Engine.Stats.stddev xs)
+
+let test_stats_acc_matches_batch () =
+  let xs = List.init 100 (fun i -> float_of_int (i * i) /. 7.0) in
+  let acc = Engine.Stats.acc_create () in
+  List.iter (Engine.Stats.acc_add acc) xs;
+  check (Alcotest.float 1e-6) "mean" (Engine.Stats.mean xs) (Engine.Stats.acc_mean acc);
+  check (Alcotest.float 1e-6) "stddev" (Engine.Stats.stddev xs) (Engine.Stats.acc_stddev acc);
+  check_int "count" 100 (Engine.Stats.acc_count acc)
+
+let test_stats_percentile () =
+  let xs = List.init 101 (fun i -> float_of_int i) in
+  check (Alcotest.float 1e-9) "p0" 0.0 (Engine.Stats.percentile 0.0 xs);
+  check (Alcotest.float 1e-9) "p50" 50.0 (Engine.Stats.percentile 50.0 xs);
+  check (Alcotest.float 1e-9) "p100" 100.0 (Engine.Stats.percentile 100.0 xs);
+  check (Alcotest.float 1e-9) "p25" 25.0 (Engine.Stats.percentile 25.0 xs)
+
+let test_stats_percentile_errors () =
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.percentile: empty") (fun () ->
+      ignore (Engine.Stats.percentile 50.0 []));
+  Alcotest.check_raises "bad p" (Invalid_argument "Stats.percentile: p out of range") (fun () ->
+      ignore (Engine.Stats.percentile 101.0 [ 1.0 ]))
+
+let test_stats_cdf () =
+  let cdf = Engine.Stats.cdf [ 3.0; 1.0; 2.0; 2.0 ] in
+  Alcotest.(check (list (pair (float 1e-9) (float 1e-9))))
+    "sorted cumulative"
+    [ (1.0, 0.25); (2.0, 0.5); (2.0, 0.75); (3.0, 1.0) ]
+    cdf
+
+let test_histogram () =
+  let h = Engine.Stats.histogram_create ~lo:0.0 ~hi:10.0 ~bins:5 in
+  List.iter (Engine.Stats.histogram_add h) [ 0.5; 1.0; 3.0; 9.9; 15.0; -3.0 ];
+  check_int "total" 6 (Engine.Stats.histogram_total h);
+  let bins = Engine.Stats.histogram_bins h in
+  check_int "five bins" 5 (List.length bins);
+  let counts = List.map (fun (_, _, c) -> c) bins in
+  (* -3 clamps to first bin, 15 clamps to last *)
+  Alcotest.(check (list int)) "counts" [ 3; 1; 0; 0; 2 ] counts
+
+(* ---- Eventq / Sim ---- *)
+
+let test_sim_ordering () =
+  let sim = Engine.Sim.create () in
+  let log = ref [] in
+  ignore (Engine.Sim.schedule sim ~delay:30 (fun () -> log := 3 :: !log));
+  ignore (Engine.Sim.schedule sim ~delay:10 (fun () -> log := 1 :: !log));
+  ignore (Engine.Sim.schedule sim ~delay:20 (fun () -> log := 2 :: !log));
+  Engine.Sim.run sim;
+  Alcotest.(check (list int)) "fires in time order" [ 1; 2; 3 ] (List.rev !log);
+  check_int "clock at last event" 30 (Engine.Sim.now sim)
+
+let test_sim_same_time_fifo () =
+  let sim = Engine.Sim.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    ignore (Engine.Sim.schedule sim ~delay:10 (fun () -> log := i :: !log))
+  done;
+  Engine.Sim.run sim;
+  Alcotest.(check (list int)) "FIFO within a timestamp" [ 1; 2; 3; 4; 5 ] (List.rev !log)
+
+let test_sim_cancel () =
+  let sim = Engine.Sim.create () in
+  let fired = ref false in
+  let h = Engine.Sim.schedule sim ~delay:10 (fun () -> fired := true) in
+  Engine.Sim.cancel h;
+  Engine.Sim.run sim;
+  check_bool "cancelled event does not fire" false !fired
+
+let test_sim_until () =
+  let sim = Engine.Sim.create () in
+  let fired = ref 0 in
+  ignore (Engine.Sim.schedule sim ~delay:10 (fun () -> incr fired));
+  ignore (Engine.Sim.schedule sim ~delay:100 (fun () -> incr fired));
+  Engine.Sim.run ~until:50 sim;
+  check_int "only first fired" 1 !fired;
+  check_int "clock advanced to limit" 50 (Engine.Sim.now sim);
+  Engine.Sim.run sim;
+  check_int "remainder fires later" 2 !fired
+
+let test_sim_stop () =
+  let sim = Engine.Sim.create () in
+  let fired = ref 0 in
+  ignore
+    (Engine.Sim.schedule sim ~delay:1 (fun () ->
+         incr fired;
+         Engine.Sim.stop sim));
+  ignore (Engine.Sim.schedule sim ~delay:2 (fun () -> incr fired));
+  Engine.Sim.run sim;
+  check_int "stopped after first" 1 !fired
+
+let test_sim_nested_schedule () =
+  let sim = Engine.Sim.create () in
+  let log = ref [] in
+  ignore
+    (Engine.Sim.schedule sim ~delay:5 (fun () ->
+         log := `A :: !log;
+         ignore (Engine.Sim.schedule sim ~delay:5 (fun () -> log := `B :: !log))));
+  Engine.Sim.run sim;
+  check_int "both fired" 2 (List.length !log);
+  check_int "clock" 10 (Engine.Sim.now sim)
+
+let test_sim_negative_delay_clamped () =
+  let sim = Engine.Sim.create () in
+  ignore (Engine.Sim.schedule sim ~delay:20 (fun () ->
+      ignore (Engine.Sim.schedule sim ~delay:(-10) (fun () -> ()))));
+  Engine.Sim.run sim;
+  check_int "clock never went backwards" 20 (Engine.Sim.now sim)
+
+let test_time_units () =
+  check_int "us" 1_000 (Engine.Sim.us 1);
+  check_int "ms" 1_000_000 (Engine.Sim.ms 1);
+  check_int "sec" 1_000_000_000 (Engine.Sim.sec 1);
+  check_int "sec_f" 1_500_000_000 (Engine.Sim.sec_f 1.5);
+  check (Alcotest.float 1e-12) "to_sec" 1.5 (Engine.Sim.to_sec 1_500_000_000);
+  check (Alcotest.float 1e-12) "to_ms" 2.5 (Engine.Sim.to_ms 2_500_000)
+
+let test_eventq_pending_count () =
+  let sim = Engine.Sim.create () in
+  let h1 = Engine.Sim.schedule sim ~delay:1 (fun () -> ()) in
+  ignore (Engine.Sim.schedule sim ~delay:2 (fun () -> ()));
+  check_int "two pending" 2 (Engine.Sim.pending sim);
+  Engine.Sim.cancel h1;
+  check_int "one pending after cancel" 1 (Engine.Sim.pending sim);
+  Engine.Sim.run sim;
+  check_int "none pending after run" 0 (Engine.Sim.pending sim)
+
+(* property: events always pop in nondecreasing time order *)
+let prop_eventq_sorted =
+  qtest "eventq pops sorted" QCheck.(list (int_bound 10_000)) (fun delays ->
+      let sim = Engine.Sim.create () in
+      let last = ref (-1) in
+      let ok = ref true in
+      List.iter
+        (fun d ->
+          ignore
+            (Engine.Sim.schedule sim ~delay:d (fun () ->
+                 if Engine.Sim.now sim < !last then ok := false;
+                 last := Engine.Sim.now sim)))
+        delays;
+      Engine.Sim.run sim;
+      !ok)
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "determinism" `Quick test_prng_determinism;
+          Alcotest.test_case "seeds differ" `Quick test_prng_seeds_differ;
+          Alcotest.test_case "int bounds" `Quick test_prng_int_bounds;
+          Alcotest.test_case "float bounds" `Quick test_prng_float_bounds;
+          Alcotest.test_case "split independent" `Quick test_prng_split_independent;
+          Alcotest.test_case "shuffle permutes" `Quick test_prng_shuffle_permutation;
+          Alcotest.test_case "exponential" `Quick test_prng_exponential_positive;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "mean and stddev" `Quick test_stats_mean_stddev;
+          Alcotest.test_case "online acc matches batch" `Quick test_stats_acc_matches_batch;
+          Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "percentile errors" `Quick test_stats_percentile_errors;
+          Alcotest.test_case "cdf" `Quick test_stats_cdf;
+          Alcotest.test_case "histogram" `Quick test_histogram;
+        ] );
+      ( "sim",
+        [
+          Alcotest.test_case "time ordering" `Quick test_sim_ordering;
+          Alcotest.test_case "fifo at same time" `Quick test_sim_same_time_fifo;
+          Alcotest.test_case "cancel" `Quick test_sim_cancel;
+          Alcotest.test_case "run until" `Quick test_sim_until;
+          Alcotest.test_case "stop" `Quick test_sim_stop;
+          Alcotest.test_case "nested scheduling" `Quick test_sim_nested_schedule;
+          Alcotest.test_case "negative delay clamped" `Quick test_sim_negative_delay_clamped;
+          Alcotest.test_case "time units" `Quick test_time_units;
+          Alcotest.test_case "pending count" `Quick test_eventq_pending_count;
+          prop_eventq_sorted;
+        ] );
+    ]

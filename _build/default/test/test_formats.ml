@@ -1,0 +1,158 @@
+open Testlib
+module J = Formats.Json
+
+(* ---- JSON ---- *)
+
+let test_json_parse_basics () =
+  check_bool "null" true (J.parse "null" = J.Null);
+  check_bool "true" true (J.parse "true" = J.Bool true);
+  check_bool "number" true (J.parse "-12.5e2" = J.Number (-1250.0));
+  check_bool "string" true (J.parse "\"hi\"" = J.String "hi");
+  check_bool "empty array" true (J.parse "[]" = J.Array []);
+  check_bool "empty object" true (J.parse "{}" = J.Object [])
+
+let test_json_nested () =
+  let v = J.parse {| {"user": "alice", "tweets": [{"id": 1, "text": "hi \"world\""}, {"id": 2}], "active": true} |} in
+  (match J.member "tweets" v with
+  | Some (J.Array [ first; _ ]) ->
+    check_bool "nested member" true (J.member "text" first = Some (J.String "hi \"world\""))
+  | _ -> Alcotest.fail "tweets array expected");
+  check_bool "bool member" true (J.member "active" v = Some (J.Bool true));
+  check_bool "missing member" true (J.member "nope" v = None)
+
+let test_json_escapes () =
+  check_bool "escape roundtrip" true
+    (J.parse (J.to_string (J.String "line\nbreak\t\"quoted\" back\\slash"))
+    = J.String "line\nbreak\t\"quoted\" back\\slash");
+  check_bool "unicode escape" true (J.parse "\"\\u0041\\u00e9\"" = J.String "A\xc3\xa9")
+
+let test_json_errors () =
+  let bad s =
+    match J.parse s with
+    | exception J.Parse_error _ -> ()
+    | _ -> Alcotest.fail ("should reject: " ^ s)
+  in
+  List.iter bad [ "{"; "[1,"; "\"unterminated"; "nul"; "{\"a\" 1}"; "[1] garbage"; "" ]
+
+let test_json_pretty () =
+  let v = J.Object [ ("a", J.Array [ J.Number 1.0; J.Number 2.0 ]); ("b", J.Null) ] in
+  let pretty = J.to_string_pretty v in
+  check_bool "multi-line" true (String.contains pretty '\n');
+  check_bool "pretty parses back" true (J.equal (J.parse pretty) v)
+
+let prop_json_roundtrip =
+  let rec gen_value depth =
+    let open QCheck.Gen in
+    if depth = 0 then
+      oneof
+        [ return J.Null; map (fun b -> J.Bool b) bool;
+          map (fun n -> J.Number (float_of_int n)) (int_range (-1000) 1000);
+          map (fun s -> J.String s) (string_size ~gen:printable (int_range 0 15)) ]
+    else
+      frequency
+        [ (2, gen_value 0);
+          (1, map (fun l -> J.Array l) (list_size (int_range 0 4) (gen_value (depth - 1))));
+          (1, map (fun l -> J.Object (List.mapi (fun i (_, v) -> ("k" ^ string_of_int i, v)) l))
+               (list_size (int_range 0 4) (pair unit (gen_value (depth - 1))))) ]
+  in
+  qtest ~count:200 "json print/parse roundtrip" (QCheck.make (gen_value 3)) (fun v ->
+      J.equal (J.parse (J.to_string v)) v)
+
+(* ---- Sexp ---- *)
+
+let test_sexp_basics () =
+  check_bool "atom" true (Formats.Sexp.parse "hello" = Formats.Sexp.Atom "hello");
+  check_bool "list" true
+    (Formats.Sexp.parse "(a (b c) d)"
+    = Formats.Sexp.List
+        [ Formats.Sexp.Atom "a";
+          Formats.Sexp.List [ Formats.Sexp.Atom "b"; Formats.Sexp.Atom "c" ];
+          Formats.Sexp.Atom "d" ]);
+  check_bool "quoted atom" true
+    (Formats.Sexp.parse "(\"two words\")" = Formats.Sexp.List [ Formats.Sexp.Atom "two words" ])
+
+let test_sexp_roundtrip_quoting () =
+  let v = Formats.Sexp.List [ Formats.Sexp.Atom "with space"; Formats.Sexp.Atom "plain"; Formats.Sexp.Atom "" ] in
+  check_bool "needs-quoting atoms roundtrip" true
+    (Formats.Sexp.equal (Formats.Sexp.parse (Formats.Sexp.to_string v)) v)
+
+let test_sexp_errors () =
+  let bad s =
+    match Formats.Sexp.parse s with
+    | exception Formats.Sexp.Parse_error _ -> ()
+    | _ -> Alcotest.fail ("should reject: " ^ s)
+  in
+  List.iter bad [ "(unclosed"; ")"; "a b"; "\"open" ]
+
+let prop_sexp_roundtrip =
+  let rec gen depth =
+    let open QCheck.Gen in
+    if depth = 0 then map (fun s -> Formats.Sexp.Atom s) (string_size ~gen:printable (int_range 0 10))
+    else
+      frequency
+        [ (2, gen 0); (1, map (fun l -> Formats.Sexp.List l) (list_size (int_range 0 4) (gen (depth - 1)))) ]
+  in
+  qtest ~count:200 "sexp roundtrip" (QCheck.make (gen 3)) (fun v ->
+      Formats.Sexp.equal (Formats.Sexp.parse (Formats.Sexp.to_string v)) v)
+
+(* ---- Xml ---- *)
+
+let test_xml_parse () =
+  let doc =
+    {|<?xml version="1.0"?>
+<config env="prod">
+  <listen port="80"/>
+  <greeting>hello &amp; welcome</greeting>
+</config>|}
+  in
+  let root = Formats.Xml.parse doc in
+  check_bool "root attr" true (Formats.Xml.attr "env" root = Some "prod");
+  (match Formats.Xml.child "listen" root with
+  | Some listen -> check_bool "self-closing child attr" true (Formats.Xml.attr "port" listen = Some "80")
+  | None -> Alcotest.fail "listen child");
+  match Formats.Xml.child "greeting" root with
+  | Some g -> check_string "entity decoded" "hello & welcome" (Formats.Xml.text g)
+  | None -> Alcotest.fail "greeting child"
+
+let test_xml_roundtrip () =
+  let v =
+    Formats.Xml.Element
+      ( "stream", [ ("to", "example.org") ],
+        [ Formats.Xml.Element ("message", [], [ Formats.Xml.Text "a < b & c" ]) ] )
+  in
+  check_bool "roundtrip with escaping" true (Formats.Xml.parse (Formats.Xml.to_string v) = v)
+
+let test_xml_errors () =
+  let bad s =
+    match Formats.Xml.parse s with
+    | exception Formats.Xml.Parse_error _ -> ()
+    | _ -> Alcotest.fail ("should reject: " ^ s)
+  in
+  List.iter bad [ "<a><b></a></b>"; "<a"; "<a attr></a>"; "<a></a><b/>"; "plain text" ]
+
+let () =
+  Alcotest.run "formats"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "basics" `Quick test_json_parse_basics;
+          Alcotest.test_case "nested" `Quick test_json_nested;
+          Alcotest.test_case "escapes" `Quick test_json_escapes;
+          Alcotest.test_case "errors" `Quick test_json_errors;
+          Alcotest.test_case "pretty" `Quick test_json_pretty;
+          prop_json_roundtrip;
+        ] );
+      ( "sexp",
+        [
+          Alcotest.test_case "basics" `Quick test_sexp_basics;
+          Alcotest.test_case "quoting roundtrip" `Quick test_sexp_roundtrip_quoting;
+          Alcotest.test_case "errors" `Quick test_sexp_errors;
+          prop_sexp_roundtrip;
+        ] );
+      ( "xml",
+        [
+          Alcotest.test_case "parse" `Quick test_xml_parse;
+          Alcotest.test_case "roundtrip" `Quick test_xml_roundtrip;
+          Alcotest.test_case "errors" `Quick test_xml_errors;
+        ] );
+    ]

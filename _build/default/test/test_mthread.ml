@@ -1,0 +1,371 @@
+open Testlib
+module P = Mthread.Promise
+open P.Infix
+
+let sim () = Engine.Sim.create ()
+
+let test_return_bind () =
+  let s = sim () in
+  let p = P.return 20 >>= fun x -> P.return (x + 1) in
+  check_int "bind on resolved" 21 (P.run s p)
+
+let test_map () =
+  let s = sim () in
+  check_string "map" "7" (P.run s (P.return 7 >|= string_of_int))
+
+let test_wait_wakeup () =
+  let s = sim () in
+  let p, u = P.wait () in
+  check_bool "pending" true (P.state p = `Pending);
+  ignore (Engine.Sim.schedule s ~delay:5 (fun () -> P.wakeup u 42));
+  check_int "resolves" 42 (P.run s p)
+
+let test_double_wakeup_rejected () =
+  let _p, u = P.wait () in
+  P.wakeup u 1;
+  match P.wakeup u 2 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "double wakeup should fail"
+
+let test_wakeup_exn () =
+  let s = sim () in
+  let p, u = P.wait () in
+  P.wakeup_exn u Not_found;
+  match P.run s p with
+  | exception Not_found -> ()
+  | _ -> Alcotest.fail "expected Not_found"
+
+let test_bind_propagates_failure () =
+  let s = sim () in
+  let p = P.fail Exit >>= fun () -> P.return 1 in
+  match P.run s p with exception Exit -> () | _ -> Alcotest.fail "expected Exit"
+
+let test_bind_callback_raises () =
+  let s = sim () in
+  let p = P.return 1 >>= fun _ -> raise Not_found in
+  match P.run s p with exception Not_found -> () | _ -> Alcotest.fail "expected"
+
+let test_catch () =
+  let s = sim () in
+  let p = P.catch (fun () -> P.fail Exit) (fun _ -> P.return "rescued") in
+  check_string "catch" "rescued" (P.run s p);
+  let q = P.catch (fun () -> P.return "fine") (fun _ -> P.return "no") in
+  check_string "no-op catch" "fine" (P.run s q)
+
+let test_catch_async_failure () =
+  let s = sim () in
+  let p, u = P.wait () in
+  let guarded = P.catch (fun () -> p) (fun _ -> P.return (-1)) in
+  ignore (Engine.Sim.schedule s ~delay:3 (fun () -> P.wakeup_exn u Exit));
+  check_int "async failure caught" (-1) (P.run s guarded)
+
+let test_try_bind () =
+  let s = sim () in
+  let ok = P.try_bind (fun () -> P.return 1) (fun v -> P.return (v + 1)) (fun _ -> P.return 0) in
+  check_int "success path" 2 (P.run s ok);
+  let err = P.try_bind (fun () -> P.fail Exit) (fun _ -> P.return 0) (fun _ -> P.return 9) in
+  check_int "error path" 9 (P.run s err)
+
+let test_finalize () =
+  let s = sim () in
+  let cleaned = ref 0 in
+  let fin () = incr cleaned; P.return () in
+  ignore (P.run s (P.finalize (fun () -> P.return 5) fin));
+  (try ignore (P.run s (P.finalize (fun () -> P.fail Exit) fin)) with Exit -> ());
+  check_int "finalizer ran both ways" 2 !cleaned
+
+let test_sleep_ordering () =
+  let s = sim () in
+  let log = ref [] in
+  P.async (fun () -> P.sleep s 30 >|= fun () -> log := 3 :: !log);
+  P.async (fun () -> P.sleep s 10 >|= fun () -> log := 1 :: !log);
+  P.async (fun () -> P.sleep s 20 >|= fun () -> log := 2 :: !log);
+  Engine.Sim.run s;
+  Alcotest.(check (list int)) "wakeup order" [ 1; 2; 3 ] (List.rev !log)
+
+let test_yield () =
+  let s = sim () in
+  let flag = ref false in
+  let p = P.yield s >|= fun () -> !flag in
+  flag := true;
+  check_bool "yield defers" true (P.run s p)
+
+let test_join () =
+  let s = sim () in
+  let done_count = ref 0 in
+  let thread d = P.sleep s d >|= fun () -> incr done_count in
+  ignore (P.run s (P.join [ thread 5; thread 1; thread 3 ]));
+  check_int "all finished" 3 !done_count
+
+let test_join_empty () =
+  let s = sim () in
+  ignore (P.run s (P.join []))
+
+let test_join_collects_failure () =
+  let s = sim () in
+  let p = P.join [ P.sleep s 1; (P.sleep s 2 >>= fun () -> P.fail Exit) ] in
+  match P.run s p with exception Exit -> () | _ -> Alcotest.fail "join should fail"
+
+let test_all_order () =
+  let s = sim () in
+  let slow v d = P.sleep s d >|= fun () -> v in
+  let r = P.run s (P.all [ slow "a" 30; slow "b" 10; slow "c" 20 ]) in
+  Alcotest.(check (list string)) "results in argument order" [ "a"; "b"; "c" ] r
+
+let test_both () =
+  let s = sim () in
+  let a = P.sleep s 5 >|= fun () -> 1 in
+  let b = P.sleep s 2 >|= fun () -> "x" in
+  let x, y = P.run s (P.both a b) in
+  check_int "fst" 1 x;
+  check_string "snd" "x" y
+
+let test_choose_first () =
+  let s = sim () in
+  let slow v d = P.sleep s d >|= fun () -> v in
+  check_string "fastest wins" "fast" (P.run s (P.choose [ slow "slow" 50; slow "fast" 5 ]))
+
+let test_pick_cancels_losers () =
+  let s = sim () in
+  let loser_ran = ref false in
+  let loser = P.sleep s 50 >|= fun () -> loser_ran := true; "slow" in
+  let winner = P.sleep s 5 >|= fun () -> "fast" in
+  check_string "winner" "fast" (P.run s (P.pick [ loser; winner ]));
+  Engine.Sim.run s;
+  check_bool "loser cancelled" false !loser_ran;
+  check_bool "loser failed with Canceled" true (P.state loser = `Failed P.Canceled)
+
+let test_cancel_sleep_releases_timer () =
+  let s = sim () in
+  let p = P.sleep s 1000 in
+  P.cancel p;
+  check_bool "failed with Canceled" true (P.state p = `Failed P.Canceled);
+  check_int "no pending events" 0 (Engine.Sim.pending s)
+
+let test_cancel_propagates_through_bind () =
+  let s = sim () in
+  let src = P.sleep s 1000 in
+  let derived = src >>= fun () -> P.return 1 in
+  P.cancel derived;
+  check_bool "source cancelled" true (P.state src = `Failed P.Canceled);
+  check_int "timer descheduled" 0 (Engine.Sim.pending s)
+
+let test_on_cancel_hook () =
+  let hook = ref false in
+  let p, _u = P.wait () in
+  P.on_cancel p (fun () -> hook := true);
+  P.cancel p;
+  check_bool "hook ran" true !hook
+
+let test_with_timeout_fires () =
+  let s = sim () in
+  let p = P.with_timeout s 10 (fun () -> P.sleep s 100 >|= fun () -> "late") in
+  match P.run s p with
+  | exception P.Timeout -> ()
+  | _ -> Alcotest.fail "expected Timeout"
+
+let test_with_timeout_passes () =
+  let s = sim () in
+  let p = P.with_timeout s 100 (fun () -> P.sleep s 10 >|= fun () -> "ok") in
+  check_string "in time" "ok" (P.run s p);
+  Engine.Sim.run s;
+  check_int "timeout timer descheduled" 0 (Engine.Sim.pending s)
+
+let test_async_exception_hook () =
+  let s = sim () in
+  let caught = ref None in
+  P.set_async_exception_hook (fun e -> caught := Some e);
+  P.async (fun () -> P.sleep s 1 >>= fun () -> P.fail Exit);
+  Engine.Sim.run s;
+  P.set_async_exception_hook raise;
+  check_bool "hook saw the exception" true (!caught = Some Exit)
+
+let test_run_deadlock_detection () =
+  let s = sim () in
+  let p, _u = P.wait () in
+  match P.run s (p : unit P.t) with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "expected deadlock failure"
+
+let test_counters () =
+  P.reset_counters ();
+  let s = sim () in
+  ignore (P.run s (P.return 1 >>= fun x -> P.return x));
+  check_bool "created counted" true (P.created_count () >= 2);
+  check_bool "resolved counted" true (P.resolved_count () >= 2)
+
+(* ---- Mvar ---- *)
+
+let test_mvar_put_take () =
+  let s = sim () in
+  let mv = Mthread.Mvar.create_empty () in
+  P.async (fun () -> Mthread.Mvar.put mv 7);
+  check_int "take" 7 (P.run s (Mthread.Mvar.take mv));
+  check_bool "empty after take" true (Mthread.Mvar.is_empty mv)
+
+let test_mvar_blocking_take () =
+  let s = sim () in
+  let mv = Mthread.Mvar.create_empty () in
+  let taker = Mthread.Mvar.take mv in
+  ignore (Engine.Sim.schedule s ~delay:5 (fun () -> P.async (fun () -> Mthread.Mvar.put mv 9)));
+  check_int "blocked take wakes" 9 (P.run s taker)
+
+let test_mvar_put_blocks_when_full () =
+  let s = sim () in
+  let mv = Mthread.Mvar.create 1 in
+  let put2 = Mthread.Mvar.put mv 2 in
+  check_bool "second put blocks" true (P.state put2 = `Pending);
+  check_int "first value" 1 (P.run s (Mthread.Mvar.take mv));
+  Engine.Sim.run s;
+  check_bool "second put completed" true (P.state put2 = `Resolved ());
+  check_int "second value" 2 (P.run s (Mthread.Mvar.take mv))
+
+let test_mvar_take_opt () =
+  let mv = Mthread.Mvar.create 5 in
+  check_bool "some" true (Mthread.Mvar.take_opt mv = Some 5);
+  check_bool "none" true (Mthread.Mvar.take_opt mv = None)
+
+(* ---- Mstream ---- *)
+
+let test_mstream_push_next () =
+  let s = sim () in
+  let st = Mthread.Mstream.create () in
+  Mthread.Mstream.push st 1;
+  Mthread.Mstream.push st 2;
+  check_bool "next" true (P.run s (Mthread.Mstream.next st) = Some 1);
+  check_bool "next 2" true (P.run s (Mthread.Mstream.next st) = Some 2)
+
+let test_mstream_blocking_reader () =
+  let s = sim () in
+  let st = Mthread.Mstream.create () in
+  let r = Mthread.Mstream.next st in
+  ignore (Engine.Sim.schedule s ~delay:2 (fun () -> Mthread.Mstream.push st 42));
+  check_bool "wakes reader" true (P.run s r = Some 42)
+
+let test_mstream_close () =
+  let s = sim () in
+  let st = Mthread.Mstream.create () in
+  Mthread.Mstream.push st 1;
+  Mthread.Mstream.close st;
+  check_bool "drains buffered" true (P.run s (Mthread.Mstream.next st) = Some 1);
+  check_bool "then eof" true (P.run s (Mthread.Mstream.next st) = None);
+  match Mthread.Mstream.push st 2 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "push after close must fail"
+
+let test_mstream_close_wakes_blocked () =
+  let s = sim () in
+  let st = Mthread.Mstream.create () in
+  let r = Mthread.Mstream.next st in
+  ignore (Engine.Sim.schedule s ~delay:1 (fun () -> Mthread.Mstream.close st));
+  check_bool "eof to blocked reader" true (P.run s r = None)
+
+let test_mstream_fold () =
+  let s = sim () in
+  let st = Mthread.Mstream.create () in
+  List.iter (Mthread.Mstream.push st) [ 1; 2; 3; 4 ];
+  Mthread.Mstream.close st;
+  let sum = P.run s (Mthread.Mstream.fold (fun a x -> P.return (a + x)) st 0) in
+  check_int "fold" 10 sum
+
+(* ---- Msem ---- *)
+
+let test_msem_limits_concurrency () =
+  let s = sim () in
+  let sem = Mthread.Msem.create 2 in
+  let active = ref 0 and peak = ref 0 in
+  let worker () =
+    Mthread.Msem.with_permit sem (fun () ->
+        incr active;
+        if !active > !peak then peak := !active;
+        P.sleep s 10 >|= fun () -> decr active)
+  in
+  ignore (P.run s (P.join (List.init 6 (fun _ -> worker ()))));
+  check_int "peak bounded by permits" 2 !peak
+
+let test_msem_release_on_failure () =
+  let s = sim () in
+  let sem = Mthread.Msem.create 1 in
+  (try ignore (P.run s (Mthread.Msem.with_permit sem (fun () -> P.fail Exit))) with Exit -> ());
+  check_int "permit returned" 1 (Mthread.Msem.available sem)
+
+(* ---- Mcond ---- *)
+
+let test_mcond_signal_broadcast () =
+  let s = sim () in
+  let c = Mthread.Mcond.create () in
+  let w1 = Mthread.Mcond.wait c and w2 = Mthread.Mcond.wait c in
+  Mthread.Mcond.signal c 1;
+  check_int "first waiter" 1 (P.run s w1);
+  check_bool "second still waiting" true (P.state w2 = `Pending);
+  let w3 = Mthread.Mcond.wait c in
+  Mthread.Mcond.broadcast c 9;
+  check_int "broadcast w2" 9 (P.run s w2);
+  check_int "broadcast w3" 9 (P.run s w3)
+
+let () =
+  Alcotest.run "mthread"
+    [
+      ( "promise",
+        [
+          Alcotest.test_case "return/bind" `Quick test_return_bind;
+          Alcotest.test_case "map" `Quick test_map;
+          Alcotest.test_case "wait/wakeup" `Quick test_wait_wakeup;
+          Alcotest.test_case "double wakeup rejected" `Quick test_double_wakeup_rejected;
+          Alcotest.test_case "wakeup_exn" `Quick test_wakeup_exn;
+          Alcotest.test_case "bind propagates failure" `Quick test_bind_propagates_failure;
+          Alcotest.test_case "bind callback raises" `Quick test_bind_callback_raises;
+          Alcotest.test_case "catch" `Quick test_catch;
+          Alcotest.test_case "catch async failure" `Quick test_catch_async_failure;
+          Alcotest.test_case "try_bind" `Quick test_try_bind;
+          Alcotest.test_case "finalize" `Quick test_finalize;
+          Alcotest.test_case "counters" `Quick test_counters;
+        ] );
+      ( "time",
+        [
+          Alcotest.test_case "sleep ordering" `Quick test_sleep_ordering;
+          Alcotest.test_case "yield" `Quick test_yield;
+          Alcotest.test_case "with_timeout fires" `Quick test_with_timeout_fires;
+          Alcotest.test_case "with_timeout passes" `Quick test_with_timeout_passes;
+          Alcotest.test_case "deadlock detection" `Quick test_run_deadlock_detection;
+        ] );
+      ( "combinators",
+        [
+          Alcotest.test_case "join" `Quick test_join;
+          Alcotest.test_case "join empty" `Quick test_join_empty;
+          Alcotest.test_case "join collects failure" `Quick test_join_collects_failure;
+          Alcotest.test_case "all preserves order" `Quick test_all_order;
+          Alcotest.test_case "both" `Quick test_both;
+          Alcotest.test_case "choose" `Quick test_choose_first;
+          Alcotest.test_case "pick cancels losers" `Quick test_pick_cancels_losers;
+        ] );
+      ( "cancellation",
+        [
+          Alcotest.test_case "cancel sleep releases timer" `Quick test_cancel_sleep_releases_timer;
+          Alcotest.test_case "cancel propagates through bind" `Quick
+            test_cancel_propagates_through_bind;
+          Alcotest.test_case "on_cancel hook" `Quick test_on_cancel_hook;
+          Alcotest.test_case "async exception hook" `Quick test_async_exception_hook;
+        ] );
+      ( "mvar",
+        [
+          Alcotest.test_case "put/take" `Quick test_mvar_put_take;
+          Alcotest.test_case "blocking take" `Quick test_mvar_blocking_take;
+          Alcotest.test_case "put blocks when full" `Quick test_mvar_put_blocks_when_full;
+          Alcotest.test_case "take_opt" `Quick test_mvar_take_opt;
+        ] );
+      ( "mstream",
+        [
+          Alcotest.test_case "push/next" `Quick test_mstream_push_next;
+          Alcotest.test_case "blocking reader" `Quick test_mstream_blocking_reader;
+          Alcotest.test_case "close" `Quick test_mstream_close;
+          Alcotest.test_case "close wakes blocked" `Quick test_mstream_close_wakes_blocked;
+          Alcotest.test_case "fold" `Quick test_mstream_fold;
+        ] );
+      ( "sync",
+        [
+          Alcotest.test_case "semaphore bounds concurrency" `Quick test_msem_limits_concurrency;
+          Alcotest.test_case "semaphore releases on failure" `Quick test_msem_release_on_failure;
+          Alcotest.test_case "condition signal/broadcast" `Quick test_mcond_signal_broadcast;
+        ] );
+    ]

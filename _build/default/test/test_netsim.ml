@@ -1,0 +1,155 @@
+open Testlib
+
+let frame ~dst ~src payload =
+  let b = Bytestruct.create (14 + String.length payload) in
+  Bytestruct.set_string b 0 dst;
+  Bytestruct.set_string b 6 src;
+  Bytestruct.BE.set_uint16 b 12 0x0800;
+  Bytestruct.set_string b 14 payload;
+  b
+
+let test_mac_utils () =
+  check_string "format" "02:00:00:00:07:01" (Netsim.mac_to_string (Netsim.mac_of_int 7));
+  check_int "length" 6 (String.length (Netsim.mac_of_int 1));
+  check_bool "distinct" true (Netsim.mac_of_int 1 <> Netsim.mac_of_int 2)
+
+let two_nics ?latency_ns ?bandwidth_bps ?loss () =
+  let sim = Engine.Sim.create () in
+  let br = Netsim.Bridge.create sim in
+  let a = Netsim.Bridge.new_nic br ?latency_ns ?bandwidth_bps ?loss ~mac:(Netsim.mac_of_int 1) () in
+  let b = Netsim.Bridge.new_nic br ~mac:(Netsim.mac_of_int 2) () in
+  (sim, br, a, b)
+
+let test_flood_then_learn () =
+  let sim, br, a, b = two_nics () in
+  let c = Netsim.Bridge.new_nic br ~mac:(Netsim.mac_of_int 3) () in
+  let b_got = ref 0 and c_got = ref 0 in
+  Netsim.Nic.set_rx b (fun _ -> incr b_got);
+  Netsim.Nic.set_rx c (fun _ -> incr c_got);
+  (* Unknown destination floods to everyone. *)
+  Netsim.Nic.send a (frame ~dst:(Netsim.mac_of_int 2) ~src:(Netsim.Nic.mac a) "x");
+  Engine.Sim.run sim;
+  check_int "b got flooded frame" 1 !b_got;
+  check_int "c got flooded frame" 1 !c_got;
+  check_int "flooded count" 1 (Netsim.Bridge.flooded br);
+  (* b replies; bridge learns both; now a->b is unicast. *)
+  Netsim.Nic.send b (frame ~dst:(Netsim.Nic.mac a) ~src:(Netsim.Nic.mac b) "y");
+  Engine.Sim.run sim;
+  Netsim.Nic.send a (frame ~dst:(Netsim.Nic.mac b) ~src:(Netsim.Nic.mac a) "z");
+  Engine.Sim.run sim;
+  check_int "c not flooded again" 1 !c_got;
+  check_int "b received unicast" 2 !b_got;
+  check_bool "forwarded count grew" true (Netsim.Bridge.forwarded br >= 1)
+
+let test_broadcast () =
+  let sim, _, a, b = two_nics () in
+  let got = ref 0 in
+  Netsim.Nic.set_rx b (fun _ -> incr got);
+  Netsim.Nic.send a (frame ~dst:Netsim.broadcast_mac ~src:(Netsim.Nic.mac a) "bc");
+  Engine.Sim.run sim;
+  check_int "broadcast delivered" 1 !got
+
+let test_no_self_delivery () =
+  let sim, _, a, _ = two_nics () in
+  let self = ref 0 in
+  Netsim.Nic.set_rx a (fun _ -> incr self);
+  Netsim.Nic.send a (frame ~dst:Netsim.broadcast_mac ~src:(Netsim.Nic.mac a) "hi");
+  Engine.Sim.run sim;
+  check_int "no self delivery" 0 !self
+
+let test_latency () =
+  let sim, _, a, b = two_nics ~latency_ns:50_000 ~bandwidth_bps:1_000_000_000 () in
+  let arrival = ref 0 in
+  Netsim.Nic.set_rx b (fun _ -> arrival := Engine.Sim.now sim);
+  let f = frame ~dst:(Netsim.Nic.mac b) ~src:(Netsim.Nic.mac a) (String.make 111 'x') in
+  (* 125 bytes at 1 Gb/s = 1000 ns serialisation + 50us latency *)
+  Netsim.Nic.send a f;
+  Engine.Sim.run sim;
+  check_int "arrival time = serialisation + latency" 51_000 !arrival
+
+let test_bandwidth_serialisation () =
+  let sim, _, a, b = two_nics ~latency_ns:0 ~bandwidth_bps:8_000_000 () in
+  (* 8 Mb/s => 1000-byte frame takes 1 ms; two back-to-back frames arrive
+     1 ms apart. *)
+  let times = ref [] in
+  Netsim.Nic.set_rx b (fun _ -> times := Engine.Sim.now sim :: !times);
+  let f () = frame ~dst:(Netsim.Nic.mac b) ~src:(Netsim.Nic.mac a) (String.make 986 'x') in
+  Netsim.Nic.send a (f ());
+  Netsim.Nic.send a (f ());
+  Engine.Sim.run sim;
+  (match List.rev !times with
+  | [ t1; t2 ] ->
+    check_int "first at 1ms" 1_000_000 t1;
+    check_int "second at 2ms" 2_000_000 t2
+  | _ -> Alcotest.fail "expected two arrivals")
+
+let test_loss () =
+  let sim, br, a, b = two_nics ~loss:1.0 () in
+  let got = ref 0 in
+  Netsim.Nic.set_rx b (fun _ -> incr got);
+  for _ = 1 to 10 do
+    Netsim.Nic.send a (frame ~dst:(Netsim.Nic.mac b) ~src:(Netsim.Nic.mac a) "drop")
+  done;
+  Engine.Sim.run sim;
+  check_int "all dropped" 0 !got;
+  check_int "drop count" 10 (Netsim.Bridge.dropped br);
+  Netsim.Bridge.set_loss br a 0.0;
+  Netsim.Nic.send a (frame ~dst:(Netsim.Nic.mac b) ~src:(Netsim.Nic.mac a) "ok");
+  Engine.Sim.run sim;
+  check_int "delivered after loss cleared" 1 !got
+
+let test_wire_copies_frame () =
+  let sim, _, a, b = two_nics () in
+  let seen = ref "" in
+  Netsim.Nic.set_rx b (fun f -> seen := Bytestruct.to_string f);
+  let f = frame ~dst:(Netsim.Nic.mac b) ~src:(Netsim.Nic.mac a) "orig" in
+  Netsim.Nic.send a f;
+  (* Mutating the sender's buffer after send must not affect delivery. *)
+  Bytestruct.set_string f 14 "EVIL";
+  Engine.Sim.run sim;
+  check_string "received the original" "orig" (String.sub !seen 14 4)
+
+let test_tap () =
+  let sim, br, a, b = two_nics () in
+  let tapped = ref 0 in
+  Netsim.Bridge.tap br (fun ~time_ns:_ _ -> incr tapped);
+  Netsim.Nic.set_rx b (fun _ -> ());
+  Netsim.Nic.send a (frame ~dst:(Netsim.Nic.mac b) ~src:(Netsim.Nic.mac a) "x");
+  Engine.Sim.run sim;
+  check_int "tap saw frame" 1 !tapped
+
+let test_counters () =
+  let sim, _, a, b = two_nics () in
+  Netsim.Nic.set_rx b (fun _ -> ());
+  let f = frame ~dst:(Netsim.Nic.mac b) ~src:(Netsim.Nic.mac a) "abc" in
+  Netsim.Nic.send a f;
+  Engine.Sim.run sim;
+  check_int "frames sent" 1 (Netsim.Nic.frames_sent a);
+  check_int "bytes sent" 17 (Netsim.Nic.bytes_sent a);
+  check_int "frames received" 1 (Netsim.Nic.frames_received b)
+
+let test_short_frame_rejected () =
+  let sim, _, a, _ = two_nics () in
+  ignore sim;
+  match Netsim.Nic.send a (Bytestruct.create 10) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "short frame rejected"
+
+let () =
+  Alcotest.run "netsim"
+    [
+      ( "bridge",
+        [
+          Alcotest.test_case "mac utils" `Quick test_mac_utils;
+          Alcotest.test_case "flood then learn" `Quick test_flood_then_learn;
+          Alcotest.test_case "broadcast" `Quick test_broadcast;
+          Alcotest.test_case "no self delivery" `Quick test_no_self_delivery;
+          Alcotest.test_case "latency" `Quick test_latency;
+          Alcotest.test_case "bandwidth serialisation" `Quick test_bandwidth_serialisation;
+          Alcotest.test_case "loss" `Quick test_loss;
+          Alcotest.test_case "wire copies frame" `Quick test_wire_copies_frame;
+          Alcotest.test_case "tap" `Quick test_tap;
+          Alcotest.test_case "counters" `Quick test_counters;
+          Alcotest.test_case "short frame rejected" `Quick test_short_frame_rejected;
+        ] );
+    ]

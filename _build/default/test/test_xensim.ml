@@ -1,0 +1,569 @@
+open Testlib
+module P = Mthread.Promise
+open P.Infix
+
+(* ---- Pagetable / sealing (paper 2.3.3) ---- *)
+
+let pt_with_regions () =
+  let pt = Xensim.Pagetable.create () in
+  Xensim.Pagetable.add_region pt ~va:0x1000 ~len:0x1000 ~perm:Xensim.Pagetable.Read_exec
+    ~label:"text";
+  Xensim.Pagetable.add_region pt ~va:0x3000 ~len:0x2000 ~perm:Xensim.Pagetable.Read_write
+    ~label:"data";
+  pt
+
+let test_pt_basic () =
+  let pt = pt_with_regions () in
+  check_bool "text executable" true (Xensim.Pagetable.can_exec pt ~va:0x1800);
+  check_bool "text not writable" false (Xensim.Pagetable.can_write pt ~va:0x1800);
+  check_bool "data writable" true (Xensim.Pagetable.can_write pt ~va:0x3000);
+  check_bool "data not executable" false (Xensim.Pagetable.can_exec pt ~va:0x3000);
+  check_bool "unmapped" false (Xensim.Pagetable.can_exec pt ~va:0x9000)
+
+let test_pt_overlap_rejected () =
+  let pt = pt_with_regions () in
+  match
+    Xensim.Pagetable.add_region pt ~va:0x1800 ~len:0x1000 ~perm:Xensim.Pagetable.Read_only
+      ~label:"overlap"
+  with
+  | exception Xensim.Pagetable.Overlap _ -> ()
+  | _ -> Alcotest.fail "overlap should be rejected"
+
+let test_seal_blocks_modification () =
+  let pt = pt_with_regions () in
+  Xensim.Pagetable.seal pt;
+  check_bool "sealed" true (Xensim.Pagetable.is_sealed pt);
+  (match
+     Xensim.Pagetable.add_region pt ~va:0x10000 ~len:0x1000 ~perm:Xensim.Pagetable.Read_exec
+       ~label:"inject"
+   with
+  | exception Xensim.Pagetable.Sealed_violation _ -> ()
+  | _ -> Alcotest.fail "post-seal add_region must fail");
+  match Xensim.Pagetable.set_perm pt ~va:0x3000 ~perm:Xensim.Pagetable.Read_exec with
+  | exception Xensim.Pagetable.Sealed_violation _ -> ()
+  | _ -> Alcotest.fail "post-seal set_perm must fail"
+
+let test_seal_code_injection_scenario () =
+  (* The attack the seal defends against: write shellcode into a fresh
+     page, then try to make it executable. *)
+  let pt = pt_with_regions () in
+  Xensim.Pagetable.seal pt;
+  (* attacker can still write through existing RW mappings... *)
+  check_bool "data writable post-seal" true (Xensim.Pagetable.can_write pt ~va:0x3000);
+  (* ...but that data can never become executable *)
+  check_bool "data never executable" false (Xensim.Pagetable.can_exec pt ~va:0x3000);
+  match
+    Xensim.Pagetable.set_perm pt ~va:0x3000 ~perm:Xensim.Pagetable.Read_exec
+  with
+  | exception Xensim.Pagetable.Sealed_violation _ -> ()
+  | _ -> Alcotest.fail "privilege escalation should be impossible"
+
+let test_seal_allows_io_mappings () =
+  (* Paper: I/O mappings stay legal post-seal if non-executable and
+     non-overlapping. *)
+  let pt = pt_with_regions () in
+  Xensim.Pagetable.seal pt;
+  Xensim.Pagetable.map_io pt ~va:0x100000 ~len:0x1000 ~label:"io";
+  check_bool "io mapped" true (Xensim.Pagetable.can_write pt ~va:0x100000);
+  check_bool "io not executable" false (Xensim.Pagetable.can_exec pt ~va:0x100000);
+  match Xensim.Pagetable.map_io pt ~va:0x1000 ~len:0x1000 ~label:"shadow" with
+  | exception Xensim.Pagetable.Overlap _ -> ()
+  | _ -> Alcotest.fail "io mapping must not shadow existing pages"
+
+let test_double_seal () =
+  let pt = pt_with_regions () in
+  Xensim.Pagetable.seal pt;
+  match Xensim.Pagetable.seal pt with
+  | exception Xensim.Pagetable.Sealed_violation _ -> ()
+  | _ -> Alcotest.fail "double seal rejected"
+
+let test_hypervisor_seal_requires_patch () =
+  let w = make_world ~seal_patch:false () in
+  let d = Xensim.Hypervisor.create_domain w.hv ~name:"g" ~mem_mib:16 ~platform:Platform.xen_extent () in
+  match Xensim.Hypervisor.seal w.hv d with
+  | exception Xensim.Hypervisor.Seal_unsupported -> ()
+  | _ -> Alcotest.fail "unpatched hypervisor must refuse seal"
+
+let test_hypervisor_seal_counts () =
+  let w = make_world () in
+  let d = Xensim.Hypervisor.create_domain w.hv ~name:"g" ~mem_mib:16 ~platform:Platform.xen_extent () in
+  Xensim.Hypervisor.seal w.hv d;
+  check_int "seal counted" 1 w.hv.Xensim.Hypervisor.stats.Xensim.Xstats.seals;
+  check_bool "pagetable sealed" true (Xensim.Pagetable.is_sealed d.Xensim.Domain.pagetable)
+
+(* ---- Event channels ---- *)
+
+let test_evtchn_notify () =
+  let w = make_world () in
+  let ev = w.hv.Xensim.Hypervisor.evtchn in
+  let back = Xensim.Evtchn.alloc_unbound ev ~owner:0 in
+  let front = Xensim.Evtchn.bind_interdomain ev ~local:1 ~remote_port:back in
+  let hits = ref 0 in
+  Xensim.Evtchn.set_handler ev back (fun () -> incr hits);
+  Xensim.Evtchn.notify ev front;
+  check_int "not yet delivered (latency)" 0 !hits;
+  Engine.Sim.run w.sim;
+  check_int "delivered" 1 !hits
+
+let test_evtchn_bidirectional () =
+  let w = make_world () in
+  let ev = w.hv.Xensim.Hypervisor.evtchn in
+  let back = Xensim.Evtchn.alloc_unbound ev ~owner:0 in
+  let front = Xensim.Evtchn.bind_interdomain ev ~local:1 ~remote_port:back in
+  let f_hits = ref 0 in
+  Xensim.Evtchn.set_handler ev front (fun () -> incr f_hits);
+  Xensim.Evtchn.notify ev back;
+  Engine.Sim.run w.sim;
+  check_int "reverse direction" 1 !f_hits
+
+let test_evtchn_mask_unmask () =
+  let w = make_world () in
+  let ev = w.hv.Xensim.Hypervisor.evtchn in
+  let back = Xensim.Evtchn.alloc_unbound ev ~owner:0 in
+  let front = Xensim.Evtchn.bind_interdomain ev ~local:1 ~remote_port:back in
+  let hits = ref 0 in
+  Xensim.Evtchn.set_handler ev back (fun () -> incr hits);
+  Xensim.Evtchn.mask ev back;
+  Xensim.Evtchn.notify ev front;
+  Engine.Sim.run w.sim;
+  check_int "masked: not delivered" 0 !hits;
+  check_bool "pending" true (Xensim.Evtchn.is_pending ev back);
+  Xensim.Evtchn.unmask ev back;
+  Engine.Sim.run w.sim;
+  check_int "delivered on unmask" 1 !hits
+
+let test_evtchn_coalescing () =
+  (* Multiple notifies while pending coalesce into one delivery. *)
+  let w = make_world () in
+  let ev = w.hv.Xensim.Hypervisor.evtchn in
+  let back = Xensim.Evtchn.alloc_unbound ev ~owner:0 in
+  let front = Xensim.Evtchn.bind_interdomain ev ~local:1 ~remote_port:back in
+  let hits = ref 0 in
+  Xensim.Evtchn.set_handler ev back (fun () -> incr hits);
+  Xensim.Evtchn.notify ev front;
+  Xensim.Evtchn.notify ev front;
+  Xensim.Evtchn.notify ev front;
+  Engine.Sim.run w.sim;
+  check_int "coalesced delivery" 1 !hits;
+  check_int "notifies counted" 3 w.hv.Xensim.Hypervisor.stats.Xensim.Xstats.evtchn_notifies
+
+let test_evtchn_close () =
+  let w = make_world () in
+  let ev = w.hv.Xensim.Hypervisor.evtchn in
+  let back = Xensim.Evtchn.alloc_unbound ev ~owner:0 in
+  let front = Xensim.Evtchn.bind_interdomain ev ~local:1 ~remote_port:back in
+  Xensim.Evtchn.close ev front;
+  match Xensim.Evtchn.notify ev front with
+  | exception Xensim.Evtchn.Invalid_port _ -> ()
+  | _ -> Alcotest.fail "closed port unusable"
+
+let test_evtchn_double_bind_rejected () =
+  let w = make_world () in
+  let ev = w.hv.Xensim.Hypervisor.evtchn in
+  let back = Xensim.Evtchn.alloc_unbound ev ~owner:0 in
+  ignore (Xensim.Evtchn.bind_interdomain ev ~local:1 ~remote_port:back);
+  match Xensim.Evtchn.bind_interdomain ev ~local:2 ~remote_port:back with
+  | exception Xensim.Evtchn.Invalid_port _ -> ()
+  | _ -> Alcotest.fail "port cannot be bound twice"
+
+(* ---- Grant tables ---- *)
+
+let test_gnttab_map_is_zero_copy () =
+  let w = make_world () in
+  let gt = w.hv.Xensim.Hypervisor.gnttab in
+  let page = bs "granted page contents" in
+  let r = Xensim.Gnttab.grant_access gt ~dom:1 ~peer:2 ~writable:true page in
+  let view = Xensim.Gnttab.map gt ~by:2 r in
+  check_bool "same storage (no copy)" true (Bytestruct.same_storage page view);
+  Bytestruct.set_char view 0 'G';
+  check_string "peer writes visible" "Granted page contents" (Bytestruct.to_string page);
+  check_int "maps counted" 1 w.hv.Xensim.Hypervisor.stats.Xensim.Xstats.grant_maps;
+  check_int "no copies" 0 w.hv.Xensim.Hypervisor.stats.Xensim.Xstats.grant_copies
+
+let test_gnttab_permissions () =
+  let w = make_world () in
+  let gt = w.hv.Xensim.Hypervisor.gnttab in
+  let page = Bytestruct.create 8 in
+  let r = Xensim.Gnttab.grant_access gt ~dom:1 ~peer:2 ~writable:false page in
+  (match Xensim.Gnttab.map gt ~by:3 r with
+  | exception Xensim.Gnttab.Permission_denied _ -> ()
+  | _ -> Alcotest.fail "wrong domain cannot map");
+  match Xensim.Gnttab.map_rw gt ~by:2 r with
+  | exception Xensim.Gnttab.Permission_denied _ -> ()
+  | _ -> Alcotest.fail "read-only grant cannot be mapped rw"
+
+let test_gnttab_busy_revocation () =
+  let w = make_world () in
+  let gt = w.hv.Xensim.Hypervisor.gnttab in
+  let page = Bytestruct.create 8 in
+  let r = Xensim.Gnttab.grant_access gt ~dom:1 ~peer:2 ~writable:true page in
+  ignore (Xensim.Gnttab.map gt ~by:2 r);
+  (match Xensim.Gnttab.end_access gt r with
+  | exception Xensim.Gnttab.Grant_busy _ -> ()
+  | _ -> Alcotest.fail "mapped grant cannot be revoked");
+  Xensim.Gnttab.unmap gt ~by:2 r;
+  Xensim.Gnttab.end_access gt r;
+  check_int "no live grants" 0 (Xensim.Gnttab.active_grants gt);
+  match Xensim.Gnttab.map gt ~by:2 r with
+  | exception Xensim.Gnttab.Invalid_grant _ -> ()
+  | _ -> Alcotest.fail "revoked grant unusable"
+
+let test_gnttab_copy_ops () =
+  let w = make_world () in
+  let gt = w.hv.Xensim.Hypervisor.gnttab in
+  let page = bs "SOURCE" in
+  let r = Xensim.Gnttab.grant_access gt ~dom:1 ~peer:2 ~writable:true page in
+  let dst = Bytestruct.create 6 in
+  Xensim.Gnttab.copy gt ~by:2 r ~dst;
+  check_string "copy out" "SOURCE" (Bytestruct.to_string dst);
+  Xensim.Gnttab.copy_to gt ~by:2 r ~src:(bs "TARGET");
+  check_string "copy in" "TARGET" (Bytestruct.to_string page);
+  check_int "copies counted" 2 w.hv.Xensim.Hypervisor.stats.Xensim.Xstats.grant_copies
+
+(* ---- Shared rings ---- *)
+
+let make_ring () =
+  let page = Bytestruct.create 4096 in
+  let sring = Xensim.Ring.Sring.init page ~slot_bytes:16 in
+  let front = Xensim.Ring.Front.init sring in
+  let back = Xensim.Ring.Back.init (Xensim.Ring.Sring.attach page ~slot_bytes:16) in
+  (front, back)
+
+let test_ring_request_response_cycle () =
+  let front, back = make_ring () in
+  let slot = Xensim.Ring.Front.next_request front in
+  Bytestruct.LE.set_uint32 slot 0 77l;
+  check_bool "first push notifies" true (Xensim.Ring.Front.push_requests_and_check_notify front);
+  let got = ref [] in
+  let n = Xensim.Ring.Back.consume_requests back (fun s ->
+      got := Int32.to_int (Bytestruct.LE.get_uint32 s 0) :: !got) in
+  check_int "one consumed" 1 n;
+  Alcotest.(check (list int)) "payload" [ 77 ] !got;
+  let rsp = Xensim.Ring.Back.next_response back in
+  Bytestruct.LE.set_uint32 rsp 0 78l;
+  check_bool "response push notifies" true (Xensim.Ring.Back.push_responses_and_check_notify back);
+  let rsps = ref [] in
+  ignore (Xensim.Ring.Front.consume_responses front (fun s ->
+      rsps := Int32.to_int (Bytestruct.LE.get_uint32 s 0) :: !rsps));
+  Alcotest.(check (list int)) "response payload" [ 78 ] !rsps
+
+let test_ring_capacity_and_full () =
+  let front, _back = make_ring () in
+  let capacity = Xensim.Ring.Front.free_requests front in
+  check_int "capacity is a power of two" 0 (capacity land (capacity - 1));
+  for i = 1 to capacity do
+    let s = Xensim.Ring.Front.next_request front in
+    Bytestruct.LE.set_uint32 s 0 (Int32.of_int i)
+  done;
+  check_int "full" 0 (Xensim.Ring.Front.free_requests front);
+  match Xensim.Ring.Front.next_request front with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "overflow must be refused"
+
+let test_ring_event_suppression () =
+  let front, back = make_ring () in
+  (* Producer pushes twice without the consumer sleeping: the second push
+     must not require a notification. *)
+  ignore (Xensim.Ring.Front.next_request front);
+  check_bool "first push notifies" true (Xensim.Ring.Front.push_requests_and_check_notify front);
+  ignore (Xensim.Ring.Front.next_request front);
+  check_bool "second push suppressed" false
+    (Xensim.Ring.Front.push_requests_and_check_notify front);
+  (* After the consumer drains (rearming req_event), pushes notify again. *)
+  ignore (Xensim.Ring.Back.consume_requests back (fun _ -> ()));
+  ignore (Xensim.Ring.Front.next_request front);
+  check_bool "push after drain notifies" true
+    (Xensim.Ring.Front.push_requests_and_check_notify front)
+
+let test_ring_final_check_closes_race () =
+  let front, back = make_ring () in
+  (* Requests arriving during consume_requests are picked up by the final
+     check rather than lost. *)
+  ignore (Xensim.Ring.Front.next_request front);
+  ignore (Xensim.Ring.Front.push_requests_and_check_notify front);
+  let seen = ref 0 in
+  let inject = ref true in
+  ignore
+    (Xensim.Ring.Back.consume_requests back (fun _ ->
+         incr seen;
+         if !inject then begin
+           inject := false;
+           ignore (Xensim.Ring.Front.next_request front);
+           ignore (Xensim.Ring.Front.push_requests_and_check_notify front)
+         end));
+  check_int "both requests seen in one call" 2 !seen
+
+let test_ring_wraparound () =
+  let front, back = make_ring () in
+  let capacity = Xensim.Ring.Front.free_requests front in
+  (* Run several times the ring size through it. *)
+  for i = 1 to capacity * 3 do
+    let s = Xensim.Ring.Front.next_request front in
+    Bytestruct.LE.set_uint32 s 0 (Int32.of_int i);
+    ignore (Xensim.Ring.Front.push_requests_and_check_notify front);
+    let got = ref 0 in
+    ignore (Xensim.Ring.Back.consume_requests back (fun s ->
+        got := Int32.to_int (Bytestruct.LE.get_uint32 s 0)));
+    check_int "fifo across wrap" i !got;
+    let r = Xensim.Ring.Back.next_response back in
+    Bytestruct.LE.set_uint32 r 0 (Int32.of_int i);
+    ignore (Xensim.Ring.Back.push_responses_and_check_notify back);
+    ignore (Xensim.Ring.Front.consume_responses front (fun _ -> ()))
+  done
+
+let prop_ring_fifo =
+  qtest "ring preserves fifo order" QCheck.(list_of_size (QCheck.Gen.int_range 1 300) (int_bound 1000))
+    (fun values ->
+      let front, back = make_ring () in
+      let out = ref [] in
+      let rec feed = function
+        | [] -> ()
+        | vs ->
+          let n = min (Xensim.Ring.Front.free_requests front) (List.length vs) in
+          let rec push i = function
+            | v :: rest when i < n ->
+              let s = Xensim.Ring.Front.next_request front in
+              Bytestruct.LE.set_uint32 s 0 (Int32.of_int v);
+              push (i + 1) rest
+            | rest -> rest
+          in
+          let rest = push 0 vs in
+          ignore (Xensim.Ring.Front.push_requests_and_check_notify front);
+          ignore (Xensim.Ring.Back.consume_requests back (fun s ->
+              out := Int32.to_int (Bytestruct.LE.get_uint32 s 0) :: !out));
+          (* drain responses to free slots *)
+          let k = n in
+          for _ = 1 to k do
+            ignore (Xensim.Ring.Back.next_response back)
+          done;
+          ignore (Xensim.Ring.Back.push_responses_and_check_notify back);
+          ignore (Xensim.Ring.Front.consume_responses front (fun _ -> ()));
+          feed rest
+      in
+      feed values;
+      List.rev !out = values)
+
+(* ---- Xenstore ---- *)
+
+let test_xenstore_rw () =
+  let xs = Xensim.Xenstore.create () in
+  Xensim.Xenstore.write xs ~path:"/local/domain/1/vif/0/state" "4";
+  check_bool "read back" true
+    (Xensim.Xenstore.read xs ~path:"/local/domain/1/vif/0/state" = Some "4");
+  check_bool "missing" true (Xensim.Xenstore.read xs ~path:"/nope" = None)
+
+let test_xenstore_directory () =
+  let xs = Xensim.Xenstore.create () in
+  Xensim.Xenstore.write xs ~path:"/a/b" "1";
+  Xensim.Xenstore.write xs ~path:"/a/c/d" "2";
+  Xensim.Xenstore.write xs ~path:"/a/c/e" "3";
+  Alcotest.(check (list string)) "children" [ "b"; "c" ] (Xensim.Xenstore.directory xs ~path:"/a");
+  Alcotest.(check (list string)) "nested" [ "d"; "e" ] (Xensim.Xenstore.directory xs ~path:"/a/c")
+
+let test_xenstore_watch () =
+  let xs = Xensim.Xenstore.create () in
+  Xensim.Xenstore.write xs ~path:"/dev/0" "existing";
+  let events = ref [] in
+  let id = Xensim.Xenstore.watch xs ~path:"/dev" (fun ~path ~value -> events := (path, value) :: !events) in
+  check_int "fired for existing state" 1 (List.length !events);
+  Xensim.Xenstore.write xs ~path:"/dev/1" "new";
+  Xensim.Xenstore.write xs ~path:"/other" "ignored";
+  check_int "fired for new write under prefix" 2 (List.length !events);
+  Xensim.Xenstore.unwatch xs id;
+  Xensim.Xenstore.write xs ~path:"/dev/2" "after";
+  check_int "no events after unwatch" 2 (List.length !events)
+
+let test_xenstore_rm () =
+  let xs = Xensim.Xenstore.create () in
+  Xensim.Xenstore.write xs ~path:"/t/a" "1";
+  Xensim.Xenstore.write xs ~path:"/t/b/c" "2";
+  Xensim.Xenstore.rm xs ~path:"/t";
+  check_bool "subtree gone" true (Xensim.Xenstore.read xs ~path:"/t/a" = None);
+  check_bool "deep gone" true (Xensim.Xenstore.read xs ~path:"/t/b/c" = None)
+
+(* ---- vchan ---- *)
+
+let vchan_world () =
+  let w = make_world () in
+  let a = Xensim.Hypervisor.create_domain w.hv ~name:"server" ~mem_mib:16 ~platform:Platform.xen_extent () in
+  let b = Xensim.Hypervisor.create_domain w.hv ~name:"client" ~mem_mib:16 ~platform:Platform.xen_extent () in
+  let s_ep, c_ep = Xensim.Vchan.connect w.hv ~server:a ~client:b () in
+  (w, s_ep, c_ep)
+
+let read_all w ep n =
+  let buf = Buffer.create n in
+  let rec go () =
+    if Buffer.length buf >= n then P.return (Buffer.contents buf)
+    else
+      Xensim.Vchan.read ep ~max:4096 >>= function
+      | None -> P.return (Buffer.contents buf)
+      | Some chunk ->
+        Buffer.add_string buf (Bytestruct.to_string chunk);
+        go ()
+  in
+  run w (go ())
+
+let test_vchan_roundtrip () =
+  let w, s_ep, c_ep = vchan_world () in
+  P.async (fun () -> Xensim.Vchan.write c_ep (bs "hello vchan"));
+  check_string "server receives" "hello vchan" (read_all w s_ep 11);
+  P.async (fun () -> Xensim.Vchan.write s_ep (bs "pong"));
+  check_string "client receives" "pong" (read_all w c_ep 4)
+
+let test_vchan_large_transfer_wraps () =
+  let w, s_ep, c_ep = vchan_world () in
+  let data = pattern 40_000 in
+  P.async (fun () -> Xensim.Vchan.write c_ep (bs data));
+  let received = read_all w s_ep 40_000 in
+  check_int "length" 40_000 (String.length received);
+  check_bool "contents intact across ring wraps" true (received = data)
+
+let test_vchan_few_hypercalls_when_streaming () =
+  (* Paper 3.5.1: continuous flow avoids hypervisor calls via the
+     check-before-blocking protocol. *)
+  let w, s_ep, c_ep = vchan_world () in
+  let stats = w.hv.Xensim.Hypervisor.stats in
+  Xensim.Xstats.reset stats;
+  let chunks = 64 in
+  P.async (fun () ->
+      let rec send i =
+        if i = 0 then P.return ()
+        else Xensim.Vchan.write c_ep (bs (pattern 512)) >>= fun () -> send (i - 1)
+      in
+      send chunks);
+  ignore (read_all w s_ep (chunks * 512));
+  check_bool
+    (Printf.sprintf "notifications (%d) well below chunk count (%d)"
+       stats.Xensim.Xstats.evtchn_notifies chunks)
+    true
+    (stats.Xensim.Xstats.evtchn_notifies < chunks / 2)
+
+let test_vchan_close_eof () =
+  let w, s_ep, c_ep = vchan_world () in
+  P.async (fun () -> Xensim.Vchan.write c_ep (bs "bye"));
+  ignore (read_all w s_ep 3);
+  Xensim.Vchan.close c_ep;
+  Engine.Sim.run w.sim;
+  check_bool "eof after close" true (run w (Xensim.Vchan.read s_ep ~max:10) = None);
+  match run w (Xensim.Vchan.write s_ep (bs "x")) with
+  | exception Xensim.Vchan.Closed -> ()
+  | _ -> Alcotest.fail "write to closed peer must fail"
+
+(* ---- Toolstack & domains ---- *)
+
+let test_toolstack_sync_serialises () =
+  let w = make_world () in
+  let ts = Xensim.Toolstack.create w.hv in
+  let profile =
+    { Xensim.Toolstack.kind = "test"; image_bytes = 1_000_000; kernel_init_ns = (fun ~mem_mib:_ -> 1_000_000) }
+  in
+  let boot mode name =
+    Xensim.Toolstack.boot ts ~mode ~profile ~name ~mem_mib:128 ~platform:Platform.xen_extent
+  in
+  (* Two sync boots take about twice one boot; two async boots overlap. *)
+  let t0 = Engine.Sim.now w.sim in
+  let both = P.both (boot `Sync "a") (boot `Sync "b") in
+  ignore (run w both);
+  let sync_elapsed = Engine.Sim.now w.sim - t0 in
+  let w2 = make_world () in
+  let ts2 = Xensim.Toolstack.create w2.hv in
+  let boot2 mode name =
+    Xensim.Toolstack.boot ts2 ~mode ~profile ~name ~mem_mib:128 ~platform:Platform.xen_extent
+  in
+  let t1 = Engine.Sim.now w2.sim in
+  ignore (Mthread.Promise.run w2.sim (P.both (boot2 `Async "a") (boot2 `Async "b")));
+  let async_elapsed = Engine.Sim.now w2.sim - t1 in
+  check_bool "sync slower than async" true (sync_elapsed > async_elapsed + (async_elapsed / 2))
+
+let test_toolstack_build_time_grows_with_memory () =
+  let small = Xensim.Toolstack.build_time_ns ~mem_mib:64 ~image_bytes:0 in
+  let large = Xensim.Toolstack.build_time_ns ~mem_mib:3072 ~image_bytes:0 in
+  check_bool "monotone in memory" true (large > small * 10)
+
+let test_domain_charge_serialises () =
+  let w = make_world () in
+  let d = Xensim.Hypervisor.create_domain w.hv ~name:"d" ~mem_mib:16 ~platform:Platform.xen_extent () in
+  let t0 = Engine.Sim.now w.sim in
+  ignore (run w (P.join [ Xensim.Domain.charge d ~cost:1000; Xensim.Domain.charge d ~cost:1000 ]));
+  check_int "single vCPU serialises work" 2000 (Engine.Sim.now w.sim - t0)
+
+let test_domain_multi_vcpu_parallel () =
+  let w = make_world () in
+  let d = Xensim.Hypervisor.create_domain w.hv ~name:"smp" ~mem_mib:16 ~platform:Platform.linux_pv ~vcpus:2 () in
+  let t0 = Engine.Sim.now w.sim in
+  ignore (run w (P.join [ Xensim.Domain.charge d ~cost:1000; Xensim.Domain.charge d ~cost:1000 ]));
+  let elapsed = Engine.Sim.now w.sim - t0 in
+  (* parallel lanes, but each unit costs 15% more *)
+  check_int "parallel with contention tax" 1150 elapsed
+
+let test_domain_utilisation () =
+  let w = make_world () in
+  let d = Xensim.Hypervisor.create_domain w.hv ~name:"u" ~mem_mib:16 ~platform:Platform.xen_extent () in
+  ignore (run w (Xensim.Domain.charge d ~cost:500));
+  ignore (run w (P.sleep w.sim 500));
+  check (Alcotest.float 1e-9) "50% busy" 0.5 (Xensim.Domain.utilisation d ~span_ns:1000)
+
+let () =
+  Alcotest.run "xensim"
+    [
+      ( "pagetable+seal",
+        [
+          Alcotest.test_case "permissions" `Quick test_pt_basic;
+          Alcotest.test_case "overlap rejected" `Quick test_pt_overlap_rejected;
+          Alcotest.test_case "seal blocks modification" `Quick test_seal_blocks_modification;
+          Alcotest.test_case "code injection blocked" `Quick test_seal_code_injection_scenario;
+          Alcotest.test_case "io mappings survive seal" `Quick test_seal_allows_io_mappings;
+          Alcotest.test_case "double seal" `Quick test_double_seal;
+          Alcotest.test_case "seal needs hypervisor patch" `Quick test_hypervisor_seal_requires_patch;
+          Alcotest.test_case "seal hypercall counted" `Quick test_hypervisor_seal_counts;
+        ] );
+      ( "evtchn",
+        [
+          Alcotest.test_case "notify" `Quick test_evtchn_notify;
+          Alcotest.test_case "bidirectional" `Quick test_evtchn_bidirectional;
+          Alcotest.test_case "mask/unmask" `Quick test_evtchn_mask_unmask;
+          Alcotest.test_case "coalescing" `Quick test_evtchn_coalescing;
+          Alcotest.test_case "close" `Quick test_evtchn_close;
+          Alcotest.test_case "double bind rejected" `Quick test_evtchn_double_bind_rejected;
+        ] );
+      ( "gnttab",
+        [
+          Alcotest.test_case "map is zero copy" `Quick test_gnttab_map_is_zero_copy;
+          Alcotest.test_case "permissions" `Quick test_gnttab_permissions;
+          Alcotest.test_case "busy revocation" `Quick test_gnttab_busy_revocation;
+          Alcotest.test_case "copy ops" `Quick test_gnttab_copy_ops;
+        ] );
+      ( "ring",
+        [
+          Alcotest.test_case "request/response cycle" `Quick test_ring_request_response_cycle;
+          Alcotest.test_case "capacity and overflow" `Quick test_ring_capacity_and_full;
+          Alcotest.test_case "event suppression" `Quick test_ring_event_suppression;
+          Alcotest.test_case "final check closes race" `Quick test_ring_final_check_closes_race;
+          Alcotest.test_case "wraparound" `Quick test_ring_wraparound;
+          prop_ring_fifo;
+        ] );
+      ( "xenstore",
+        [
+          Alcotest.test_case "read/write" `Quick test_xenstore_rw;
+          Alcotest.test_case "directory" `Quick test_xenstore_directory;
+          Alcotest.test_case "watch" `Quick test_xenstore_watch;
+          Alcotest.test_case "rm subtree" `Quick test_xenstore_rm;
+        ] );
+      ( "vchan",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_vchan_roundtrip;
+          Alcotest.test_case "large transfer wraps" `Quick test_vchan_large_transfer_wraps;
+          Alcotest.test_case "few hypercalls when streaming" `Quick
+            test_vchan_few_hypercalls_when_streaming;
+          Alcotest.test_case "close gives eof" `Quick test_vchan_close_eof;
+        ] );
+      ( "toolstack+domain",
+        [
+          Alcotest.test_case "sync builds serialise" `Quick test_toolstack_sync_serialises;
+          Alcotest.test_case "build time grows with memory" `Quick
+            test_toolstack_build_time_grows_with_memory;
+          Alcotest.test_case "charge serialises on one vcpu" `Quick test_domain_charge_serialises;
+          Alcotest.test_case "multi-vcpu parallel with tax" `Quick test_domain_multi_vcpu_parallel;
+          Alcotest.test_case "utilisation" `Quick test_domain_utilisation;
+        ] );
+    ]
