@@ -1,6 +1,8 @@
 (* Benchmark harness: regenerates every table and figure of the paper's
    evaluation (see DESIGN.md's per-experiment index). Run everything with
-   `dune exec bench/main.exe`, or a subset: `dune exec bench/main.exe -- fig10 table2`. *)
+   `dune exec bench/main.exe`, or a subset: `dune exec bench/main.exe -- fig10 table2`.
+   Pass `--trace out.jsonl` (or `--trace=out.jsonl`) to record a full
+   event trace of the run and print a latency summary at the end. *)
 
 let experiments =
   [
@@ -23,7 +25,16 @@ let experiments =
   ]
 
 let () =
-  let requested = List.tl (Array.to_list Sys.argv) in
+  let args = List.tl (Array.to_list Sys.argv) in
+  let rec split_trace requested = function
+    | [] -> (List.rev requested, None)
+    | "--trace" :: file :: rest -> (List.rev_append requested rest, Some file)
+    | arg :: rest when String.length arg > 8 && String.sub arg 0 8 = "--trace=" ->
+      (List.rev_append requested rest, Some (String.sub arg 8 (String.length arg - 8)))
+    | arg :: rest -> split_trace (arg :: requested) rest
+  in
+  let requested, trace_out = split_trace [] args in
+  if trace_out <> None then Trace.enable ();
   let to_run =
     if requested = [] then experiments
     else
@@ -45,4 +56,10 @@ let () =
       ignore name;
       ignore descr;
       f ())
-    to_run
+    to_run;
+  match trace_out with
+  | None -> ()
+  | Some file ->
+    Engine.Trace_report.write_jsonl ~file;
+    Printf.printf "\ntrace written to %s\n" file;
+    Engine.Trace_report.print_summary ()

@@ -118,7 +118,15 @@ let boot_cmd =
   let target =
     Arg.(value & opt target_conv Core.Unikernel.Xen_direct & info [ "target" ] ~docv:"TARGET")
   in
-  let run (name, mk) mem sync no_seal target =
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Record a full event trace of the boot and write it to $(docv) as JSON lines.")
+  in
+  let run (name, mk) mem sync no_seal target trace_out =
+    if trace_out <> None then Trace.enable ();
     let mk () = mk ?aslr_seed:None () in
     let sim = Engine.Sim.create () in
     let hv = Xensim.Hypervisor.create ~seal_patch:(not no_seal) sim in
@@ -162,9 +170,16 @@ let boot_cmd =
     | Some console ->
       List.iter (fun line -> Printf.printf "  console      | %s\n" line)
         (Devices.Console.log console)
-    | None -> ())
+    | None -> ());
+    match trace_out with
+    | None -> ()
+    | Some file ->
+      Engine.Trace_report.write_jsonl ~file;
+      Printf.printf "  trace        : %s\n" file;
+      Engine.Trace_report.print_summary ()
   in
-  Cmd.v (Cmd.info "boot" ~doc) Term.(const run $ appliance $ mem $ sync $ no_seal $ target)
+  Cmd.v (Cmd.info "boot" ~doc)
+    Term.(const run $ appliance $ mem $ sync $ no_seal $ target $ trace_out)
 
 let main =
   let doc = "Mirage unikernel construction pipeline on a simulated Xen host" in

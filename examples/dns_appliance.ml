@@ -47,7 +47,8 @@ let () =
   let server_ref = ref None in
   let networked =
     P.run sim
-      (Core.Appliance.boot_networked hv toolstack ~backend_dom:dom0 ~bridge ~config ~ip
+      (Core.Appliance.boot hv toolstack
+         (Core.Boot_spec.make ~backend_dom:dom0 ~bridge ~config ~ip ())
          ~main:(fun n ->
            let srv =
              Dns.Server.create sim ~dom:n.Core.Appliance.unikernel.Core.Unikernel.domain
@@ -55,8 +56,7 @@ let () =
                ~engine:(Dns.Server.Mirage { memoize = true }) ()
            in
            server_ref := Some srv;
-           P.sleep sim (Engine.Sim.sec 3600) >>= fun () -> P.return 0)
-         ())
+           P.sleep sim (Engine.Sim.sec 3600) >>= fun () -> P.return 0))
   in
   Printf.printf "appliance image: %d kB (%d kB before dead-code elimination), sealed=%b\n"
     (networked.Core.Appliance.unikernel.Core.Unikernel.image.Core.Linker.total_bytes / 1024)

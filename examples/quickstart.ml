@@ -40,7 +40,8 @@ let () =
   let t0 = Engine.Sim.now sim in
   let networked =
     P.run sim
-      (Core.Appliance.boot_networked hv toolstack ~backend_dom:dom0 ~bridge ~config ~ip
+      (Core.Appliance.boot hv toolstack
+         (Core.Boot_spec.make ~backend_dom:dom0 ~bridge ~config ~ip ())
          ~main:(fun n ->
            (* a one-route HTTP appliance *)
            let router = Uhttp.Router.create () in
@@ -49,8 +50,7 @@ let () =
            ignore
              (Uhttp.Server.of_router sim ~dom:n.Core.Appliance.unikernel.Core.Unikernel.domain
                 ~tcp:(Netstack.Stack.tcp n.Core.Appliance.stack) ~port:80 router);
-           P.sleep sim (Engine.Sim.sec 3600) >>= fun () -> P.return 0)
-         ())
+           P.sleep sim (Engine.Sim.sec 3600) >>= fun () -> P.return 0))
   in
   Printf.printf "booted in        : %.1f ms (sealed=%b, %d randomised sections)\n"
     (Engine.Sim.to_ms (networked.Core.Appliance.unikernel.Core.Unikernel.ready_at_ns - t0))

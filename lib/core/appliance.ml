@@ -45,27 +45,37 @@ type networked = {
   stack : Netstack.Stack.t;
 }
 
-let boot_networked hv ts ~backend_dom ~bridge ~config ?(mode = `Async) ?(mem_mib = 32) ?ip ~main
-    () =
+let boot hv ts (spec : Boot_spec.t) ~main =
   let open Mthread.Promise in
   let sim = hv.Xensim.Hypervisor.sim in
   let result, result_waker = wait () in
+  let boot_span = Trace.span ~cat:Trace.Boot "appliance.boot" in
   bind
-    (Unikernel.boot hv ts ~mode ~config ~mem_mib
+    (Unikernel.boot hv ts ~mode:spec.Boot_spec.mode ~config:spec.Boot_spec.config
+       ~mem_mib:spec.Boot_spec.mem_mib
        ~main:(fun unikernel ->
          let dom = unikernel.Unikernel.domain in
          let nic =
-           Netsim.Bridge.new_nic bridge ~mac:(Netsim.mac_of_int (0x1000 + dom.Xensim.Domain.id)) ()
+           Netsim.Bridge.new_nic spec.Boot_spec.bridge
+             ~mac:(Netsim.mac_of_int (0x1000 + dom.Xensim.Domain.id))
+             ()
          in
-         let netif = Devices.Netif.connect hv ~dom ~backend_dom ~nic () in
+         let netif =
+           Devices.Netif.connect hv ~dom ~backend_dom:spec.Boot_spec.backend_dom ~nic ()
+         in
          let cfg =
-           match ip with
+           match spec.Boot_spec.ip with
            | Some static -> Netstack.Stack.Static static
            | None -> Netstack.Stack.Dhcp
          in
          bind (Netstack.Stack.create sim ~dom ~netif cfg) (fun stack ->
              let networked = { unikernel; netif; stack } in
+             Trace.finish boot_span;
              wakeup result_waker networked;
              main networked))
        ())
     (fun _unikernel -> result)
+
+let boot_networked hv ts ~backend_dom ~bridge ~config ?(mode = `Async) ?(mem_mib = 32) ?ip ~main
+    () =
+  boot hv ts (Boot_spec.make ~backend_dom ~bridge ~config ~mode ~mem_mib ?ip ()) ~main

@@ -21,9 +21,19 @@ type networked = {
   stack : Netstack.Stack.t;
 }
 
-(** [boot_networked hv ts ~backend_dom ~bridge ~config ~ip ()] boots the
-    unikernel, attaches a NIC on [bridge], brings up the stack (static
-    [ip] or DHCP when omitted) and runs [main] once the network is ready. *)
+(** [boot hv ts spec ~main] boots the unikernel described by [spec],
+    attaches a NIC on its bridge, brings up the stack (static address or
+    DHCP per [spec.ip]) and runs [main] once the network is ready. The
+    returned promise resolves as soon as the stack is up; [main] keeps
+    running in the appliance. Emits an [appliance.boot] trace span. *)
+val boot :
+  Xensim.Hypervisor.t ->
+  Xensim.Toolstack.t ->
+  Boot_spec.t ->
+  main:(networked -> int Mthread.Promise.t) ->
+  networked Mthread.Promise.t
+
+(** Legacy argument-list interface, kept for one release. *)
 val boot_networked :
   Xensim.Hypervisor.t ->
   Xensim.Toolstack.t ->
@@ -36,3 +46,4 @@ val boot_networked :
   main:(networked -> int Mthread.Promise.t) ->
   unit ->
   networked Mthread.Promise.t
+[@@ocaml.deprecated "Build a Boot_spec.t with Boot_spec.make and call Appliance.boot instead."]

@@ -1,0 +1,12 @@
+type t = {
+  backend_dom : Xensim.Domain.t;
+  bridge : Netsim.Bridge.t;
+  config : Config.t;
+  mode : [ `Sync | `Async ];
+  mem_mib : int;
+  ip : Netstack.Ipv4.config option;
+}
+
+let make ~backend_dom ~bridge ~config ?(mode = `Async) ?(mem_mib = 32) ?ip () =
+  if mem_mib <= 0 then invalid_arg "Boot_spec.make: mem_mib must be positive";
+  { backend_dom; bridge; config; mode; mem_mib; ip }

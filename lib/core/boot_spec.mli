@@ -1,0 +1,27 @@
+(** Declarative description of a networked appliance boot.
+
+    Collapses the long argument list of the old [Appliance.boot_networked]
+    into one value that can be built once, logged, and reused across
+    benchmark iterations. Construct with {!make}, which fills in the
+    defaults ([`Async] toolstack, 32 MiB, DHCP). *)
+
+type t = {
+  backend_dom : Xensim.Domain.t;  (** dom0-side backend for the NIC *)
+  bridge : Netsim.Bridge.t;  (** bridge the NIC attaches to *)
+  config : Config.t;  (** appliance library configuration *)
+  mode : [ `Sync | `Async ];  (** toolstack build mode *)
+  mem_mib : int;
+  ip : Netstack.Ipv4.config option;  (** static address, or DHCP when [None] *)
+}
+
+(** Smart constructor; defaults: [mode = `Async], [mem_mib = 32],
+    [ip = None] (DHCP). @raise Invalid_argument if [mem_mib <= 0]. *)
+val make :
+  backend_dom:Xensim.Domain.t ->
+  bridge:Netsim.Bridge.t ->
+  config:Config.t ->
+  ?mode:[ `Sync | `Async ] ->
+  ?mem_mib:int ->
+  ?ip:Netstack.Ipv4.config ->
+  unit ->
+  t

@@ -10,6 +10,7 @@ type pending = {
   gref : Xensim.Gnttab.grant_ref;
   buffer : Bytestruct.t;
   waker : (Bytestruct.t, exn) result Mthread.Promise.u;
+  span : Trace.span;  (* request submit -> response *)
 }
 
 type t = {
@@ -89,6 +90,7 @@ let frontend_handle t () =
          | Some p ->
            Hashtbl.remove t.pending id;
            Xensim.Gnttab.end_access (gnttab t) p.gref;
+           Trace.finish p.span;
            Mthread.Msem.release t.ring_space;
            if status = 0 then Mthread.Promise.wakeup p.waker (Ok p.buffer)
            else Mthread.Promise.wakeup p.waker (Error Block_error)))
@@ -140,7 +142,11 @@ let submit t ~op ~sector ~count ~buffer =
       let id = t.next_id in
       t.next_id <- (t.next_id + 1) land 0xffff;
       let p, waker = wait () in
-      Hashtbl.replace t.pending id { gref; buffer; waker };
+      let span =
+        Trace.span ~dom:t.dom.Xensim.Domain.id ~cat:Trace.Device
+          (if op = `Read then "blkif.read" else "blkif.write")
+      in
+      Hashtbl.replace t.pending id { gref; buffer; waker; span };
       let slot = Xensim.Ring.Front.next_request t.front in
       Bytestruct.set_uint8 slot 0 (if op = `Read then 0 else 1);
       Bytestruct.LE.set_uint16 slot 2 id;

@@ -9,7 +9,11 @@ let slot_bytes = 16
 let mtu_bytes = 1500
 let backend_per_packet_ns = 1_600 (* dom0 netback work per frame *)
 
-type tx_pending = { gref : Xensim.Gnttab.grant_ref; waker : unit Mthread.Promise.u }
+type tx_pending = {
+  gref : Xensim.Gnttab.grant_ref;
+  waker : unit Mthread.Promise.u;
+  span : Trace.span;  (* request enqueue -> TX response *)
+}
 
 type t = {
   hv : Xensim.Hypervisor.t;
@@ -27,6 +31,7 @@ type t = {
   rx_port_back : Xensim.Evtchn.port;
   tx_pending : (int, tx_pending) Hashtbl.t;
   rx_posted : (int, Xensim.Gnttab.grant_ref * Bytestruct.t) Hashtbl.t;
+  rx_spans : (int, Trace.span) Hashtbl.t;  (* backend copy -> guest delivery *)
   rx_avail : (int * Xensim.Gnttab.grant_ref) Queue.t;  (* backend side *)
   tx_waiters : unit Mthread.Promise.u Queue.t;
   mutable listener : (Bytestruct.t -> unit) option;
@@ -75,6 +80,9 @@ let backend_handle_frame t frame =
   match Queue.take_opt t.rx_avail with
   | None -> t.rx_dropped <- t.rx_dropped + 1
   | Some (id, gref) ->
+    if Trace.enabled () then
+      Hashtbl.replace t.rx_spans id
+        (Trace.span ~dom:t.dom.Xensim.Domain.id ~cat:Trace.Device "netif.rx");
     Xensim.Gnttab.copy_to (gnttab t) ~by:t.backend_dom.Xensim.Domain.id gref ~src:frame;
     let rsp = Xensim.Ring.Back.next_response t.rx_back in
     Bytestruct.LE.set_uint16 rsp 0 id;
@@ -104,9 +112,10 @@ let frontend_handle_tx_responses t () =
          let id = Bytestruct.LE.get_uint16 slot 0 in
          match Hashtbl.find_opt t.tx_pending id with
          | None -> ()
-         | Some { gref; waker } ->
+         | Some { gref; waker; span } ->
            Hashtbl.remove t.tx_pending id;
            Xensim.Gnttab.end_access (gnttab t) gref;
+           Trace.finish span;
            if Mthread.Promise.wakener_pending waker then Mthread.Promise.wakeup waker ()));
   (* Ring space freed: wake writers blocked on a full ring. *)
   let rec wake () =
@@ -131,16 +140,21 @@ let frontend_handle_rx_responses t () =
         | Some (gref, page) ->
           Hashtbl.remove t.rx_posted id;
           Xensim.Gnttab.end_access (gnttab t) gref;
-          arrived := (page, size) :: !arrived)
+          arrived := (id, page, size) :: !arrived)
   in
   if n > 0 then begin
     let plat = t.dom.Xensim.Domain.platform in
     List.iter
-      (fun (page, size) ->
+      (fun (id, page, size) ->
         t.rx_frames <- t.rx_frames + 1;
         (* Deliver once the vCPU has done the receive-path work; charge_k
            keeps per-frame ordering (sequential reservations on one vCPU). *)
         Xensim.Domain.charge_k t.dom ~cost:(Platform.rx_cost plat ~bytes_len:size) (fun () ->
+            (match Hashtbl.find_opt t.rx_spans id with
+            | Some span ->
+              Hashtbl.remove t.rx_spans id;
+              Trace.finish span
+            | None -> ());
             (match t.listener with
             | Some f -> f (Bytestruct.sub page 0 size)
             | None -> ());
@@ -190,6 +204,7 @@ let connect hv ~dom ~backend_dom ~nic ?(rx_slots = 512) () =
       rx_port_back;
       tx_pending = Hashtbl.create 64;
       rx_posted = Hashtbl.create 64;
+      rx_spans = Hashtbl.create 64;
       rx_avail = Queue.create ();
       tx_waiters = Queue.create ();
       listener = None;
@@ -237,7 +252,8 @@ let rec write t frame =
     let id = t.next_tx_id in
     t.next_tx_id <- (t.next_tx_id + 1) land 0xffff;
     let done_p, waker = Mthread.Promise.wait () in
-    Hashtbl.replace t.tx_pending id { gref; waker };
+    let span = Trace.span ~dom:t.dom.Xensim.Domain.id ~cat:Trace.Device "netif.tx" in
+    Hashtbl.replace t.tx_pending id { gref; waker; span };
     let slot = Xensim.Ring.Front.next_request t.tx_front in
     Bytestruct.LE.set_uint16 slot 0 id;
     Bytestruct.LE.set_uint16 slot 2 len;

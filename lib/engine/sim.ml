@@ -7,8 +7,13 @@ type t = {
 
 type handle = Eventq.handle
 
+let c_dispatch = Trace.counter "sim.dispatch"
+
 let create ?(seed = 42) () =
-  { now = 0; q = Eventq.create (); prng = Prng.create ~seed (); stopped = false }
+  let t = { now = 0; q = Eventq.create (); prng = Prng.create ~seed (); stopped = false } in
+  (* The trace timeline follows the most recently created simulator. *)
+  Trace.set_clock (fun () -> t.now);
+  t
 
 let now t = t.now
 let prng t = t.prng
@@ -28,6 +33,12 @@ let step t =
   | None -> false
   | Some (time, action) ->
     t.now <- max t.now time;
+    if Trace.enabled () then begin
+      Trace.incr c_dispatch;
+      Trace.emit ~cat:Trace.Sched
+        ~payload:[ ("pending", Trace.Int (Eventq.length t.q)) ]
+        "sim.dispatch"
+    end;
     action ();
     true
 

@@ -22,15 +22,31 @@ let acc_stddev a = if a.n < 2 then 0.0 else sqrt (a.m2 /. float_of_int (a.n - 1)
 let acc_min a = a.mn
 let acc_max a = a.mx
 
-let of_list xs =
+let acc_of_list xs =
   let a = acc_create () in
   List.iter (acc_add a) xs;
   a
 
-let mean xs = acc_mean (of_list xs)
-let stddev xs = acc_stddev (of_list xs)
-let minimum xs = acc_min (of_list xs)
-let maximum xs = acc_max (of_list xs)
+(* Chan et al.'s parallel-variance combination: exact, order-independent. *)
+let acc_merge a b =
+  let n = a.n + b.n in
+  if n = 0 then acc_create ()
+  else begin
+    let fa = float_of_int a.n and fb = float_of_int b.n in
+    let delta = b.mean -. a.mean in
+    {
+      n;
+      mean = a.mean +. (delta *. fb /. float_of_int n);
+      m2 = a.m2 +. b.m2 +. (delta *. delta *. fa *. fb /. float_of_int n);
+      mn = min a.mn b.mn;
+      mx = max a.mx b.mx;
+    }
+  end
+
+let mean xs = acc_mean (acc_of_list xs)
+let stddev xs = acc_stddev (acc_of_list xs)
+let minimum xs = acc_min (acc_of_list xs)
+let maximum xs = acc_max (acc_of_list xs)
 
 let percentile p xs =
   if xs = [] then invalid_arg "Stats.percentile: empty";

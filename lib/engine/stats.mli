@@ -14,7 +14,17 @@ val acc_stddev : acc -> float
 val acc_min : acc -> float
 val acc_max : acc -> float
 
-(** Batch helpers over float lists. *)
+(** Fold a list into a fresh accumulator. *)
+val acc_of_list : float list -> acc
+
+(** [acc_merge a b] combines two accumulators into a fresh one, as if
+    every sample of [a] and [b] had been fed to a single accumulator
+    (Chan et al.'s parallel variance formula). [a] and [b] are
+    unchanged; used by [Trace_report] to combine per-domain span
+    statistics. *)
+val acc_merge : acc -> acc -> acc
+
+(** Batch helpers over float lists, implemented on the accumulator. *)
 
 val mean : float list -> float
 val stddev : float list -> float

@@ -1,0 +1,88 @@
+let write_jsonl ~file =
+  let oc = open_out file in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> Trace.export_jsonl oc)
+
+let us ns = float_of_int ns /. 1e3
+
+let group_by_name stats =
+  List.fold_left
+    (fun groups (s : Trace.span_stat) ->
+      match List.assoc_opt s.Trace.span_name groups with
+      | Some ss ->
+        (s.Trace.span_name, s :: ss) :: List.remove_assoc s.Trace.span_name groups
+      | None -> (s.Trace.span_name, [ s ]) :: groups)
+    [] stats
+  |> List.map (fun (name, ss) -> (name, List.rev ss))
+  |> List.sort compare
+
+let span_row b ~name ~dom ~count ~acc ~samples ~min_ns ~max_ns =
+  let pc p = if samples = [] then 0.0 else Stats.percentile p samples in
+  Buffer.add_string b
+    (Printf.sprintf "  %-28s %-5s %10d %10.2f %10.2f %10.2f %10.2f %10.2f\n" name dom count
+       (Stats.acc_mean acc /. 1e3)
+       (us min_ns) (pc 50.0 /. 1e3) (pc 99.0 /. 1e3) (us max_ns))
+
+let summary_string () =
+  let counters = List.filter (fun (_, v) -> v <> 0) (Trace.counters ()) in
+  let stats = Trace.span_stats () in
+  if counters = [] && stats = [] && Trace.events () = [] then ""
+  else begin
+    let b = Buffer.create 1024 in
+    let nevents = List.length (Trace.events ()) in
+    Buffer.add_string b
+      (Printf.sprintf "events: %d retained, %d dropped (ring wrap)\n" nevents (Trace.dropped ()));
+    if counters <> [] then begin
+      Buffer.add_string b "counters:\n";
+      List.iter
+        (fun (name, v) -> Buffer.add_string b (Printf.sprintf "  %-34s %12d\n" name v))
+        counters
+    end;
+    if stats <> [] then begin
+      Buffer.add_string b
+        (Printf.sprintf "spans (us):\n  %-28s %-5s %10s %10s %10s %10s %10s %10s\n" "span" "dom"
+           "count" "mean" "min" "p50" "p99" "max");
+      List.iter
+        (fun (name, per_dom) ->
+          let accs =
+            List.map
+              (fun (s : Trace.span_stat) ->
+                Stats.acc_of_list (List.map float_of_int (Array.to_list s.Trace.span_samples)))
+              per_dom
+          in
+          List.iter2
+            (fun (s : Trace.span_stat) acc ->
+              span_row b ~name
+                ~dom:(if s.Trace.span_dom < 0 then "-" else string_of_int s.Trace.span_dom)
+                ~count:s.Trace.span_count ~acc
+                ~samples:(List.map float_of_int (Array.to_list s.Trace.span_samples))
+                ~min_ns:s.Trace.span_min_ns ~max_ns:s.Trace.span_max_ns)
+            per_dom accs;
+          (* Per-domain accumulators combine into one appliance-wide row. *)
+          if List.length per_dom > 1 then begin
+            let merged = List.fold_left Stats.acc_merge (Stats.acc_create ()) accs in
+            let samples =
+              List.concat_map
+                (fun (s : Trace.span_stat) ->
+                  List.map float_of_int (Array.to_list s.Trace.span_samples))
+                per_dom
+            in
+            span_row b ~name ~dom:"all"
+              ~count:(List.fold_left (fun n (s : Trace.span_stat) -> n + s.Trace.span_count) 0 per_dom)
+              ~acc:merged ~samples
+              ~min_ns:
+                (List.fold_left (fun m (s : Trace.span_stat) -> min m s.Trace.span_min_ns) max_int
+                   per_dom)
+              ~max_ns:
+                (List.fold_left (fun m (s : Trace.span_stat) -> max m s.Trace.span_max_ns) 0 per_dom)
+          end)
+        (group_by_name stats)
+    end;
+    Buffer.contents b
+  end
+
+let print_summary () =
+  match summary_string () with
+  | "" -> ()
+  | s ->
+    print_string "\n==== trace summary ====\n";
+    print_string s

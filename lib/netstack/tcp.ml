@@ -15,6 +15,9 @@ let max_rto_ns = Engine.Sim.sec 60
 let msl_ns = Engine.Sim.sec 1
 let max_syn_retries = 5
 
+let c_segs_sent = Trace.counter "tcp.segs_sent"
+let c_retransmit = Trace.counter "tcp.retransmits"
+
 type state =
   | Syn_sent
   | Syn_rcvd
@@ -103,6 +106,7 @@ let advertised_window (_fl : flow) = rcv_wnd_bytes lsr our_wscale
 
 let send_segment t ~key ~seq ~ack ~flags ~options ~window ~payload =
   t.segs_sent <- t.segs_sent + 1;
+  Trace.incr c_segs_sent;
   let seg =
     {
       Tcp_wire.src_port = key.k_port;
@@ -178,6 +182,14 @@ and on_rto fl =
 
 and retransmit_entry fl e =
   fl.t.retransmissions <- fl.t.retransmissions + 1;
+  if Trace.enabled () then begin
+    Trace.incr c_retransmit;
+    Trace.emit
+      ?dom:(Option.map (fun d -> d.Xensim.Domain.id) fl.t.dom)
+      ~cat:Trace.Net
+      ~payload:[ ("seq", Trace.Int (Seq.to_int e.e_seq)); ("len", Trace.Int e.e_len) ]
+      "tcp.retransmit"
+  end;
   e.e_retx <- true;
   e.e_sent_at <- Engine.Sim.now fl.t.sim;
   let flags =
@@ -318,7 +330,16 @@ and maybe_send_fin fl =
 
 (* ---------- RTT estimation (RFC 6298) ---------- *)
 
+let c_rtt_samples = Trace.counter "tcp.rtt_samples"
+
 let rtt_sample fl sample_ns =
+  if Trace.enabled () then begin
+    Trace.incr c_rtt_samples;
+    (* A segment rtt span: the probe opened at transmission closes here. *)
+    Trace.record_span_ns
+      ?dom:(Option.map (fun d -> d.Xensim.Domain.id) fl.t.dom)
+      ~cat:Trace.Net "tcp.rtt" sample_ns
+  end;
   if fl.srtt_ns = 0 then begin
     fl.srtt_ns <- sample_ns;
     fl.rttvar_ns <- sample_ns / 2

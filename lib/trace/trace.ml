@@ -1,0 +1,330 @@
+type category =
+  | Sched
+  | Boot
+  | Hypercall
+  | Evtchn
+  | Gnttab
+  | Ring
+  | Device
+  | Net
+  | User of string
+
+let category_name = function
+  | Sched -> "sched"
+  | Boot -> "boot"
+  | Hypercall -> "hypercall"
+  | Evtchn -> "evtchn"
+  | Gnttab -> "gnttab"
+  | Ring -> "ring"
+  | Device -> "device"
+  | Net -> "net"
+  | User s -> s
+
+type value = Int of int | Float of float | String of string | Bool of bool
+type payload = (string * value) list
+type phase = Instant | Begin | End
+
+type event = {
+  seq : int;
+  time : int;
+  dom : int;
+  cat : category;
+  name : string;
+  phase : phase;
+  depth : int;
+  payload : payload;
+}
+
+let default_capacity = 65536
+let max_span_samples = 4096
+
+type counter = { c_name : string; mutable c_value : int }
+
+type span_acc = {
+  sa_name : string;
+  sa_cat : category;
+  sa_dom : int;
+  mutable sa_count : int;
+  mutable sa_total : int;
+  mutable sa_min : int;
+  mutable sa_max : int;
+  mutable sa_samples : int array;
+  mutable sa_nsamples : int;
+}
+
+type span_stat = {
+  span_name : string;
+  span_cat : category;
+  span_dom : int;
+  span_count : int;
+  span_total_ns : int;
+  span_min_ns : int;
+  span_max_ns : int;
+  span_samples : int array;
+}
+
+type span = {
+  sp_live : bool;
+  sp_name : string;
+  sp_cat : category;
+  sp_dom : int;
+  sp_start : int;
+  mutable sp_closed : bool;
+}
+
+type state = {
+  mutable on : bool;
+  mutable ring : event array;
+  mutable head : int;  (* next write position *)
+  mutable length : int;
+  mutable dropped : int;
+  mutable seq : int;
+  mutable depth : int;
+  mutable clock : unit -> int;
+  mutable clock_base : int;
+  mutable last_time : int;
+  counters : (string, counter) Hashtbl.t;
+  spans : (string * int, span_acc) Hashtbl.t;
+}
+
+let dummy_event =
+  { seq = 0; time = 0; dom = -1; cat = Sched; name = ""; phase = Instant; depth = 0; payload = [] }
+
+let t =
+  {
+    on = false;
+    ring = [||];
+    head = 0;
+    length = 0;
+    dropped = 0;
+    seq = 0;
+    depth = 0;
+    clock = (fun () -> 0);
+    clock_base = 0;
+    last_time = 0;
+    counters = Hashtbl.create 32;
+    spans = Hashtbl.create 32;
+  }
+
+let enabled () = t.on
+
+let enable ?(capacity = default_capacity) () =
+  if capacity <= 0 then invalid_arg "Trace.enable: capacity must be positive";
+  if Array.length t.ring <> capacity then begin
+    t.ring <- Array.make capacity dummy_event;
+    t.head <- 0;
+    t.length <- 0;
+    t.dropped <- 0
+  end;
+  t.on <- true
+
+let disable () = t.on <- false
+
+let reset () =
+  Array.fill t.ring 0 (Array.length t.ring) dummy_event;
+  t.head <- 0;
+  t.length <- 0;
+  t.dropped <- 0;
+  t.seq <- 0;
+  t.depth <- 0;
+  t.last_time <- 0;
+  t.clock_base <- 0;
+  Hashtbl.iter (fun _ c -> c.c_value <- 0) t.counters;
+  Hashtbl.reset t.spans
+
+let set_clock f =
+  (* Re-base so a fresh simulator (starting at t=0) continues the trace
+     timeline monotonically instead of jumping backwards. *)
+  t.clock_base <- t.last_time;
+  t.clock <- f
+
+let now () =
+  let time = t.clock_base + t.clock () in
+  if time > t.last_time then t.last_time <- time;
+  t.last_time
+
+let push ev =
+  let cap = Array.length t.ring in
+  if cap = 0 then begin
+    t.ring <- Array.make default_capacity dummy_event;
+    t.head <- 0;
+    t.length <- 0
+  end;
+  let cap = Array.length t.ring in
+  t.ring.(t.head) <- ev;
+  t.head <- (t.head + 1) mod cap;
+  if t.length < cap then t.length <- t.length + 1 else t.dropped <- t.dropped + 1
+
+let record ?(dom = -1) ?(payload = []) ~cat ~phase name =
+  let seq = t.seq in
+  t.seq <- seq + 1;
+  push { seq; time = now (); dom; cat; name; phase; depth = t.depth; payload }
+
+let emit ?dom ?payload ~cat name = if t.on then record ?dom ?payload ~cat ~phase:Instant name
+
+let events () =
+  let cap = Array.length t.ring in
+  List.init t.length (fun i -> t.ring.((t.head - t.length + i + (2 * cap)) mod cap))
+
+let dropped () = t.dropped
+
+(* ---- counters ---- *)
+
+let counter name =
+  match Hashtbl.find_opt t.counters name with
+  | Some c -> c
+  | None ->
+    let c = { c_name = name; c_value = 0 } in
+    Hashtbl.replace t.counters name c;
+    c
+
+let add c n =
+  if t.on && n > 0 then
+    (* Saturate instead of wrapping negative on overflow. *)
+    c.c_value <- (if c.c_value > max_int - n then max_int else c.c_value + n)
+
+let incr c = add c 1
+let counter_value c = c.c_value
+
+let counters () =
+  Hashtbl.fold (fun name c acc -> (name, c.c_value) :: acc) t.counters []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+(* ---- spans ---- *)
+
+let span_acc ~cat ~dom name =
+  let key = (name, dom) in
+  match Hashtbl.find_opt t.spans key with
+  | Some sa -> sa
+  | None ->
+    let sa =
+      {
+        sa_name = name;
+        sa_cat = cat;
+        sa_dom = dom;
+        sa_count = 0;
+        sa_total = 0;
+        sa_min = max_int;
+        sa_max = min_int;
+        sa_samples = Array.make 16 0;
+        sa_nsamples = 0;
+      }
+    in
+    Hashtbl.replace t.spans key sa;
+    sa
+
+let span_record sa dur =
+  sa.sa_count <- sa.sa_count + 1;
+  sa.sa_total <- sa.sa_total + dur;
+  if dur < sa.sa_min then sa.sa_min <- dur;
+  if dur > sa.sa_max then sa.sa_max <- dur;
+  if sa.sa_nsamples < max_span_samples then begin
+    if sa.sa_nsamples = Array.length sa.sa_samples then begin
+      let bigger = Array.make (min max_span_samples (2 * sa.sa_nsamples)) 0 in
+      Array.blit sa.sa_samples 0 bigger 0 sa.sa_nsamples;
+      sa.sa_samples <- bigger
+    end;
+    sa.sa_samples.(sa.sa_nsamples) <- dur;
+    sa.sa_nsamples <- sa.sa_nsamples + 1
+  end
+
+let dead_span =
+  { sp_live = false; sp_name = ""; sp_cat = Sched; sp_dom = -1; sp_start = 0; sp_closed = true }
+
+let span ?(dom = -1) ?payload ~cat name =
+  if not t.on then dead_span
+  else begin
+    record ~dom ?payload ~cat ~phase:Begin name;
+    t.depth <- t.depth + 1;
+    { sp_live = true; sp_name = name; sp_cat = cat; sp_dom = dom; sp_start = now (); sp_closed = false }
+  end
+
+let finish ?(payload = []) sp =
+  if sp.sp_live && not sp.sp_closed then begin
+    sp.sp_closed <- true;
+    if t.on then begin
+      let dur = max 0 (now () - sp.sp_start) in
+      span_record (span_acc ~cat:sp.sp_cat ~dom:sp.sp_dom sp.sp_name) dur;
+      if t.depth > 0 then t.depth <- t.depth - 1;
+      record ~dom:sp.sp_dom
+        ~payload:(("dur_ns", Int dur) :: payload)
+        ~cat:sp.sp_cat ~phase:End sp.sp_name
+    end
+  end
+
+let record_span_ns ?(dom = -1) ~cat name dur =
+  if t.on then begin
+    let dur = max 0 dur in
+    span_record (span_acc ~cat ~dom name) dur;
+    record ~dom ~payload:[ ("dur_ns", Int dur) ] ~cat ~phase:End name
+  end
+
+let span_stats () =
+  Hashtbl.fold
+    (fun _ sa acc ->
+      {
+        span_name = sa.sa_name;
+        span_cat = sa.sa_cat;
+        span_dom = sa.sa_dom;
+        span_count = sa.sa_count;
+        span_total_ns = sa.sa_total;
+        span_min_ns = (if sa.sa_count = 0 then 0 else sa.sa_min);
+        span_max_ns = (if sa.sa_count = 0 then 0 else sa.sa_max);
+        span_samples = Array.sub sa.sa_samples 0 sa.sa_nsamples;
+      }
+      :: acc)
+    t.spans []
+  |> List.sort (fun a b -> compare (a.span_name, a.span_dom) (b.span_name, b.span_dom))
+
+(* ---- export ---- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let value_to_json = function
+  | Int i -> string_of_int i
+  | Float f -> Printf.sprintf "%.17g" f
+  | String s -> "\"" ^ json_escape s ^ "\""
+  | Bool b -> string_of_bool b
+
+let payload_to_json payload =
+  "{"
+  ^ String.concat "," (List.map (fun (k, v) -> "\"" ^ json_escape k ^ "\":" ^ value_to_json v) payload)
+  ^ "}"
+
+let phase_letter = function Instant -> "I" | Begin -> "B" | End -> "E"
+
+let to_json_line (ev : event) =
+  Printf.sprintf "{\"seq\":%d,\"t\":%d,\"dom\":%d,\"cat\":\"%s\",\"name\":\"%s\",\"ph\":\"%s\",\"depth\":%d,\"args\":%s}"
+    ev.seq ev.time ev.dom
+    (json_escape (category_name ev.cat))
+    (json_escape ev.name) (phase_letter ev.phase) ev.depth (payload_to_json ev.payload)
+
+let export_jsonl oc =
+  List.iter
+    (fun ev ->
+      output_string oc (to_json_line ev);
+      output_char oc '\n')
+    (events ());
+  List.iter
+    (fun (name, v) -> Printf.fprintf oc "{\"counter\":\"%s\",\"value\":%d}\n" (json_escape name) v)
+    (counters ());
+  List.iter
+    (fun s ->
+      Printf.fprintf oc
+        "{\"span\":\"%s\",\"cat\":\"%s\",\"dom\":%d,\"count\":%d,\"total_ns\":%d,\"min_ns\":%d,\"max_ns\":%d}\n"
+        (json_escape s.span_name)
+        (json_escape (category_name s.span_cat))
+        s.span_dom s.span_count s.span_total_ns s.span_min_ns s.span_max_ns)
+    (span_stats ())

@@ -1,0 +1,143 @@
+(** Unified event tracing and metrics, in the spirit of Xen's xentrace.
+
+    One global, process-wide trace: a bounded in-memory ring of typed
+    events stamped with the virtual clock, plus named monotonic counters
+    and latency-recording spans. Everything is a no-op until {!enable} is
+    called; with tracing off every instrumentation site costs a single
+    branch (guard payload construction with {!enabled} at call sites).
+
+    The library is dependency-free so it can sit below the simulation
+    engine in the build graph; the engine installs its virtual clock via
+    {!set_clock} and renders summaries (see [Engine.Trace_report]). *)
+
+(** Event categories mirror the subsystems of the simulated stack. *)
+type category =
+  | Sched  (** engine event-loop dispatch *)
+  | Boot  (** domain construction, sealing, appliance bring-up *)
+  | Hypercall
+  | Evtchn
+  | Gnttab
+  | Ring  (** shared-memory ring push/consume *)
+  | Device  (** netif/blkif request-response *)
+  | Net  (** network stack (TCP rtt, retransmit) *)
+  | User of string
+
+val category_name : category -> string
+
+(** Typed event payloads, kept primitive so emission never allocates
+    surprisingly. *)
+type value = Int of int | Float of float | String of string | Bool of bool
+
+type payload = (string * value) list
+
+type phase =
+  | Instant
+  | Begin  (** span opened *)
+  | End  (** span closed; payload carries ["dur_ns"] *)
+
+type event = {
+  seq : int;  (** global emission order, never reused until {!reset} *)
+  time : int;  (** virtual-clock ns, monotonically non-decreasing *)
+  dom : int;  (** domain id, [-1] when not attributable *)
+  cat : category;
+  name : string;
+  phase : phase;
+  depth : int;  (** span nesting depth at emission time *)
+  payload : payload;
+}
+
+(** {1 Lifecycle} *)
+
+val enabled : unit -> bool
+
+(** [enable ()] turns tracing on. [capacity] bounds the event ring
+    (default 65536); once full, the oldest events are overwritten and
+    {!dropped} counts them. Idempotent apart from resizing. *)
+val enable : ?capacity:int -> unit -> unit
+
+val disable : unit -> unit
+
+(** Drop all recorded events, counter values and span statistics (counter
+    registrations survive). Does not change enabled/clock state. *)
+val reset : unit -> unit
+
+(** Install the virtual clock. Each installation re-bases timestamps so
+    that a trace spanning several simulator instances (each starting at
+    t=0) remains monotonically non-decreasing end to end. *)
+val set_clock : (unit -> int) -> unit
+
+(** {1 Events} *)
+
+(** [emit ~dom ~payload ~cat name] appends an instant event. No-op when
+    disabled, but guard calls that build a payload with {!enabled} so the
+    list is never allocated. *)
+val emit : ?dom:int -> ?payload:payload -> cat:category -> string -> unit
+
+(** Recorded events, oldest first. *)
+val events : unit -> event list
+
+(** Events overwritten due to ring wraparound since the last {!reset}. *)
+val dropped : unit -> int
+
+(** {1 Counters}
+
+    Counters are interned by name at first use and live for the whole
+    process; only their values react to enable/reset. Increments saturate
+    at [max_int] rather than wrapping negative. *)
+
+type counter
+
+val counter : string -> counter
+val incr : counter -> unit
+val add : counter -> int -> unit
+val counter_value : counter -> int
+
+(** All registered counters as [(name, value)], sorted by name. *)
+val counters : unit -> (string * int) list
+
+(** {1 Spans}
+
+    A span measures the virtual time between {!span} and {!finish},
+    emitting paired [Begin]/[End] events and recording the duration into
+    per-(name, domain) statistics. Closing is idempotent. *)
+
+type span
+
+val span : ?dom:int -> ?payload:payload -> cat:category -> string -> span
+val finish : ?payload:payload -> span -> unit
+
+(** [record_span_ns ~dom ~cat name dur] records a duration measured
+    elsewhere (e.g. a TCP rtt probe) into the same statistics, emitting a
+    single [End] event stamped now. *)
+val record_span_ns : ?dom:int -> cat:category -> string -> int -> unit
+
+type span_stat = {
+  span_name : string;
+  span_cat : category;
+  span_dom : int;
+  span_count : int;
+  span_total_ns : int;
+  span_min_ns : int;
+  span_max_ns : int;
+  span_samples : int array;
+      (** the first {!max_span_samples} durations, emission order *)
+}
+
+(** Cap on retained per-span duration samples; count/total/min/max keep
+    accumulating past it. *)
+val max_span_samples : int
+
+(** All span statistics, sorted by (name, dom). *)
+val span_stats : unit -> span_stat list
+
+(** {1 Export} *)
+
+(** One event as a single-line JSON object (no trailing newline):
+    [{"seq":..,"t":..,"dom":..,"cat":"..","name":"..","ph":"I|B|E",
+      "depth":..,"args":{..}}]. *)
+val to_json_line : event -> string
+
+(** Write the whole trace as JSON lines: every event, then one
+    [{"counter":..}] line per counter and one [{"span":..}] line per span
+    statistic. Deterministic for deterministic runs. *)
+val export_jsonl : out_channel -> unit

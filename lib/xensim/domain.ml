@@ -1,5 +1,7 @@
 type state = Building | Running | Blocked | Shutdown of int
 
+let c_hypercall = Trace.counter "xen.hypercalls"
+
 type t = {
   id : int;
   name : string;
@@ -59,8 +61,12 @@ let utilisation d ~span_ns =
   if span_ns <= 0 then 0.0
   else float_of_int d.busy_ns /. float_of_int (span_ns * vcpus d)
 
-let hypercall d ~name:_ =
+let hypercall d ~name =
   d.stats.Xstats.hypercalls <- d.stats.Xstats.hypercalls + 1;
+  if Trace.enabled () then begin
+    Trace.incr c_hypercall;
+    Trace.emit ~dom:d.id ~cat:Trace.Hypercall name
+  end;
   ignore (reserve d d.platform.Platform.hypercall_ns)
 
 let shutdown d ~exit_code = d.state <- Shutdown exit_code

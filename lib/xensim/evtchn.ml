@@ -22,6 +22,13 @@ type t = {
    sets the pending bit. *)
 let delivery_latency_ns = 700
 
+let c_notify = Trace.counter "evtchn.notify"
+let c_deliver = Trace.counter "evtchn.deliver"
+
+(* Same counter as Domain.hypercall (interned by name): a notify *is* the
+   EVTCHNOP_send hypercall, and it is the only hypercall on the data path. *)
+let c_hypercall = Trace.counter "xen.hypercalls"
+
 let create ~sim ~stats = { sim; stats; ports = Hashtbl.create 64; next_port = 1 }
 
 let get t p =
@@ -56,6 +63,11 @@ let deliver t p =
     | None -> ()
     | Some f ->
       st.pending <- false;
+      if Trace.enabled () then begin
+        Trace.incr c_deliver;
+        Trace.emit ~dom:st.owner ~cat:Trace.Evtchn ~payload:[ ("port", Trace.Int p) ]
+          "evtchn.deliver"
+      end;
       f ()
   end
 
@@ -63,6 +75,12 @@ let notify t p =
   let st = get t p in
   t.stats.Xstats.hypercalls <- t.stats.Xstats.hypercalls + 1;
   t.stats.Xstats.evtchn_notifies <- t.stats.Xstats.evtchn_notifies + 1;
+  if Trace.enabled () then begin
+    Trace.incr c_notify;
+    Trace.incr c_hypercall;
+    Trace.emit ~dom:st.owner ~cat:Trace.Hypercall ~payload:[ ("port", Trace.Int p) ] "evtchn_send";
+    Trace.emit ~dom:st.owner ~cat:Trace.Evtchn ~payload:[ ("port", Trace.Int p) ] "evtchn.notify"
+  end;
   match st.peer with
   | None -> ()
   | Some peer_port ->
@@ -74,11 +92,17 @@ let notify t p =
              if not peer.closed then deliver t peer_port))
     end
 
-let mask t p = (get t p).masked <- true
+let mask t p =
+  let st = get t p in
+  st.masked <- true;
+  if Trace.enabled () then
+    Trace.emit ~dom:st.owner ~cat:Trace.Evtchn ~payload:[ ("port", Trace.Int p) ] "evtchn.mask"
 
 let unmask t p =
   let st = get t p in
   st.masked <- false;
+  if Trace.enabled () then
+    Trace.emit ~dom:st.owner ~cat:Trace.Evtchn ~payload:[ ("port", Trace.Int p) ] "evtchn.unmask";
   if st.pending then ignore (Engine.Sim.schedule t.sim ~delay:0 (fun () -> if not st.closed then deliver t p))
 
 let is_pending t p = (get t p).pending

@@ -14,6 +14,15 @@ type entry = {
 
 type t = { stats : Xstats.t; entries : (grant_ref, entry) Hashtbl.t; mutable next_ref : int }
 
+let c_map = Trace.counter "gnttab.map"
+let c_copy = Trace.counter "gnttab.copy"
+
+let trace_op op ~by r =
+  if Trace.enabled () then begin
+    Trace.incr (if op = "gnttab.map" then c_map else c_copy);
+    Trace.emit ~dom:by ~cat:Trace.Gnttab ~payload:[ ("gref", Trace.Int r) ] op
+  end
+
 let create ~stats = { stats; entries = Hashtbl.create 128; next_ref = 8 }
 
 let get t r =
@@ -30,6 +39,7 @@ let map t ~by r =
   if e.peer <> by then raise (Permission_denied r);
   e.mapped_by <- by :: e.mapped_by;
   t.stats.Xstats.grant_maps <- t.stats.Xstats.grant_maps + 1;
+  trace_op "gnttab.map" ~by r;
   e.page
 
 let map_rw t ~by r =
@@ -50,6 +60,7 @@ let copy t ~by r ~dst =
   let e = get t r in
   if e.peer <> by then raise (Permission_denied r);
   t.stats.Xstats.grant_copies <- t.stats.Xstats.grant_copies + 1;
+  trace_op "gnttab.copy" ~by r;
   let len = min (Bytestruct.length e.page) (Bytestruct.length dst) in
   Bytestruct.blit e.page 0 dst 0 len
 
@@ -57,6 +68,7 @@ let copy_to t ~by r ~src =
   let e = get t r in
   if e.peer <> by || not e.writable then raise (Permission_denied r);
   t.stats.Xstats.grant_copies <- t.stats.Xstats.grant_copies + 1;
+  trace_op "gnttab.copy" ~by r;
   let len = min (Bytestruct.length e.page) (Bytestruct.length src) in
   Bytestruct.blit src 0 e.page 0 len
 

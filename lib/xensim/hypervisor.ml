@@ -29,6 +29,10 @@ let create_domain t ~name ~mem_mib ~platform ?(vcpus = 1) () =
   t.next_domid <- id + 1;
   let d = Domain.create ~sim:t.sim ~stats:t.stats ~id ~name ~mem_mib ~platform ~vcpus () in
   t.domains <- d :: t.domains;
+  if Trace.enabled () then
+    Trace.emit ~dom:id ~cat:Trace.Boot
+      ~payload:[ ("name", Trace.String name); ("mem_mib", Trace.Int mem_mib) ]
+      "domain.create";
   d
 
 let domain t id = List.find_opt (fun d -> d.Domain.id = id) t.domains
@@ -37,7 +41,8 @@ let seal t d =
   if not t.seal_patch then raise Seal_unsupported;
   Domain.hypercall d ~name:"seal";
   Pagetable.seal d.Domain.pagetable;
-  t.stats.Xstats.seals <- t.stats.Xstats.seals + 1
+  t.stats.Xstats.seals <- t.stats.Xstats.seals + 1;
+  if Trace.enabled () then Trace.emit ~dom:d.Domain.id ~cat:Trace.Boot "domain.seal"
 
 let destroy t d =
   Domain.shutdown d ~exit_code:(-1);

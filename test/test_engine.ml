@@ -85,7 +85,36 @@ let test_stats_percentile_errors () =
   Alcotest.check_raises "empty" (Invalid_argument "Stats.percentile: empty") (fun () ->
       ignore (Engine.Stats.percentile 50.0 []));
   Alcotest.check_raises "bad p" (Invalid_argument "Stats.percentile: p out of range") (fun () ->
-      ignore (Engine.Stats.percentile 101.0 [ 1.0 ]))
+      ignore (Engine.Stats.percentile 101.0 [ 1.0 ]));
+  Alcotest.check_raises "negative p" (Invalid_argument "Stats.percentile: p out of range")
+    (fun () -> ignore (Engine.Stats.percentile (-0.5) [ 1.0 ]))
+
+let test_stats_percentile_edges () =
+  (* A single sample is every percentile. *)
+  check (Alcotest.float 1e-9) "single p0" 7.5 (Engine.Stats.percentile 0.0 [ 7.5 ]);
+  check (Alcotest.float 1e-9) "single p50" 7.5 (Engine.Stats.percentile 50.0 [ 7.5 ]);
+  check (Alcotest.float 1e-9) "single p100" 7.5 (Engine.Stats.percentile 100.0 [ 7.5 ]);
+  (* p=0 / p=100 hit the extremes of an unsorted list, no interpolation. *)
+  let xs = [ 9.0; 1.0; 4.0 ] in
+  check (Alcotest.float 1e-9) "p0 is min" 1.0 (Engine.Stats.percentile 0.0 xs);
+  check (Alcotest.float 1e-9) "p100 is max" 9.0 (Engine.Stats.percentile 100.0 xs)
+
+let test_stats_acc_of_list_merge () =
+  let xs = [ 2.0; 4.0; 4.0; 4.0 ] and ys = [ 5.0; 5.0; 7.0; 9.0 ] in
+  let merged = Engine.Stats.acc_merge (Engine.Stats.acc_of_list xs) (Engine.Stats.acc_of_list ys) in
+  let whole = Engine.Stats.acc_of_list (xs @ ys) in
+  check_int "count" (Engine.Stats.acc_count whole) (Engine.Stats.acc_count merged);
+  check (Alcotest.float 1e-9) "mean" (Engine.Stats.acc_mean whole) (Engine.Stats.acc_mean merged);
+  check (Alcotest.float 1e-9) "stddev" (Engine.Stats.acc_stddev whole)
+    (Engine.Stats.acc_stddev merged);
+  check (Alcotest.float 1e-9) "min" (Engine.Stats.acc_min whole) (Engine.Stats.acc_min merged);
+  check (Alcotest.float 1e-9) "max" (Engine.Stats.acc_max whole) (Engine.Stats.acc_max merged);
+  (* merging with an empty accumulator is the identity *)
+  let with_empty = Engine.Stats.acc_merge (Engine.Stats.acc_create ()) (Engine.Stats.acc_of_list xs) in
+  check_int "empty + xs count" 4 (Engine.Stats.acc_count with_empty);
+  check (Alcotest.float 1e-9) "empty + xs mean" 3.5 (Engine.Stats.acc_mean with_empty);
+  check_int "empty + empty" 0
+    (Engine.Stats.acc_count (Engine.Stats.acc_merge (Engine.Stats.acc_create ()) (Engine.Stats.acc_create ())))
 
 let test_stats_cdf () =
   let cdf = Engine.Stats.cdf [ 3.0; 1.0; 2.0; 2.0 ] in
@@ -226,6 +255,8 @@ let () =
           Alcotest.test_case "online acc matches batch" `Quick test_stats_acc_matches_batch;
           Alcotest.test_case "percentile" `Quick test_stats_percentile;
           Alcotest.test_case "percentile errors" `Quick test_stats_percentile_errors;
+          Alcotest.test_case "percentile edge cases" `Quick test_stats_percentile_edges;
+          Alcotest.test_case "acc_of_list and acc_merge" `Quick test_stats_acc_of_list_merge;
           Alcotest.test_case "cdf" `Quick test_stats_cdf;
           Alcotest.test_case "histogram" `Quick test_histogram;
         ] );

@@ -1,0 +1,216 @@
+(* lib/trace: ring wraparound, span nesting, counter saturation, disabled
+   no-op behaviour, deterministic JSON-lines output, and the emit points
+   wired through the xensim/devices/netstack hot paths. *)
+
+open Testlib
+module P = Mthread.Promise
+
+(* Run [f] with a clean, enabled trace; always leave the global trace
+   disabled and empty for the other suites in this binary. *)
+let with_trace ?(capacity = 4096) f =
+  Trace.enable ~capacity ();
+  Trace.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.disable ();
+      Trace.reset ())
+    f
+
+let nth_event evs i = List.nth evs i
+
+(* ---- ring buffer ---- *)
+
+let test_ring_wraparound () =
+  with_trace ~capacity:4 (fun () ->
+      for i = 0 to 5 do
+        Trace.emit ~cat:(Trace.User "test") ~payload:[ ("i", Trace.Int i) ] "tick"
+      done;
+      let evs = Trace.events () in
+      check_int "retained" 4 (List.length evs);
+      check_int "dropped" 2 (Trace.dropped ());
+      (* Oldest two overwritten: seqs 2..5 survive, in order. *)
+      List.iteri (fun i (ev : Trace.event) -> check_int "seq" (i + 2) ev.Trace.seq) evs;
+      let times = List.map (fun (ev : Trace.event) -> ev.Trace.time) evs in
+      check_bool "timestamps non-decreasing" true (List.sort compare times = times))
+
+(* ---- spans ---- *)
+
+let test_span_nesting () =
+  with_trace (fun () ->
+      let now = ref 0 in
+      Trace.set_clock (fun () -> !now);
+      let outer = Trace.span ~dom:1 ~cat:Trace.Device "outer" in
+      now := 100;
+      let inner = Trace.span ~dom:1 ~cat:Trace.Device "inner" in
+      now := 250;
+      Trace.finish inner;
+      now := 400;
+      Trace.finish outer;
+      Trace.finish outer (* closing twice is a no-op *);
+      let evs = Trace.events () in
+      check_int "four events" 4 (List.length evs);
+      let phase i = (nth_event evs i).Trace.phase in
+      let depth i = (nth_event evs i).Trace.depth in
+      let name i = (nth_event evs i).Trace.name in
+      check_bool "B outer" true (phase 0 = Trace.Begin && name 0 = "outer" && depth 0 = 0);
+      check_bool "B inner" true (phase 1 = Trace.Begin && name 1 = "inner" && depth 1 = 1);
+      check_bool "E inner" true (phase 2 = Trace.End && name 2 = "inner" && depth 2 = 1);
+      check_bool "E outer" true (phase 3 = Trace.End && name 3 = "outer" && depth 3 = 0);
+      match Trace.span_stats () with
+      | [ inner_s; outer_s ] ->
+        check_string "inner first (sorted)" "inner" inner_s.Trace.span_name;
+        check_int "inner duration" 150 inner_s.Trace.span_min_ns;
+        check_int "inner max" 150 inner_s.Trace.span_max_ns;
+        check_int "inner count" 1 inner_s.Trace.span_count;
+        check_int "outer duration" 400 outer_s.Trace.span_total_ns;
+        check_int "outer samples" 1 (Array.length outer_s.Trace.span_samples)
+      | l -> Alcotest.failf "expected 2 span stats, got %d" (List.length l))
+
+let test_record_span_ns () =
+  with_trace (fun () ->
+      Trace.record_span_ns ~dom:3 ~cat:Trace.Net "tcp.rtt" 1000;
+      Trace.record_span_ns ~dom:3 ~cat:Trace.Net "tcp.rtt" 3000;
+      match Trace.span_stats () with
+      | [ s ] ->
+        check_int "count" 2 s.Trace.span_count;
+        check_int "total" 4000 s.Trace.span_total_ns;
+        check_int "min" 1000 s.Trace.span_min_ns;
+        check_int "max" 3000 s.Trace.span_max_ns;
+        check_int "dom" 3 s.Trace.span_dom
+      | l -> Alcotest.failf "expected 1 span stat, got %d" (List.length l))
+
+(* ---- counters ---- *)
+
+let test_counter_saturation () =
+  with_trace (fun () ->
+      let c = Trace.counter "test.sat" in
+      Trace.add c (max_int - 1);
+      check_int "near max" (max_int - 1) (Trace.counter_value c);
+      Trace.incr c;
+      check_int "at max" max_int (Trace.counter_value c);
+      Trace.add c 5;
+      check_int "saturates, no wraparound" max_int (Trace.counter_value c);
+      check_bool "listed" true (List.mem_assoc "test.sat" (Trace.counters ())))
+
+(* ---- disabled tracing ---- *)
+
+let test_disabled_noop () =
+  Trace.disable ();
+  Trace.reset ();
+  check_bool "disabled" false (Trace.enabled ());
+  let c = Trace.counter "test.noop" in
+  Trace.incr c;
+  Trace.add c 41;
+  Trace.emit ~cat:Trace.Net "nothing";
+  let sp = Trace.span ~dom:7 ~cat:Trace.Net "nothing" in
+  Trace.finish sp;
+  Trace.record_span_ns ~cat:Trace.Net "nothing" 5;
+  check_int "no events" 0 (List.length (Trace.events ()));
+  check_int "no drops" 0 (Trace.dropped ());
+  check_int "counter untouched" 0 (Trace.counter_value c);
+  check_int "no span stats" 0 (List.length (Trace.span_stats ()))
+
+(* ---- JSON-lines export ---- *)
+
+(* Boot two hosts and ping across the bridge — exercises netif spans,
+   evtchn notifies, ring pushes and grant copies deterministically. *)
+let traced_ping_run ~seed =
+  Trace.enable ~capacity:65536 ();
+  Trace.reset ();
+  let w = make_world ~seed () in
+  let a = make_host w ~name:"a" ~ip:"10.0.0.1" () in
+  let b = make_host w ~name:"b" ~ip:"10.0.0.2" () in
+  let rtt =
+    run w
+      (Netstack.Icmp4.ping (Netstack.Stack.icmp a.stack) ~dst:(Netstack.Stack.address b.stack)
+         ~seq:1 ())
+  in
+  Engine.Sim.run w.sim;
+  check_bool "ping completed" true (rtt > 0);
+  let lines = List.map Trace.to_json_line (Trace.events ()) in
+  let events = Trace.events () in
+  Trace.disable ();
+  Trace.reset ();
+  (lines, events)
+
+let test_deterministic_jsonl () =
+  let lines1, events = traced_ping_run ~seed:2013 in
+  let lines2, _ = traced_ping_run ~seed:2013 in
+  check_bool "some events traced" true (lines1 <> []);
+  check_bool "identical JSONL across identically-seeded runs" true (lines1 = lines2);
+  (* every line is one valid JSON object with the expected fields *)
+  List.iter
+    (fun line ->
+      match Formats.Json.parse line with
+      | Formats.Json.Object members ->
+        check_bool "has t" true (List.mem_assoc "t" members);
+        check_bool "has cat" true (List.mem_assoc "cat" members);
+        check_bool "has name" true (List.mem_assoc "name" members)
+      | _ -> Alcotest.fail "JSONL line is not an object")
+    lines1;
+  (* virtual timestamps never go backwards *)
+  let times = List.map (fun (ev : Trace.event) -> ev.Trace.time) events in
+  check_bool "monotone timestamps" true (List.sort compare times = times);
+  (* the hot paths all reported in *)
+  let cats = List.map (fun (ev : Trace.event) -> ev.Trace.cat) events in
+  check_bool "hypercall events" true (List.mem Trace.Hypercall cats);
+  check_bool "evtchn events" true (List.mem Trace.Evtchn cats);
+  check_bool "ring events" true (List.mem Trace.Ring cats);
+  check_bool "device events" true (List.mem Trace.Device cats);
+  check_bool "sched events" true (List.mem Trace.Sched cats)
+
+(* Full appliance boot: hypercalls (seal), boot span, device spans. *)
+let test_appliance_boot_trace () =
+  Trace.enable ~capacity:65536 ();
+  Trace.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.disable ();
+      Trace.reset ())
+    (fun () ->
+      let w = make_world () in
+      let ts = Xensim.Toolstack.create w.hv in
+      let ip =
+        {
+          Netstack.Ipv4.address = Netstack.Ipaddr.of_string "10.0.0.53";
+          netmask = Netstack.Ipaddr.of_string "255.255.255.0";
+          gateway = None;
+        }
+      in
+      let networked =
+        run w
+          (Core.Appliance.boot w.hv ts
+             (Core.Boot_spec.make ~backend_dom:w.dom0 ~bridge:w.bridge
+                ~config:(Core.Appliance.dns_appliance ()) ~ip ())
+             ~main:(fun _ -> P.return 0))
+      in
+      Engine.Sim.run w.sim;
+      check_bool "booted" true
+        (Xensim.Pagetable.is_sealed
+           networked.Core.Appliance.unikernel.Core.Unikernel.domain.Xensim.Domain.pagetable);
+      let cats = List.map (fun (ev : Trace.event) -> ev.Trace.cat) (Trace.events ()) in
+      check_bool "hypercall events" true (List.mem Trace.Hypercall cats);
+      check_bool "boot events" true (List.mem Trace.Boot cats);
+      let boot_spans =
+        List.filter (fun s -> s.Trace.span_name = "appliance.boot") (Trace.span_stats ())
+      in
+      check_int "one appliance.boot span" 1 (List.length boot_spans);
+      check_bool "boot took virtual time" true
+        ((List.hd boot_spans).Trace.span_total_ns > 0);
+      (* the summary renderer digests this state without blowing up *)
+      check_bool "summary non-empty" true (String.length (Engine.Trace_report.summary_string ()) > 0))
+
+let () =
+  Alcotest.run "trace"
+    [
+      ( "trace",
+        [
+          Alcotest.test_case "ring wraparound" `Quick test_ring_wraparound;
+          Alcotest.test_case "span nesting" `Quick test_span_nesting;
+          Alcotest.test_case "record_span_ns" `Quick test_record_span_ns;
+          Alcotest.test_case "counter saturation" `Quick test_counter_saturation;
+          Alcotest.test_case "disabled tracing is a no-op" `Quick test_disabled_noop;
+          Alcotest.test_case "deterministic jsonl" `Quick test_deterministic_jsonl;
+          Alcotest.test_case "appliance boot trace" `Quick test_appliance_boot_trace;
+        ] );
+    ]
