@@ -1,0 +1,144 @@
+(* Chaos matrix: Fig-8-style bulk transfers under every fault schedule ×
+   a pool of PRNG seeds, asserting payload integrity and termination and
+   reporting goodput plus the injected-fault and recovery counters. The
+   fast pinned-seed subset runs in `dune runtest` (test/test_chaos.ml);
+   this is the full sweep, with `--trace` support from the main harness. *)
+
+module P = Mthread.Promise
+module N = Netstack
+module F = Netsim.Faults
+
+let ms = Engine.Sim.ms
+let bytes = 200_000
+let seeds = [ 1; 2; 3; 5; 7; 11; 42; 101; 443; 1001; 4242; 65537 ]
+
+let schedules : (string * (now:int -> F.t)) list =
+  [
+    ( "burst-loss-2pct",
+      fun ~now:_ -> F.make ~ge:(F.burst_loss ~avg_loss:0.02 ~burst_len:5 ()) () );
+    ("reorder-15pct", fun ~now:_ -> F.make ~reorder:(0.15, 300_000) ());
+    ("duplicate-5pct", fun ~now:_ -> F.make ~duplicate:0.05 ());
+    ("corrupt-3pct", fun ~now:_ -> F.make ~corrupt:0.03 ());
+    ("jitter-200us", fun ~now:_ -> F.make ~jitter_ns:200_000 ());
+    (* The first outage must land inside the transfer (~2 ms clean), hence
+       the early anchor. *)
+    ("link-flap", fun ~now -> F.make ~flap:(now + 500_000, ms 40, ms 200) ());
+    ( "everything",
+      fun ~now ->
+        F.make
+          ~ge:(F.burst_loss ~avg_loss:0.01 ~burst_len:4 ())
+          ~reorder:(0.05, 200_000) ~duplicate:0.02 ~corrupt:0.01 ~jitter_ns:100_000
+          ~flap:(now + ms 20, ms 20, ms 400) () );
+  ]
+
+type outcome = {
+  goodput_mbps : float;
+  retransmits : int;
+  fast_rtx : int;
+  rtos : int;
+  persists : int;
+  faults_injected : int;
+}
+
+let one_run ~seed ~schedule =
+  let w = Util.make_world ~seed () in
+  let a = Util.make_host w ~platform:Platform.xen_extent ~name:"a" ~ip:"10.0.0.1" () in
+  let b = Util.make_host w ~platform:Platform.linux_pv ~name:"b" ~ip:"10.0.0.2" () in
+  let received = Buffer.create bytes in
+  let finished_at = ref 0 in
+  let server_flow = ref None in
+  let server_done, done_u = P.wait () in
+  N.Tcp.listen (N.Stack.tcp b.Util.stack) ~port:5001 (fun flow ->
+      server_flow := Some flow;
+      let rec drain () =
+        P.bind (N.Tcp.read flow) (function
+          | None ->
+            finished_at := Engine.Sim.now w.Util.sim;
+            P.wakeup done_u ();
+            P.return ()
+          | Some c ->
+            Buffer.add_string received (Bytestruct.to_string c);
+            drain ())
+      in
+      drain ());
+  let data = String.init bytes (fun i -> Char.chr ((i * 131 + i / 251) land 0xff)) in
+  let flow =
+    Util.run w
+      (N.Tcp.connect (N.Stack.tcp a.Util.stack)
+         ~dst:(N.Stack.address b.Util.stack) ~dst_port:5001)
+  in
+  let now = Engine.Sim.now w.Util.sim in
+  Netsim.Bridge.set_faults w.Util.bridge a.Util.nic (schedule ~now);
+  Netsim.Bridge.set_faults w.Util.bridge b.Util.nic (schedule ~now);
+  P.async (fun () ->
+      let rec send off =
+        if off >= bytes then N.Tcp.close flow
+        else
+          P.bind
+            (N.Tcp.write flow (Util.bs (String.sub data off (min 4096 (bytes - off)))))
+            (fun () -> send (off + 4096))
+      in
+      send 0);
+  Engine.Sim.run w.Util.sim ~until:(now + Engine.Sim.sec 60);
+  if P.state server_done = `Pending then
+    Error
+      (Printf.sprintf "did not terminate (client %s / server %s, %d/%d bytes, sim now %dms)"
+         (N.Tcp.state_name flow)
+         (match !server_flow with Some f -> N.Tcp.state_name f | None -> "-")
+         (Buffer.length received) bytes
+         ((Engine.Sim.now w.Util.sim - now) / 1_000_000))
+  else if Buffer.contents received <> data then Error "payload corrupted"
+  else begin
+    let tcp = N.Stack.tcp a.Util.stack in
+    let fc = Netsim.Bridge.fault_counts w.Util.bridge in
+    let elapsed = !finished_at - now in
+    Ok
+      {
+        goodput_mbps = float_of_int bytes *. 8.0 /. Engine.Sim.to_sec elapsed /. 1e6;
+        retransmits = N.Tcp.retransmissions tcp;
+        fast_rtx = N.Tcp.fast_retransmits tcp;
+        rtos = N.Tcp.rto_fires tcp;
+        persists = N.Tcp.persist_probes tcp;
+        faults_injected =
+          fc.Netsim.fc_burst_dropped + fc.Netsim.fc_flap_dropped + fc.Netsim.fc_script_dropped
+          + fc.Netsim.fc_corrupted + fc.Netsim.fc_duplicated + fc.Netsim.fc_reordered;
+      }
+  end
+
+let run () =
+  Util.header
+    (Printf.sprintf "Chaos matrix: %d KB transfers, %d schedules x %d seeds"
+       (bytes / 1000) (List.length schedules) (List.length seeds));
+  Printf.printf "  %-18s %-10s %-10s %-8s %-7s %-6s %-8s %-8s\n" "schedule" "goodput" "(min)"
+    "faults" "rtx" "fast" "rto" "persist";
+  let failures = ref 0 in
+  List.iter
+    (fun (name, schedule) ->
+      let outcomes = List.map (fun seed -> (seed, one_run ~seed ~schedule)) seeds in
+      List.iter
+        (function
+          | seed, Error e ->
+            incr failures;
+            Printf.printf "  %-18s seed %-6d FAILED: %s\n" name seed e
+          | _, Ok _ -> ())
+        outcomes;
+      let oks = List.filter_map (function _, Ok o -> Some o | _ -> None) outcomes in
+      if List.length oks = List.length seeds then begin
+        let sum f = List.fold_left (fun acc o -> acc +. f o) 0.0 oks in
+        let isum f = List.fold_left (fun acc o -> acc + f o) 0 oks in
+        let mean = sum (fun o -> o.goodput_mbps) /. float_of_int (List.length oks) in
+        let mn =
+          List.fold_left (fun acc o -> min acc o.goodput_mbps) infinity oks
+        in
+        Printf.printf "  %-18s %6.1f Mbps %6.1f Mbps %6d %7d %6d %8d %8d\n" name mean mn
+          (isum (fun o -> o.faults_injected))
+          (isum (fun o -> o.retransmits))
+          (isum (fun o -> o.fast_rtx))
+          (isum (fun o -> o.rtos))
+          (isum (fun o -> o.persists))
+      end)
+    schedules;
+  if !failures = 0 then
+    Printf.printf "  (all %d runs: payload checksum intact, terminated inside the deadline)\n"
+      (List.length schedules * List.length seeds)
+  else Printf.printf "  %d of %d runs FAILED\n" !failures (List.length schedules * List.length seeds)

@@ -21,6 +21,7 @@ let experiments =
     ("fig14", "lines of code comparison", Tables.fig14);
     ("sealing", "specialisation & sealing summary", Tables.sealing_and_config);
     ("ablation", "design-choice ablations", Ablation.run);
+    ("chaos", "TCP chaos matrix: fault schedules x seeds", Chaos.run);
     ("micro", "real-time microbenchmarks", Micro.run);
   ]
 

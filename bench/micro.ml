@@ -132,11 +132,34 @@ let test_compress_hash_big =
     (Staged.stage (fun () ->
          ignore (Dns.Dns_wire.encode ~impl:Dns.Compress.Hashtable big_response)))
 
+(* The TCP retransmission queue is appended to once per segment sent.
+   With a 256-entry flight (a full 128 KB window of tinygrams), the old
+   list representation paid O(n) per append — O(n²) per window — where
+   Queue.add is O(1). *)
+let test_rtx_list_append =
+  Test.make ~name:"rtx append x256 (list @ [x])"
+    (Staged.stage (fun () ->
+         let l = ref [] in
+         for i = 0 to 255 do
+           l := !l @ [ i ]
+         done;
+         ignore !l))
+
+let test_rtx_queue_append =
+  Test.make ~name:"rtx append x256 (Queue.add)"
+    (Staged.stage (fun () ->
+         let q = Queue.create () in
+         for i = 0 to 255 do
+           Queue.add i q
+         done;
+         ignore (Queue.length q)))
+
 let all_tests =
   [
     test_dns_encode_fmap; test_dns_encode_hashtable; test_compress_fmap_big;
     test_compress_hash_big; test_dns_decode; test_checksum; test_tcp_encode; test_ring_cycle;
     test_of_flow_mod; test_http_parse_render; test_sha256; test_chacha; test_json_parse;
+    test_rtx_list_append; test_rtx_queue_append;
   ]
 
 let run () =

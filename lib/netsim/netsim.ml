@@ -14,6 +14,73 @@ let mac_of_int i =
   Bytes.set b 5 '\x01';
   Bytes.to_string b
 
+(* Fault-injection counters: one per injected-fault kind, so a trace of a
+   chaotic run explains every retransmit the TCP layer records. *)
+let c_burst_drop = Trace.counter "netsim.fault.burst_drop"
+let c_flap_drop = Trace.counter "netsim.fault.flap_drop"
+let c_script_drop = Trace.counter "netsim.fault.script_drop"
+let c_corrupt = Trace.counter "netsim.fault.corrupt"
+let c_duplicate = Trace.counter "netsim.fault.duplicate"
+let c_reorder = Trace.counter "netsim.fault.reorder"
+
+module Faults = struct
+  type gilbert_elliott = {
+    p_good_bad : float;
+    p_bad_good : float;
+    loss_good : float;
+    loss_bad : float;
+    slot_ns : int;
+  }
+
+  let burst_loss ?(slot_ns = 100_000) ~avg_loss ~burst_len () =
+    if avg_loss < 0.0 || avg_loss >= 1.0 then invalid_arg "Faults.burst_loss: avg_loss in [0,1)";
+    let p_bad_good = 1.0 /. float_of_int (max 1 burst_len) in
+    let p_good_bad = avg_loss *. p_bad_good /. (1.0 -. avg_loss) in
+    { p_good_bad; p_bad_good; loss_good = 0.0; loss_bad = 1.0; slot_ns }
+
+  type t = {
+    ge : gilbert_elliott option;
+    reorder_p : float;
+    reorder_extra_ns : int;
+    dup_p : float;
+    corrupt_p : float;
+    jitter_ns : int;
+    flap : (int * int * int) option;
+    drop_when : (now_ns:int -> nth:int -> Bytestruct.t -> bool) option;
+  }
+
+  let none =
+    {
+      ge = None;
+      reorder_p = 0.0;
+      reorder_extra_ns = 0;
+      dup_p = 0.0;
+      corrupt_p = 0.0;
+      jitter_ns = 0;
+      flap = None;
+      drop_when = None;
+    }
+
+  let make ?ge ?reorder ?duplicate ?corrupt ?jitter_ns ?flap ?drop_when () =
+    let reorder_p, reorder_extra_ns =
+      match reorder with None -> (0.0, 0) | Some (p, d) -> (p, max 1 d)
+    in
+    (match flap with
+    | Some (_, down, period) when down <= 0 || period <= down ->
+      invalid_arg "Faults.make: flap needs 0 < down_ns < period_ns"
+    | _ -> ());
+    {
+      ge;
+      reorder_p;
+      reorder_extra_ns;
+      dup_p = Option.value duplicate ~default:0.0;
+      corrupt_p = Option.value corrupt ~default:0.0;
+      jitter_ns = Option.value jitter_ns ~default:0;
+      flap;
+      drop_when;
+    }
+end
+
 type nic = {
   mac : string;
   bandwidth_bps : int;
@@ -25,6 +92,14 @@ type nic = {
   mutable frames_sent : int;
   mutable frames_received : int;
   mutable bytes_sent : int;
+  (* fault-injection state (see {!Faults}); [fault_prng] is split from the
+     bridge PRNG at [set_faults] time so each schedule replays bit-for-bit
+     from the simulation seed, independently of other links. *)
+  mutable faults : Faults.t;
+  mutable fault_prng : Engine.Prng.t;
+  mutable ge_bad : bool;
+  mutable ge_last_ns : int;
+  mutable fault_nth : int;
 }
 
 and bridge = {
@@ -35,7 +110,22 @@ and bridge = {
   mutable forwarded : int;
   mutable flooded : int;
   mutable dropped : int;
+  mutable burst_dropped : int;
+  mutable flap_dropped : int;
+  mutable script_dropped : int;
+  mutable corrupted : int;
+  mutable duplicated : int;
+  mutable reordered : int;
   mutable taps : (time_ns:int -> Bytestruct.t -> unit) list;
+}
+
+type fault_counts = {
+  fc_burst_dropped : int;
+  fc_flap_dropped : int;
+  fc_script_dropped : int;
+  fc_corrupted : int;
+  fc_duplicated : int;
+  fc_reordered : int;
 }
 
 module Nic = struct
@@ -51,6 +141,47 @@ module Nic = struct
     t.frames_received <- t.frames_received + 1;
     match t.rx with None -> () | Some f -> f frame
 
+  (* Bridge-side arrival: tap, learn the source port, forward or flood. *)
+  let forward b src_nic frame ~time =
+    List.iter (fun tap -> tap ~time_ns:time frame) b.taps;
+    let src = Bytestruct.get_string frame 6 6 in
+    Hashtbl.replace b.table src src_nic;
+    let dst = Bytestruct.get_string frame 0 6 in
+    if dst = broadcast_mac then begin
+      b.flooded <- b.flooded + 1;
+      List.iter (fun n -> if n != src_nic then deliver n frame) b.nics
+    end
+    else
+      match Hashtbl.find_opt b.table dst with
+      | Some port when port != src_nic ->
+        b.forwarded <- b.forwarded + 1;
+        deliver port frame
+      | Some _ -> ()
+      | None ->
+        b.flooded <- b.flooded + 1;
+        List.iter (fun n -> if n != src_nic then deliver n frame) b.nics
+
+  (* Single-bit corruption, restricted to the IP packet body past the
+     ethernet + IPv4 headers: this models the bit errors that evade the
+     ethernet FCS and that the transport checksum must catch. Flipping
+     header bytes of unprotected protocols (ARP) would wedge the world in
+     ways no real NIC allows through. *)
+  let maybe_corrupt t frame =
+    let len = Bytestruct.length frame in
+    if len > 34 && Bytestruct.BE.get_uint16 frame 12 = 0x0800 then begin
+      let byte = 34 + Engine.Prng.int t.fault_prng (len - 34) in
+      let bit = Engine.Prng.int t.fault_prng 8 in
+      Bytestruct.set_uint8 frame byte (Bytestruct.get_uint8 frame byte lxor (1 lsl bit));
+      t.bridge.corrupted <- t.bridge.corrupted + 1;
+      Trace.incr c_corrupt
+    end
+
+  let link_down faults ~time =
+    match faults.Faults.flap with
+    | Some (first, down_ns, period_ns) ->
+      time >= first && (time - first) mod period_ns < down_ns
+    | None -> false
+
   let send t frame =
     let len = Bytestruct.length frame in
     if len < 14 then invalid_arg "Netsim: frame shorter than an Ethernet header";
@@ -65,31 +196,79 @@ module Nic = struct
     let start = max now t.tx_free_at in
     t.tx_free_at <- start + serialisation;
     let arrival = start + serialisation + t.latency_ns in
-    if Engine.Prng.float b.prng 1.0 < t.loss then begin
+    let f = t.faults in
+    let nth = t.fault_nth in
+    t.fault_nth <- nth + 1;
+    if Engine.Prng.float b.prng 1.0 < t.loss then b.dropped <- b.dropped + 1
+    else if (match f.Faults.drop_when with Some p -> p ~now_ns:now ~nth wire_frame | None -> false)
+    then begin
       b.dropped <- b.dropped + 1;
-      ignore arrival
+      b.script_dropped <- b.script_dropped + 1;
+      Trace.incr c_script_drop
     end
-    else
-      ignore
-        (Engine.Sim.at b.sim ~time:arrival (fun () ->
-             List.iter (fun tap -> tap ~time_ns:arrival wire_frame) b.taps;
-             (* Learn the source port. *)
-             let src = Bytestruct.get_string wire_frame 6 6 in
-             Hashtbl.replace b.table src t;
-             let dst = Bytestruct.get_string wire_frame 0 6 in
-             if dst = broadcast_mac then begin
-               b.flooded <- b.flooded + 1;
-               List.iter (fun n -> if n != t then deliver n wire_frame) b.nics
-             end
-             else
-               match Hashtbl.find_opt b.table dst with
-               | Some port when port != t ->
-                 b.forwarded <- b.forwarded + 1;
-                 deliver port wire_frame
-               | Some _ -> ()
-               | None ->
-                 b.flooded <- b.flooded + 1;
-                 List.iter (fun n -> if n != t then deliver n wire_frame) b.nics))
+    else if link_down f ~time:start then begin
+      b.dropped <- b.dropped + 1;
+      b.flap_dropped <- b.flap_dropped + 1;
+      Trace.incr c_flap_drop
+    end
+    else begin
+      (* Gilbert–Elliott channel. The chain advances one step per [slot_ns]
+         of link time (at least one per frame): a channel in the Bad state
+         recovers during idle gaps, so a sender retransmitting on a
+         backed-off RTO is not doomed to meet the same burst forever. The
+         k-step state is sampled in closed form with one PRNG draw:
+         P(bad after k) = pi_b + (b0 - pi_b)·lambda^k, lambda = 1-p_gb-p_bg. *)
+      let ge_drop =
+        match f.Faults.ge with
+        | None -> false
+        | Some g ->
+          let p_gb = g.Faults.p_good_bad and p_bg = g.Faults.p_bad_good in
+          let steps = max 1 ((start - t.ge_last_ns) / max 1 g.Faults.slot_ns) in
+          t.ge_last_ns <- start;
+          let p_bad =
+            if p_gb +. p_bg <= 0.0 then if t.ge_bad then 1.0 else 0.0
+            else begin
+              let pi_b = p_gb /. (p_gb +. p_bg) in
+              let lam = 1.0 -. p_gb -. p_bg in
+              let lamk = if lam = 0.0 then 0.0 else lam ** float_of_int steps in
+              let b0 = if t.ge_bad then 1.0 else 0.0 in
+              pi_b +. ((b0 -. pi_b) *. lamk)
+            end
+          in
+          t.ge_bad <- Engine.Prng.float t.fault_prng 1.0 < p_bad;
+          let p = if t.ge_bad then g.Faults.loss_bad else g.Faults.loss_good in
+          p > 0.0 && Engine.Prng.float t.fault_prng 1.0 < p
+      in
+      if ge_drop then begin
+        b.dropped <- b.dropped + 1;
+        b.burst_dropped <- b.burst_dropped + 1;
+        Trace.incr c_burst_drop
+      end
+      else begin
+        if f.Faults.corrupt_p > 0.0 && Engine.Prng.float t.fault_prng 1.0 < f.Faults.corrupt_p
+        then maybe_corrupt t wire_frame;
+        let arrival =
+          if f.Faults.jitter_ns > 0 then arrival + Engine.Prng.int t.fault_prng f.Faults.jitter_ns
+          else arrival
+        in
+        let arrival =
+          if f.Faults.reorder_p > 0.0 && Engine.Prng.float t.fault_prng 1.0 < f.Faults.reorder_p
+          then begin
+            b.reordered <- b.reordered + 1;
+            Trace.incr c_reorder;
+            arrival + 1 + Engine.Prng.int t.fault_prng f.Faults.reorder_extra_ns
+          end
+          else arrival
+        in
+        ignore (Engine.Sim.at b.sim ~time:arrival (fun () -> forward b t wire_frame ~time:arrival));
+        if f.Faults.dup_p > 0.0 && Engine.Prng.float t.fault_prng 1.0 < f.Faults.dup_p then begin
+          b.duplicated <- b.duplicated + 1;
+          Trace.incr c_duplicate;
+          let dup_at = arrival + 1 + Engine.Prng.int t.fault_prng 50_000 in
+          ignore (Engine.Sim.at b.sim ~time:dup_at (fun () -> forward b t wire_frame ~time:dup_at))
+        end
+      end
+    end
 end
 
 module Bridge = struct
@@ -104,6 +283,12 @@ module Bridge = struct
       forwarded = 0;
       flooded = 0;
       dropped = 0;
+      burst_dropped = 0;
+      flap_dropped = 0;
+      script_dropped = 0;
+      corrupted = 0;
+      duplicated = 0;
+      reordered = 0;
       taps = [];
     }
 
@@ -121,6 +306,11 @@ module Bridge = struct
         frames_sent = 0;
         frames_received = 0;
         bytes_sent = 0;
+        faults = Faults.none;
+        fault_prng = Engine.Prng.create ~seed:0 ();
+        ge_bad = false;
+        ge_last_ns = 0;
+        fault_nth = 0;
       }
     in
     t.nics <- nic :: t.nics;
@@ -128,8 +318,26 @@ module Bridge = struct
 
   let set_loss _t nic p = nic.loss <- p
 
+  let set_faults t nic f =
+    nic.faults <- f;
+    nic.fault_prng <- Engine.Prng.split t.prng;
+    nic.ge_bad <- false;
+    nic.ge_last_ns <- Engine.Sim.now t.sim;
+    nic.fault_nth <- 0
+
   let forwarded t = t.forwarded
   let flooded t = t.flooded
   let dropped t = t.dropped
+
+  let fault_counts t =
+    {
+      fc_burst_dropped = t.burst_dropped;
+      fc_flap_dropped = t.flap_dropped;
+      fc_script_dropped = t.script_dropped;
+      fc_corrupted = t.corrupted;
+      fc_duplicated = t.duplicated;
+      fc_reordered = t.reordered;
+    }
+
   let tap t f = t.taps <- f :: t.taps
 end

@@ -1,11 +1,77 @@
 (** Physical-network substrate: NICs attached to a learning-switch bridge
-    through links with bandwidth, propagation latency and loss.
+    through links with bandwidth, propagation latency, loss — and, for the
+    chaos experiments, a composable per-link fault-injection layer.
 
     This stands in for the gigabit segment + Xen bridge of the paper's
     testbed. Frames are raw Ethernet (destination MAC in bytes 0-5, source
     in 6-11). Serialisation delay models link bandwidth: a NIC's transmit
     path is busy for [8·len/bandwidth] per frame, which is what caps iperf
-    throughput in the Figure 8 reproduction. *)
+    throughput in the Figure 8 reproduction.
+
+    Every stochastic fault draws from a PRNG split from the simulator seed,
+    so any fault schedule replays bit-for-bit: same seed, same program →
+    the same frames dropped, corrupted, delayed and duplicated at the same
+    virtual times. *)
+
+(** Per-link fault model. All components compose; {!none} disables every
+    one and draws nothing from the PRNG, leaving fault-free runs
+    byte-identical to a build without this layer. *)
+module Faults : sig
+  (** Two-state Markov loss channel (Gilbert–Elliott). The chain takes one
+      step ([p_good_bad] / [p_bad_good]) per [slot_ns] of link time — at
+      least one per frame sent — then the frame is dropped with the state's
+      loss probability. Evolving the chain in time rather than per frame
+      observed means a channel stuck in Bad recovers across idle gaps: a
+      sender retransmitting on a backed-off RTO sees a fresh channel, not
+      the same burst frozen in amber. The multi-step state is sampled in
+      closed form with a single PRNG draw, so cost is O(1) per frame. *)
+  type gilbert_elliott = {
+    p_good_bad : float;  (** P(Good → Bad) per slot *)
+    p_bad_good : float;  (** P(Bad → Good) per slot *)
+    loss_good : float;  (** drop probability in Good *)
+    loss_bad : float;  (** drop probability in Bad *)
+    slot_ns : int;  (** chain step duration (a "packet slot") *)
+  }
+
+  (** [burst_loss ~avg_loss ~burst_len ()] derives Gilbert–Elliott
+      parameters with stationary loss rate [avg_loss], mean burst length
+      [burst_len] slots, [loss_bad = 1] and [loss_good = 0]. [slot_ns]
+      defaults to 100 µs. *)
+  val burst_loss : ?slot_ns:int -> avg_loss:float -> burst_len:int -> unit -> gilbert_elliott
+
+  type t
+
+  val none : t
+
+  (** Compose a fault schedule. All components default to off.
+      - [ge]: bursty loss channel (see {!gilbert_elliott}).
+      - [reorder]: [(p, extra_ns)] — with probability [p] a frame is held
+        back a uniform extra delay in [1, extra_ns], letting later frames
+        overtake it.
+      - [duplicate]: probability a frame is delivered twice (the copy
+        trails by up to 50 µs).
+      - [corrupt]: probability of a single-bit flip inside the IP packet
+        body (past the ethernet + IPv4 headers — the errors that evade the
+        ethernet FCS and that the transport checksum must catch; non-IPv4
+        frames are never corrupted).
+      - [jitter_ns]: uniform extra latency in [0, jitter_ns) per frame.
+      - [flap]: [(first_down_at_ns, down_ns, period_ns)] — from
+        [first_down_at_ns] on, the link is dead for [down_ns] out of every
+        [period_ns] (frames transmitted while down vanish).
+      - [drop_when]: scripted drop predicate, called per frame with the
+        virtual time and this NIC's 0-based frame index — the deterministic
+        scalpel the unit tests use to kill one precise segment. *)
+  val make :
+    ?ge:gilbert_elliott ->
+    ?reorder:float * int ->
+    ?duplicate:float ->
+    ?corrupt:float ->
+    ?jitter_ns:int ->
+    ?flap:int * int * int ->
+    ?drop_when:(now_ns:int -> nth:int -> Bytestruct.t -> bool) ->
+    unit ->
+    t
+end
 
 module Nic : sig
   type t
@@ -26,13 +92,24 @@ module Nic : sig
   val bytes_sent : t -> int
 end
 
+(** Counts of injected faults, bridge-wide (all links summed). *)
+type fault_counts = {
+  fc_burst_dropped : int;
+  fc_flap_dropped : int;
+  fc_script_dropped : int;
+  fc_corrupted : int;
+  fc_duplicated : int;
+  fc_reordered : int;
+}
+
 module Bridge : sig
   type t
 
   val create : Engine.Sim.t -> t
 
   (** [new_nic t ~mac] attaches a NIC. Defaults: 1 Gb/s, 30 µs propagation
-      latency, no loss. [loss] is a per-frame drop probability. *)
+      latency, no loss, no faults. [loss] is a uniform per-frame drop
+      probability (kept distinct from {!Faults} for the simple tests). *)
   val new_nic :
     t ->
     ?bandwidth_bps:int ->
@@ -46,9 +123,19 @@ module Bridge : sig
       injection for the TCP tests). *)
   val set_loss : t -> Nic.t -> float -> unit
 
+  (** [set_faults t nic f] installs a fault schedule on a link (replacing
+      any previous one) and re-seeds the link's fault PRNG by splitting the
+      bridge PRNG, so each installation starts a fresh deterministic
+      stream. [Faults.none] restores a clean link. *)
+  val set_faults : t -> Nic.t -> Faults.t -> unit
+
   val forwarded : t -> int
   val flooded : t -> int
+
+  (** All drops: uniform loss + every dropping fault. *)
   val dropped : t -> int
+
+  val fault_counts : t -> fault_counts
 
   (** [tap t f] observes every frame traversing the bridge (pcap-style). *)
   val tap : t -> (time_ns:int -> Bytestruct.t -> unit) -> unit

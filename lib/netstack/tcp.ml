@@ -12,11 +12,23 @@ let our_wscale = 7
 let initial_rto_ns = Engine.Sim.ms 200
 let min_rto_ns = Engine.Sim.ms 50
 let max_rto_ns = Engine.Sim.sec 60
+let max_persist_ns = Engine.Sim.sec 5
 let msl_ns = Engine.Sim.sec 1
 let max_syn_retries = 5
 
+(* Cap on the out-of-order reassembly list. A window-respecting sender of
+   full-size segments can have at most rcv_wnd_bytes / default_mss ≈ 91
+   segments outstanding, so 128 is never reached in legitimate operation;
+   only a tinygram flood (many sub-MSS segments behind a hole) or a peer
+   ignoring our window hits it. The furthest segment is evicted first —
+   it is the one the sender will retransmit last anyway. *)
+let max_ooo_segments = 128
+
 let c_segs_sent = Trace.counter "tcp.segs_sent"
 let c_retransmit = Trace.counter "tcp.retransmits"
+let c_persist = Trace.counter "tcp.persist_probes"
+let c_ooo_evict = Trace.counter "tcp.ooo_evictions"
+let c_wnd_stale = Trace.counter "tcp.stale_window_updates"
 
 type state =
   | Syn_sent
@@ -50,6 +62,8 @@ type flow = {
   mutable snd_una : Seq.t;
   mutable snd_nxt : Seq.t;
   mutable snd_wnd : int;
+  mutable snd_wl1 : Seq.t;  (* seq of the segment last used to update snd_wnd *)
+  mutable snd_wl2 : Seq.t;  (* ack of that segment (RFC 793 §3.9) *)
   mutable snd_wscale : int;
   mutable mss : int;
   mutable cwnd : int;
@@ -57,7 +71,8 @@ type flow = {
   mutable dupacks : int;
   mutable in_recovery : bool;
   mutable recover : Seq.t;
-  mutable rtx : rtx_entry list;  (* ascending seq *)
+  mutable rto_recover : Seq.t;  (* snd_nxt at the last RTO: go-back-N up to here *)
+  rtx : rtx_entry Queue.t;  (* ascending seq; O(1) tail append *)
   tx_chunks : Bytestruct.t Queue.t;
   mutable tx_head_off : int;
   mutable tx_buffered : int;
@@ -67,6 +82,7 @@ type flow = {
   (* receive side *)
   mutable rcv_nxt : Seq.t;
   mutable rcv_wscale : int;
+  mutable rx_buffered : int;  (* bytes delivered to [rx] but not yet read *)
   mutable ooo : (Seq.t * Bytestruct.t) list;  (* ascending seq, disjoint *)
   rx : Bytestruct.t Mthread.Mstream.t;
   (* timers and RTT estimation *)
@@ -75,6 +91,8 @@ type flow = {
   mutable rttvar_ns : int;
   mutable rtt_probe : (Seq.t * int) option;
   mutable rto_timer : Engine.Sim.handle option;
+  mutable persist_timer : Engine.Sim.handle option;
+  mutable persist_backoff_ns : int;
   (* lifecycle *)
   mutable connect_waker : flow Mthread.Promise.u option;
   mutable close_waker : unit Mthread.Promise.u option;
@@ -96,13 +114,20 @@ and engine = {
   mutable retransmissions : int;
   mutable fast_retransmits : int;
   mutable rto_fires : int;
+  mutable persist_probes : int;
+  mutable ooo_evictions : int;
 }
 
 type t = engine
 
 (* ---------- low-level output ---------- *)
 
-let advertised_window (_fl : flow) = rcv_wnd_bytes lsr our_wscale
+(* Real receive-window accounting: advertise what is left of the receive
+   buffer after subtracting bytes delivered to the application stream but
+   not yet read. A non-reading application drives this to zero, stalling
+   the sender (which then persist-probes, see below) instead of letting it
+   flood an unbounded queue. *)
+let advertised_window fl = max 0 (rcv_wnd_bytes - fl.rx_buffered) lsr our_wscale
 
 let send_segment t ~key ~seq ~ack ~flags ~options ~window ~payload =
   t.segs_sent <- t.segs_sent + 1;
@@ -149,16 +174,23 @@ let cancel_rto fl =
     fl.rto_timer <- None
   | None -> ()
 
+let cancel_persist fl =
+  match fl.persist_timer with
+  | Some h ->
+    Engine.Sim.cancel h;
+    fl.persist_timer <- None
+  | None -> ()
+
 let rec arm_rto fl =
   cancel_rto fl;
-  if fl.rtx <> [] then
+  if not (Queue.is_empty fl.rtx) then
     fl.rto_timer <- Some (Engine.Sim.schedule fl.t.sim ~delay:fl.rto_ns (fun () -> on_rto fl))
 
 and on_rto fl =
   fl.rto_timer <- None;
-  match fl.rtx with
-  | [] -> ()
-  | e :: _ ->
+  match Queue.peek_opt fl.rtx with
+  | None -> ()
+  | Some e ->
     fl.t.rto_fires <- fl.t.rto_fires + 1;
     (match fl.state with
     | Syn_sent | Syn_rcvd ->
@@ -175,13 +207,20 @@ and on_rto fl =
       fl.cwnd <- fl.mss;
       fl.in_recovery <- false;
       fl.dupacks <- 0;
+      (* Everything in flight at the timeout is presumed lost: record the
+         high-water mark so returning ACKs clock go-back-N retransmission
+         (RFC 5681 §3.1) instead of paying one backed-off RTO per segment. *)
+      fl.rto_recover <- fl.snd_nxt;
       retransmit_entry fl e);
     fl.rto_ns <- min (fl.rto_ns * 2) max_rto_ns;
-    fl.rtt_probe <- None;
     arm_rto fl
 
 and retransmit_entry fl e =
   fl.t.retransmissions <- fl.t.retransmissions + 1;
+  (* Karn's rule: any retransmission — RTO, fast retransmit, partial-ack
+     hole fill or persist probe — invalidates the open RTT probe, since an
+     ACK covering it can no longer be attributed to one transmission. *)
+  fl.rtt_probe <- None;
   if Trace.enabled () then begin
     Trace.incr c_retransmit;
     Trace.emit
@@ -215,6 +254,7 @@ and fail_flow fl err =
     fl.state <- Closed;
     fl.error <- Some err;
     cancel_rto fl;
+    cancel_persist fl;
     Hashtbl.remove fl.t.flows fl.key;
     Mthread.Mstream.close fl.rx;
     (match fl.connect_waker with
@@ -288,7 +328,7 @@ let rec try_output fl =
             e_retx = false;
           }
         in
-        fl.rtx <- fl.rtx @ [ entry ];
+        Queue.add entry fl.rtx;
         if fl.rtt_probe = None then
           fl.rtt_probe <- Some (Seq.add fl.snd_nxt len, Engine.Sim.now fl.t.sim);
         fl.snd_nxt <- Seq.add fl.snd_nxt len;
@@ -300,7 +340,10 @@ let rec try_output fl =
         try_output fl
       end
     end
-    else maybe_send_fin fl
+    else begin
+      maybe_send_fin fl;
+      maybe_arm_persist fl
+    end
   | Syn_sent | Syn_rcvd | Fin_wait_2 | Time_wait | Closed -> ()
 
 and maybe_send_fin fl =
@@ -320,13 +363,95 @@ and maybe_send_fin fl =
         e_retx = false;
       }
     in
-    fl.rtx <- fl.rtx @ [ entry ];
+    Queue.add entry fl.rtx;
     fl.snd_nxt <- Seq.add fl.snd_nxt 1;
     send_segment fl.t ~key:fl.key ~seq:entry.e_seq ~ack:fl.rcv_nxt
       ~flags:{ Tcp_wire.flags_none with ack = true; fin = true }
       ~options:[] ~window:(advertised_window fl) ~payload:entry.e_payload;
     if fl.rto_timer = None then arm_rto fl
   end
+
+(* Persist timer (RFC 1122 4.2.2.17): a peer advertising a zero window
+   with nothing of ours in flight would deadlock us — its reopening window
+   update is a pure ACK, sent unreliably. Probe it with one byte (or our
+   pending FIN) on an exponentially backed-off timer until it reopens. *)
+and maybe_arm_persist fl =
+  if
+    fl.persist_timer = None && fl.snd_wnd = 0 && Queue.is_empty fl.rtx
+    && (fl.tx_buffered > 0 || (fl.fin_queued && not fl.fin_sent))
+  then begin
+    if fl.persist_backoff_ns = 0 then fl.persist_backoff_ns <- max fl.rto_ns min_rto_ns;
+    fl.persist_timer <-
+      Some (Engine.Sim.schedule fl.t.sim ~delay:fl.persist_backoff_ns (fun () -> on_persist fl))
+  end
+
+and on_persist fl =
+  fl.persist_timer <- None;
+  match fl.state with
+  | Established | Close_wait | Fin_wait_1 | Closing | Last_ack ->
+    if fl.snd_wnd > 0 then begin
+      fl.persist_backoff_ns <- 0;
+      if (not (Queue.is_empty fl.rtx)) && fl.rto_timer = None then arm_rto fl;
+      try_output fl
+    end
+    else begin
+      fl.t.persist_probes <- fl.t.persist_probes + 1;
+      if Trace.enabled () then begin
+        Trace.incr c_persist;
+        Trace.emit
+          ?dom:(Option.map (fun d -> d.Xensim.Domain.id) fl.t.dom)
+          ~cat:Trace.Net
+          ~payload:[ ("backoff_ns", Trace.Int fl.persist_backoff_ns) ]
+          "tcp.persist_probe"
+      end;
+      (match Queue.peek_opt fl.rtx with
+      | Some e ->
+        (* The previous probe is still unacknowledged: resend it. *)
+        retransmit_entry fl e
+      | None ->
+        if fl.tx_buffered > 0 then begin
+          let payload = gather_tx fl 1 in
+          let entry =
+            {
+              e_seq = fl.snd_nxt;
+              e_len = 1;
+              e_payload = payload;
+              e_syn = false;
+              e_fin = false;
+              e_sent_at = Engine.Sim.now fl.t.sim;
+              e_retx = false;
+            }
+          in
+          Queue.add entry fl.rtx;
+          fl.snd_nxt <- Seq.add fl.snd_nxt 1;
+          send_segment fl.t ~key:fl.key ~seq:entry.e_seq ~ack:fl.rcv_nxt
+            ~flags:{ Tcp_wire.flags_none with ack = true; psh = true }
+            ~options:[] ~window:(advertised_window fl) ~payload
+        end
+        else if fl.fin_queued && not fl.fin_sent then begin
+          fl.fin_sent <- true;
+          let entry =
+            {
+              e_seq = fl.snd_nxt;
+              e_len = 1;
+              e_payload = Bytestruct.create 0;
+              e_syn = false;
+              e_fin = true;
+              e_sent_at = Engine.Sim.now fl.t.sim;
+              e_retx = false;
+            }
+          in
+          Queue.add entry fl.rtx;
+          fl.snd_nxt <- Seq.add fl.snd_nxt 1;
+          send_segment fl.t ~key:fl.key ~seq:entry.e_seq ~ack:fl.rcv_nxt
+            ~flags:{ Tcp_wire.flags_none with ack = true; fin = true }
+            ~options:[] ~window:(advertised_window fl) ~payload:entry.e_payload
+        end);
+      fl.persist_backoff_ns <- min (fl.persist_backoff_ns * 2) max_persist_ns;
+      fl.persist_timer <-
+        Some (Engine.Sim.schedule fl.t.sim ~delay:fl.persist_backoff_ns (fun () -> on_persist fl))
+    end
+  | Syn_sent | Syn_rcvd | Fin_wait_2 | Time_wait | Closed -> ()
 
 (* ---------- RTT estimation (RFC 6298) ---------- *)
 
@@ -354,13 +479,16 @@ let rtt_sample fl sample_ns =
 (* ---------- ACK processing ---------- *)
 
 let remove_acked fl ack =
-  let rec go acked = function
-    | e :: rest when Seq.leq (Seq.add e.e_seq e.e_len) ack -> go (acked + e.e_len) rest
-    | rest -> (acked, rest)
-  in
-  let acked, remaining = go 0 fl.rtx in
-  fl.rtx <- remaining;
-  acked
+  let acked = ref 0 in
+  let stop = ref false in
+  while not !stop do
+    match Queue.peek_opt fl.rtx with
+    | Some e when Seq.leq (Seq.add e.e_seq e.e_len) ack ->
+      acked := !acked + e.e_len;
+      ignore (Queue.pop fl.rtx)
+    | _ -> stop := true
+  done;
+  !acked
 
 let congestion_avoidance_ack fl acked_bytes =
   if fl.cwnd < fl.ssthresh then fl.cwnd <- fl.cwnd + min acked_bytes fl.mss
@@ -373,10 +501,12 @@ let enter_fast_retransmit fl =
   fl.recover <- fl.snd_nxt;
   fl.in_recovery <- true;
   fl.cwnd <- fl.ssthresh + (3 * fl.mss);
-  (match fl.rtx with e :: _ -> retransmit_entry fl e | [] -> ());
+  (match Queue.peek_opt fl.rtx with Some e -> retransmit_entry fl e | None -> ());
   arm_rto fl
 
-let handle_ack fl (seg : Tcp_wire.segment) =
+(* [old_wnd] is the send window before this segment's (possibly rejected)
+   window update: a pure window update must not be mistaken for a dupack. *)
+let handle_ack fl ~old_wnd (seg : Tcp_wire.segment) =
   let ack = seg.ack in
   if Seq.gt ack fl.snd_una && Seq.leq ack fl.snd_nxt then begin
     (* New data acknowledged. *)
@@ -387,7 +517,8 @@ let handle_ack fl (seg : Tcp_wire.segment) =
     (match fl.rtt_probe with
     | Some (probe_seq, t0) when Seq.geq ack probe_seq ->
       (* Karn: only sample if nothing acked was retransmitted — the probe
-         segment is cleared on RTO, so reaching here is a clean sample. *)
+         is cleared on any retransmission, so reaching here is a clean
+         sample. *)
       rtt_sample fl (Engine.Sim.now fl.t.sim - t0);
       fl.rtt_probe <- None
     | _ -> ());
@@ -399,18 +530,24 @@ let handle_ack fl (seg : Tcp_wire.segment) =
       end
       else begin
         (* Partial ack: retransmit the next hole, deflate. *)
-        (match fl.rtx with e :: _ -> retransmit_entry fl e | [] -> ());
+        (match Queue.peek_opt fl.rtx with Some e -> retransmit_entry fl e | None -> ());
         fl.cwnd <- max fl.mss (fl.cwnd - acked + fl.mss)
       end
     end
     else congestion_avoidance_ack fl acked;
-    if fl.rtx = [] then cancel_rto fl else arm_rto fl;
+    (* Post-RTO go-back-N: until the pre-timeout flight is fully acked,
+       each returning ACK clocks out the next presumed-lost segment. *)
+    if (not fl.in_recovery) && Seq.lt fl.snd_una fl.rto_recover then
+      (match Queue.peek_opt fl.rtx with Some e -> retransmit_entry fl e | None -> ());
+    if Queue.is_empty fl.rtx then cancel_rto fl else arm_rto fl;
     wake_tx_waiters fl
   end
   else if
-    Seq.equal ack fl.snd_una && fl.rtx <> []
+    Seq.equal ack fl.snd_una
+    && (not (Queue.is_empty fl.rtx))
     && Bytestruct.length seg.payload = 0
-    && not seg.flags.Tcp_wire.syn
+    && (not seg.flags.Tcp_wire.syn)
+    && fl.snd_wnd = old_wnd
   then begin
     fl.dupacks <- fl.dupacks + 1;
     if fl.in_recovery then begin
@@ -426,7 +563,9 @@ let deliver_rx fl payload =
   (* Copy out of the driver page: the view is recycled after this handler
      returns (zero-copy ends at the application boundary by necessity of
      the page pool; cf. paper §3.4.1 where GC tracking plays this role). *)
-  fl.bytes_received <- fl.bytes_received + Bytestruct.length payload;
+  let len = Bytestruct.length payload in
+  fl.bytes_received <- fl.bytes_received + len;
+  fl.rx_buffered <- fl.rx_buffered + len;
   Mthread.Mstream.push fl.rx (Bytestruct.copy payload)
 
 let rec integrate_ooo fl =
@@ -435,8 +574,10 @@ let rec integrate_ooo fl =
     let skip = Seq.diff fl.rcv_nxt seq in
     if skip < Bytestruct.length data then begin
       let fresh = Bytestruct.shift data skip in
-      fl.rcv_nxt <- Seq.add fl.rcv_nxt (Bytestruct.length fresh);
-      fl.bytes_received <- fl.bytes_received + Bytestruct.length fresh;
+      let len = Bytestruct.length fresh in
+      fl.rcv_nxt <- Seq.add fl.rcv_nxt len;
+      fl.bytes_received <- fl.bytes_received + len;
+      fl.rx_buffered <- fl.rx_buffered + len;
       Mthread.Mstream.push fl.rx fresh
     end;
     fl.ooo <- rest;
@@ -444,15 +585,26 @@ let rec integrate_ooo fl =
   | _ -> ()
 
 let insert_ooo fl seq data =
-  (* Keep segments sorted; drop exact duplicates, keep overlaps (they are
-     trimmed during integration). *)
+  (* Keep segments sorted; on an exact seq match keep the longer of the
+     two (a retransmission may extend a previously stored segment); keep
+     overlaps (they are trimmed during integration). *)
   let rec ins = function
     | [] -> [ (seq, Bytestruct.copy data) ]
     | (s, d) :: rest when Seq.lt seq s -> (seq, Bytestruct.copy data) :: (s, d) :: rest
-    | (s, d) :: rest when Seq.equal seq s -> (s, d) :: rest
+    | (s, d) :: rest when Seq.equal seq s ->
+      if Bytestruct.length data > Bytestruct.length d then (s, Bytestruct.copy data) :: rest
+      else (s, d) :: rest
     | (s, d) :: rest -> (s, d) :: ins rest
   in
-  fl.ooo <- ins fl.ooo
+  let inserted = ins fl.ooo in
+  if List.length inserted > max_ooo_segments then begin
+    (* Evict the highest-seq segment — furthest from the hole, last to be
+       retransmitted. *)
+    fl.t.ooo_evictions <- fl.t.ooo_evictions + 1;
+    Trace.incr c_ooo_evict;
+    fl.ooo <- (match List.rev inserted with _ :: keep -> List.rev keep | [] -> [])
+  end
+  else fl.ooo <- inserted
 
 let send_ack fl =
   send_segment fl.t ~key:fl.key ~seq:fl.snd_nxt ~ack:fl.rcv_nxt
@@ -462,6 +614,7 @@ let send_ack fl =
 let enter_time_wait fl =
   fl.state <- Time_wait;
   cancel_rto fl;
+  cancel_persist fl;
   (* Reaching TIME_WAIT means our FIN is acknowledged: [close]'s contract
      is satisfied now, not after the 2-MSL linger. *)
   (match fl.close_waker with
@@ -475,12 +628,13 @@ let enter_time_wait fl =
 let finish_close fl =
   fl.state <- Closed;
   cancel_rto fl;
+  cancel_persist fl;
   Hashtbl.remove fl.t.flows fl.key;
   match fl.close_waker with
   | Some u when Mthread.Promise.wakener_pending u -> Mthread.Promise.wakeup u ()
   | _ -> ()
 
-let fin_acked fl = fl.fin_sent && fl.rtx = [] && Seq.equal fl.snd_una fl.snd_nxt
+let fin_acked fl = fl.fin_sent && Queue.is_empty fl.rtx && Seq.equal fl.snd_una fl.snd_nxt
 
 (* [close]'s contract is "our direction is shut down and acknowledged";
    full teardown may wait on the peer's FIN indefinitely. *)
@@ -488,6 +642,29 @@ let wake_close fl =
   match fl.close_waker with
   | Some u when Mthread.Promise.wakener_pending u -> Mthread.Promise.wakeup u ()
   | _ -> ()
+
+(* RFC 793 §3.9: take a window update only from a segment at least as
+   recent as the one last used (SND.WL1/WL2), with an acceptable ack —
+   under reordering, a stale segment must not shrink or reopen the
+   window. *)
+let update_snd_wnd fl (seg : Tcp_wire.segment) =
+  if
+    Seq.leq fl.snd_una seg.ack && Seq.leq seg.ack fl.snd_nxt
+    && (Seq.lt fl.snd_wl1 seg.seq
+       || (Seq.equal fl.snd_wl1 seg.seq && Seq.leq fl.snd_wl2 seg.ack))
+  then begin
+    let old_wnd = fl.snd_wnd in
+    fl.snd_wnd <- seg.window lsl fl.snd_wscale;
+    fl.snd_wl1 <- seg.seq;
+    fl.snd_wl2 <- seg.ack;
+    if old_wnd = 0 && fl.snd_wnd > 0 then begin
+      (* Window reopened: back to the regular retransmit regime. *)
+      cancel_persist fl;
+      fl.persist_backoff_ns <- 0;
+      if (not (Queue.is_empty fl.rtx)) && fl.rto_timer = None then arm_rto fl
+    end
+  end
+  else Trace.incr c_wnd_stale
 
 let rec handle_segment fl (seg : Tcp_wire.segment) =
   let t = fl.t in
@@ -497,10 +674,6 @@ let rec handle_segment fl (seg : Tcp_wire.segment) =
     | _ -> fail_flow fl Connection_reset
   end
   else begin
-    (* Window update (scaled except during handshake). *)
-    if seg.flags.Tcp_wire.ack then
-      fl.snd_wnd <-
-        (if seg.flags.Tcp_wire.syn then seg.window else seg.window lsl fl.snd_wscale);
     match fl.state with
     | Syn_sent when seg.flags.Tcp_wire.syn && seg.flags.Tcp_wire.ack ->
       if Seq.equal seg.ack fl.snd_nxt then begin
@@ -511,7 +684,11 @@ let rec handle_segment fl (seg : Tcp_wire.segment) =
           seg.options;
         fl.rcv_nxt <- Seq.add seg.seq 1;
         fl.snd_una <- seg.ack;
-        fl.rtx <- [];
+        (* The SYN-ACK window is never scaled (RFC 7323). *)
+        fl.snd_wnd <- seg.window;
+        fl.snd_wl1 <- seg.seq;
+        fl.snd_wl2 <- seg.ack;
+        Queue.clear fl.rtx;
         cancel_rto fl;
         fl.rto_ns <- initial_rto_ns;
         fl.state <- Established;
@@ -527,7 +704,10 @@ let rec handle_segment fl (seg : Tcp_wire.segment) =
     | Syn_rcvd when seg.flags.Tcp_wire.ack && Seq.equal seg.ack fl.snd_nxt ->
       fl.state <- Established;
       fl.snd_una <- seg.ack;
-      fl.rtx <- [];
+      fl.snd_wnd <- seg.window lsl fl.snd_wscale;
+      fl.snd_wl1 <- seg.seq;
+      fl.snd_wl2 <- seg.ack;
+      Queue.clear fl.rtx;
       cancel_rto fl;
       fl.rto_ns <- initial_rto_ns;
       fl.cwnd <- 10 * fl.mss;
@@ -539,7 +719,11 @@ let rec handle_segment fl (seg : Tcp_wire.segment) =
       if Bytestruct.length seg.payload > 0 || seg.flags.Tcp_wire.fin then handle_segment fl seg
     | Syn_rcvd -> ()
     | Established | Fin_wait_1 | Fin_wait_2 | Close_wait | Closing | Last_ack | Time_wait ->
-      if seg.flags.Tcp_wire.ack then handle_ack fl seg;
+      let old_wnd = fl.snd_wnd in
+      if seg.flags.Tcp_wire.ack then begin
+        update_snd_wnd fl seg;
+        handle_ack fl ~old_wnd seg
+      end;
       (* Data. Any data-bearing segment elicits an ACK — including stale
          retransmissions arriving after our receive side closed; without
          this, a sender whose final ACKs were lost retransmits forever. *)
@@ -594,6 +778,8 @@ let make_flow t key state =
     snd_una = iss;
     snd_nxt = iss;
     snd_wnd = default_mss;
+    snd_wl1 = Seq.zero;
+    snd_wl2 = Seq.zero;
     snd_wscale = 0;
     mss = default_mss;
     cwnd = 10 * default_mss;
@@ -601,7 +787,8 @@ let make_flow t key state =
     dupacks = 0;
     in_recovery = false;
     recover = iss;
-    rtx = [];
+    rto_recover = iss;
+    rtx = Queue.create ();
     tx_chunks = Queue.create ();
     tx_head_off = 0;
     tx_buffered = 0;
@@ -610,6 +797,7 @@ let make_flow t key state =
     fin_sent = false;
     rcv_nxt = Seq.zero;
     rcv_wscale = our_wscale;
+    rx_buffered = 0;
     ooo = [];
     rx = Mthread.Mstream.create ();
     rto_ns = initial_rto_ns;
@@ -617,6 +805,8 @@ let make_flow t key state =
     rttvar_ns = 0;
     rtt_probe = None;
     rto_timer = None;
+    persist_timer = None;
+    persist_backoff_ns = 0;
     connect_waker = None;
     close_waker = None;
     syn_tries = 0;
@@ -641,6 +831,8 @@ let handle_syn t ~src (seg : Tcp_wire.segment) =
       seg.options;
     fl.rcv_nxt <- Seq.add seg.seq 1;
     fl.snd_wnd <- seg.window;
+    fl.snd_wl1 <- seg.seq;
+    fl.snd_wl2 <- Seq.zero;
     Hashtbl.replace t.flows key fl;
     let entry =
       {
@@ -653,7 +845,7 @@ let handle_syn t ~src (seg : Tcp_wire.segment) =
         e_retx = false;
       }
     in
-    fl.rtx <- [ entry ];
+    Queue.add entry fl.rtx;
     fl.snd_nxt <- Seq.add fl.snd_nxt 1;
     send_segment t ~key ~seq:entry.e_seq ~ack:fl.rcv_nxt
       ~flags:{ Tcp_wire.flags_none with syn = true; ack = true }
@@ -702,6 +894,8 @@ let create sim ?dom ip =
       retransmissions = 0;
       fast_retransmits = 0;
       rto_fires = 0;
+      persist_probes = 0;
+      ooo_evictions = 0;
     }
   in
   Ipv4.set_handler ip ~proto:Ipv4.proto_tcp (fun ~src ~dst ~payload ->
@@ -735,7 +929,7 @@ let connect t ~dst ~dst_port =
       e_retx = false;
     }
   in
-  fl.rtx <- [ entry ];
+  Queue.add entry fl.rtx;
   fl.snd_nxt <- Seq.add fl.snd_nxt 1;
   send_segment t ~key ~seq:entry.e_seq ~ack:Seq.zero
     ~flags:{ Tcp_wire.flags_none with syn = true }
@@ -746,7 +940,21 @@ let connect t ~dst ~dst_port =
 
 (* ---------- flow API ---------- *)
 
-let read fl = Mthread.Mstream.next fl.rx
+let read fl =
+  Mthread.Promise.bind (Mthread.Mstream.next fl.rx) (function
+    | Some c as chunk ->
+      let free_before = rcv_wnd_bytes - fl.rx_buffered in
+      fl.rx_buffered <- max 0 (fl.rx_buffered - Bytestruct.length c);
+      let free_after = rcv_wnd_bytes - fl.rx_buffered in
+      (* Receiver-side SWS avoidance: announce the reopened window only
+         once a full segment fits again. The peer's persist probes back
+         this up if the update ACK is lost. *)
+      (match fl.state with
+      | Established | Fin_wait_1 | Fin_wait_2 ->
+        if free_before < fl.mss && free_after >= fl.mss then send_ack fl
+      | _ -> ());
+      Mthread.Promise.return chunk
+    | None -> Mthread.Promise.return None)
 
 let write fl buf =
   let open Mthread.Promise in
@@ -819,4 +1027,6 @@ let segments_received t = t.segs_received
 let retransmissions t = t.retransmissions
 let fast_retransmits t = t.fast_retransmits
 let rto_fires t = t.rto_fires
+let persist_probes t = t.persist_probes
+let ooo_evictions t = t.ooo_evictions
 let active_flows t = Hashtbl.length t.flows

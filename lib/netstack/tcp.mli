@@ -3,11 +3,18 @@
     congestion control, and window scaling — in type-safe OCaml over
     {!Ipv4}.
 
+    Flow control is real: the advertised window is the receive buffer
+    minus bytes delivered to the application stream but not yet read, so a
+    stalled reader closes the window, and a persist timer (RFC 1122
+    4.2.2.17) probes a zero window with 1-byte segments on exponential
+    backoff so lost window-update ACKs cannot deadlock either side.
+    Window updates are gated by the RFC 793 §3.9 SND.WL1/WL2 recency
+    check, and the out-of-order reassembly list is capped at 128 segments
+    (furthest-seq evicted first).
+
     Divergences from deployed stacks, chosen for deterministic simulation:
     every data segment is acknowledged immediately (no delayed-ACK timer),
-    the advertised receive window is fixed (readers in the evaluation drain
-    promptly; flow control is exercised through the congestion window and
-    the peer's advertised window), and TIME_WAIT lasts 2 s (2 x a 1 s MSL). *)
+    and TIME_WAIT lasts 2 s (2 x a 1 s MSL). *)
 
 type t
 
@@ -63,4 +70,11 @@ val segments_received : t -> int
 val retransmissions : t -> int
 val fast_retransmits : t -> int
 val rto_fires : t -> int
+
+(** Zero-window probes sent by the persist timer. *)
+val persist_probes : t -> int
+
+(** Out-of-order segments evicted because the reassembly list hit its cap. *)
+val ooo_evictions : t -> int
+
 val active_flows : t -> int

@@ -135,6 +135,186 @@ let test_short_frame_rejected () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "short frame rejected"
 
+(* ---------- fault injection ---------- *)
+
+(* An IPv4-looking frame whose payload starts at byte 14; corruption only
+   targets bytes >= 34, so payloads of 21+ bytes are corruptible. *)
+let ip_frame ~dst ~src payload = frame ~dst ~src payload
+
+let collect_rx nic =
+  let got = ref [] in
+  Netsim.Nic.set_rx nic (fun f -> got := Bytestruct.to_string f :: !got);
+  fun () -> List.rev !got
+
+let test_ge_all_bad () =
+  (* p_good_bad = 1: the chain enters Bad on the first frame and, with
+     p_bad_good = 0, never leaves; loss_bad = 1 drops everything. *)
+  let sim, br, a, b = two_nics () in
+  let ge =
+    { Netsim.Faults.p_good_bad = 1.0; p_bad_good = 0.0; loss_good = 0.0; loss_bad = 1.0; slot_ns = 100_000 }
+  in
+  Netsim.Bridge.set_faults br a (Netsim.Faults.make ~ge ());
+  let got = collect_rx b in
+  for _ = 1 to 10 do
+    Netsim.Nic.send a (ip_frame ~dst:(Netsim.Nic.mac b) ~src:(Netsim.Nic.mac a) "x")
+  done;
+  Engine.Sim.run sim;
+  check_int "all burst-dropped" 0 (List.length (got ()));
+  check_int "burst counter" 10 (Netsim.Bridge.fault_counts br).Netsim.fc_burst_dropped;
+  check_int "total dropped" 10 (Netsim.Bridge.dropped br)
+
+let test_ge_stays_good () =
+  let sim, br, a, b = two_nics () in
+  let ge =
+    { Netsim.Faults.p_good_bad = 0.0; p_bad_good = 1.0; loss_good = 0.0; loss_bad = 1.0; slot_ns = 100_000 }
+  in
+  Netsim.Bridge.set_faults br a (Netsim.Faults.make ~ge ());
+  let got = collect_rx b in
+  for _ = 1 to 10 do
+    Netsim.Nic.send a (ip_frame ~dst:(Netsim.Nic.mac b) ~src:(Netsim.Nic.mac a) "x")
+  done;
+  Engine.Sim.run sim;
+  check_int "none dropped in Good" 10 (List.length (got ()));
+  check_int "no burst drops" 0 (Netsim.Bridge.fault_counts br).Netsim.fc_burst_dropped
+
+let test_burst_loss_params () =
+  let g = Netsim.Faults.burst_loss ~avg_loss:0.02 ~burst_len:5 () in
+  check_bool "bad is lossy" true (g.Netsim.Faults.loss_bad = 1.0);
+  check_bool "good is clean" true (g.Netsim.Faults.loss_good = 0.0);
+  check_bool "mean burst length 5" true (abs_float (g.Netsim.Faults.p_bad_good -. 0.2) < 1e-9);
+  (* Stationary loss = p_gb / (p_gb + p_bg) must equal avg_loss. *)
+  let pi_bad =
+    g.Netsim.Faults.p_good_bad /. (g.Netsim.Faults.p_good_bad +. g.Netsim.Faults.p_bad_good)
+  in
+  check_bool "stationary loss rate" true (abs_float (pi_bad -. 0.02) < 1e-9)
+
+let test_scripted_drop () =
+  let sim, br, a, b = two_nics () in
+  Netsim.Bridge.set_faults br a
+    (Netsim.Faults.make ~drop_when:(fun ~now_ns:_ ~nth _ -> nth = 1) ());
+  let got = collect_rx b in
+  for i = 0 to 3 do
+    Netsim.Nic.send a
+      (ip_frame ~dst:(Netsim.Nic.mac b) ~src:(Netsim.Nic.mac a) (Printf.sprintf "%d" i))
+  done;
+  Engine.Sim.run sim;
+  let payloads = List.map (fun s -> String.sub s 14 1) (got ()) in
+  check_bool "exactly frame 1 dropped" true (payloads = [ "0"; "2"; "3" ]);
+  check_int "script counter" 1 (Netsim.Bridge.fault_counts br).Netsim.fc_script_dropped
+
+let test_reorder () =
+  let sim, br, a, b = two_nics () in
+  Netsim.Bridge.set_faults br a (Netsim.Faults.make ~reorder:(1.0, 500_000) ());
+  let got = collect_rx b in
+  let n = 20 in
+  for i = 0 to n - 1 do
+    Netsim.Nic.send a
+      (ip_frame ~dst:(Netsim.Nic.mac b) ~src:(Netsim.Nic.mac a) (Printf.sprintf "%02d" i))
+  done;
+  Engine.Sim.run sim;
+  let payloads = List.map (fun s -> String.sub s 14 2) (got ()) in
+  check_int "all frames arrive" n (List.length payloads);
+  check_bool "arrival order scrambled" true (payloads <> List.sort compare payloads);
+  check_int "reorder counter" n (Netsim.Bridge.fault_counts br).Netsim.fc_reordered
+
+let test_duplicate () =
+  let sim, br, a, b = two_nics () in
+  Netsim.Bridge.set_faults br a (Netsim.Faults.make ~duplicate:1.0 ());
+  let got = collect_rx b in
+  for _ = 1 to 5 do
+    Netsim.Nic.send a (ip_frame ~dst:(Netsim.Nic.mac b) ~src:(Netsim.Nic.mac a) "dup")
+  done;
+  Engine.Sim.run sim;
+  check_int "each frame delivered twice" 10 (List.length (got ()));
+  check_int "duplicate counter" 5 (Netsim.Bridge.fault_counts br).Netsim.fc_duplicated
+
+let test_corrupt () =
+  let sim, br, a, b = two_nics () in
+  Netsim.Bridge.set_faults br a (Netsim.Faults.make ~corrupt:1.0 ());
+  let got = collect_rx b in
+  let sent = ip_frame ~dst:(Netsim.Nic.mac b) ~src:(Netsim.Nic.mac a) (String.make 40 'p') in
+  let sent_s = Bytestruct.to_string sent in
+  Netsim.Nic.send a sent;
+  Engine.Sim.run sim;
+  (match got () with
+  | [ rx ] ->
+    check_int "same length" (String.length sent_s) (String.length rx);
+    let diff_bits = ref 0 in
+    String.iteri
+      (fun i c ->
+        let x = Char.code c lxor Char.code rx.[i] in
+        let rec popcount n = if n = 0 then 0 else (n land 1) + popcount (n lsr 1) in
+        diff_bits := !diff_bits + popcount x;
+        if x <> 0 then check_bool "flip past the IPv4 header" true (i >= 34))
+      sent_s;
+    check_int "exactly one bit flipped" 1 !diff_bits
+  | l -> Alcotest.failf "expected one frame, got %d" (List.length l));
+  check_int "corrupt counter" 1 (Netsim.Bridge.fault_counts br).Netsim.fc_corrupted
+
+let test_corrupt_skips_non_ip () =
+  let sim, br, a, b = two_nics () in
+  Netsim.Bridge.set_faults br a (Netsim.Faults.make ~corrupt:1.0 ());
+  let got = collect_rx b in
+  (* ARP-like frame: no transport checksum protects it, so the fault layer
+     must leave it alone. *)
+  let f = ip_frame ~dst:(Netsim.Nic.mac b) ~src:(Netsim.Nic.mac a) (String.make 40 'a') in
+  Bytestruct.BE.set_uint16 f 12 0x0806;
+  let sent_s = Bytestruct.to_string f in
+  Netsim.Nic.send a f;
+  Engine.Sim.run sim;
+  (match got () with
+  | [ rx ] -> check_string "non-IP frame untouched" sent_s rx
+  | _ -> Alcotest.fail "expected one frame");
+  check_int "not counted" 0 (Netsim.Bridge.fault_counts br).Netsim.fc_corrupted
+
+let test_link_flap () =
+  let sim, br, a, b = two_nics ~latency_ns:0 () in
+  (* Down for 100 us out of every 200 us, starting at t = 50 us. *)
+  Netsim.Bridge.set_faults br a (Netsim.Faults.make ~flap:(50_000, 100_000, 200_000) ());
+  let got = collect_rx b in
+  let send_at t p =
+    ignore
+      (Engine.Sim.at sim ~time:t (fun () ->
+           Netsim.Nic.send a (ip_frame ~dst:(Netsim.Nic.mac b) ~src:(Netsim.Nic.mac a) p)))
+  in
+  send_at 0 "a" (* before first outage: up *);
+  send_at 60_000 "b" (* 10 us into outage: down *);
+  send_at 160_000 "c" (* 110 us into period: up *);
+  send_at 260_000 "d" (* 10 us into second outage: down *);
+  Engine.Sim.run sim;
+  let payloads = List.map (fun s -> String.sub s 14 1) (got ()) in
+  check_bool "only up-window frames pass" true (payloads = [ "a"; "c" ]);
+  check_int "flap counter" 2 (Netsim.Bridge.fault_counts br).Netsim.fc_flap_dropped
+
+let test_fault_replay_determinism () =
+  (* Same seed, same program: identical arrival times, payloads and fault
+     counts — the replay-from-seed guarantee the chaos harness rests on. *)
+  let run_once () =
+    let sim = Engine.Sim.create ~seed:1234 () in
+    let br = Netsim.Bridge.create sim in
+    let a = Netsim.Bridge.new_nic br ~mac:(Netsim.mac_of_int 1) () in
+    let b = Netsim.Bridge.new_nic br ~mac:(Netsim.mac_of_int 2) () in
+    Netsim.Bridge.set_faults br a
+      (Netsim.Faults.make
+         ~ge:(Netsim.Faults.burst_loss ~avg_loss:0.3 ~burst_len:3 ())
+         ~reorder:(0.3, 200_000) ~duplicate:0.2 ~corrupt:0.2 ~jitter_ns:100_000 ());
+    let got = ref [] in
+    Netsim.Nic.set_rx b (fun f ->
+        got := (Engine.Sim.now sim, Bytestruct.to_string f) :: !got);
+    for i = 0 to 49 do
+      Netsim.Nic.send a
+        (ip_frame ~dst:(Netsim.Nic.mac b) ~src:(Netsim.Nic.mac a) (Printf.sprintf "frame-%02d-xxxxxxxxxxxxxxxx" i))
+    done;
+    Engine.Sim.run sim;
+    (List.rev !got, Netsim.Bridge.fault_counts br)
+  in
+  let r1, c1 = run_once () in
+  let r2, c2 = run_once () in
+  check_bool "some frames made it" true (List.length r1 > 0);
+  check_bool "some faults fired" true (c1.Netsim.fc_burst_dropped > 0);
+  check_bool "identical arrivals" true (r1 = r2);
+  check_bool "identical fault counts" true (c1 = c2)
+
 let () =
   Alcotest.run "netsim"
     [
@@ -151,5 +331,18 @@ let () =
           Alcotest.test_case "tap" `Quick test_tap;
           Alcotest.test_case "counters" `Quick test_counters;
           Alcotest.test_case "short frame rejected" `Quick test_short_frame_rejected;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "gilbert-elliott all bad" `Quick test_ge_all_bad;
+          Alcotest.test_case "gilbert-elliott stays good" `Quick test_ge_stays_good;
+          Alcotest.test_case "burst_loss parameters" `Quick test_burst_loss_params;
+          Alcotest.test_case "scripted drop" `Quick test_scripted_drop;
+          Alcotest.test_case "reorder" `Quick test_reorder;
+          Alcotest.test_case "duplicate" `Quick test_duplicate;
+          Alcotest.test_case "corrupt flips one bit" `Quick test_corrupt;
+          Alcotest.test_case "corrupt skips non-ip" `Quick test_corrupt_skips_non_ip;
+          Alcotest.test_case "link flap" `Quick test_link_flap;
+          Alcotest.test_case "replay determinism" `Quick test_fault_replay_determinism;
         ] );
     ]

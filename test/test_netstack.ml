@@ -574,6 +574,159 @@ let test_tcp_half_close_peer_can_still_send () =
   check_bool "data flows against the half-close" true
     (match got with Some c -> Bytestruct.to_string c = "after your fin" | None -> false)
 
+(* ---- deterministic recovery paths ---- *)
+
+(* TCP payload length of an Ethernet frame, 0 for anything that is not a
+   TCP data segment — the parsing the scripted-drop tests use to aim at
+   one precise segment. *)
+let tcp_data_len frame =
+  if Bytestruct.length frame < 34 then 0
+  else if Bytestruct.BE.get_uint16 frame 12 <> 0x0800 then 0
+  else if Bytestruct.get_uint8 frame 23 <> 6 then 0
+  else begin
+    let ihl = (Bytestruct.get_uint8 frame 14 land 0xf) * 4 in
+    let total_len = Bytestruct.BE.get_uint16 frame 16 in
+    let data_off = (Bytestruct.BE.get_uint16 frame (14 + ihl + 12) lsr 12) * 4 in
+    total_len - ihl - data_off
+  end
+
+let test_tcp_fast_retransmit_three_dupacks () =
+  (* Drop exactly the 10th data segment, once. The segments behind it in
+     flight produce dupacks; the third must trigger fast retransmit and
+     the hole must heal without any RTO. *)
+  let w, a, b = pair_world () in
+  let data_frames = ref 0 in
+  let dropped = ref 0 in
+  Netsim.Bridge.set_faults w.bridge a.nic
+    (Netsim.Faults.make
+       ~drop_when:(fun ~now_ns:_ ~nth:_ frame ->
+         if tcp_data_len frame > 0 then begin
+           incr data_frames;
+           if !data_frames = 10 && !dropped = 0 then begin
+             incr dropped;
+             true
+           end
+           else false
+         end
+         else false)
+       ());
+  let received, data, _ = transfer w a b ~bytes:300_000 ~chunk:8192 in
+  check_int "the one segment was dropped" 1 !dropped;
+  check_bool "delivered intact" true (received = data);
+  check_bool "fast retransmit fired" true (N.Tcp.fast_retransmits (N.Stack.tcp a.stack) >= 1);
+  check_int "no RTO needed" 0 (N.Tcp.rto_fires (N.Stack.tcp a.stack))
+
+let test_tcp_rto_backoff_and_slow_start () =
+  (* A 300 ms outage on the sender's link: the RTO must fire, back off
+     exponentially (so only a few fires fit in the outage, not outage/rto
+     of them), collapse cwnd to one MSS, and recover once the link heals. *)
+  let w, a, b = pair_world () in
+  let received = Buffer.create 0 in
+  let server_done, done_u = P.wait () in
+  N.Tcp.listen (N.Stack.tcp b.stack) ~port:5001 (fun flow ->
+      let rec drain () =
+        N.Tcp.read flow >>= function
+        | None ->
+          P.wakeup done_u ();
+          P.return ()
+        | Some c ->
+          Buffer.add_string received (Bytestruct.to_string c);
+          drain ()
+      in
+      drain ());
+  let bytes = 2_000_000 (* big enough that the outage hits mid-transfer *) in
+  let data = pattern bytes in
+  let flow =
+    run w (N.Tcp.connect (N.Stack.tcp a.stack) ~dst:(N.Stack.address b.stack) ~dst_port:5001)
+  in
+  let now = Engine.Sim.now w.sim in
+  Netsim.Bridge.set_faults w.bridge a.nic
+    (Netsim.Faults.make ~flap:(now + Engine.Sim.ms 1, Engine.Sim.ms 300, Engine.Sim.sec 100) ());
+  let cwnd_mid_outage = ref max_int in
+  ignore
+    (Engine.Sim.schedule w.sim ~delay:(Engine.Sim.ms 200) (fun () ->
+         cwnd_mid_outage := N.Tcp.cwnd flow));
+  P.async (fun () ->
+      let rec send off =
+        if off >= bytes then N.Tcp.close flow
+        else
+          N.Tcp.write flow (bs (String.sub data off (min 8192 (bytes - off)))) >>= fun () ->
+          send (off + 8192)
+      in
+      send 0);
+  ignore (run w server_done);
+  check_bool "delivered intact after outage" true (Buffer.contents received = data);
+  let rf = N.Tcp.rto_fires (N.Stack.tcp a.stack) in
+  check_bool (Printf.sprintf "RTO fired (%d)" rf) true (rf >= 1);
+  (* Without doubling, a ~50 ms RTO would fire ~6 times in 300 ms. *)
+  check_bool (Printf.sprintf "backoff bounded the fires (%d)" rf) true (rf <= 4);
+  check_int "cwnd collapsed to one MSS" 1448 !cwnd_mid_outage
+
+let test_tcp_zero_window_persist_probe () =
+  (* The reader stalls long enough for the sender to fill the receive
+     window and go quiescent at snd_wnd = 0; only persist probes may keep
+     the connection alive, and the transfer must complete once the reader
+     resumes. *)
+  let w, a, b = pair_world () in
+  let start_reading, start_u = P.wait () in
+  let received = Buffer.create 0 in
+  let server_done, done_u = P.wait () in
+  let server_flow, sflow_u = P.wait () in
+  N.Tcp.listen (N.Stack.tcp b.stack) ~port:5001 (fun flow ->
+      P.wakeup sflow_u flow;
+      start_reading >>= fun () ->
+      let rec drain () =
+        N.Tcp.read flow >>= function
+        | None ->
+          P.wakeup done_u ();
+          P.return ()
+        | Some c ->
+          Buffer.add_string received (Bytestruct.to_string c);
+          drain ()
+      in
+      drain ());
+  let bytes = 500_000 (* > rcv_wnd (128K) + snd_buf (256K): the writer must block *) in
+  let data = pattern bytes in
+  P.async (fun () ->
+      N.Tcp.connect (N.Stack.tcp a.stack) ~dst:(N.Stack.address b.stack) ~dst_port:5001
+      >>= fun flow ->
+      let rec send off =
+        if off >= bytes then N.Tcp.close flow
+        else
+          N.Tcp.write flow (bs (String.sub data off (min 8192 (bytes - off)))) >>= fun () ->
+          send (off + 8192)
+      in
+      send 0);
+  ignore (run w (P.sleep w.sim (Engine.Sim.ms 400)));
+  let probes = N.Tcp.persist_probes (N.Stack.tcp a.stack) in
+  check_bool (Printf.sprintf "persist probes sent while stalled (%d)" probes) true (probes >= 1);
+  let sflow = run w server_flow in
+  check_bool "receiver held the window (not flooded)" true
+    (N.Tcp.bytes_received sflow <= 131072 + 4 * 1448);
+  P.wakeup start_u ();
+  ignore (run w server_done);
+  check_bool "completed after reopen" true (Buffer.contents received = data)
+
+let test_tcp_ooo_cap_eviction () =
+  (* Tinygram flood behind a hole: drop the first data segment while the
+     sender pours >128 tiny segments after it. The reassembly cap must
+     evict, and retransmission must still complete the transfer intact. *)
+  let w, a, b = pair_world () in
+  let dropped = ref false in
+  Netsim.Bridge.set_faults w.bridge a.nic
+    (Netsim.Faults.make
+       ~drop_when:(fun ~now_ns:_ ~nth:_ frame ->
+         if (not !dropped) && tcp_data_len frame > 0 then begin
+           dropped := true;
+           true
+         end
+         else false)
+       ());
+  let received, data, _ = transfer w a b ~bytes:12_000 ~chunk:64 in
+  check_bool "hole was punched" true !dropped;
+  check_bool "delivered intact" true (received = data);
+  check_bool "reassembly cap evicted" true (N.Tcp.ooo_evictions (N.Stack.tcp b.stack) >= 1)
+
 let prop_tcp_delivers_under_random_loss =
   qtest ~count:12 "tcp delivers intact data under random loss/seed"
     QCheck.(pair (int_bound 1000) (int_bound 12))
@@ -651,6 +804,13 @@ let () =
           Alcotest.test_case "unlisten refuses" `Quick test_tcp_unlisten_refuses;
           Alcotest.test_case "half-close keeps receiving" `Quick
             test_tcp_half_close_peer_can_still_send;
+          Alcotest.test_case "fast retransmit after 3 dupacks" `Quick
+            test_tcp_fast_retransmit_three_dupacks;
+          Alcotest.test_case "rto backoff and slow start" `Quick
+            test_tcp_rto_backoff_and_slow_start;
+          Alcotest.test_case "zero window persist probe" `Quick
+            test_tcp_zero_window_persist_probe;
+          Alcotest.test_case "ooo cap eviction" `Quick test_tcp_ooo_cap_eviction;
           prop_tcp_delivers_under_random_loss;
         ] );
     ]
