@@ -1,8 +1,8 @@
 (* Benchmark harness: regenerates every table and figure of the paper's
    evaluation (see DESIGN.md's per-experiment index). Run everything with
    `dune exec bench/main.exe`, or a subset: `dune exec bench/main.exe -- fig10 table2`.
-   Pass `--trace out.jsonl` (or `--trace=out.jsonl`) to record a full
-   event trace of the run and print a latency summary at the end. *)
+   Pass `--trace out.jsonl` to record a full event trace of the run and
+   print a latency summary at the end (shared plumbing in Util). *)
 
 let experiments =
   [
@@ -23,19 +23,10 @@ let experiments =
     ("ablation", "design-choice ablations", Ablation.run);
     ("chaos", "TCP chaos matrix: fault schedules x seeds", Chaos.run);
     ("micro", "real-time microbenchmarks", Micro.run);
+    ("trace-guard", "disabled-tracing overhead guard", Micro.trace_guard);
   ]
 
-let () =
-  let args = List.tl (Array.to_list Sys.argv) in
-  let rec split_trace requested = function
-    | [] -> (List.rev requested, None)
-    | "--trace" :: file :: rest -> (List.rev_append requested rest, Some file)
-    | arg :: rest when String.length arg > 8 && String.sub arg 0 8 = "--trace=" ->
-      (List.rev_append requested rest, Some (String.sub arg 8 (String.length arg - 8)))
-    | arg :: rest -> split_trace (arg :: requested) rest
-  in
-  let requested, trace_out = split_trace [] args in
-  if trace_out <> None then Trace.enable ();
+let run requested trace_out =
   let to_run =
     if requested = [] then experiments
     else
@@ -49,18 +40,20 @@ let () =
             exit 1)
         requested
   in
-  Printf.printf "Unikernels (ASPLOS'13) reproduction — benchmark harness\n";
-  Printf.printf "All appliance measurements run in simulated virtual time;\n";
-  Printf.printf "the 'micro' suite measures real wall-clock of the implementations.\n";
-  List.iter
-    (fun (name, descr, f) ->
-      ignore name;
-      ignore descr;
-      f ())
-    to_run;
-  match trace_out with
-  | None -> ()
-  | Some file ->
-    Engine.Trace_report.write_jsonl ~file;
-    Printf.printf "\ntrace written to %s\n" file;
-    Engine.Trace_report.print_summary ()
+  Util.with_trace trace_out (fun () ->
+      Printf.printf "Unikernels (ASPLOS'13) reproduction — benchmark harness\n";
+      Printf.printf "All appliance measurements run in simulated virtual time;\n";
+      Printf.printf "the 'micro' suite measures real wall-clock of the implementations.\n";
+      List.iter
+        (fun (name, descr, f) ->
+          ignore name;
+          ignore descr;
+          f ())
+        to_run)
+
+let () =
+  let open Cmdliner in
+  let doc = "Regenerate the paper's tables and figures in simulated virtual time" in
+  let names = Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT") in
+  let cmd = Cmd.v (Cmd.info "bench" ~doc) Term.(const run $ names $ Util.trace_term) in
+  exit (Cmd.eval cmd)

@@ -162,6 +162,60 @@ let all_tests =
     test_rtx_list_append; test_rtx_queue_append;
   ]
 
+(* ---- tracing-overhead guard ----
+
+   Every hot-path trace hook in the tree is written as
+   `if Trace.enabled () then Trace.emit ...`, so the disabled cost is
+   one load and one predictable branch. This guard measures that cost
+   for real and fails the build (exit 1) if it regresses past a pinned
+   budget — e.g. if someone moves payload construction outside the
+   guard, or turns the flag check into something allocating. Run by
+   `dune runtest` via the bench rule, and standalone as the
+   `trace-guard` experiment. *)
+
+let guard_budget_ns = 25.0
+
+let trace_guard_measure () =
+  let iters = 5_000_000 in
+  let per_op f =
+    let t0 = Sys.time () in
+    for i = 1 to iters do
+      ignore (Sys.opaque_identity (f i))
+    done;
+    (Sys.time () -. t0) *. 1e9 /. float_of_int iters
+  in
+  let baseline i = i land 0xff in
+  let emit_site i =
+    if Trace.enabled () then
+      Trace.emit ~cat:Trace.Net ~payload:[ ("i", Trace.Int i) ] "guard.event";
+    i land 0xff
+  in
+  let best f =
+    let m = ref infinity in
+    for _ = 1 to 5 do
+      m := Float.min !m (per_op f)
+    done;
+    !m
+  in
+  let base = best baseline in
+  let site = best emit_site in
+  let cost = Float.max 0.0 (site -. base) in
+  Printf.printf "  disabled emit site: %.2f ns/op (baseline %.2f, budget %.1f)\n" cost base
+    guard_budget_ns;
+  if cost > guard_budget_ns then begin
+    Printf.printf "  FAIL: disabled-tracing overhead exceeds budget\n";
+    exit 1
+  end
+  else Printf.printf "  OK: within budget\n"
+
+let trace_guard () =
+  Util.header "Tracing-overhead guard (disabled emit site)";
+  if Trace.enabled () then
+    (* re-enabling after the measurement would resize (and clear) the
+       event ring, so under --trace the guard is a no-op *)
+    Printf.printf "  skipped: tracing is enabled for this run\n"
+  else trace_guard_measure ()
+
 let run () =
   Util.header "Microbenchmarks (real wall-clock, Bechamel)";
   let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
@@ -182,4 +236,5 @@ let run () =
     "  (4.2: raw speed of the two compression tables is workload-dependent here; the\n";
   Printf.printf
     "   functional map's advantage is structural - immunity to the hash-collision\n";
-  Printf.printf "   denial-of-service the paper describes)\n"
+  Printf.printf "   denial-of-service the paper describes)\n";
+  trace_guard ()

@@ -63,3 +63,31 @@ let row fmt = Printf.printf fmt
 let bar label value unit_ max_value =
   let width = int_of_float (46.0 *. value /. max_value) in
   Printf.printf "  %-34s %8.1f %-8s |%s\n" label value unit_ (String.make (max 0 width) '#')
+
+(* ---- shared --trace plumbing ----
+
+   Every figure subcommand accepts the same [--trace FILE] option; the
+   run executes with the global tracer enabled (a larger ring than the
+   default — figure workloads emit hundreds of thousands of events) and
+   the JSONL export plus a latency summary are produced at the end. The
+   output feeds `mirage_sim trace report/waterfall/flame/queues`. *)
+
+let trace_term =
+  let open Cmdliner in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record a full event trace of the run and write it to $(docv) as JSON lines \
+           (analyse with mirage_sim trace).")
+
+let with_trace trace_out f =
+  (match trace_out with Some _ -> Trace.enable ~capacity:262144 () | None -> ());
+  f ();
+  match trace_out with
+  | None -> ()
+  | Some file ->
+    Engine.Trace_report.write_jsonl ~file;
+    Printf.printf "\ntrace written to %s\n" file;
+    Engine.Trace_report.print_summary ()

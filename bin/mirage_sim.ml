@@ -65,15 +65,32 @@ let build_cmd =
   let appliance = Arg.(required & pos 0 (some appliance_conv) None & info [] ~docv:"APPLIANCE") in
   let dce = Arg.(value & opt dce_conv Core.Specialize.Ocamlclean & info [ "dce" ] ~docv:"MODE") in
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"ASR build seed") in
-  let run (name, mk) dce seed =
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Trace the build pipeline stages and write the events to $(docv) as JSON lines.")
+  in
+  let run (name, mk) dce seed trace_out =
+    if trace_out <> None then Trace.enable ();
+    let staged what f =
+      if Trace.enabled () then begin
+        let sp = Trace.span ~cat:Trace.Boot ("build." ^ what) in
+        let r = f () in
+        Trace.finish sp;
+        r
+      end
+      else f ()
+    in
     let config = mk ?aslr_seed:(Some seed) () in
-    let plan = Core.Specialize.plan config dce in
-    (match Core.Specialize.verify plan with
+    let plan = staged "plan" (fun () -> Core.Specialize.plan config dce) in
+    (match staged "verify" (fun () -> Core.Specialize.verify plan) with
     | Ok () -> ()
     | Error e ->
       Printf.eprintf "verification failed: %s\n" e;
       exit 1);
-    let image = Core.Linker.link plan ~seed:config.Core.Config.aslr_seed in
+    let image = staged "link" (fun () -> Core.Linker.link plan ~seed:config.Core.Config.aslr_seed) in
     Printf.printf "appliance %s: %d libraries, %d bytes (%d kLoC active)\n" name
       (List.length plan.Core.Specialize.libs)
       plan.Core.Specialize.total_bytes (plan.Core.Specialize.total_loc / 1000);
@@ -89,9 +106,15 @@ let build_cmd =
           | Xensim.Pagetable.Read_only -> "r--"))
       image.Core.Linker.sections;
     Printf.printf "entry: 0x%x, clonable: %b\n" image.Core.Linker.entry_va
-      (Core.Config.clonable config)
+      (Core.Config.clonable config);
+    match trace_out with
+    | None -> ()
+    | Some file ->
+      Engine.Trace_report.write_jsonl ~file;
+      Printf.printf "trace: %s\n" file;
+      Engine.Trace_report.print_summary ()
   in
-  Cmd.v (Cmd.info "build" ~doc) Term.(const run $ appliance $ dce $ seed)
+  Cmd.v (Cmd.info "build" ~doc) Term.(const run $ appliance $ dce $ seed $ trace_out)
 
 (* ---- boot ---- *)
 
@@ -176,13 +199,25 @@ let boot_cmd =
     | Some file ->
       Engine.Trace_report.write_jsonl ~file;
       Printf.printf "  trace        : %s\n" file;
-      Engine.Trace_report.print_summary ()
+      Engine.Trace_report.print_summary ();
+      (match Engine.Sim.vcpu_totals sim with
+      | [] -> ()
+      | totals ->
+        Printf.printf "vcpu accounting:\n";
+        Printf.printf "  %5s %10s %12s %12s\n" "dom" "slices" "run_us" "wait_us";
+        List.iter
+          (fun (v : Engine.Sim.vcpu_totals) ->
+            Printf.printf "  %5d %10d %12.1f %12.1f\n" v.Engine.Sim.vt_dom v.Engine.Sim.vt_slices
+              (float_of_int v.Engine.Sim.vt_run_ns /. 1e3)
+              (float_of_int v.Engine.Sim.vt_wait_ns /. 1e3))
+          totals)
   in
   Cmd.v (Cmd.info "boot" ~doc)
     Term.(const run $ appliance $ mem $ sync $ no_seal $ target $ trace_out)
 
 let main =
   let doc = "Mirage unikernel construction pipeline on a simulated Xen host" in
-  Cmd.group (Cmd.info "mirage_sim" ~version:"1.0" ~doc) [ list_cmd; build_cmd; boot_cmd ]
+  Cmd.group (Cmd.info "mirage_sim" ~version:"1.0" ~doc)
+    [ list_cmd; build_cmd; boot_cmd; Trace_cli.cmd ]
 
 let () = exit (Cmd.eval main)

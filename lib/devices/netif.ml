@@ -13,6 +13,7 @@ type tx_pending = {
   gref : Xensim.Gnttab.grant_ref;
   waker : unit Mthread.Promise.u;
   span : Trace.span;  (* request enqueue -> TX response *)
+  flow : Trace.Flow.id;  (* causal flow of the sender, for the backend *)
 }
 
 type t = {
@@ -32,6 +33,7 @@ type t = {
   tx_pending : (int, tx_pending) Hashtbl.t;
   rx_posted : (int, Xensim.Gnttab.grant_ref * Bytestruct.t) Hashtbl.t;
   rx_spans : (int, Trace.span) Hashtbl.t;  (* backend copy -> guest delivery *)
+  rx_flows : (int, Trace.Flow.id) Hashtbl.t;  (* per-slot flow: one evtchn batch mixes flows *)
   rx_avail : (int * Xensim.Gnttab.grant_ref) Queue.t;  (* backend side *)
   tx_waiters : unit Mthread.Promise.u Queue.t;
   mutable listener : (Bytestruct.t -> unit) option;
@@ -53,13 +55,21 @@ let backend_handle_tx t () =
         let id = Bytestruct.LE.get_uint16 slot 0 in
         let size = Bytestruct.LE.get_uint16 slot 2 in
         let gref = Int32.to_int (Bytestruct.LE.get_uint32 slot 4) in
-        let page = Xensim.Gnttab.map (gnttab t) ~by:t.backend_dom.Xensim.Domain.id gref in
-        let frame = Bytestruct.sub page 0 size in
-        Netsim.Nic.send t.nic frame;
-        Xensim.Gnttab.unmap (gnttab t) ~by:t.backend_dom.Xensim.Domain.id gref;
-        let rsp = Xensim.Ring.Back.next_response t.tx_back in
-        Bytestruct.LE.set_uint16 rsp 0 id;
-        Bytestruct.LE.set_uint16 rsp 2 0 (* NETIF_RSP_OKAY *))
+        (* One evtchn kick covers a batch of slots from different flows:
+           re-establish each frame's own flow around the wire send. *)
+        let fl =
+          match Hashtbl.find_opt t.tx_pending id with
+          | Some p -> p.flow
+          | None -> Trace.Flow.none
+        in
+        Trace.Flow.with_flow fl (fun () ->
+            let page = Xensim.Gnttab.map (gnttab t) ~by:t.backend_dom.Xensim.Domain.id gref in
+            let frame = Bytestruct.sub page 0 size in
+            Netsim.Nic.send t.nic frame;
+            Xensim.Gnttab.unmap (gnttab t) ~by:t.backend_dom.Xensim.Domain.id gref;
+            let rsp = Xensim.Ring.Back.next_response t.tx_back in
+            Bytestruct.LE.set_uint16 rsp 0 id;
+            Bytestruct.LE.set_uint16 rsp 2 0 (* NETIF_RSP_OKAY *)))
   in
   if n > 0 then begin
     Xensim.Domain.charge_k t.backend_dom ~cost:(n * backend_per_packet_ns) (fun () -> ());
@@ -74,22 +84,34 @@ let backend_handle_rx_credit t () =
          let gref = Int32.to_int (Bytestruct.LE.get_uint32 slot 4) in
          Queue.add (id, gref) t.rx_avail))
 
+let backend_deliver_frame t ~id ~gref frame =
+  if Trace.enabled () then
+    Hashtbl.replace t.rx_spans id
+      (Trace.span ~dom:t.dom.Xensim.Domain.id ~cat:Trace.Device "netif.rx");
+  Xensim.Gnttab.copy_to (gnttab t) ~by:t.backend_dom.Xensim.Domain.id gref ~src:frame;
+  let rsp = Xensim.Ring.Back.next_response t.rx_back in
+  Bytestruct.LE.set_uint16 rsp 0 id;
+  Bytestruct.LE.set_uint16 rsp 2 (Bytestruct.length frame);
+  Xensim.Domain.charge_k t.backend_dom ~cost:backend_per_packet_ns (fun () -> ());
+  if Xensim.Ring.Back.push_responses_and_check_notify t.rx_back then
+    Xensim.Evtchn.notify (evtchn t) t.rx_port_back
+
 let backend_handle_frame t frame =
   (* Pull any freshly-posted credit before deciding to drop. *)
   backend_handle_rx_credit t ();
   match Queue.take_opt t.rx_avail with
   | None -> t.rx_dropped <- t.rx_dropped + 1
   | Some (id, gref) ->
-    if Trace.enabled () then
-      Hashtbl.replace t.rx_spans id
-        (Trace.span ~dom:t.dom.Xensim.Domain.id ~cat:Trace.Device "netif.rx");
-    Xensim.Gnttab.copy_to (gnttab t) ~by:t.backend_dom.Xensim.Domain.id gref ~src:frame;
-    let rsp = Xensim.Ring.Back.next_response t.rx_back in
-    Bytestruct.LE.set_uint16 rsp 0 id;
-    Bytestruct.LE.set_uint16 rsp 2 (Bytestruct.length frame);
-    Xensim.Domain.charge_k t.backend_dom ~cost:backend_per_packet_ns (fun () -> ());
-    if Xensim.Ring.Back.push_responses_and_check_notify t.rx_back then
-      Xensim.Evtchn.notify (evtchn t) t.rx_port_back
+    if Trace.enabled () then begin
+      (* Every frame entering a backend begins a fresh causal flow; the
+         flow then rides the scheduler ([Engine.Sim.at]) through evtchn
+         delivery, the guest stack, the request handler and back out the
+         TX path — until the next hop's backend RX starts the next one. *)
+      let fl = Trace.Flow.start ~dom:t.dom.Xensim.Domain.id () in
+      Hashtbl.replace t.rx_flows id fl;
+      Trace.Flow.with_flow fl (fun () -> backend_deliver_frame t ~id ~gref frame)
+    end
+    else backend_deliver_frame t ~id ~gref frame
 
 (* ---- frontend ---- *)
 
@@ -112,11 +134,12 @@ let frontend_handle_tx_responses t () =
          let id = Bytestruct.LE.get_uint16 slot 0 in
          match Hashtbl.find_opt t.tx_pending id with
          | None -> ()
-         | Some { gref; waker; span } ->
+         | Some { gref; waker; span; flow } ->
            Hashtbl.remove t.tx_pending id;
            Xensim.Gnttab.end_access (gnttab t) gref;
-           Trace.finish span;
-           if Mthread.Promise.wakener_pending waker then Mthread.Promise.wakeup waker ()));
+           Trace.Flow.with_flow flow (fun () ->
+               Trace.finish span;
+               if Mthread.Promise.wakener_pending waker then Mthread.Promise.wakeup waker ())));
   (* Ring space freed: wake writers blocked on a full ring. *)
   let rec wake () =
     if Xensim.Ring.Front.free_requests t.tx_front > 0 then
@@ -150,19 +173,30 @@ let frontend_handle_rx_responses t () =
         (* Deliver once the vCPU has done the receive-path work; charge_k
            keeps per-frame ordering (sequential reservations on one vCPU). *)
         Xensim.Domain.charge_k t.dom ~cost:(Platform.rx_cost plat ~bytes_len:size) (fun () ->
-            (match Hashtbl.find_opt t.rx_spans id with
-            | Some span ->
-              Hashtbl.remove t.rx_spans id;
-              Trace.finish span
-            | None -> ());
-            (match t.listener with
-            | Some f -> f (Bytestruct.sub page 0 size)
-            | None -> ());
-            Io_page.recycle t.pool page;
-            (* Replace the consumed credit. *)
-            post_rx_buffer t;
-            if Xensim.Ring.Front.push_requests_and_check_notify t.rx_front then
-              Xensim.Evtchn.notify (evtchn t) t.rx_port_front))
+            (* The evtchn kick that scheduled us carries only the flow of
+               the frame that raised it; a batched ring holds frames from
+               many flows, so re-establish this slot's own. *)
+            let fl =
+              match Hashtbl.find_opt t.rx_flows id with
+              | Some fl ->
+                Hashtbl.remove t.rx_flows id;
+                fl
+              | None -> Trace.Flow.none
+            in
+            Trace.Flow.with_flow fl (fun () ->
+                (match Hashtbl.find_opt t.rx_spans id with
+                | Some span ->
+                  Hashtbl.remove t.rx_spans id;
+                  Trace.finish span
+                | None -> ());
+                (match t.listener with
+                | Some f -> f (Bytestruct.sub page 0 size)
+                | None -> ());
+                Io_page.recycle t.pool page;
+                (* Replace the consumed credit. *)
+                post_rx_buffer t;
+                if Xensim.Ring.Front.push_requests_and_check_notify t.rx_front then
+                  Xensim.Evtchn.notify (evtchn t) t.rx_port_front)))
       (List.rev !arrived)
   end
 
@@ -205,6 +239,7 @@ let connect hv ~dom ~backend_dom ~nic ?(rx_slots = 512) () =
       tx_pending = Hashtbl.create 64;
       rx_posted = Hashtbl.create 64;
       rx_spans = Hashtbl.create 64;
+      rx_flows = Hashtbl.create 64;
       rx_avail = Queue.create ();
       tx_waiters = Queue.create ();
       listener = None;
@@ -253,7 +288,8 @@ let rec write t frame =
     t.next_tx_id <- (t.next_tx_id + 1) land 0xffff;
     let done_p, waker = Mthread.Promise.wait () in
     let span = Trace.span ~dom:t.dom.Xensim.Domain.id ~cat:Trace.Device "netif.tx" in
-    Hashtbl.replace t.tx_pending id { gref; waker; span };
+    let flow = if Trace.enabled () then Trace.Flow.current () else Trace.Flow.none in
+    Hashtbl.replace t.tx_pending id { gref; waker; span; flow };
     let slot = Xensim.Ring.Front.next_request t.tx_front in
     Bytestruct.LE.set_uint16 slot 0 id;
     Bytestruct.LE.set_uint16 slot 2 len;

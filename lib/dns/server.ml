@@ -51,11 +51,23 @@ let charge t ~memo_hit =
   match t.dom with
   | None -> ()
   | Some d ->
-    Xensim.Domain.charge_k d
-      ~cost:
-        (query_cost_ns t.engine ~zone_entries:(Db.entries t.db)
-           ~platform:d.Xensim.Domain.platform ~memo_hit)
-      (fun () -> ())
+    let cost =
+      query_cost_ns t.engine ~zone_entries:(Db.entries t.db) ~platform:d.Xensim.Domain.platform
+        ~memo_hit
+    in
+    if Trace.enabled () then begin
+      (* Retro-span from enqueue to the end of the vCPU slice: the
+         application layer of a DNS flow's waterfall (the response is
+         sent concurrently; the query cost gates only subsequent work). *)
+      let queued = Engine.Sim.now t.sim in
+      Xensim.Domain.charge_k d ~cost (fun () ->
+          if Trace.enabled () then
+            Trace.record_span_ns ~dom:d.Xensim.Domain.id
+              ~payload:[ ("memo_hit", Trace.Bool memo_hit) ]
+              ~cat:(Trace.User "dns") "dns.query"
+              (Engine.Sim.now t.sim - queued))
+    end
+    else Xensim.Domain.charge_k d ~cost (fun () -> ())
 
 let respond t ~src ~src_port ~dst_port encoded =
   Mthread.Promise.async (fun () ->
@@ -68,6 +80,12 @@ let handle t ~src ~src_port ~dst_port ~payload =
   | { Dns_wire.questions = [ q ]; id; _ } ->
     t.served <- t.served + 1;
     let qname = q.Dns_wire.qname and qtype = q.Dns_wire.qtype in
+    if Trace.enabled () then
+      Trace.emit
+        ?dom:(Option.map (fun d -> d.Xensim.Domain.id) t.dom)
+        ~cat:(Trace.User "dns")
+        ~payload:[ ("qname", Trace.String (Dns_name.to_string qname)) ]
+        "dns.handle";
     let memo_hit, encoded =
       match t.memo with
       | Some cache -> (

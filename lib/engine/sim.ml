@@ -1,8 +1,12 @@
+type vcpu_acc = { mutable a_run_ns : int; mutable a_wait_ns : int; mutable a_slices : int }
+type vcpu_totals = { vt_dom : int; vt_run_ns : int; vt_wait_ns : int; vt_slices : int }
+
 type t = {
   mutable now : int;
   q : Eventq.t;
   prng : Prng.t;
   mutable stopped : bool;
+  vcpu : (int, vcpu_acc) Hashtbl.t;
 }
 
 type handle = Eventq.handle
@@ -10,7 +14,15 @@ type handle = Eventq.handle
 let c_dispatch = Trace.counter "sim.dispatch"
 
 let create ?(seed = 42) () =
-  let t = { now = 0; q = Eventq.create (); prng = Prng.create ~seed (); stopped = false } in
+  let t =
+    {
+      now = 0;
+      q = Eventq.create ();
+      prng = Prng.create ~seed ();
+      stopped = false;
+      vcpu = Hashtbl.create 8;
+    }
+  in
   (* The trace timeline follows the most recently created simulator. *)
   Trace.set_clock (fun () -> t.now);
   t
@@ -20,7 +32,38 @@ let prng t = t.prng
 
 let at t ~time f =
   let time = max time t.now in
+  (* Causal flow propagation: a callback scheduled while a flow is
+     ambient runs under that flow, however many hops later. Only when
+     tracing — with it off, [f] is pushed untouched. *)
+  let f =
+    if Trace.enabled () then begin
+      let fl = Trace.Flow.current () in
+      if fl >= 0 then fun () -> Trace.Flow.wrap fl f else f
+    end
+    else f
+  in
   Eventq.push t.q ~time f
+
+let vcpu_account t ~dom ~run_ns ~wait_ns =
+  let a =
+    match Hashtbl.find_opt t.vcpu dom with
+    | Some a -> a
+    | None ->
+      let a = { a_run_ns = 0; a_wait_ns = 0; a_slices = 0 } in
+      Hashtbl.replace t.vcpu dom a;
+      a
+  in
+  a.a_run_ns <- a.a_run_ns + max 0 run_ns;
+  a.a_wait_ns <- a.a_wait_ns + max 0 wait_ns;
+  a.a_slices <- a.a_slices + 1
+
+let vcpu_totals t =
+  Hashtbl.fold
+    (fun dom a acc ->
+      { vt_dom = dom; vt_run_ns = a.a_run_ns; vt_wait_ns = a.a_wait_ns; vt_slices = a.a_slices }
+      :: acc)
+    t.vcpu []
+  |> List.sort (fun a b -> compare a.vt_dom b.vt_dom)
 
 let schedule t ~delay f = at t ~time:(t.now + max 0 delay) f
 

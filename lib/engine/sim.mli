@@ -21,7 +21,13 @@ val prng : t -> Prng.t
     negative delays). *)
 val schedule : t -> delay:int -> (unit -> unit) -> handle
 
-(** [at t ~time f] runs [f] at absolute virtual [time]. *)
+(** [at t ~time f] runs [f] at absolute virtual [time]. When tracing is
+    enabled and a causal flow is ambient ([Trace.Flow.current]), the
+    flow is captured here and restored for the duration of [f] — this is
+    the one chokepoint through which every asynchronous hop (thread
+    sleeps, vCPU charges, event-channel delivery, link latency, TCP
+    timers) passes, so flow ids propagate across the whole stack without
+    per-subsystem plumbing. *)
 val at : t -> time:int -> (unit -> unit) -> handle
 
 val cancel : handle -> unit
@@ -40,6 +46,28 @@ val step : t -> bool
 
 (** Stop the current [run] after the in-flight event completes. *)
 val stop : t -> unit
+
+(** {1 Per-domain vCPU accounting}
+
+    The hypervisor's scheduler (see [Xensim.Domain]) reports every vCPU
+    slice it reserves: [run_ns] of execution plus [wait_ns] of wakeup
+    latency (time between becoming runnable and being scheduled, i.e.
+    queueing behind earlier reservations and other domains on the shared
+    physical cores). Always on — a hashtable update per slice — so
+    utilisation is available even without tracing. *)
+
+type vcpu_totals = {
+  vt_dom : int;
+  vt_run_ns : int;  (** total vCPU execution time *)
+  vt_wait_ns : int;  (** total wakeup/queueing latency *)
+  vt_slices : int;  (** number of reservations *)
+}
+
+(** Record one vCPU slice for domain [dom]. *)
+val vcpu_account : t -> dom:int -> run_ns:int -> wait_ns:int -> unit
+
+(** Accumulated per-domain totals, sorted by domain id. *)
+val vcpu_totals : t -> vcpu_totals list
 
 (** Time-unit helpers (all return nanoseconds). *)
 

@@ -15,12 +15,15 @@ let group_by_name stats =
   |> List.map (fun (name, ss) -> (name, List.rev ss))
   |> List.sort compare
 
-let span_row b ~name ~dom ~count ~acc ~samples ~min_ns ~max_ns =
-  let pc p = if samples = [] then 0.0 else Stats.percentile p samples in
+let span_row b ~name ~dom (h : Trace.Hist.t) =
+  let pc p = Trace.Hist.percentile h p /. 1e3 in
   Buffer.add_string b
-    (Printf.sprintf "  %-28s %-5s %10d %10.2f %10.2f %10.2f %10.2f %10.2f\n" name dom count
-       (Stats.acc_mean acc /. 1e3)
-       (us min_ns) (pc 50.0 /. 1e3) (pc 99.0 /. 1e3) (us max_ns))
+    (Printf.sprintf "  %-28s %-5s %10d %10.2f %10.2f %10.2f %10.2f %10.2f %10.2f\n" name dom
+       (Trace.Hist.count h)
+       (Trace.Hist.mean h /. 1e3)
+       (us (Trace.Hist.min_ns h))
+       (pc 50.0) (pc 95.0) (pc 99.0)
+       (us (Trace.Hist.max_ns h)))
 
 let summary_string () =
   let counters = List.filter (fun (_, v) -> v <> 0) (Trace.counters ()) in
@@ -39,41 +42,24 @@ let summary_string () =
     end;
     if stats <> [] then begin
       Buffer.add_string b
-        (Printf.sprintf "spans (us):\n  %-28s %-5s %10s %10s %10s %10s %10s %10s\n" "span" "dom"
-           "count" "mean" "min" "p50" "p99" "max");
+        (Printf.sprintf "spans (us):\n  %-28s %-5s %10s %10s %10s %10s %10s %10s %10s\n" "span"
+           "dom" "count" "mean" "min" "p50" "p95" "p99" "max");
       List.iter
         (fun (name, per_dom) ->
-          let accs =
-            List.map
-              (fun (s : Trace.span_stat) ->
-                Stats.acc_of_list (List.map float_of_int (Array.to_list s.Trace.span_samples)))
-              per_dom
-          in
-          List.iter2
-            (fun (s : Trace.span_stat) acc ->
+          List.iter
+            (fun (s : Trace.span_stat) ->
               span_row b ~name
                 ~dom:(if s.Trace.span_dom < 0 then "-" else string_of_int s.Trace.span_dom)
-                ~count:s.Trace.span_count ~acc
-                ~samples:(List.map float_of_int (Array.to_list s.Trace.span_samples))
-                ~min_ns:s.Trace.span_min_ns ~max_ns:s.Trace.span_max_ns)
-            per_dom accs;
-          (* Per-domain accumulators combine into one appliance-wide row. *)
+                s.Trace.span_hist)
+            per_dom;
+          (* Per-domain histograms merge into one appliance-wide row. *)
           if List.length per_dom > 1 then begin
-            let merged = List.fold_left Stats.acc_merge (Stats.acc_create ()) accs in
-            let samples =
-              List.concat_map
-                (fun (s : Trace.span_stat) ->
-                  List.map float_of_int (Array.to_list s.Trace.span_samples))
-                per_dom
+            let merged =
+              List.fold_left
+                (fun acc (s : Trace.span_stat) -> Trace.Hist.merge acc s.Trace.span_hist)
+                (Trace.Hist.create ()) per_dom
             in
-            span_row b ~name ~dom:"all"
-              ~count:(List.fold_left (fun n (s : Trace.span_stat) -> n + s.Trace.span_count) 0 per_dom)
-              ~acc:merged ~samples
-              ~min_ns:
-                (List.fold_left (fun m (s : Trace.span_stat) -> min m s.Trace.span_min_ns) max_int
-                   per_dom)
-              ~max_ns:
-                (List.fold_left (fun m (s : Trace.span_stat) -> max m s.Trace.span_max_ns) 0 per_dom)
+            span_row b ~name ~dom:"all" merged
           end)
         (group_by_name stats)
     end;

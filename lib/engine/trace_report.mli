@@ -1,15 +1,17 @@
 (** Render the global {!Trace} state: JSON-lines export to a file and a
-    human-readable summary table built on {!Stats} accumulators (merging
-    per-domain span statistics with [Stats.acc_merge]). *)
+    human-readable summary table with percentiles computed from the
+    per-span log-linear histograms ([Trace.Hist]), merging per-domain
+    histograms into an appliance-wide row. *)
 
 (** Write every recorded event, counter and span statistic to [file] as
     JSON lines (see [Trace.export_jsonl]). *)
 val write_jsonl : file:string -> unit
 
 (** Multi-line summary: non-zero counters, then one row per span name
-    and domain with count/mean/min/p50/p99/max in microseconds, plus an
-    [all] row per span name merging every domain's accumulator. Returns
-    [""] when nothing was recorded. *)
+    and domain with count/mean/min/p50/p95/p99/max in microseconds
+    (percentiles from the span's histogram), plus an [all] row per span
+    name merging every domain's histogram. Returns [""] when nothing was
+    recorded. *)
 val summary_string : unit -> string
 
 (** Print {!summary_string} to stdout with a heading, if non-empty. *)

@@ -50,6 +50,7 @@ type rtx_entry = {
   e_fin : bool;
   mutable e_sent_at : int;
   mutable e_retx : bool;
+  e_flow : Trace.Flow.id;  (* causal flow that originated this data *)
 }
 
 type key = { k_port : int; k_rip : Ipaddr.t; k_rport : int }
@@ -132,6 +133,13 @@ let advertised_window fl = max 0 (rcv_wnd_bytes - fl.rx_buffered) lsr our_wscale
 let send_segment t ~key ~seq ~ack ~flags ~options ~window ~payload =
   t.segs_sent <- t.segs_sent + 1;
   Trace.incr c_segs_sent;
+  if Trace.enabled () then
+    Trace.emit
+      ?dom:(Option.map (fun d -> d.Xensim.Domain.id) t.dom)
+      ~cat:Trace.Net
+      ~payload:
+        [ ("seq", Trace.Int (Seq.to_int seq)); ("len", Trace.Int (Bytestruct.length payload)) ]
+      "tcp.tx_segment";
   let seg =
     {
       Tcp_wire.src_port = key.k_port;
@@ -216,6 +224,12 @@ and on_rto fl =
     arm_rto fl
 
 and retransmit_entry fl e =
+  (* Attribute the retransmission (and the whole TX path under it) to the
+     causal flow that originally queued this data, not to whichever
+     context the timer or ACK happened to fire in. *)
+  Trace.Flow.with_flow e.e_flow (fun () -> retransmit_entry_now fl e)
+
+and retransmit_entry_now fl e =
   fl.t.retransmissions <- fl.t.retransmissions + 1;
   (* Karn's rule: any retransmission — RTO, fast retransmit, partial-ack
      hole fill or persist probe — invalidates the open RTT probe, since an
@@ -326,6 +340,7 @@ let rec try_output fl =
             e_fin = false;
             e_sent_at = Engine.Sim.now fl.t.sim;
             e_retx = false;
+            e_flow = (if Trace.enabled () then Trace.Flow.current () else Trace.Flow.none);
           }
         in
         Queue.add entry fl.rtx;
@@ -361,6 +376,7 @@ and maybe_send_fin fl =
         e_fin = true;
         e_sent_at = Engine.Sim.now fl.t.sim;
         e_retx = false;
+        e_flow = (if Trace.enabled () then Trace.Flow.current () else Trace.Flow.none);
       }
     in
     Queue.add entry fl.rtx;
@@ -420,6 +436,7 @@ and on_persist fl =
               e_fin = false;
               e_sent_at = Engine.Sim.now fl.t.sim;
               e_retx = false;
+              e_flow = (if Trace.enabled () then Trace.Flow.current () else Trace.Flow.none);
             }
           in
           Queue.add entry fl.rtx;
@@ -439,6 +456,7 @@ and on_persist fl =
               e_fin = true;
               e_sent_at = Engine.Sim.now fl.t.sim;
               e_retx = false;
+              e_flow = (if Trace.enabled () then Trace.Flow.current () else Trace.Flow.none);
             }
           in
           Queue.add entry fl.rtx;
@@ -566,6 +584,12 @@ let deliver_rx fl payload =
   let len = Bytestruct.length payload in
   fl.bytes_received <- fl.bytes_received + len;
   fl.rx_buffered <- fl.rx_buffered + len;
+  if Trace.enabled () then
+    Trace.emit
+      ?dom:(Option.map (fun d -> d.Xensim.Domain.id) fl.t.dom)
+      ~cat:Trace.Net
+      ~payload:[ ("qlen", Trace.Int fl.rx_buffered) ]
+      "tcp.rx_buffered";
   Mthread.Mstream.push fl.rx (Bytestruct.copy payload)
 
 let rec integrate_ooo fl =
@@ -843,6 +867,7 @@ let handle_syn t ~src (seg : Tcp_wire.segment) =
         e_fin = false;
         e_sent_at = Engine.Sim.now t.sim;
         e_retx = false;
+        e_flow = (if Trace.enabled () then Trace.Flow.current () else Trace.Flow.none);
       }
     in
     Queue.add entry fl.rtx;
@@ -878,7 +903,17 @@ let handle_datagram t ~src ~dst ~payload =
           d.Xensim.Domain.platform.Platform.tcp_rx_extra_ns
         else d.Xensim.Domain.platform.Platform.tcp_ack_extra_ns
       in
-      Xensim.Domain.charge_k d ~cost process)
+      if Trace.enabled () then begin
+        let queued = Engine.Sim.now t.sim in
+        Xensim.Domain.charge_k d ~cost (fun () ->
+            (* Retro-span covering queue-for-vCPU + segment processing,
+               so the flow's TCP-layer time is attributable offline. *)
+            if Trace.enabled () then
+              Trace.record_span_ns ~dom:d.Xensim.Domain.id ~cat:Trace.Net "tcp.rx"
+                (Engine.Sim.now t.sim - queued);
+            process ())
+      end
+      else Xensim.Domain.charge_k d ~cost process)
 
 let create sim ?dom ip =
   let t =
@@ -927,6 +962,7 @@ let connect t ~dst ~dst_port =
       e_fin = false;
       e_sent_at = Engine.Sim.now t.sim;
       e_retx = false;
+      e_flow = (if Trace.enabled () then Trace.Flow.current () else Trace.Flow.none);
     }
   in
   Queue.add entry fl.rtx;

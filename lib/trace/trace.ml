@@ -32,11 +32,124 @@ type event = {
   name : string;
   phase : phase;
   depth : int;
+  flow : int;
   payload : payload;
 }
 
 let default_capacity = 65536
-let max_span_samples = 4096
+
+(* ---- log-linear histograms ---- *)
+
+module Hist = struct
+  (* HDR-style log-linear buckets: values below [linear] get unit-width
+     buckets; each further octave [2^k, 2^(k+1)) is split into [half]
+     sub-buckets of width 2^(k - sub_bits + 1). Relative quantization
+     error is bounded by 1/(2*half) ~ 0.8%, independent of magnitude. *)
+  let sub_bits = 7
+  let linear = 1 lsl sub_bits
+  let half = linear / 2
+
+  type t = {
+    mutable counts : int array;
+    mutable h_count : int;
+    mutable h_total : int;
+    mutable h_min : int;
+    mutable h_max : int;
+  }
+
+  let create () = { counts = [||]; h_count = 0; h_total = 0; h_min = max_int; h_max = 0 }
+
+  let msb v =
+    let rec go v acc = if v <= 1 then acc else go (v lsr 1) (acc + 1) in
+    go v 0
+
+  let bucket_of v =
+    if v < linear then v
+    else
+      let k = msb v in
+      let shift = k - sub_bits + 1 in
+      linear + ((k - sub_bits) * half) + ((v lsr shift) - half)
+
+  (* Inclusive bounds of bucket [i]. *)
+  let bucket_lo i =
+    if i < linear then i
+    else
+      let oct = (i - linear) / half and sub = (i - linear) mod half in
+      (half + sub) lsl (oct + 1)
+
+  let bucket_width i = if i < linear then 1 else 1 lsl (((i - linear) / half) + 1)
+
+  let record h v =
+    let v = max 0 v in
+    let idx = bucket_of v in
+    if idx >= Array.length h.counts then begin
+      let cap = max 64 (Array.length h.counts) in
+      let cap = ref cap in
+      while idx >= !cap do
+        cap := 2 * !cap
+      done;
+      let bigger = Array.make !cap 0 in
+      Array.blit h.counts 0 bigger 0 (Array.length h.counts);
+      h.counts <- bigger
+    end;
+    h.counts.(idx) <- h.counts.(idx) + 1;
+    h.h_count <- h.h_count + 1;
+    h.h_total <- h.h_total + v;
+    if v < h.h_min then h.h_min <- v;
+    if v > h.h_max then h.h_max <- v
+
+  let count h = h.h_count
+  let total h = h.h_total
+  let min_ns h = if h.h_count = 0 then 0 else h.h_min
+  let max_ns h = if h.h_count = 0 then 0 else h.h_max
+  let mean h = if h.h_count = 0 then 0. else float_of_int h.h_total /. float_of_int h.h_count
+
+  let merge a b =
+    let m = create () in
+    let cap = max (Array.length a.counts) (Array.length b.counts) in
+    m.counts <- Array.make cap 0;
+    Array.iteri (fun i n -> m.counts.(i) <- m.counts.(i) + n) a.counts;
+    Array.iteri (fun i n -> m.counts.(i) <- m.counts.(i) + n) b.counts;
+    m.h_count <- a.h_count + b.h_count;
+    m.h_total <- a.h_total + b.h_total;
+    m.h_min <- min a.h_min b.h_min;
+    m.h_max <- max a.h_max b.h_max;
+    m
+
+  let percentile h p =
+    if h.h_count = 0 then 0.
+    else if p <= 0. then float_of_int h.h_min
+    else if p >= 100. then float_of_int h.h_max
+    else begin
+      let rank = p /. 100. *. float_of_int h.h_count in
+      let rank = int_of_float (ceil rank) in
+      let rank = max 1 (min h.h_count rank) in
+      let cum = ref 0 and res = ref (float_of_int h.h_max) and found = ref false in
+      let n = Array.length h.counts in
+      let i = ref 0 in
+      while (not !found) && !i < n do
+        let c = h.counts.(!i) in
+        if c > 0 then begin
+          cum := !cum + c;
+          if !cum >= rank then begin
+            let lo = bucket_lo !i and w = bucket_width !i in
+            let mid = float_of_int lo +. (float_of_int (w - 1) /. 2.) in
+            res := Float.min (Float.max mid (float_of_int h.h_min)) (float_of_int h.h_max);
+            found := true
+          end
+        end;
+        incr i
+      done;
+      !res
+    end
+
+  let buckets h =
+    let acc = ref [] in
+    Array.iteri
+      (fun i c -> if c > 0 then acc := (bucket_lo i, bucket_lo i + bucket_width i - 1, c) :: !acc)
+      h.counts;
+    List.rev !acc
+end
 
 type counter = { c_name : string; mutable c_value : int }
 
@@ -44,12 +157,7 @@ type span_acc = {
   sa_name : string;
   sa_cat : category;
   sa_dom : int;
-  mutable sa_count : int;
-  mutable sa_total : int;
-  mutable sa_min : int;
-  mutable sa_max : int;
-  mutable sa_samples : int array;
-  mutable sa_nsamples : int;
+  sa_hist : Hist.t;
 }
 
 type span_stat = {
@@ -60,7 +168,7 @@ type span_stat = {
   span_total_ns : int;
   span_min_ns : int;
   span_max_ns : int;
-  span_samples : int array;
+  span_hist : Hist.t;
 }
 
 type span = {
@@ -83,12 +191,24 @@ type state = {
   mutable clock : unit -> int;
   mutable clock_base : int;
   mutable last_time : int;
+  mutable cur_flow : int;
+  mutable next_flow : int;
   counters : (string, counter) Hashtbl.t;
   spans : (string * int, span_acc) Hashtbl.t;
 }
 
 let dummy_event =
-  { seq = 0; time = 0; dom = -1; cat = Sched; name = ""; phase = Instant; depth = 0; payload = [] }
+  {
+    seq = 0;
+    time = 0;
+    dom = -1;
+    cat = Sched;
+    name = "";
+    phase = Instant;
+    depth = 0;
+    flow = -1;
+    payload = [];
+  }
 
 let t =
   {
@@ -102,6 +222,8 @@ let t =
     clock = (fun () -> 0);
     clock_base = 0;
     last_time = 0;
+    cur_flow = -1;
+    next_flow = 0;
     counters = Hashtbl.create 32;
     spans = Hashtbl.create 32;
   }
@@ -129,6 +251,8 @@ let reset () =
   t.depth <- 0;
   t.last_time <- 0;
   t.clock_base <- 0;
+  t.cur_flow <- -1;
+  t.next_flow <- 0;
   Hashtbl.iter (fun _ c -> c.c_value <- 0) t.counters;
   Hashtbl.reset t.spans
 
@@ -158,7 +282,7 @@ let push ev =
 let record ?(dom = -1) ?(payload = []) ~cat ~phase name =
   let seq = t.seq in
   t.seq <- seq + 1;
-  push { seq; time = now (); dom; cat; name; phase; depth = t.depth; payload }
+  push { seq; time = now (); dom; cat; name; phase; depth = t.depth; flow = t.cur_flow; payload }
 
 let emit ?dom ?payload ~cat name = if t.on then record ?dom ?payload ~cat ~phase:Instant name
 
@@ -167,6 +291,37 @@ let events () =
   List.init t.length (fun i -> t.ring.((t.head - t.length + i + (2 * cap)) mod cap))
 
 let dropped () = t.dropped
+
+(* ---- flows ---- *)
+
+module Flow = struct
+  type id = int
+
+  let none = -1
+  let current () = t.cur_flow
+
+  let start ?dom () =
+    let id = t.next_flow in
+    t.next_flow <- id + 1;
+    let prev = t.cur_flow in
+    t.cur_flow <- id;
+    if t.on then record ?dom ~cat:Sched ~phase:Instant "flow.begin";
+    t.cur_flow <- prev;
+    id
+
+  let with_flow id f =
+    if id < 0 then f ()
+    else begin
+      let prev = t.cur_flow in
+      t.cur_flow <- id;
+      Fun.protect ~finally:(fun () -> t.cur_flow <- prev) f
+    end
+
+  let wrap id f =
+    let prev = t.cur_flow in
+    t.cur_flow <- id;
+    Fun.protect ~finally:(fun () -> t.cur_flow <- prev) f
+end
 
 (* ---- counters ---- *)
 
@@ -197,36 +352,11 @@ let span_acc ~cat ~dom name =
   match Hashtbl.find_opt t.spans key with
   | Some sa -> sa
   | None ->
-    let sa =
-      {
-        sa_name = name;
-        sa_cat = cat;
-        sa_dom = dom;
-        sa_count = 0;
-        sa_total = 0;
-        sa_min = max_int;
-        sa_max = min_int;
-        sa_samples = Array.make 16 0;
-        sa_nsamples = 0;
-      }
-    in
+    let sa = { sa_name = name; sa_cat = cat; sa_dom = dom; sa_hist = Hist.create () } in
     Hashtbl.replace t.spans key sa;
     sa
 
-let span_record sa dur =
-  sa.sa_count <- sa.sa_count + 1;
-  sa.sa_total <- sa.sa_total + dur;
-  if dur < sa.sa_min then sa.sa_min <- dur;
-  if dur > sa.sa_max then sa.sa_max <- dur;
-  if sa.sa_nsamples < max_span_samples then begin
-    if sa.sa_nsamples = Array.length sa.sa_samples then begin
-      let bigger = Array.make (min max_span_samples (2 * sa.sa_nsamples)) 0 in
-      Array.blit sa.sa_samples 0 bigger 0 sa.sa_nsamples;
-      sa.sa_samples <- bigger
-    end;
-    sa.sa_samples.(sa.sa_nsamples) <- dur;
-    sa.sa_nsamples <- sa.sa_nsamples + 1
-  end
+let span_record sa dur = Hist.record sa.sa_hist dur
 
 let dead_span =
   { sp_live = false; sp_name = ""; sp_cat = Sched; sp_dom = -1; sp_start = 0; sp_closed = true }
@@ -252,12 +382,15 @@ let finish ?(payload = []) sp =
     end
   end
 
-let record_span_ns ?(dom = -1) ~cat name dur =
+let record_span_ns ?(dom = -1) ?(payload = []) ~cat name dur =
   if t.on then begin
     let dur = max 0 dur in
     span_record (span_acc ~cat ~dom name) dur;
-    record ~dom ~payload:[ ("dur_ns", Int dur) ] ~cat ~phase:End name
+    record ~dom ~payload:(("dur_ns", Int dur) :: payload) ~cat ~phase:End name
   end
+
+let sample ?(dom = -1) ~cat name v =
+  if t.on then span_record (span_acc ~cat ~dom name) (max 0 v)
 
 let span_stats () =
   Hashtbl.fold
@@ -266,11 +399,11 @@ let span_stats () =
         span_name = sa.sa_name;
         span_cat = sa.sa_cat;
         span_dom = sa.sa_dom;
-        span_count = sa.sa_count;
-        span_total_ns = sa.sa_total;
-        span_min_ns = (if sa.sa_count = 0 then 0 else sa.sa_min);
-        span_max_ns = (if sa.sa_count = 0 then 0 else sa.sa_max);
-        span_samples = Array.sub sa.sa_samples 0 sa.sa_nsamples;
+        span_count = Hist.count sa.sa_hist;
+        span_total_ns = Hist.total sa.sa_hist;
+        span_min_ns = Hist.min_ns sa.sa_hist;
+        span_max_ns = Hist.max_ns sa.sa_hist;
+        span_hist = sa.sa_hist;
       }
       :: acc)
     t.spans []
@@ -306,10 +439,11 @@ let payload_to_json payload =
 let phase_letter = function Instant -> "I" | Begin -> "B" | End -> "E"
 
 let to_json_line (ev : event) =
-  Printf.sprintf "{\"seq\":%d,\"t\":%d,\"dom\":%d,\"cat\":\"%s\",\"name\":\"%s\",\"ph\":\"%s\",\"depth\":%d,\"args\":%s}"
+  Printf.sprintf
+    "{\"seq\":%d,\"t\":%d,\"dom\":%d,\"cat\":\"%s\",\"name\":\"%s\",\"ph\":\"%s\",\"depth\":%d,\"flow\":%d,\"args\":%s}"
     ev.seq ev.time ev.dom
     (json_escape (category_name ev.cat))
-    (json_escape ev.name) (phase_letter ev.phase) ev.depth (payload_to_json ev.payload)
+    (json_escape ev.name) (phase_letter ev.phase) ev.depth ev.flow (payload_to_json ev.payload)
 
 let export_jsonl oc =
   List.iter
@@ -323,8 +457,10 @@ let export_jsonl oc =
   List.iter
     (fun s ->
       Printf.fprintf oc
-        "{\"span\":\"%s\",\"cat\":\"%s\",\"dom\":%d,\"count\":%d,\"total_ns\":%d,\"min_ns\":%d,\"max_ns\":%d}\n"
+        "{\"span\":\"%s\",\"cat\":\"%s\",\"dom\":%d,\"count\":%d,\"total_ns\":%d,\"min_ns\":%d,\"max_ns\":%d,\"p50_ns\":%.1f,\"p95_ns\":%.1f,\"p99_ns\":%.1f}\n"
         (json_escape s.span_name)
         (json_escape (category_name s.span_cat))
-        s.span_dom s.span_count s.span_total_ns s.span_min_ns s.span_max_ns)
+        s.span_dom s.span_count s.span_total_ns s.span_min_ns s.span_max_ns
+        (Hist.percentile s.span_hist 50.) (Hist.percentile s.span_hist 95.)
+        (Hist.percentile s.span_hist 99.))
     (span_stats ())

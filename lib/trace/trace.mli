@@ -2,7 +2,9 @@
 
     One global, process-wide trace: a bounded in-memory ring of typed
     events stamped with the virtual clock, plus named monotonic counters
-    and latency-recording spans. Everything is a no-op until {!enable} is
+    and latency-recording spans backed by mergeable log-linear
+    histograms, plus causal flow ids (Dapper-style) that propagate across
+    the layers of a request. Everything is a no-op until {!enable} is
     called; with tracing off every instrumentation site costs a single
     branch (guard payload construction with {!enabled} at call sites).
 
@@ -12,14 +14,14 @@
 
 (** Event categories mirror the subsystems of the simulated stack. *)
 type category =
-  | Sched  (** engine event-loop dispatch *)
+  | Sched  (** engine event-loop dispatch, vCPU accounting *)
   | Boot  (** domain construction, sealing, appliance bring-up *)
   | Hypercall
   | Evtchn
   | Gnttab
   | Ring  (** shared-memory ring push/consume *)
   | Device  (** netif/blkif request-response *)
-  | Net  (** network stack (TCP rtt, retransmit) *)
+  | Net  (** network stack (TCP rtt, retransmit, rx processing) *)
   | User of string
 
 val category_name : category -> string
@@ -43,8 +45,45 @@ type event = {
   name : string;
   phase : phase;
   depth : int;  (** span nesting depth at emission time *)
+  flow : int;  (** causal flow id, [-1] when no flow is current *)
   payload : payload;
 }
+
+(** {1 Log-linear histograms}
+
+    HDR-style: exact unit-width buckets for small values, then a fixed
+    number of sub-buckets per power-of-two octave, giving a bounded
+    relative quantization error (< 1%) at any magnitude with O(1) record
+    cost and compact, mergeable storage. *)
+
+module Hist : sig
+  type t
+
+  val create : unit -> t
+
+  (** Record one (non-negative; clamped) value. *)
+  val record : t -> int -> unit
+
+  val count : t -> int
+  val total : t -> int
+
+  (** Exact minimum / maximum of recorded values; 0 when empty. *)
+  val min_ns : t -> int
+
+  val max_ns : t -> int
+  val mean : t -> float
+
+  (** Functional merge into a fresh histogram. *)
+  val merge : t -> t -> t
+
+  (** [percentile h p] for [p] in [0..100]: the bucket-midpoint estimate
+      at that rank, clamped to the exact recorded min/max (so p0 and p100
+      are exact). 0 when empty. *)
+  val percentile : t -> float -> float
+
+  (** Non-empty buckets as [(lo, hi_inclusive, count)], ascending. *)
+  val buckets : t -> (int * int * int) list
+end
 
 (** {1 Lifecycle} *)
 
@@ -57,8 +96,9 @@ val enable : ?capacity:int -> unit -> unit
 
 val disable : unit -> unit
 
-(** Drop all recorded events, counter values and span statistics (counter
-    registrations survive). Does not change enabled/clock state. *)
+(** Drop all recorded events, counter values, span statistics and flow
+    state (counter registrations survive). Does not change enabled/clock
+    state. *)
 val reset : unit -> unit
 
 (** Install the virtual clock. Each installation re-bases timestamps so
@@ -78,6 +118,38 @@ val events : unit -> event list
 
 (** Events overwritten due to ring wraparound since the last {!reset}. *)
 val dropped : unit -> int
+
+(** {1 Flows}
+
+    A flow id names one causal request as it crosses layers: allocated
+    where a request enters the system (netif backend RX), stamped into
+    every event emitted while it is ambient, and propagated across
+    asynchronous hops by the engine scheduler (see [Engine.Sim]), which
+    captures the current flow when a callback is scheduled and restores
+    it when the callback runs. *)
+
+module Flow : sig
+  type id = int
+
+  (** [-1]: no flow. *)
+  val none : id
+
+  (** The ambient flow id, {!none} when unset. Cheap (one load). *)
+  val current : unit -> id
+
+  (** Allocate a fresh id and emit a ["flow.begin"] event stamped with
+      it. Does not change the ambient flow; wrap work with {!with_flow}. *)
+  val start : ?dom:int -> unit -> id
+
+  (** [with_flow id f] runs [f] with [id] as the ambient flow, restoring
+      the previous flow afterwards (exception-safe). When [id < 0], runs
+      [f] unchanged. *)
+  val with_flow : id -> (unit -> 'a) -> 'a
+
+  (** Like {!with_flow} but also installs [id = -1] (used by the
+      scheduler to restore a captured context verbatim). *)
+  val wrap : id -> (unit -> unit) -> unit
+end
 
 (** {1 Counters}
 
@@ -99,7 +171,7 @@ val counters : unit -> (string * int) list
 
     A span measures the virtual time between {!span} and {!finish},
     emitting paired [Begin]/[End] events and recording the duration into
-    per-(name, domain) statistics. Closing is idempotent. *)
+    a per-(name, domain) histogram. Closing is idempotent. *)
 
 type span
 
@@ -107,9 +179,18 @@ val span : ?dom:int -> ?payload:payload -> cat:category -> string -> span
 val finish : ?payload:payload -> span -> unit
 
 (** [record_span_ns ~dom ~cat name dur] records a duration measured
-    elsewhere (e.g. a TCP rtt probe) into the same statistics, emitting a
-    single [End] event stamped now. *)
-val record_span_ns : ?dom:int -> cat:category -> string -> int -> unit
+    elsewhere (e.g. a TCP rtt probe, or a vCPU slice whose bounds are
+    only known after the fact) into the same statistics, emitting a
+    single [End] event stamped now. The offline analyzer treats such an
+    event as a retroactive interval [[t - dur, t]] (shifted earlier by a
+    ["lag_ns"] payload when present). *)
+val record_span_ns : ?dom:int -> ?payload:payload -> cat:category -> string -> int -> unit
+
+(** [sample ~dom ~cat name v] records into the same per-(name, domain)
+    histogram WITHOUT emitting an event — for high-frequency series where
+    the distribution matters but per-occurrence events would flood the
+    ring. *)
+val sample : ?dom:int -> cat:category -> string -> int -> unit
 
 type span_stat = {
   span_name : string;
@@ -119,13 +200,8 @@ type span_stat = {
   span_total_ns : int;
   span_min_ns : int;
   span_max_ns : int;
-  span_samples : int array;
-      (** the first {!max_span_samples} durations, emission order *)
+  span_hist : Hist.t;  (** full log-linear distribution of durations *)
 }
-
-(** Cap on retained per-span duration samples; count/total/min/max keep
-    accumulating past it. *)
-val max_span_samples : int
 
 (** All span statistics, sorted by (name, dom). *)
 val span_stats : unit -> span_stat list
@@ -134,10 +210,11 @@ val span_stats : unit -> span_stat list
 
 (** One event as a single-line JSON object (no trailing newline):
     [{"seq":..,"t":..,"dom":..,"cat":"..","name":"..","ph":"I|B|E",
-      "depth":..,"args":{..}}]. *)
+      "depth":..,"flow":..,"args":{..}}]. *)
 val to_json_line : event -> string
 
 (** Write the whole trace as JSON lines: every event, then one
     [{"counter":..}] line per counter and one [{"span":..}] line per span
-    statistic. Deterministic for deterministic runs. *)
+    statistic (count/total/min/max plus histogram-derived p50/p95/p99).
+    Deterministic for deterministic runs. *)
 val export_jsonl : out_channel -> unit

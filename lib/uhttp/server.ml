@@ -31,6 +31,18 @@ let serve_flow t flow =
         | None -> Netstack.Tcp.close flow
         | Some req ->
           t.requests <- t.requests + 1;
+          (* The span opens under the causal flow of the frame that
+             completed the request and closes once the response bytes are
+             accepted by TCP — the application layer of the waterfall. *)
+          let sp =
+            if Trace.enabled () then
+              Trace.span
+                ?dom:(Option.map (fun d -> d.Xensim.Domain.id) t.dom)
+                ~cat:(Trace.User "http")
+                ~payload:[ ("path", Trace.String req.Http_wire.path) ]
+                "http.request"
+            else Trace.span ~cat:(Trace.User "http") "http.request"
+          in
           charge t >>= fun () ->
           t.handler req >>= fun resp ->
           let ka = Http_wire.keep_alive req.Http_wire.headers in
@@ -43,7 +55,9 @@ let serve_flow t flow =
               }
           in
           Netstack.Tcp.write flow (Bytestruct.of_string (Http_wire.render_response resp))
-          >>= fun () -> if ka then loop () else Netstack.Tcp.close flow)
+          >>= fun () ->
+          Trace.finish sp;
+          if ka then loop () else Netstack.Tcp.close flow)
       (function
         | Http_wire.Bad_request _ ->
           t.bad <- t.bad + 1;

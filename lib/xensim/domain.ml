@@ -37,7 +37,7 @@ let vcpus d = Array.length d.cpu_free_at
    configurations beat scale-up. *)
 let contention_factor d = 1.0 +. (0.15 *. float_of_int (vcpus d - 1))
 
-let reserve d cost =
+let reserve_slice d cost =
   let cost = int_of_float (float_of_int (max 0 cost) *. contention_factor d) in
   let now = Engine.Sim.now d.sim in
   (* Least-loaded vCPU. *)
@@ -47,14 +47,41 @@ let reserve d cost =
   let finish = start + cost in
   d.cpu_free_at.(!lane) <- finish;
   d.busy_ns <- d.busy_ns + cost;
-  finish
+  Engine.Sim.vcpu_account d.sim ~dom:d.id ~run_ns:cost ~wait_ns:(start - now);
+  (start, finish)
+
+let reserve d cost = snd (reserve_slice d cost)
+
+(* Runs when the slice completes: retro-record the wakeup latency
+   [queued, start] and the execution [start, finish] so the offline
+   analyzer can split a flow's gap into queueing vs. processing.
+   lag_ns positions vcpu.wait relative to the event's own timestamp
+   (which is [finish] in the trace clock's re-based timeline), keeping
+   the payload valid across consecutive simulator instances. *)
+let note_slice d ~queued ~start ~finish () =
+  if Trace.enabled () then begin
+    Trace.record_span_ns ~dom:d.id
+      ~payload:[ ("lag_ns", Trace.Int (finish - start)) ]
+      ~cat:Trace.Sched "vcpu.wait" (start - queued);
+    Trace.record_span_ns ~dom:d.id ~cat:Trace.Sched "vcpu.run" (finish - start)
+  end
 
 let charge d ~cost =
-  let finish = reserve d cost in
-  Mthread.Promise.sleep d.sim (finish - Engine.Sim.now d.sim)
+  let queued = Engine.Sim.now d.sim in
+  let start, finish = reserve_slice d cost in
+  let p = Mthread.Promise.sleep d.sim (finish - queued) in
+  if Trace.enabled () then Mthread.Promise.map (note_slice d ~queued ~start ~finish) p else p
 
 let charge_k d ~cost k =
-  let finish = reserve d cost in
+  let queued = Engine.Sim.now d.sim in
+  let start, finish = reserve_slice d cost in
+  let k =
+    if Trace.enabled () then (
+      fun () ->
+        note_slice d ~queued ~start ~finish ();
+        k ())
+    else k
+  in
   ignore (Engine.Sim.at d.sim ~time:finish k)
 
 let utilisation d ~span_ns =

@@ -87,9 +87,15 @@ let notify t p =
     let peer = get t peer_port in
     if not peer.pending then begin
       peer.pending <- true;
+      let t0 = if Trace.enabled () then Engine.Sim.now t.sim else 0 in
       ignore
         (Engine.Sim.schedule t.sim ~delay:delivery_latency_ns (fun () ->
-             if not peer.closed then deliver t peer_port))
+             if not peer.closed then begin
+               if Trace.enabled () then
+                 Trace.record_span_ns ~dom:peer.owner ~cat:Trace.Evtchn "evtchn.wakeup"
+                   (Engine.Sim.now t.sim - t0);
+               deliver t peer_port
+             end))
     end
 
 let mask t p =

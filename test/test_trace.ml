@@ -63,7 +63,7 @@ let test_span_nesting () =
         check_int "inner max" 150 inner_s.Trace.span_max_ns;
         check_int "inner count" 1 inner_s.Trace.span_count;
         check_int "outer duration" 400 outer_s.Trace.span_total_ns;
-        check_int "outer samples" 1 (Array.length outer_s.Trace.span_samples)
+        check_int "outer hist count" 1 (Trace.Hist.count outer_s.Trace.span_hist)
       | l -> Alcotest.failf "expected 2 span stats, got %d" (List.length l))
 
 let test_record_span_ns () =
@@ -78,6 +78,86 @@ let test_record_span_ns () =
         check_int "max" 3000 s.Trace.span_max_ns;
         check_int "dom" 3 s.Trace.span_dom
       | l -> Alcotest.failf "expected 1 span stat, got %d" (List.length l))
+
+(* ---- log-linear histograms ---- *)
+
+(* Known distributions: the histogram's percentile estimate must track
+   the exact order-statistics percentile (Engine.Stats.percentile) within
+   the bucket quantization (< 1% relative above the linear range, exact
+   below it). *)
+let check_hist_close ~what samples =
+  let h = Trace.Hist.create () in
+  List.iter (Trace.Hist.record h) samples;
+  let floats = List.map float_of_int samples in
+  check_int (what ^ " count") (List.length samples) (Trace.Hist.count h);
+  check_int (what ^ " total") (List.fold_left ( + ) 0 samples) (Trace.Hist.total h);
+  check_int (what ^ " min") (List.fold_left min max_int samples) (Trace.Hist.min_ns h);
+  check_int (what ^ " max") (List.fold_left max 0 samples) (Trace.Hist.max_ns h);
+  List.iter
+    (fun p ->
+      let exact = Engine.Stats.percentile p floats in
+      let approx = Trace.Hist.percentile h p in
+      let tol = max 1.0 (0.015 *. Float.abs exact) in
+      if Float.abs (approx -. exact) > tol then
+        Alcotest.failf "%s p%.0f: hist %.1f vs exact %.1f (tol %.2f)" what p approx exact tol)
+    [ 0.; 50.; 90.; 95.; 99.; 100. ]
+
+let test_hist_accuracy () =
+  check_hist_close ~what:"uniform 1..1000" (List.init 1000 (fun i -> i + 1));
+  check_hist_close ~what:"constant" (List.init 50 (fun _ -> 4242));
+  check_hist_close ~what:"small exact range" (List.init 100 (fun i -> i));
+  (* heavy tail: mostly small with rare large values, like rtt samples *)
+  let prng = Engine.Prng.create ~seed:7 () in
+  check_hist_close ~what:"heavy tail"
+    (List.init 2000 (fun _ ->
+         let base = 1 + Engine.Prng.int prng 700 in
+         if Engine.Prng.int prng 100 < 3 then base * 997 else base))
+
+let test_hist_merge () =
+  let all = List.init 500 (fun i -> (i * 37 mod 1000) + 1) in
+  let left, right = List.partition (fun v -> v mod 2 = 0) all in
+  let ha = Trace.Hist.create () and hb = Trace.Hist.create () and hc = Trace.Hist.create () in
+  List.iter (Trace.Hist.record ha) left;
+  List.iter (Trace.Hist.record hb) right;
+  List.iter (Trace.Hist.record hc) all;
+  let m = Trace.Hist.merge ha hb in
+  check_int "merged count" (Trace.Hist.count hc) (Trace.Hist.count m);
+  check_int "merged total" (Trace.Hist.total hc) (Trace.Hist.total m);
+  check_int "merged min" (Trace.Hist.min_ns hc) (Trace.Hist.min_ns m);
+  check_int "merged max" (Trace.Hist.max_ns hc) (Trace.Hist.max_ns m);
+  List.iter
+    (fun p ->
+      check (Alcotest.float 0.0001) "merged percentile == combined percentile"
+        (Trace.Hist.percentile hc p) (Trace.Hist.percentile m p))
+    [ 0.; 25.; 50.; 75.; 95.; 99.; 100. ];
+  check_bool "buckets agree" true (Trace.Hist.buckets hc = Trace.Hist.buckets m)
+
+(* ---- clock re-basing across simulator instances ---- *)
+
+let test_set_clock_rebase () =
+  with_trace (fun () ->
+      let sim1 = Engine.Sim.create ~seed:1 () in
+      ignore (Engine.Sim.at sim1 ~time:1000 (fun () -> Trace.emit ~cat:Trace.Sched "first"));
+      Engine.Sim.run sim1;
+      (* A second simulator starts its own clock at 0; set_clock (called
+         by Sim.create) re-bases so the shared timeline never reverses. *)
+      let sim2 = Engine.Sim.create ~seed:2 () in
+      ignore (Engine.Sim.at sim2 ~time:500 (fun () -> Trace.emit ~cat:Trace.Sched "second"));
+      Engine.Sim.run sim2;
+      let times =
+        List.filter_map
+          (fun (ev : Trace.event) ->
+            if ev.Trace.name = "first" || ev.Trace.name = "second" then Some ev.Trace.time
+            else None)
+          (Trace.events ())
+      in
+      (match times with
+      | [ t1; t2 ] ->
+        check_int "first at sim1 time" 1000 t1;
+        check_int "second re-based past the first sim's clock" 1500 t2
+      | l -> Alcotest.failf "expected 2 events, got %d" (List.length l));
+      let all = List.map (fun (ev : Trace.event) -> ev.Trace.time) (Trace.events ()) in
+      check_bool "whole timeline monotone" true (List.sort compare all = all))
 
 (* ---- counters ---- *)
 
@@ -200,6 +280,75 @@ let test_appliance_boot_trace () =
       (* the summary renderer digests this state without blowing up *)
       check_bool "summary non-empty" true (String.length (Engine.Trace_report.summary_string ()) > 0))
 
+(* ---- causal flow propagation ---- *)
+
+(* A DNS query over the simulated network: the server-side flow (started
+   at its backend's netif RX) must carry through evtchn/ring delivery,
+   the UDP stack and the DNS handler, and back out the TX path. *)
+let test_flow_propagation () =
+  Trace.enable ~capacity:65536 ();
+  Trace.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.disable ();
+      Trace.reset ())
+    (fun () ->
+      let w = make_world () in
+      let server = make_host w ~platform:Platform.xen_extent ~name:"dns" ~ip:"10.0.0.53" () in
+      let client = make_host w ~platform:Platform.linux_native ~name:"resolver" ~ip:"10.0.0.9" () in
+      let zone = Dns.Zone.synthesize ~origin:"test.zone" ~entries:100 in
+      let _srv =
+        Dns.Server.create w.sim ~dom:server.dom ~udp:(Netstack.Stack.udp server.stack)
+          ~db:(Dns.Db.of_zone zone)
+          ~engine:(Dns.Server.Mirage { memoize = false })
+          ()
+      in
+      let reply =
+        run w
+          (Dns.Server.Client.query w.sim
+             (Netstack.Stack.udp client.stack)
+             ~server:(Netstack.Stack.address server.stack)
+             ~qname:(Dns.Dns_name.of_string "host-42.test.zone")
+             ~qtype:Dns.Dns_wire.A ())
+      in
+      Engine.Sim.run w.sim;
+      check_bool "query answered" true (reply <> None);
+      let evs = Trace.events () in
+      let flows = Hashtbl.create 8 in
+      List.iter
+        (fun (ev : Trace.event) ->
+          if ev.Trace.flow >= 0 then begin
+            let l = try Hashtbl.find flows ev.Trace.flow with Not_found -> [] in
+            Hashtbl.replace flows ev.Trace.flow (ev :: l)
+          end)
+        evs;
+      check_bool "several flows allocated" true (Hashtbl.length flows >= 2);
+      (* the DNS handler ran under some flow, and that flow also touched
+         the device and evtchn layers on its way up *)
+      let dns_flow =
+        Hashtbl.fold
+          (fun fl l acc ->
+            if List.exists (fun (ev : Trace.event) -> ev.Trace.name = "dns.handle") l then Some (fl, l)
+            else acc)
+          flows None
+      in
+      (match dns_flow with
+      | None -> Alcotest.fail "no flow reached the DNS handler"
+      | Some (_, l) ->
+        let cats = List.map (fun (ev : Trace.event) -> ev.Trace.cat) l in
+        check_bool "flow crossed device layer" true (List.mem Trace.Device cats);
+        check_bool "flow crossed evtchn layer" true (List.mem Trace.Evtchn cats);
+        check_bool "flow crossed ring layer" true (List.mem Trace.Ring cats);
+        check_bool "flow reached the app layer" true (List.mem (Trace.User "dns") cats);
+        let times = List.rev_map (fun (ev : Trace.event) -> ev.Trace.time) l in
+        check_bool "flow timeline monotone" true (List.sort compare times = times));
+      (* flow.begin events carry their own flow id *)
+      List.iter
+        (fun (ev : Trace.event) ->
+          if ev.Trace.name = "flow.begin" then
+            check_bool "flow.begin stamped with its id" true (ev.Trace.flow >= 0))
+        evs)
+
 let () =
   Alcotest.run "trace"
     [
@@ -208,6 +357,10 @@ let () =
           Alcotest.test_case "ring wraparound" `Quick test_ring_wraparound;
           Alcotest.test_case "span nesting" `Quick test_span_nesting;
           Alcotest.test_case "record_span_ns" `Quick test_record_span_ns;
+          Alcotest.test_case "histogram accuracy vs Stats.percentile" `Quick test_hist_accuracy;
+          Alcotest.test_case "histogram merge" `Quick test_hist_merge;
+          Alcotest.test_case "set_clock re-basing" `Quick test_set_clock_rebase;
+          Alcotest.test_case "flow propagation" `Quick test_flow_propagation;
           Alcotest.test_case "counter saturation" `Quick test_counter_saturation;
           Alcotest.test_case "disabled tracing is a no-op" `Quick test_disabled_noop;
           Alcotest.test_case "deterministic jsonl" `Quick test_deterministic_jsonl;

@@ -503,6 +503,23 @@ let test_domain_utilisation () =
   ignore (run w (P.sleep w.sim 500));
   check (Alcotest.float 1e-9) "50% busy" 0.5 (Xensim.Domain.utilisation d ~span_ns:1000)
 
+let test_vcpu_accounting () =
+  let w = make_world () in
+  let d = Xensim.Hypervisor.create_domain w.hv ~name:"acct" ~mem_mib:16 ~platform:Platform.xen_extent () in
+  (* Two back-to-back charges on one vCPU: the second queues behind the
+     first, so its wait time equals the first's run time. *)
+  let p1 = Xensim.Domain.charge d ~cost:1000 in
+  let p2 = Xensim.Domain.charge d ~cost:500 in
+  ignore (run w (P.join [ p1; p2 ]));
+  match
+    List.filter (fun v -> v.Engine.Sim.vt_dom = d.Xensim.Domain.id) (Engine.Sim.vcpu_totals w.sim)
+  with
+  | [ v ] ->
+    check_int "slices" 2 v.Engine.Sim.vt_slices;
+    check_int "run total matches busy_ns" d.Xensim.Domain.busy_ns v.Engine.Sim.vt_run_ns;
+    check_int "second charge waited behind first" 1000 v.Engine.Sim.vt_wait_ns
+  | l -> Alcotest.failf "expected one vcpu total for dom, got %d" (List.length l)
+
 let () =
   Alcotest.run "xensim"
     [
@@ -565,5 +582,6 @@ let () =
           Alcotest.test_case "charge serialises on one vcpu" `Quick test_domain_charge_serialises;
           Alcotest.test_case "multi-vcpu parallel with tax" `Quick test_domain_multi_vcpu_parallel;
           Alcotest.test_case "utilisation" `Quick test_domain_utilisation;
+          Alcotest.test_case "vcpu accounting" `Quick test_vcpu_accounting;
         ] );
     ]
