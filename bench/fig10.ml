@@ -22,7 +22,7 @@ let measure ~engine ~platform ~entries =
   let zone = Dns.Zone.synthesize ~origin:"bench.zone" ~entries in
   let db = Dns.Db.of_zone zone in
   let srv =
-    Dns.Server.create w.Util.sim ~dom:server.Util.dom
+    Core.Apps.Net.Dns.create w.Util.sim ~dom:server.Util.dom
       ~udp:(Netstack.Stack.udp server.Util.stack) ~db ~engine ()
   in
   ignore srv;

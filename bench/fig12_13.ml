@@ -38,23 +38,23 @@ let fig12_point ~appliance ~rate =
   | `Mirage ->
     let server = Util.make_host w ~platform:Platform.xen_extent ~name:"mirage-web" ~ip:"10.0.0.80" () in
     ignore
-      (Uhttp.Server.of_router w.Util.sim ~dom:server.Util.dom
+      (Core.Apps.Net.Http.of_router w.Util.sim ~dom:server.Util.dom
          ~per_request_cost_ns:Baseline.Appliances.mirage_request_cost_ns
          ~tcp:(Netstack.Stack.tcp server.Util.stack) ~port:80 (twitter_router ()))
   | `Linux ->
     let server = Util.make_host w ~platform:Platform.linux_pv ~name:"nginx-webpy" ~ip:"10.0.0.80" () in
     let router = twitter_router () in
     ignore
-      (Baseline.Appliances.nginx_webpy w.Util.sim ~dom:server.Util.dom
+      (Core.Apps.Net.Baseline.nginx_webpy w.Util.sim ~dom:server.Util.dom
          ~tcp:(Netstack.Stack.tcp server.Util.stack) ~port:80 (fun req ->
            match Uhttp.Router.dispatch router req.H.meth req.H.path with
            | Some h -> h req
            | None -> P.return (H.response ~status:404 "not found"))));
   let result =
     Util.run w
-      (Uhttp.Httperf.run w.Util.sim (Netstack.Stack.tcp client.Util.stack) ~dst:server_ip ~port:80
+      (Core.Apps.Net.Httperf.run w.Util.sim (Netstack.Stack.tcp client.Util.stack) ~dst:server_ip ~port:80
          ~rate ~sessions ~session_timeout_ns:(Engine.Sim.sec 10) ~counter
-         ~session:(Uhttp.Httperf.twitter_session ~user:"alice" ~counter) ())
+         ~session:(Core.Apps.Net.Httperf.twitter_session ~user:"alice" ~counter) ())
   in
   result.Uhttp.Httperf.reply_rate
 
@@ -91,11 +91,11 @@ let fig13_config ~label ~servers =
         (match kind with
         | `Apache ->
           ignore
-            (Baseline.Appliances.apache_static w.Util.sim ~dom:server.Util.dom
+            (Core.Apps.Net.Baseline.apache_static w.Util.sim ~dom:server.Util.dom
                ~tcp:(Netstack.Stack.tcp server.Util.stack) ~port:80 ())
         | `Mirage ->
           ignore
-            (Uhttp.Server.create w.Util.sim ~dom:server.Util.dom
+            (Core.Apps.Net.Http.create w.Util.sim ~dom:server.Util.dom
                ~per_request_cost_ns:Baseline.Appliances.mirage_static_cost_ns
                ~tcp:(Netstack.Stack.tcp server.Util.stack) ~port:80 (fun _req ->
                  P.return (H.response ~status:200 (String.make 4096 'x')))));
@@ -110,11 +110,11 @@ let fig13_config ~label ~servers =
     List.map
       (fun ip ->
         let counter = ref 0 in
-        Uhttp.Httperf.run w.Util.sim (Netstack.Stack.tcp client.Util.stack) ~dst:ip ~port:80
+        Core.Apps.Net.Httperf.run w.Util.sim (Netstack.Stack.tcp client.Util.stack) ~dst:ip ~port:80
           ~rate:(fig13_offered_rate /. float_of_int (Array.length ips))
           ~sessions:(fig13_sessions / Array.length ips)
           ~session_timeout_ns:(Engine.Sim.sec 5) ~counter
-          ~session:(Uhttp.Httperf.static_session ~path:"/index.html" ~counter) ())
+          ~session:(Core.Apps.Net.Httperf.static_session ~path:"/index.html" ~counter) ())
       (Array.to_list ips)
   in
   let all = Util.run w (P.all results) in

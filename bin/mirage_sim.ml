@@ -50,6 +50,25 @@ let list_cmd =
 
 (* ---- build ---- *)
 
+let target_conv =
+  Arg.conv
+    ( (fun s ->
+        match Core.Target.of_string s with
+        | Some t -> Ok t
+        | None ->
+          Error (`Msg ("unknown target " ^ s ^ " (posix-sockets|posix-direct|xen-direct)"))),
+      fun fmt t -> Format.pp_print_string fmt (Core.Target.to_string t) )
+
+let target_arg =
+  Arg.(
+    value
+    & opt target_conv Core.Target.Xen_direct
+    & info [ "target" ] ~docv:"TARGET"
+        ~doc:
+          "Backend to configure against: $(b,xen-direct) (PV ring + unikernel stack), \
+           $(b,posix-direct) (tuntap + unikernel stack) or $(b,posix-sockets) (host kernel \
+           sockets).")
+
 let dce_conv =
   Arg.conv
     ( (function
@@ -72,7 +91,7 @@ let build_cmd =
       & info [ "trace" ] ~docv:"FILE"
           ~doc:"Trace the build pipeline stages and write the events to $(docv) as JSON lines.")
   in
-  let run (name, mk) dce seed trace_out =
+  let run (name, mk) dce seed target trace_out =
     if trace_out <> None then Trace.enable ();
     let staged what f =
       if Trace.enabled () then begin
@@ -84,7 +103,10 @@ let build_cmd =
       else f ()
     in
     let config = mk ?aslr_seed:(Some seed) () in
-    let plan = staged "plan" (fun () -> Core.Specialize.plan config dce) in
+    (* Mirror [Unikernel.boot]: the developer targets always build with the
+       stock compiler, so ocamlclean only ever applies to the Xen image. *)
+    let dce_for t = match t with Core.Target.Xen_direct -> dce | _ -> Core.Specialize.Standard in
+    let plan = staged "plan" (fun () -> Core.Specialize.plan ~target config (dce_for target)) in
     (match staged "verify" (fun () -> Core.Specialize.verify plan) with
     | Ok () -> ()
     | Error e ->
@@ -107,6 +129,31 @@ let build_cmd =
       image.Core.Linker.sections;
     Printf.printf "entry: 0x%x, clonable: %b\n" image.Core.Linker.entry_va
       (Core.Config.clonable config);
+    (* The three-target comparison the workflow of §5.4 relies on: same
+       configuration, per-target library closure, image size and boot
+       estimate. The chosen target is starred. *)
+    let mem_mib = 32 in
+    Printf.printf "\ntargets (at %d MiB):\n" mem_mib;
+    Printf.printf "  %-15s %5s %9s %10s\n" "target" "libs" "image kB" "boot";
+    List.iter
+      (fun t ->
+        let p = Core.Specialize.plan ~target:t config (dce_for t) in
+        (match Core.Specialize.verify p with
+        | Ok () -> ()
+        | Error e ->
+          Printf.eprintf "verification failed for %s: %s\n" (Core.Target.to_string t) e;
+          exit 1);
+        let img = Core.Linker.link p ~seed:config.Core.Config.aslr_seed in
+        let image_bytes =
+          img.Core.Linker.total_bytes
+          + (match t with Core.Target.Xen_direct -> 0 | _ -> Core.Unikernel.posix_libc_bytes)
+        in
+        let boot_ns = Core.Unikernel.boot_estimate_ns ~target:t ~mem_mib ~image_bytes in
+        Printf.printf "  %-15s %5d %9d %7.1f ms%s\n" (Core.Target.to_string t)
+          (List.length p.Core.Specialize.libs)
+          (image_bytes / 1024) (Engine.Sim.to_ms boot_ns)
+          (if t = target then "  *" else ""))
+      Core.Target.all;
     match trace_out with
     | None -> ()
     | Some file ->
@@ -114,7 +161,7 @@ let build_cmd =
       Printf.printf "trace: %s\n" file;
       Engine.Trace_report.print_summary ()
   in
-  Cmd.v (Cmd.info "build" ~doc) Term.(const run $ appliance $ dce $ seed $ trace_out)
+  Cmd.v (Cmd.info "build" ~doc) Term.(const run $ appliance $ dce $ seed $ target_arg $ trace_out)
 
 (* ---- boot ---- *)
 
@@ -124,23 +171,6 @@ let boot_cmd =
   let mem = Arg.(value & opt int 64 & info [ "mem" ] ~docv:"MIB") in
   let sync = Arg.(value & flag & info [ "sync" ] ~doc:"use the stock synchronous toolstack") in
   let no_seal = Arg.(value & flag & info [ "no-seal" ] ~doc:"hypervisor without the seal patch") in
-  let target_conv =
-    Arg.conv
-      ( (function
-        | "posix-sockets" -> Ok Core.Unikernel.Posix_sockets
-        | "posix-direct" -> Ok Core.Unikernel.Posix_direct
-        | "xen-direct" -> Ok Core.Unikernel.Xen_direct
-        | s -> Error (`Msg ("unknown target " ^ s ^ " (posix-sockets|posix-direct|xen-direct)"))),
-        fun fmt t ->
-          Format.pp_print_string fmt
-            (match t with
-            | Core.Unikernel.Posix_sockets -> "posix-sockets"
-            | Core.Unikernel.Posix_direct -> "posix-direct"
-            | Core.Unikernel.Xen_direct -> "xen-direct") )
-  in
-  let target =
-    Arg.(value & opt target_conv Core.Unikernel.Xen_direct & info [ "target" ] ~docv:"TARGET")
-  in
   let trace_out =
     Arg.(
       value
@@ -213,7 +243,7 @@ let boot_cmd =
           totals)
   in
   Cmd.v (Cmd.info "boot" ~doc)
-    Term.(const run $ appliance $ mem $ sync $ no_seal $ target $ trace_out)
+    Term.(const run $ appliance $ mem $ sync $ no_seal $ target_arg $ trace_out)
 
 let main =
   let doc = "Mirage unikernel construction pipeline on a simulated Xen host" in

@@ -51,8 +51,8 @@ let () =
          (Core.Boot_spec.make ~backend_dom:dom0 ~bridge ~config ~ip ())
          ~main:(fun n ->
            let srv =
-             Dns.Server.create sim ~dom:n.Core.Appliance.unikernel.Core.Unikernel.domain
-               ~udp:(Netstack.Stack.udp n.Core.Appliance.stack) ~db
+             Core.Apps.Net.Dns.create sim ~dom:n.Core.Appliance.unikernel.Core.Unikernel.domain
+               ~udp:(Netstack.Stack.udp (Core.Appliance.stack n)) ~db
                ~engine:(Dns.Server.Mirage { memoize = true }) ()
            in
            server_ref := Some srv;
@@ -75,11 +75,11 @@ let () =
             { Netstack.Ipv4.address = Netstack.Ipaddr.of_string "10.0.0.9";
               netmask = Netstack.Ipaddr.of_string "255.255.255.0"; gateway = None }))
   in
-  let server_ip = Netstack.Stack.address networked.Core.Appliance.stack in
+  let server_ip = Netstack.Stack.address (Core.Appliance.stack networked) in
   let ask qname qtype =
     match
       P.run sim
-        (Dns.Server.Client.query sim (Netstack.Stack.udp client) ~server:server_ip
+        (Core.Apps.Net.Dns.Client.query sim (Netstack.Stack.udp client) ~server:server_ip
            ~qname:(Dns.Dns_name.of_string qname) ~qtype ())
     with
     | None -> Printf.printf "  %-22s -> (timeout)\n" qname
@@ -109,8 +109,8 @@ let () =
   ask "www.example.org" Dns.Dns_wire.A;
   (match !server_ref with
   | Some srv ->
-    Printf.printf "server: %d queries served" (Dns.Server.queries_served srv);
-    (match Dns.Server.memo srv with
+    Printf.printf "server: %d queries served" (Core.Apps.Net.Dns.queries_served srv);
+    (match Core.Apps.Net.Dns.memo srv with
     | Some m -> Printf.printf "; memo hits %d, misses %d\n" (Dns.Memo.hits m) (Dns.Memo.misses m)
     | None -> print_newline ())
   | None -> ())

@@ -48,8 +48,8 @@ let () =
            Uhttp.Router.add router Uhttp.Http_wire.GET "/" (fun _ _ ->
                P.return (Uhttp.Http_wire.response ~status:200 greeting));
            ignore
-             (Uhttp.Server.of_router sim ~dom:n.Core.Appliance.unikernel.Core.Unikernel.domain
-                ~tcp:(Netstack.Stack.tcp n.Core.Appliance.stack) ~port:80 router);
+             (Core.Apps.Net.Http.of_router sim ~dom:n.Core.Appliance.unikernel.Core.Unikernel.domain
+                ~tcp:(Netstack.Stack.tcp (Core.Appliance.stack n)) ~port:80 router);
            P.sleep sim (Engine.Sim.sec 3600) >>= fun () -> P.return 0))
   in
   Printf.printf "booted in        : %.1f ms (sealed=%b, %d randomised sections)\n"
@@ -72,13 +72,13 @@ let () =
   let rtt =
     P.run sim
       (Netstack.Icmp4.ping (Netstack.Stack.icmp client)
-         ~dst:(Netstack.Stack.address networked.Core.Appliance.stack) ~seq:1 ())
+         ~dst:(Netstack.Stack.address (Core.Appliance.stack networked)) ~seq:1 ())
   in
   Printf.printf "ping             : %.1f us\n" (float_of_int rtt /. 1e3);
   let resp =
     P.run sim
-      (Uhttp.Client.get_once (Netstack.Stack.tcp client)
-         ~dst:(Netstack.Stack.address networked.Core.Appliance.stack) ~port:80 "/")
+      (Core.Apps.Net.Http_client.get_once (Netstack.Stack.tcp client)
+         ~dst:(Netstack.Stack.address (Core.Appliance.stack networked)) ~port:80 "/")
   in
   Printf.printf "GET /            : %d %s\n" resp.Uhttp.Http_wire.status resp.Uhttp.Http_wire.resp_body;
 

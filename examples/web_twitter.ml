@@ -53,7 +53,7 @@ let () =
            ~headers:[ ("Content-Type", "application/json") ]
            ~status:200
            (Formats.Json.to_string (Formats.Json.Array tweets))));
-  ignore (Uhttp.Server.of_router sim ~dom ~tcp:(Netstack.Stack.tcp stack) ~port:80 router);
+  ignore (Core.Apps.Net.Http.of_router sim ~dom ~tcp:(Netstack.Stack.tcp stack) ~port:80 router);
 
   (* A client posts and reads. *)
   let client_dom = Xensim.Hypervisor.create_domain hv ~name:"client" ~mem_mib:64 ~platform:Platform.linux_native () in
@@ -69,12 +69,12 @@ let () =
   in
   let server_ip = Netstack.Stack.address stack in
   let session =
-    Uhttp.Client.connect (Netstack.Stack.tcp client) ~dst:server_ip ~port:80 >>= fun c ->
-    Uhttp.Client.post c "/tweet/alice" ~body:"unikernels are small" >>= fun r1 ->
-    Uhttp.Client.post c "/tweet/alice" ~body:"and they boot fast" >>= fun r2 ->
-    Uhttp.Client.post c "/tweet/bob" ~body:"hello world" >>= fun _ ->
-    Uhttp.Client.get c "/tweets/alice" >>= fun timeline ->
-    Uhttp.Client.close c >>= fun () -> P.return (r1, r2, timeline)
+    Core.Apps.Net.Http_client.connect (Netstack.Stack.tcp client) ~dst:server_ip ~port:80 >>= fun c ->
+    Core.Apps.Net.Http_client.post c "/tweet/alice" ~body:"unikernels are small" >>= fun r1 ->
+    Core.Apps.Net.Http_client.post c "/tweet/alice" ~body:"and they boot fast" >>= fun r2 ->
+    Core.Apps.Net.Http_client.post c "/tweet/bob" ~body:"hello world" >>= fun _ ->
+    Core.Apps.Net.Http_client.get c "/tweets/alice" >>= fun timeline ->
+    Core.Apps.Net.Http_client.close c >>= fun () -> P.return (r1, r2, timeline)
   in
   let r1, r2, timeline = P.run sim session in
   Printf.printf "posted: %s, %s\n" r1.H.resp_body r2.H.resp_body;

@@ -13,68 +13,57 @@ let apache_request_cost_ns = 2_300_000
 let mirage_request_cost_ns = 1_200_000
 let mirage_static_cost_ns = 1_550_000
 
-type t = {
-  server : Uhttp.Server.t;
-  mutable active : int;
-  max_concurrent : int;
-  mutable rejected : int;
-}
+module Make (T : Device_sig.TCP) = struct
+  module S = Uhttp.Server.Make (T)
 
-let nginx_webpy sim ~dom ~tcp ~port ?(max_concurrent = 64) handler =
-  let wrapped req =
-    (* fastCGI hop: two context switches and a pipe copy before Python
-       runs; the interpreter cost is the dominant term and is charged by
-       the server's per-request cost below. *)
-    handler req
-  in
-  let server =
-    Uhttp.Server.create_detached sim ~dom ~per_request_cost_ns:webpy_request_cost_ns wrapped
-  in
-  let t = { server; active = 0; max_concurrent; rejected = 0 } in
+  type t = {
+    server : S.t;
+    mutable active : int;
+    max_concurrent : int;
+    mutable rejected : int;
+  }
+
   (* Public listener with the fd/worker limit. *)
-  Netstack.Tcp.listen tcp ~port (fun flow ->
-      if t.active >= t.max_concurrent then begin
-        t.rejected <- t.rejected + 1;
-        Netstack.Tcp.abort flow;
-        Mthread.Promise.return ()
-      end
-      else begin
-        t.active <- t.active + 1;
-        Mthread.Promise.finalize
-          (fun () -> Uhttp.Server.handle_flow server flow)
-          (fun () ->
-            t.active <- t.active - 1;
-            Mthread.Promise.return ())
-      end);
-  t
+  let listen_gated t tcp ~port =
+    T.listen tcp ~port (fun flow ->
+        if t.active >= t.max_concurrent then begin
+          t.rejected <- t.rejected + 1;
+          T.abort flow;
+          Mthread.Promise.return ()
+        end
+        else begin
+          t.active <- t.active + 1;
+          Mthread.Promise.finalize
+            (fun () -> S.handle_flow t.server flow)
+            (fun () ->
+              t.active <- t.active - 1;
+              Mthread.Promise.return ())
+        end)
 
-let apache_static sim ~dom ~tcp ~port ?(page = String.make 4096 'x') () =
-  let handler _req =
-    Mthread.Promise.return
-      (Uhttp.Http_wire.response ~headers:[ ("Content-Type", "text/html") ] ~status:200 page)
-  in
-  ignore tcp;
-  let server =
-    Uhttp.Server.create_detached sim ~dom ~per_request_cost_ns:apache_request_cost_ns handler
-  in
-  (* mpm-worker: pool sized to vCPUs x 32 threads. *)
-  let max_concurrent = 32 * Xensim.Domain.vcpus dom in
-  let t = { server; active = 0; max_concurrent; rejected = 0 } in
-  Netstack.Tcp.listen tcp ~port (fun flow ->
-      if t.active >= t.max_concurrent then begin
-        t.rejected <- t.rejected + 1;
-        Netstack.Tcp.abort flow;
-        Mthread.Promise.return ()
-      end
-      else begin
-        t.active <- t.active + 1;
-        Mthread.Promise.finalize
-          (fun () -> Uhttp.Server.handle_flow server flow)
-          (fun () ->
-            t.active <- t.active - 1;
-            Mthread.Promise.return ())
-      end);
-  t
+  let nginx_webpy sim ~dom ~tcp ~port ?(max_concurrent = 64) handler =
+    let wrapped req =
+      (* fastCGI hop: two context switches and a pipe copy before Python
+         runs; the interpreter cost is the dominant term and is charged by
+         the server's per-request cost below. *)
+      handler req
+    in
+    let server = S.create_detached sim ~dom ~per_request_cost_ns:webpy_request_cost_ns wrapped in
+    let t = { server; active = 0; max_concurrent; rejected = 0 } in
+    listen_gated t tcp ~port;
+    t
 
-let requests_served t = Uhttp.Server.requests_served t.server
-let connections_rejected t = t.rejected
+  let apache_static sim ~dom ~tcp ~port ?(page = String.make 4096 'x') () =
+    let handler _req =
+      Mthread.Promise.return
+        (Uhttp.Http_wire.response ~headers:[ ("Content-Type", "text/html") ] ~status:200 page)
+    in
+    let server = S.create_detached sim ~dom ~per_request_cost_ns:apache_request_cost_ns handler in
+    (* mpm-worker: pool sized to vCPUs x 32 threads. *)
+    let max_concurrent = 32 * Xensim.Domain.vcpus dom in
+    let t = { server; active = 0; max_concurrent; rejected = 0 } in
+    listen_gated t tcp ~port;
+    t
+
+  let requests_served t = S.requests_served t.server
+  let connections_rejected t = t.rejected
+end

@@ -1,41 +1,44 @@
 (** Conventional-OS web appliances — the Linux VMs the paper benchmarks
     Mirage against in §4.4 (Figures 12 and 13).
 
-    Both reuse the real HTTP server and TCP stack; what makes them
-    "conventional" is the cost structure: interpreter/IPC-heavy request
-    handling, a bounded worker/file-descriptor pool that rejects overload
-    (httperf's error count), and the [linux-pv] platform's syscall and
-    copy taxes which the shared stack charges automatically. *)
+    Both reuse the real HTTP server and a transport satisfying
+    {!Device_sig.TCP}; what makes them "conventional" is the cost
+    structure: interpreter/IPC-heavy request handling, a bounded
+    worker/file-descriptor pool that rejects overload (httperf's error
+    count), and the [linux-pv] platform's syscall and copy taxes which
+    the shared stack charges automatically. *)
 
-type t
+module Make (T : Device_sig.TCP) : sig
+  type t
 
-(** nginx + fastCGI + web.py serving the Twitter-like API (Figure 12's
-    baseline). [handler] is the same application logic the Mirage
-    appliance runs; the wrapper adds the Python-interpreter request cost
-    and the fastCGI process hop, and aborts connections beyond
-    [max_concurrent] (fd limit). *)
-val nginx_webpy :
-  Engine.Sim.t ->
-  dom:Xensim.Domain.t ->
-  tcp:Netstack.Tcp.t ->
-  port:int ->
-  ?max_concurrent:int ->
-  (Uhttp.Http_wire.request -> Uhttp.Http_wire.response Mthread.Promise.t) ->
-  t
+  (** nginx + fastCGI + web.py serving the Twitter-like API (Figure 12's
+      baseline). [handler] is the same application logic the Mirage
+      appliance runs; the wrapper adds the Python-interpreter request cost
+      and the fastCGI process hop, and aborts connections beyond
+      [max_concurrent] (fd limit). *)
+  val nginx_webpy :
+    Engine.Sim.t ->
+    dom:Xensim.Domain.t ->
+    tcp:T.t ->
+    port:int ->
+    ?max_concurrent:int ->
+    (Uhttp.Http_wire.request -> Uhttp.Http_wire.response Mthread.Promise.t) ->
+    t
 
-(** Apache2 mpm-worker serving one static page (Figure 13's baseline);
-    workers are sized to the domain's vCPUs. *)
-val apache_static :
-  Engine.Sim.t ->
-  dom:Xensim.Domain.t ->
-  tcp:Netstack.Tcp.t ->
-  port:int ->
-  ?page:string ->
-  unit ->
-  t
+  (** Apache2 mpm-worker serving one static page (Figure 13's baseline);
+      workers are sized to the domain's vCPUs. *)
+  val apache_static :
+    Engine.Sim.t ->
+    dom:Xensim.Domain.t ->
+    tcp:T.t ->
+    port:int ->
+    ?page:string ->
+    unit ->
+    t
 
-val requests_served : t -> int
-val connections_rejected : t -> int
+  val requests_served : t -> int
+  val connections_rejected : t -> int
+end
 
 (** Per-request vCPU costs (exposed for the analytical crosscheck). *)
 

@@ -39,11 +39,22 @@ let table2 () =
     ("OpenFlow controller", openflow_controller ());
   ]
 
-type networked = {
-  unikernel : Unikernel.t;
-  netif : Devices.Netif.t;
-  stack : Netstack.Stack.t;
-}
+(* The network attachment is the target's choice (the whole point of the
+   functorized stack): the PV split driver + netstack on Xen, a
+   copy-taxed tuntap + netstack on Posix_direct, host-kernel sockets on
+   Posix_sockets. *)
+type net =
+  | Direct of { netif : Devices.Netif.t; stack : Netstack.Stack.t }
+  | Sockets of Hostnet.t
+
+type networked = { unikernel : Unikernel.t; net : net }
+
+let stack n =
+  match n.net with Direct d -> d.stack | Sockets h -> Hostnet.kernel_stack h
+
+let netif n = match n.net with Direct d -> d.netif | Sockets h -> Hostnet.netif h
+let address n = Netstack.Stack.address (stack n)
+let hostnet n = match n.net with Sockets h -> Some h | Direct _ -> None
 
 let boot hv ts (spec : Boot_spec.t) ~main =
   let open Mthread.Promise in
@@ -51,8 +62,8 @@ let boot hv ts (spec : Boot_spec.t) ~main =
   let result, result_waker = wait () in
   let boot_span = Trace.span ~cat:Trace.Boot "appliance.boot" in
   bind
-    (Unikernel.boot hv ts ~mode:spec.Boot_spec.mode ~config:spec.Boot_spec.config
-       ~mem_mib:spec.Boot_spec.mem_mib
+    (Unikernel.boot hv ts ~mode:spec.Boot_spec.mode ~target:spec.Boot_spec.target
+       ~config:spec.Boot_spec.config ~mem_mib:spec.Boot_spec.mem_mib
        ~main:(fun unikernel ->
          let dom = unikernel.Unikernel.domain in
          let nic =
@@ -60,22 +71,29 @@ let boot hv ts (spec : Boot_spec.t) ~main =
              ~mac:(Netsim.mac_of_int (0x1000 + dom.Xensim.Domain.id))
              ()
          in
-         let netif =
-           Devices.Netif.connect hv ~dom ~backend_dom:spec.Boot_spec.backend_dom ~nic ()
-         in
          let cfg =
            match spec.Boot_spec.ip with
            | Some static -> Netstack.Stack.Static static
            | None -> Netstack.Stack.Dhcp
          in
-         bind (Netstack.Stack.create sim ~dom ~netif cfg) (fun stack ->
-             let networked = { unikernel; netif; stack } in
+         let net =
+           match spec.Boot_spec.target with
+           | Target.Xen_direct ->
+             let netif =
+               Devices.Netif.connect hv ~dom ~backend_dom:spec.Boot_spec.backend_dom ~nic ()
+             in
+             bind (Netstack.Stack.create sim ~dom ~netif cfg) (fun stack ->
+                 return (Direct { netif; stack }))
+           | Target.Posix_direct ->
+             let netif = Devices.Netif.connect_direct ~dom ~nic ~frame_tax:true () in
+             bind (Netstack.Stack.create sim ~dom ~netif cfg) (fun stack ->
+                 return (Direct { netif; stack }))
+           | Target.Posix_sockets -> bind (Hostnet.create sim ~dom ~nic cfg) (fun h -> return (Sockets h))
+         in
+         bind net (fun net ->
+             let networked = { unikernel; net } in
              Trace.finish boot_span;
              wakeup result_waker networked;
              main networked))
        ())
     (fun _unikernel -> result)
-
-let boot_networked hv ts ~backend_dom ~bridge ~config ?(mode = `Async) ?(mem_mib = 32) ?ip ~main
-    () =
-  boot hv ts (Boot_spec.make ~backend_dom ~bridge ~config ~mode ~mem_mib ?ip ()) ~main

@@ -14,36 +14,35 @@ val openflow_controller : ?aslr_seed:int -> unit -> Config.t
 (** All four, in Table 2 order, with their display names. *)
 val table2 : unit -> (string * Config.t) list
 
+(** The target-selected network attachment of a booted appliance:
+    netstack over a device ([Xen_direct]'s PV ring or [Posix_direct]'s
+    tuntap), or host-kernel sockets ([Posix_sockets]). *)
+type net =
+  | Direct of { netif : Devices.Netif.t; stack : Netstack.Stack.t }
+  | Sockets of Hostnet.t
+
 (** A booted appliance with its network plumbing. *)
-type networked = {
-  unikernel : Unikernel.t;
-  netif : Devices.Netif.t;
-  stack : Netstack.Stack.t;
-}
+type networked = { unikernel : Unikernel.t; net : net }
+
+(** The netstack instance: the appliance's own on the direct targets,
+    the modelled host kernel's beneath [Sockets]. *)
+val stack : networked -> Netstack.Stack.t
+
+val netif : networked -> Devices.Netif.t
+val address : networked -> Netstack.Ipaddr.t
+
+(** The socket layer when the appliance runs on [Posix_sockets]. *)
+val hostnet : networked -> Hostnet.t option
 
 (** [boot hv ts spec ~main] boots the unikernel described by [spec],
-    attaches a NIC on its bridge, brings up the stack (static address or
-    DHCP per [spec.ip]) and runs [main] once the network is ready. The
-    returned promise resolves as soon as the stack is up; [main] keeps
-    running in the appliance. Emits an [appliance.boot] trace span. *)
+    attaches a NIC on its bridge, brings up the target's network backend
+    (static address or DHCP per [spec.ip]) and runs [main] once the
+    network is ready. The returned promise resolves as soon as the stack
+    is up; [main] keeps running in the appliance. Emits an
+    [appliance.boot] trace span. *)
 val boot :
   Xensim.Hypervisor.t ->
   Xensim.Toolstack.t ->
   Boot_spec.t ->
   main:(networked -> int Mthread.Promise.t) ->
   networked Mthread.Promise.t
-
-(** Legacy argument-list interface, kept for one release. *)
-val boot_networked :
-  Xensim.Hypervisor.t ->
-  Xensim.Toolstack.t ->
-  backend_dom:Xensim.Domain.t ->
-  bridge:Netsim.Bridge.t ->
-  config:Config.t ->
-  ?mode:[ `Sync | `Async ] ->
-  ?mem_mib:int ->
-  ?ip:Netstack.Ipv4.config ->
-  main:(networked -> int Mthread.Promise.t) ->
-  unit ->
-  networked Mthread.Promise.t
-[@@ocaml.deprecated "Build a Boot_spec.t with Boot_spec.make and call Appliance.boot instead."]

@@ -5,8 +5,10 @@ type t = {
   mode : [ `Sync | `Async ];
   mem_mib : int;
   ip : Netstack.Ipv4.config option;
+  target : Target.t;
 }
 
-let make ~backend_dom ~bridge ~config ?(mode = `Async) ?(mem_mib = 32) ?ip () =
+let make ~backend_dom ~bridge ~config ?(mode = `Async) ?(mem_mib = 32) ?ip
+    ?(target = Target.Xen_direct) () =
   if mem_mib <= 0 then invalid_arg "Boot_spec.make: mem_mib must be positive";
-  { backend_dom; bridge; config; mode; mem_mib; ip }
+  { backend_dom; bridge; config; mode; mem_mib; ip; target }

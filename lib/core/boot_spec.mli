@@ -1,9 +1,9 @@
 (** Declarative description of a networked appliance boot.
 
-    Collapses the long argument list of the old [Appliance.boot_networked]
-    into one value that can be built once, logged, and reused across
-    benchmark iterations. Construct with {!make}, which fills in the
-    defaults ([`Async] toolstack, 32 MiB, DHCP). *)
+    Collapses a long argument list into one value that can be built once,
+    logged, and reused across benchmark iterations. Construct with
+    {!make}, which fills in the defaults ([`Async] toolstack, 32 MiB,
+    DHCP, [Xen_direct]). *)
 
 type t = {
   backend_dom : Xensim.Domain.t;  (** dom0-side backend for the NIC *)
@@ -12,10 +12,12 @@ type t = {
   mode : [ `Sync | `Async ];  (** toolstack build mode *)
   mem_mib : int;
   ip : Netstack.Ipv4.config option;  (** static address, or DHCP when [None] *)
+  target : Target.t;  (** which backend the appliance is configured against *)
 }
 
 (** Smart constructor; defaults: [mode = `Async], [mem_mib = 32],
-    [ip = None] (DHCP). @raise Invalid_argument if [mem_mib <= 0]. *)
+    [ip = None] (DHCP), [target = Xen_direct].
+    @raise Invalid_argument if [mem_mib <= 0]. *)
 val make :
   backend_dom:Xensim.Domain.t ->
   bridge:Netsim.Bridge.t ->
@@ -23,5 +25,6 @@ val make :
   ?mode:[ `Sync | `Async ] ->
   ?mem_mib:int ->
   ?ip:Netstack.Ipv4.config ->
+  ?target:Target.t ->
   unit ->
   t

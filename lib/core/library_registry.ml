@@ -58,9 +58,21 @@ let registry =
     { lib_name = "sexp"; subsystem = "Formats"; loc = 900; text_bytes = kb 8; data_bytes = kb 1; unused_fraction = 0.7; deps = [ "runtime" ] };
   ]
 
+(* Host shims linked instead of unikernel facilities on the POSIX
+   developer targets (§5.4): thin bindings over kernel services, not
+   Mirage libraries — kept out of [all]/[by_subsystem] so Table 1 stays
+   the paper's table. They enter a plan only through a target's
+   dependency rewrite in [Specialize]. *)
+let host_registry =
+  [
+    { lib_name = "hostsock"; subsystem = "Host"; loc = 600; text_bytes = kb 5; data_bytes = kb 1; unused_fraction = 0.3; deps = [ "runtime"; "lwt" ] };
+    { lib_name = "tuntap"; subsystem = "Host"; loc = 500; text_bytes = kb 4; data_bytes = kb 1; unused_fraction = 0.3; deps = [ "runtime"; "lwt" ] };
+    { lib_name = "hostfile"; subsystem = "Host"; loc = 400; text_bytes = kb 4; data_bytes = kb 1; unused_fraction = 0.3; deps = [ "runtime"; "lwt" ] };
+  ]
+
 let table = Hashtbl.create 64
 
-let () = List.iter (fun l -> Hashtbl.replace table l.lib_name l) registry
+let () = List.iter (fun l -> Hashtbl.replace table l.lib_name l) (registry @ host_registry)
 
 let all () = registry
 
@@ -71,16 +83,20 @@ let find name =
 
 let mem name = Hashtbl.mem table name
 
-let dependency_closure roots =
+let dependency_closure ?rewrite roots =
+  let rewrite = match rewrite with Some f -> f | None -> fun n -> Some n in
   let seen = Hashtbl.create 32 in
   let order = ref [] in
   let rec visit name =
-    if not (Hashtbl.mem seen name) then begin
-      Hashtbl.replace seen name ();
-      let l = find name in
-      List.iter visit l.deps;
-      order := l :: !order
-    end
+    match rewrite name with
+    | None -> ()
+    | Some name ->
+      if not (Hashtbl.mem seen name) then begin
+        Hashtbl.replace seen name ();
+        let l = find name in
+        List.iter visit l.deps;
+        order := l :: !order
+      end
   in
   List.iter visit roots;
   List.rev !order

@@ -19,7 +19,11 @@ type lib = {
 
 exception Unknown_library of string
 
-(** Every registered library. *)
+(** Every registered Mirage library (Table 1). Host shims — the
+    [hostsock]/[tuntap]/[hostfile] bindings the POSIX developer targets
+    link instead of unikernel facilities — are resolvable via {!find} but
+    excluded here and from {!by_subsystem}, so the paper's table is
+    unchanged by their existence. *)
 val all : unit -> lib list
 
 (** @raise Unknown_library *)
@@ -28,8 +32,12 @@ val find : string -> lib
 val mem : string -> bool
 
 (** Transitive dependency closure of the roots, dependencies first,
-    duplicates removed. @raise Unknown_library *)
-val dependency_closure : string list -> lib list
+    duplicates removed. [rewrite] maps each library name before it is
+    visited — to a substitute ([Some] a host shim), or [None] to drop the
+    subtree (a facility the host kernel provides); the identity when
+    omitted. This is how [Specialize] computes per-target closures.
+    @raise Unknown_library *)
+val dependency_closure : ?rewrite:(string -> string option) -> string list -> lib list
 
 (** Table 1 layout: [(subsystem, library names)] in presentation order. *)
 val by_subsystem : unit -> (string * string list) list

@@ -2,6 +2,7 @@ type dce = Standard | Ocamlclean
 
 type plan = {
   config : Config.t;
+  target : Target.t;
   dce : dce;
   libs : Library_registry.lib list;
   text_bytes : int;
@@ -9,6 +10,26 @@ type plan = {
   total_bytes : int;
   total_loc : int;
 }
+
+(* Per-target dependency rewriting (§5.4): a POSIX process gets its
+   protocols and devices from the host kernel, so the unikernel
+   facilities it would otherwise link are replaced by thin host shims or
+   dropped outright. Xen_direct is the identity — Table 2 is computed on
+   it. *)
+let retarget target name =
+  match (target, name) with
+  | Target.Xen_direct, n -> Some n
+  (* both POSIX targets: files come from the host filesystem *)
+  | (Target.Posix_sockets | Target.Posix_direct), "blkif" -> Some "hostfile"
+  | (Target.Posix_sockets | Target.Posix_direct), "pvboot" -> None
+  (* sockets: the whole netstack is the kernel's problem *)
+  | Target.Posix_sockets, ("tcp" | "udp") -> Some "hostsock"
+  | Target.Posix_sockets, ("netif" | "ring" | "ethernet" | "arp" | "ipv4" | "icmp" | "dhcp") ->
+    None
+  (* direct: the netstack stays, only the device underneath changes *)
+  | Target.Posix_direct, "netif" -> Some "tuntap"
+  | Target.Posix_direct, "ring" -> None
+  | _, n -> Some n
 
 let lib_text dce (l : Library_registry.lib) =
   match dce with
@@ -18,8 +39,10 @@ let lib_text dce (l : Library_registry.lib) =
       (float_of_int l.Library_registry.text_bytes
       *. (1.0 -. l.Library_registry.unused_fraction))
 
-let plan config dce =
-  let libs = Library_registry.dependency_closure config.Config.roots in
+let plan ?(target = Target.Xen_direct) config dce =
+  let libs =
+    Library_registry.dependency_closure ~rewrite:(retarget target) config.Config.roots
+  in
   let text =
     List.fold_left (fun acc l -> acc + lib_text dce l) config.Config.app_text_bytes libs
   in
@@ -27,34 +50,84 @@ let plan config dce =
   let loc =
     List.fold_left (fun acc l -> acc + l.Library_registry.loc) config.Config.app_loc libs
   in
-  { config; dce; libs; text_bytes = text; data_bytes = data; total_bytes = text + data; total_loc = loc }
+  {
+    config;
+    target;
+    dce;
+    libs;
+    text_bytes = text;
+    data_bytes = data;
+    total_bytes = text + data;
+    total_loc = loc;
+  }
 
 let contains plan name =
   List.exists (fun l -> l.Library_registry.lib_name = name) plan.libs
 
+(* Libraries a target must not link: the PV machinery has no place in a
+   host process, the host shims none in a sealed unikernel, and a
+   Posix_sockets appliance that links the netstack is double-stacking on
+   top of the kernel's. Checked before closure/minimality so the error
+   names the offending backend rather than a generic stray. *)
+let forbidden target =
+  match target with
+  | Target.Xen_direct ->
+    [
+      ("hostsock", "host-kernel sockets");
+      ("tuntap", "the tuntap device");
+      ("hostfile", "host files");
+    ]
+  | Target.Posix_sockets ->
+    List.map
+      (fun n -> (n, "the unikernel network stack"))
+      [ "ethernet"; "arp"; "ipv4"; "icmp"; "tcp"; "udp"; "dhcp"; "netif" ]
+    @ [ ("ring", "PV rings"); ("pvboot", "the PV boot shim"); ("tuntap", "the tuntap device") ]
+  | Target.Posix_direct ->
+    [
+      ("netif", "the PV network device");
+      ("ring", "PV rings");
+      ("pvboot", "the PV boot shim");
+      ("hostsock", "host-kernel sockets");
+    ]
+
 let verify plan =
   let linked = List.map (fun l -> l.Library_registry.lib_name) plan.libs in
-  (* Closure: every dependency of a linked library is linked. *)
-  let missing_dep =
+  let bad =
     List.find_map
-      (fun l ->
-        List.find_map
-          (fun d -> if List.mem d linked then None else Some (l.Library_registry.lib_name, d))
-          l.Library_registry.deps)
-      plan.libs
+      (fun (n, what) -> if List.mem n linked then Some (n, what) else None)
+      (forbidden plan.target)
   in
-  match missing_dep with
-  | Some (l, d) -> Error (Printf.sprintf "library %s depends on %s which is not linked" l d)
-  | None ->
-    (* Minimality: everything linked is reachable from the roots. *)
-    let reachable =
-      List.map
-        (fun l -> l.Library_registry.lib_name)
-        (Library_registry.dependency_closure plan.config.Config.roots)
+  match bad with
+  | Some (n, what) ->
+    Error
+      (Printf.sprintf "target %s must not link %s (%s)" (Target.to_string plan.target) n what)
+  | None -> (
+    let rewrite = retarget plan.target in
+    (* Closure: every (retargeted) dependency of a linked library is linked. *)
+    let missing_dep =
+      List.find_map
+        (fun l ->
+          List.find_map
+            (fun d ->
+              match rewrite d with
+              | None -> None
+              | Some d ->
+                if List.mem d linked then None else Some (l.Library_registry.lib_name, d))
+            l.Library_registry.deps)
+        plan.libs
     in
-    let stray = List.filter (fun n -> not (List.mem n reachable)) linked in
-    if stray = [] then Ok ()
-    else Error ("unrequested services linked: " ^ String.concat ", " stray)
+    match missing_dep with
+    | Some (l, d) -> Error (Printf.sprintf "library %s depends on %s which is not linked" l d)
+    | None ->
+      (* Minimality: everything linked is reachable from the roots. *)
+      let reachable =
+        List.map
+          (fun l -> l.Library_registry.lib_name)
+          (Library_registry.dependency_closure ~rewrite plan.config.Config.roots)
+      in
+      let stray = List.filter (fun n -> not (List.mem n reachable)) linked in
+      if stray = [] then Ok ()
+      else Error ("unrequested services linked: " ^ String.concat ", " stray))
 
 let elided plan =
   List.filter_map

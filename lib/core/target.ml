@@ -1,0 +1,21 @@
+(* The three compilation targets of the progressive developer workflow
+   (paper §5.4, Fig. 13): the same application functors, three device
+   configurations. *)
+
+type t =
+  | Posix_sockets  (* host process, kernel sockets (step 1) *)
+  | Posix_direct  (* host process, unikernel netstack on tuntap (step 2) *)
+  | Xen_direct  (* sealed unikernel, netstack on the PV ring (step 3) *)
+
+let to_string = function
+  | Posix_sockets -> "posix-sockets"
+  | Posix_direct -> "posix-direct"
+  | Xen_direct -> "xen-direct"
+
+let of_string = function
+  | "posix-sockets" -> Some Posix_sockets
+  | "posix-direct" -> Some Posix_direct
+  | "xen-direct" | "xen" -> Some Xen_direct
+  | _ -> None
+
+let all = [ Posix_sockets; Posix_direct; Xen_direct ]

@@ -1,4 +1,4 @@
-type target = Posix_sockets | Posix_direct | Xen_direct
+type target = Target.t = Posix_sockets | Posix_direct | Xen_direct
 
 type t = {
   domain : Xensim.Domain.t;
@@ -34,7 +34,7 @@ let boot hv ts ?(mode = `Async) ?(dce = Specialize.Ocamlclean) ?(seal = true)
     ?(platform = Platform.xen_extent) ?(target = Xen_direct) ~config ~mem_mib ~main () =
   let open Mthread.Promise in
   let dce = match target with Xen_direct -> dce | Posix_sockets | Posix_direct -> Specialize.Standard in
-  let plan = Specialize.plan config dce in
+  let plan = Specialize.plan ~target config dce in
   (match Specialize.verify plan with
   | Ok () -> ()
   | Error msg -> raise (Build_error msg));
@@ -99,6 +99,15 @@ let boot hv ts ?(mode = `Async) ?(dce = Specialize.Ocamlclean) ?(seal = true)
               Xensim.Domain.shutdown domain ~exit_code:255;
               return ()));
       return u)
+
+(* What `mirage build` would print next to each target's image size: the
+   domain-build + guest-init path for Xen, a process spawn for POSIX. *)
+let boot_estimate_ns ~target ~mem_mib ~image_bytes =
+  match target with
+  | Xen_direct ->
+    Xensim.Toolstack.build_time_ns ~mem_mib ~image_bytes
+    + (mirage_profile ~image_bytes).Xensim.Toolstack.kernel_init_ns ~mem_mib
+  | Posix_sockets | Posix_direct -> process_spawn_ns
 
 let exit_code t =
   match t.domain.Xensim.Domain.state with

@@ -12,8 +12,10 @@
 (** The three specialisation steps of the paper's developer workflow
     (§5.4): debug as an ordinary process with host sockets, then swap in
     the unikernel network stack over tuntap, then cross-compile to the
-    sealed Xen image. *)
-type target =
+    sealed Xen image. An alias of {!Target.t}; each target selects both
+    the library closure ({!Specialize}) and the device backend the
+    application functors are instantiated with ({!Apps}/{!Appliance}). *)
+type target = Target.t =
   | Posix_sockets  (** host kernel networking; bytecode-friendly; no seal *)
   | Posix_direct  (** unikernel stack via tuntap (copy-taxed); no seal *)
   | Xen_direct  (** standalone sealed VM on the hypervisor *)
@@ -53,3 +55,12 @@ val boot :
 
 (** Exit code once the main thread has returned. *)
 val exit_code : t -> int option
+
+(** Host libc bytes a POSIX-target image drags in (the unikernel links
+    none). *)
+val posix_libc_bytes : int
+
+(** Estimated time from "run it" to ready, per target: toolstack domain
+    build + guest init for [Xen_direct], a process spawn for the POSIX
+    targets. Used by the build report's per-target delta table. *)
+val boot_estimate_ns : target:target -> mem_mib:int -> image_bytes:int -> int

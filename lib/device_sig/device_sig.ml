@@ -1,0 +1,190 @@
+(* Device signatures (paper §3, Fig. 2): the module types that separate
+   application libraries from the device backends they run on. Protocol
+   servers (`Uhttp.Server`, `Dns.Server`, `Smtp`, `Baseline.Appliances`)
+   are functors over these signatures; the configure step — `Unikernel.target`
+   via `Core.Appliance`/`Core.Apps` — picks the implementation: the
+   type-safe unikernel netstack over a PV ring or tuntap device, or the
+   `Hostnet` shim that models host-kernel sockets for the POSIX developer
+   targets. Application code is identical at every target. *)
+
+(* Canonical connection exceptions. Backends raise these (the netstack
+   rebinds its historical exceptions to them), so functor bodies can match
+   on [Connection_reset] without knowing which backend is underneath. *)
+exception Connection_refused
+exception Connection_reset
+
+(** A byte-stream endpoint: the read/write half of an established
+    connection, independent of which transport produced it. *)
+module type FLOW = sig
+  type flow
+  type ipaddr
+
+  (** Next chunk of the stream; [None] at end-of-stream. *)
+  val read : flow -> Bytestruct.t option Mthread.Promise.t
+
+  (** Queue bytes for transmission, blocking while the send buffer is
+      full. Fails with {!Connection_reset} after a reset. *)
+  val write : flow -> Bytestruct.t -> unit Mthread.Promise.t
+
+  (** Half-close our direction. *)
+  val close : flow -> unit Mthread.Promise.t
+
+  (** Abortive close. *)
+  val abort : flow -> unit
+
+  val remote : flow -> ipaddr * int
+end
+
+(** Connection-oriented transport: listeners and active opens on top of
+    {!FLOW}. *)
+module type TCP = sig
+  type t
+
+  include FLOW
+
+  (** [listen t ~port f] accepts connections on [port], spawning [f] per
+      established flow. *)
+  val listen : t -> port:int -> (flow -> unit Mthread.Promise.t) -> unit
+
+  val unlisten : t -> port:int -> unit
+
+  (** Active open. Fails with {!Connection_refused} when the peer rejects
+      the connection. *)
+  val connect : t -> dst:ipaddr -> dst_port:int -> flow Mthread.Promise.t
+end
+
+(** Datagram transport with per-port listeners. *)
+module type UDP = sig
+  type t
+  type ipaddr
+
+  type callback =
+    src:ipaddr -> src_port:int -> dst_port:int -> payload:Bytestruct.t -> unit
+
+  (** [listen t ~port f] registers [f] for datagrams to [port]; replaces
+      any previous listener. *)
+  val listen : t -> port:int -> callback -> unit
+
+  val unlisten : t -> port:int -> unit
+
+  val sendto :
+    t -> src_port:int -> dst:ipaddr -> dst_port:int -> Bytestruct.t -> unit Mthread.Promise.t
+end
+
+(** A network stack bundling both transports over one address. *)
+module type STACK = sig
+  type t
+  type ipaddr
+
+  module Tcp : TCP with type ipaddr = ipaddr
+  module Udp : UDP with type ipaddr = ipaddr
+
+  val tcp : t -> Tcp.t
+  val udp : t -> Udp.t
+  val address : t -> ipaddr
+end
+
+(** Monotonic simulated time. *)
+module type CLOCK = sig
+  val now_ns : unit -> int
+end
+
+(** Deterministic randomness for application-level choices. *)
+module type RANDOM = sig
+  val int : int -> int
+end
+
+(** Buffered reading over any {!FLOW}: lines and counted blocks. The
+    channel-iteratee bridge between packet streams and typed protocol
+    streams (paper §3.5) that the HTTP, SMTP and memcache parsers share.
+    Backend-agnostic: [create] closes over the flow's [read], so one
+    reader implementation serves every transport. *)
+module Reader : sig
+  type t
+
+  val create : read:(unit -> Bytestruct.t option Mthread.Promise.t) -> t
+
+  (** Next CRLF- (or bare-LF-) terminated line, without the terminator;
+      [None] at end-of-stream. *)
+  val line : t -> string option Mthread.Promise.t
+
+  (** Exactly [n] bytes; [None] if the stream ends first. *)
+  val exactly : t -> int -> string option Mthread.Promise.t
+
+  (** Like {!exactly} but also consumes a trailing CRLF (memcache framing). *)
+  val block_crlf : t -> int -> string option Mthread.Promise.t
+
+  (** Bytes buffered but not yet consumed. *)
+  val buffered : t -> int
+
+  val eof : t -> bool
+end = struct
+  let ( >>= ) = Mthread.Promise.bind
+  let return = Mthread.Promise.return
+
+  type t = {
+    read : unit -> Bytestruct.t option Mthread.Promise.t;
+    buf : Buffer.t;
+    mutable start : int;
+    mutable eof : bool;
+  }
+
+  let create ~read = { read; buf = Buffer.create 256; start = 0; eof = false }
+
+  let compact t =
+    if t.start > 4096 && t.start * 2 > Buffer.length t.buf then begin
+      let rest = Buffer.sub t.buf t.start (Buffer.length t.buf - t.start) in
+      Buffer.clear t.buf;
+      Buffer.add_string t.buf rest;
+      t.start <- 0
+    end
+
+  let refill t =
+    t.read () >>= function
+    | None ->
+      t.eof <- true;
+      return false
+    | Some chunk ->
+      Buffer.add_string t.buf (Bytestruct.to_string chunk);
+      return true
+
+  let available t = Buffer.length t.buf - t.start
+
+  let take t n =
+    let s = Buffer.sub t.buf t.start n in
+    t.start <- t.start + n;
+    compact t;
+    s
+
+  let rec line t =
+    let contents = Buffer.contents t.buf in
+    let rec find i =
+      if i >= String.length contents then None
+      else if contents.[i] = '\n' then Some i
+      else find (i + 1)
+    in
+    match find t.start with
+    | Some i ->
+      let raw = take t (i - t.start + 1) in
+      let raw = String.sub raw 0 (String.length raw - 1) in
+      let raw =
+        if String.length raw > 0 && raw.[String.length raw - 1] = '\r' then
+          String.sub raw 0 (String.length raw - 1)
+        else raw
+      in
+      return (Some raw)
+    | None -> if t.eof then return None else refill t >>= fun ok -> if ok then line t else return None
+
+  let rec exactly t n =
+    if available t >= n then return (Some (take t n))
+    else if t.eof then return None
+    else refill t >>= fun ok -> if ok then exactly t n else return None
+
+  let block_crlf t n =
+    exactly t (n + 2) >>= function
+    | None -> return None
+    | Some s -> return (Some (String.sub s 0 n))
+
+  let buffered = available
+  let eof t = t.eof
+end

@@ -16,7 +16,7 @@ type tx_pending = {
   flow : Trace.Flow.id;  (* causal flow of the sender, for the backend *)
 }
 
-type t = {
+type pv = {
   hv : Xensim.Hypervisor.t;
   dom : Xensim.Domain.t;
   backend_dom : Xensim.Domain.t;
@@ -43,6 +43,27 @@ type t = {
   mutable rx_frames : int;
   mutable rx_dropped : int;
 }
+
+(* Direct (non-PV) attachment: the NIC is a host-kernel device, so there
+   is no backend domain, no rings, no grants — the guest-side cost model
+   is the whole story. With [d_frame_tax] the domain pays the full
+   userspace receive/transmit path per frame plus a syscall (the tuntap
+   read/write of Posix_direct); without it only the host kernel's
+   per-packet softirq work is charged (the in-kernel stack beneath
+   Hostnet's sockets, which adds its own syscall/copy tax per socket
+   operation instead). *)
+type direct = {
+  d_dom : Xensim.Domain.t;
+  d_nic : Netsim.Nic.t;
+  d_pool : Io_page.t;
+  d_frame_tax : bool;
+  mutable d_listener : (Bytestruct.t -> unit) option;
+  mutable d_tx_frames : int;
+  mutable d_rx_frames : int;
+  mutable d_rx_dropped : int;
+}
+
+type t = Pv of pv | Direct of direct
 
 let gnttab t = t.hv.Xensim.Hypervisor.gnttab
 let evtchn t = t.hv.Xensim.Hypervisor.evtchn
@@ -264,20 +285,91 @@ let connect hv ~dom ~backend_dom ~nic ?(rx_slots = 512) () =
     Xensim.Evtchn.notify ev t.rx_port_front;
   (* Ensure the backend sees the initial credit even without a notify edge. *)
   backend_handle_rx_credit t ();
-  t
+  Pv t
 
-let mac t = Netsim.Nic.mac t.nic
+(* ---- direct attachment ---- *)
+
+let direct_rx_cost d size =
+  let plat = d.d_dom.Xensim.Domain.platform in
+  if d.d_frame_tax then Platform.rx_cost plat ~bytes_len:size + plat.Platform.syscall_ns
+  else plat.Platform.per_packet_ns
+
+let direct_tx_cost d len =
+  let plat = d.d_dom.Xensim.Domain.platform in
+  if d.d_frame_tax then Platform.tx_cost plat ~bytes_len:len + plat.Platform.syscall_ns
+  else plat.Platform.per_packet_ns
+
+let direct_handle_frame d frame =
+  match d.d_listener with
+  | None -> d.d_rx_dropped <- d.d_rx_dropped + 1
+  | Some _ ->
+    let size = Bytestruct.length frame in
+    (* The wire buffer is only valid during this callback: copy into a
+       pool page before deferring delivery behind the vCPU charge. *)
+    let page = Io_page.alloc d.d_pool in
+    Bytestruct.blit frame 0 page 0 size;
+    let deliver () =
+      d.d_rx_frames <- d.d_rx_frames + 1;
+      let span =
+        if Trace.enabled () then
+          Some (Trace.span ~dom:d.d_dom.Xensim.Domain.id ~cat:Trace.Device "netif.rx")
+        else None
+      in
+      Xensim.Domain.charge_k d.d_dom ~cost:(direct_rx_cost d size) (fun () ->
+          (match span with Some sp -> Trace.finish sp | None -> ());
+          (match d.d_listener with
+          | Some f -> f (Bytestruct.sub page 0 size)
+          | None -> ());
+          Io_page.recycle d.d_pool page)
+    in
+    if Trace.enabled () then
+      (* As on the PV path: every frame entering from the wire begins a
+         fresh causal flow that then rides the scheduler through the
+         stack and the application. *)
+      Trace.Flow.with_flow (Trace.Flow.start ~dom:d.d_dom.Xensim.Domain.id ()) deliver
+    else deliver ()
+
+let connect_direct ~dom ~nic ?(frame_tax = false) () =
+  let d =
+    {
+      d_dom = dom;
+      d_nic = nic;
+      d_pool = Io_page.create ~initial:64 ();
+      d_frame_tax = frame_tax;
+      d_listener = None;
+      d_tx_frames = 0;
+      d_rx_frames = 0;
+      d_rx_dropped = 0;
+    }
+  in
+  Netsim.Nic.set_rx nic (fun frame -> direct_handle_frame d frame);
+  Direct d
+
+let direct_write d frame =
+  let open Mthread.Promise in
+  let len = Bytestruct.length frame in
+  if len > mtu_bytes + 14 then invalid_arg "Netif.write: frame exceeds MTU";
+  d.d_tx_frames <- d.d_tx_frames + 1;
+  let span = Trace.span ~dom:d.d_dom.Xensim.Domain.id ~cat:Trace.Device "netif.tx" in
+  bind
+    (Xensim.Domain.charge d.d_dom ~cost:(direct_tx_cost d len))
+    (fun () ->
+      Netsim.Nic.send d.d_nic frame;
+      Trace.finish span;
+      return ())
+
+let mac = function Pv t -> Netsim.Nic.mac t.nic | Direct d -> Netsim.Nic.mac d.d_nic
 let mtu _ = mtu_bytes
-let pool t = t.pool
+let pool = function Pv t -> t.pool | Direct d -> d.d_pool
 
-let rec write t frame =
+let rec pv_write t frame =
   let open Mthread.Promise in
   let len = Bytestruct.length frame in
   if len > mtu_bytes + 14 then invalid_arg "Netif.write: frame exceeds MTU";
   if Xensim.Ring.Front.free_requests t.tx_front = 0 then begin
     let p, u = wait () in
     Queue.add u t.tx_waiters;
-    bind p (fun () -> write t frame)
+    bind p (fun () -> pv_write t frame)
   end
   else begin
     let gref =
@@ -306,8 +398,11 @@ let rec write t frame =
         done_p)
   end
 
-let set_listener t f = t.listener <- Some f
+let write t frame = match t with Pv p -> pv_write p frame | Direct d -> direct_write d frame
 
-let tx_frames t = t.tx_frames
-let rx_frames t = t.rx_frames
-let rx_dropped t = t.rx_dropped
+let set_listener t f =
+  match t with Pv p -> p.listener <- Some f | Direct d -> d.d_listener <- Some f
+
+let tx_frames = function Pv t -> t.tx_frames | Direct d -> d.d_tx_frames
+let rx_frames = function Pv t -> t.rx_frames | Direct d -> d.d_rx_frames
+let rx_dropped = function Pv t -> t.rx_dropped | Direct d -> d.d_rx_dropped

@@ -8,7 +8,15 @@
     on the wire; the grant is revoked when the TX response returns. Receive
     pre-posts granted pages; the backend grant-copies each arriving frame
     into one (netback's GNTTABOP_copy path) and the frontend hands the
-    filled view to the listener without further copying. *)
+    filled view to the listener without further copying.
+
+    A second, {e direct} attachment mode serves the POSIX developer
+    targets (paper §5.4): no rings, grants or backend domain — frames go
+    straight between the NIC and the guest, with the cost model carrying
+    the difference. With [frame_tax] the domain pays the full userspace
+    per-frame path plus a syscall (Posix_direct's tuntap read/write);
+    without it only the host kernel's per-packet work is charged (the
+    in-kernel stack beneath Hostnet's sockets). *)
 
 type t
 
@@ -23,6 +31,12 @@ val connect :
   ?rx_slots:int ->
   unit ->
   t
+
+(** [connect_direct ~dom ~nic ()] attaches [dom] to [nic] without the PV
+    split-driver machinery — the host-kernel device path of the POSIX
+    targets. [frame_tax] charges the userspace per-frame copy + syscall
+    tax (tuntap); off by default. *)
+val connect_direct : dom:Xensim.Domain.t -> nic:Netsim.Nic.t -> ?frame_tax:bool -> unit -> t
 
 val mac : t -> string
 val mtu : t -> int

@@ -1,16 +1,5 @@
 type engine = Mirage of { memoize : bool } | Bind_like | Nsd_like
 
-type t = {
-  sim : Engine.Sim.t;
-  dom : Xensim.Domain.t option;
-  udp : Netstack.Udp.t;
-  db : Db.t;
-  engine : engine;
-  memo : Memo.t option;
-  mutable served : int;
-  mutable decode_failures : int;
-}
-
 (* Per-query engine cost models (ns of vCPU per query, excluding the
    driver/stack per-packet costs already charged by the device layer).
 
@@ -47,113 +36,132 @@ let query_cost_ns engine ~zone_entries ~platform ~memo_hit =
   in
   int_of_float (base *. app)
 
-let charge t ~memo_hit =
-  match t.dom with
-  | None -> ()
-  | Some d ->
-    let cost =
-      query_cost_ns t.engine ~zone_entries:(Db.entries t.db) ~platform:d.Xensim.Domain.platform
-        ~memo_hit
-    in
-    if Trace.enabled () then begin
-      (* Retro-span from enqueue to the end of the vCPU slice: the
-         application layer of a DNS flow's waterfall (the response is
-         sent concurrently; the query cost gates only subsequent work). *)
-      let queued = Engine.Sim.now t.sim in
-      Xensim.Domain.charge_k d ~cost (fun () ->
-          if Trace.enabled () then
-            Trace.record_span_ns ~dom:d.Xensim.Domain.id
-              ~payload:[ ("memo_hit", Trace.Bool memo_hit) ]
-              ~cat:(Trace.User "dns") "dns.query"
-              (Engine.Sim.now t.sim - queued))
-    end
-    else Xensim.Domain.charge_k d ~cost (fun () -> ())
+(* One client id sequence shared by every backend instantiation, so query
+   id streams (and thus wire traces) are globally deterministic. *)
+let next_client_id = ref 1
 
-let respond t ~src ~src_port ~dst_port encoded =
-  Mthread.Promise.async (fun () ->
-      Netstack.Udp.sendto t.udp ~src_port:dst_port ~dst:src ~dst_port:src_port encoded)
+(* The answering path is a functor over the datagram transport: the same
+   decode/lookup/encode/memo code serves over the unikernel netstack or
+   Hostnet's host-kernel sockets. *)
+module Make (U : Device_sig.UDP) = struct
+  type t = {
+    sim : Engine.Sim.t;
+    dom : Xensim.Domain.t option;
+    udp : U.t;
+    db : Db.t;
+    engine : engine;
+    memo : Memo.t option;
+    mutable served : int;
+    mutable decode_failures : int;
+  }
 
-let handle t ~src ~src_port ~dst_port ~payload =
-  match Dns_wire.decode payload with
-  | exception Dns_wire.Decode_error _ -> t.decode_failures <- t.decode_failures + 1
-  | msg when msg.Dns_wire.flags.Dns_wire.qr -> () (* ignore stray responses *)
-  | { Dns_wire.questions = [ q ]; id; _ } ->
-    t.served <- t.served + 1;
-    let qname = q.Dns_wire.qname and qtype = q.Dns_wire.qtype in
-    if Trace.enabled () then
-      Trace.emit
-        ?dom:(Option.map (fun d -> d.Xensim.Domain.id) t.dom)
-        ~cat:(Trace.User "dns")
-        ~payload:[ ("qname", Trace.String (Dns_name.to_string qname)) ]
-        "dns.handle";
-    let memo_hit, encoded =
-      match t.memo with
-      | Some cache -> (
-        match Memo.find cache ~qname ~qtype with
-        | Some cached ->
-          Dns_wire.patch_id cached id;
-          (true, cached)
-        | None ->
-          let fresh = Dns_wire.encode (Db.answer t.db ~id q) in
-          Memo.add cache ~qname ~qtype fresh;
-          (false, fresh))
-      | None -> (false, Dns_wire.encode (Db.answer t.db ~id q))
-    in
-    charge t ~memo_hit;
-    respond t ~src ~src_port ~dst_port encoded
-  | msg ->
-    (* zero or multiple questions: FORMERR *)
-    t.served <- t.served + 1;
-    let err =
-      {
-        Dns_wire.id = msg.Dns_wire.id;
-        flags = Dns_wire.response_flags ~aa:false ~rcode:Dns_wire.Format_error;
-        questions = [];
-        answers = [];
-        authorities = [];
-        additionals = [];
-      }
-    in
-    charge t ~memo_hit:false;
-    respond t ~src ~src_port ~dst_port (Dns_wire.encode err)
+  let charge t ~memo_hit =
+    match t.dom with
+    | None -> ()
+    | Some d ->
+      let cost =
+        query_cost_ns t.engine ~zone_entries:(Db.entries t.db) ~platform:d.Xensim.Domain.platform
+          ~memo_hit
+      in
+      if Trace.enabled () then begin
+        (* Retro-span from enqueue to the end of the vCPU slice: the
+           application layer of a DNS flow's waterfall (the response is
+           sent concurrently; the query cost gates only subsequent work). *)
+        let queued = Engine.Sim.now t.sim in
+        Xensim.Domain.charge_k d ~cost (fun () ->
+            if Trace.enabled () then
+              Trace.record_span_ns ~dom:d.Xensim.Domain.id
+                ~payload:[ ("memo_hit", Trace.Bool memo_hit) ]
+                ~cat:(Trace.User "dns") "dns.query"
+                (Engine.Sim.now t.sim - queued))
+      end
+      else Xensim.Domain.charge_k d ~cost (fun () -> ())
 
-let create sim ?dom ~udp ?(port = 53) ~db ~engine () =
-  let memo = match engine with Mirage { memoize = true } -> Some (Memo.create ()) | _ -> None in
-  let t = { sim; dom; udp; db; engine; memo; served = 0; decode_failures = 0 } in
-  Netstack.Udp.listen udp ~port (fun ~src ~src_port ~dst_port ~payload ->
-      handle t ~src ~src_port ~dst_port ~payload);
-  t
+  let respond t ~src ~src_port ~dst_port encoded =
+    Mthread.Promise.async (fun () ->
+        U.sendto t.udp ~src_port:dst_port ~dst:src ~dst_port:src_port encoded)
 
-let queries_served t = t.served
-let decode_failures t = t.decode_failures
-let memo t = t.memo
+  let handle t ~src ~src_port ~dst_port ~payload =
+    match Dns_wire.decode payload with
+    | exception Dns_wire.Decode_error _ -> t.decode_failures <- t.decode_failures + 1
+    | msg when msg.Dns_wire.flags.Dns_wire.qr -> () (* ignore stray responses *)
+    | { Dns_wire.questions = [ q ]; id; _ } ->
+      t.served <- t.served + 1;
+      let qname = q.Dns_wire.qname and qtype = q.Dns_wire.qtype in
+      if Trace.enabled () then
+        Trace.emit
+          ?dom:(Option.map (fun d -> d.Xensim.Domain.id) t.dom)
+          ~cat:(Trace.User "dns")
+          ~payload:[ ("qname", Trace.String (Dns_name.to_string qname)) ]
+          "dns.handle";
+      let memo_hit, encoded =
+        match t.memo with
+        | Some cache -> (
+          match Memo.find cache ~qname ~qtype with
+          | Some cached ->
+            Dns_wire.patch_id cached id;
+            (true, cached)
+          | None ->
+            let fresh = Dns_wire.encode (Db.answer t.db ~id q) in
+            Memo.add cache ~qname ~qtype fresh;
+            (false, fresh))
+        | None -> (false, Dns_wire.encode (Db.answer t.db ~id q))
+      in
+      charge t ~memo_hit;
+      respond t ~src ~src_port ~dst_port encoded
+    | msg ->
+      (* zero or multiple questions: FORMERR *)
+      t.served <- t.served + 1;
+      let err =
+        {
+          Dns_wire.id = msg.Dns_wire.id;
+          flags = Dns_wire.response_flags ~aa:false ~rcode:Dns_wire.Format_error;
+          questions = [];
+          answers = [];
+          authorities = [];
+          additionals = [];
+        }
+      in
+      charge t ~memo_hit:false;
+      respond t ~src ~src_port ~dst_port (Dns_wire.encode err)
 
-module Client = struct
-  let next_id = ref 1
+  let create sim ?dom ~udp ?(port = 53) ~db ~engine () =
+    let memo = match engine with Mirage { memoize = true } -> Some (Memo.create ()) | _ -> None in
+    let t = { sim; dom; udp; db; engine; memo; served = 0; decode_failures = 0 } in
+    U.listen udp ~port (fun ~src ~src_port ~dst_port ~payload ->
+        handle t ~src ~src_port ~dst_port ~payload);
+    t
 
-  let query sim udp ~server ?(port = 53) ~qname ~qtype () =
-    let open Mthread.Promise in
-    let id = !next_id land 0xffff in
-    incr next_id;
-    let src_port = 10000 + (!next_id land 0x3fff) in
-    let msg = Dns_wire.query ~id qname qtype in
-    let p, u = wait () in
-    Netstack.Udp.listen udp ~port:src_port (fun ~src:_ ~src_port:_ ~dst_port:_ ~payload ->
-        match Dns_wire.decode payload with
-        | exception Dns_wire.Decode_error _ -> ()
-        | reply when reply.Dns_wire.id = id && reply.Dns_wire.flags.Dns_wire.qr ->
-          if wakener_pending u then wakeup u reply
-        | _ -> ());
-    let cleanup () =
-      Netstack.Udp.unlisten udp ~port:src_port;
-      return ()
-    in
-    finalize
-      (fun () ->
-        bind (Netstack.Udp.sendto udp ~src_port ~dst:server ~dst_port:port (Dns_wire.encode msg))
-          (fun () ->
-            catch
-              (fun () -> bind (with_timeout sim (Engine.Sim.sec 2) (fun () -> p)) (fun r -> return (Some r)))
-              (function Timeout -> return None | e -> fail e)))
-      cleanup
+  let queries_served t = t.served
+  let decode_failures t = t.decode_failures
+  let memo t = t.memo
+
+  module Client = struct
+    let query sim udp ~server ?(port = 53) ~qname ~qtype () =
+      let open Mthread.Promise in
+      let id = !next_client_id land 0xffff in
+      incr next_client_id;
+      let src_port = 10000 + (!next_client_id land 0x3fff) in
+      let msg = Dns_wire.query ~id qname qtype in
+      let p, u = wait () in
+      U.listen udp ~port:src_port (fun ~src:_ ~src_port:_ ~dst_port:_ ~payload ->
+          match Dns_wire.decode payload with
+          | exception Dns_wire.Decode_error _ -> ()
+          | reply when reply.Dns_wire.id = id && reply.Dns_wire.flags.Dns_wire.qr ->
+            if wakener_pending u then wakeup u reply
+          | _ -> ());
+      let cleanup () =
+        U.unlisten udp ~port:src_port;
+        return ()
+      in
+      finalize
+        (fun () ->
+          bind (U.sendto udp ~src_port ~dst:server ~dst_port:port (Dns_wire.encode msg))
+            (fun () ->
+              catch
+                (fun () ->
+                  bind (with_timeout sim (Engine.Sim.sec 2) (fun () -> p)) (fun r -> return (Some r)))
+                (function Timeout -> return None | e -> fail e)))
+        cleanup
+  end
 end

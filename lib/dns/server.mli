@@ -1,4 +1,4 @@
-(** Authoritative DNS server engines over UDP.
+(** Authoritative DNS server engines over any {!Device_sig.UDP} transport.
 
     One real answering path (decode, database lookup, encode / memo) is
     shared by all engines; what differs is (a) whether memoisation is on
@@ -6,45 +6,50 @@
     baseline's documented algorithmic structure (see the calibration
     comments in the implementation). This is how Figure 10's six curves
     are produced from one correct implementation plus explicit models of
-    BIND's and NSD's processing costs. *)
+    BIND's and NSD's processing costs.
+
+    The server is a functor over the transport; instantiation happens at
+    configure time ([Core.Apps], per [Unikernel.target]). *)
 
 type engine =
   | Mirage of { memoize : bool }  (** the real Mirage appliance path *)
   | Bind_like  (** general-purpose database, per-query feature checks *)
   | Nsd_like  (** precompiled answer set, minimal per-query work *)
 
-type t
-
-val create :
-  Engine.Sim.t ->
-  ?dom:Xensim.Domain.t ->
-  udp:Netstack.Udp.t ->
-  ?port:int ->
-  db:Db.t ->
-  engine:engine ->
-  unit ->
-  t
-
-val queries_served : t -> int
-val decode_failures : t -> int
-val memo : t -> Memo.t option
-
 (** The per-query vCPU cost the engine charges, exposed for the analytical
     crosscheck in the benchmark harness. *)
 val query_cost_ns : engine -> zone_entries:int -> platform:Platform.t -> memo_hit:bool -> int
 
-(** {1 Client} (tests, examples, load generators) *)
+module Make (U : Device_sig.UDP) : sig
+  type t
 
-module Client : sig
-  (** [query sim udp ~server ~qname ~qtype] sends one query and resolves
-      with the response ([None] on 2 s timeout). *)
-  val query :
+  val create :
     Engine.Sim.t ->
-    Netstack.Udp.t ->
-    server:Netstack.Ipaddr.t ->
+    ?dom:Xensim.Domain.t ->
+    udp:U.t ->
     ?port:int ->
-    qname:Dns_name.t ->
-    qtype:Dns_wire.qtype ->
+    db:Db.t ->
+    engine:engine ->
     unit ->
-    Dns_wire.message option Mthread.Promise.t
+    t
+
+  val queries_served : t -> int
+  val decode_failures : t -> int
+  val memo : t -> Memo.t option
+
+  (** {1 Client} (tests, examples, load generators) *)
+
+  module Client : sig
+    (** [query sim udp ~server ~qname ~qtype] sends one query and resolves
+        with the response ([None] on 2 s timeout). *)
+    val query :
+      Engine.Sim.t ->
+      U.t ->
+      server:U.ipaddr ->
+      ?port:int ->
+      qname:Dns_name.t ->
+      qtype:Dns_wire.qtype ->
+      unit ->
+      Dns_wire.message option Mthread.Promise.t
+  end
 end

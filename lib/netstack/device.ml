@@ -1,0 +1,23 @@
+(* Conformance of the unikernel netstack to the Device_sig signatures.
+   These are the modules Core.Apps plugs into the application functors
+   for the Posix_direct and Xen_direct targets; the ascriptions in the
+   mli are the compile-time proof that the netstack implements the
+   device contracts. *)
+
+module Tcp = struct
+  include Tcp
+
+  type ipaddr = Ipaddr.t
+end
+
+module Udp = struct
+  include Udp
+
+  type ipaddr = Ipaddr.t
+end
+
+type t = Stack.t
+
+let tcp = Stack.tcp
+let udp = Stack.udp
+let address = Stack.address

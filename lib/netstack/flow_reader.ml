@@ -1,61 +1,13 @@
-let ( >>= ) = Mthread.Promise.bind
-let return = Mthread.Promise.return
+(* Kept as a thin alias of the backend-agnostic Device_sig.Reader: the
+   buffering logic moved there so functorized protocol parsers can read
+   from any Device_sig.FLOW, while existing netstack users keep the old
+   [create : Tcp.flow -> t] entry point. *)
 
-type t = { flow : Tcp.flow; buf : Buffer.t; mutable start : int; mutable eof : bool }
+type t = Device_sig.Reader.t
 
-let create flow = { flow; buf = Buffer.create 256; start = 0; eof = false }
-
-let compact t =
-  if t.start > 4096 && t.start * 2 > Buffer.length t.buf then begin
-    let rest = Buffer.sub t.buf t.start (Buffer.length t.buf - t.start) in
-    Buffer.clear t.buf;
-    Buffer.add_string t.buf rest;
-    t.start <- 0
-  end
-
-let refill t =
-  Tcp.read t.flow >>= function
-  | None ->
-    t.eof <- true;
-    return false
-  | Some chunk ->
-    Buffer.add_string t.buf (Bytestruct.to_string chunk);
-    return true
-
-let available t = Buffer.length t.buf - t.start
-
-let take t n =
-  let s = Buffer.sub t.buf t.start n in
-  t.start <- t.start + n;
-  compact t;
-  s
-
-let rec line t =
-  let contents = Buffer.contents t.buf in
-  let rec find i =
-    if i >= String.length contents then None else if contents.[i] = '\n' then Some i else find (i + 1)
-  in
-  match find t.start with
-  | Some i ->
-    let raw = take t (i - t.start + 1) in
-    let raw = String.sub raw 0 (String.length raw - 1) in
-    let raw =
-      if String.length raw > 0 && raw.[String.length raw - 1] = '\r' then
-        String.sub raw 0 (String.length raw - 1)
-      else raw
-    in
-    return (Some raw)
-  | None -> if t.eof then return None else refill t >>= fun ok -> if ok then line t else return None
-
-let rec exactly t n =
-  if available t >= n then return (Some (take t n))
-  else if t.eof then return None
-  else refill t >>= fun ok -> if ok then exactly t n else return None
-
-let block_crlf t n =
-  exactly t (n + 2) >>= function
-  | None -> return None
-  | Some s -> return (Some (String.sub s 0 n))
-
-let buffered = available
-let eof t = t.eof
+let create flow = Device_sig.Reader.create ~read:(fun () -> Tcp.read flow)
+let line = Device_sig.Reader.line
+let exactly = Device_sig.Reader.exactly
+let block_crlf = Device_sig.Reader.block_crlf
+let buffered = Device_sig.Reader.buffered
+let eof = Device_sig.Reader.eof

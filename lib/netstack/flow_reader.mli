@@ -1,8 +1,11 @@
 (** Buffered reading over a TCP flow: lines and counted blocks. The
     channel-iteratee bridge between packet streams and typed protocol
-    streams (paper §3.5) that the HTTP and memcache parsers share. *)
+    streams (paper §3.5) that the HTTP and memcache parsers share.
 
-type t
+    The implementation lives in {!Device_sig.Reader} (it works over any
+    [FLOW]); this module pins it to netstack TCP flows. *)
+
+type t = Device_sig.Reader.t
 
 val create : Tcp.flow -> t
 

@@ -1,7 +1,10 @@
 module Seq = Tcp_wire.Seq
 
-exception Connection_refused
-exception Connection_reset
+(* Rebound to the canonical Device_sig exceptions so application code
+   functorized over Device_sig.TCP catches the same runtime identity
+   whichever backend raised it. *)
+exception Connection_refused = Device_sig.Connection_refused
+exception Connection_reset = Device_sig.Connection_reset
 
 let default_mss = 1448
 (* Sized below the netfront receive credit (127 frames ~ 180 KB) so a

@@ -3,9 +3,16 @@ open P.Infix
 
 type message = { sender : string; recipients : string list; body : string }
 
-let write flow s = Netstack.Tcp.write flow (Bytestruct.of_string s)
+exception Smtp_error of int * string
 
-module Server = struct
+(* Functor over the transport: the same protocol machine runs on the
+   unikernel netstack or host-kernel sockets; Core.Apps instantiates it
+   per Unikernel.target. *)
+module Make (T : Device_sig.TCP) = struct
+  let write flow s = T.write flow (Bytestruct.of_string s)
+  let reader_of flow = Device_sig.Reader.create ~read:(fun () -> T.read flow)
+
+  module Server = struct
   type t = {
     domain : string;
     mutable delivered : message list;
@@ -27,12 +34,12 @@ module Server = struct
     | None -> false
 
     let handle t flow =
-    let reader = Netstack.Flow_reader.create flow in
+    let reader = reader_of flow in
     let session = { sender = None; rcpts = [] } in
     let reply code text = write flow (Printf.sprintf "%d %s\r\n" code text) in
     let rec data_mode lines =
-      Netstack.Flow_reader.line reader >>= function
-      | None -> Netstack.Tcp.close flow
+      Device_sig.Reader.line reader >>= function
+      | None -> T.close flow
       | Some "." ->
         (match session.sender with
         | Some sender when session.rcpts <> [] ->
@@ -51,8 +58,8 @@ module Server = struct
         in
         data_mode (line :: lines)
     and command_mode () =
-      Netstack.Flow_reader.line reader >>= function
-      | None -> Netstack.Tcp.close flow
+      Device_sig.Reader.line reader >>= function
+      | None -> T.close flow
       | Some line -> (
         let upper = String.uppercase_ascii line in
         let has_prefix p = String.length upper >= String.length p && String.sub upper 0 (String.length p) = p in
@@ -78,7 +85,7 @@ module Server = struct
         else if has_prefix "DATA" then
           if session.rcpts = [] then reply 503 "need RCPT TO first" >>= command_mode
           else reply 354 "end with <CRLF>.<CRLF>" >>= fun () -> data_mode []
-        else if has_prefix "QUIT" then reply 221 "bye" >>= fun () -> Netstack.Tcp.close flow
+        else if has_prefix "QUIT" then reply 221 "bye" >>= fun () -> T.close flow
         else if has_prefix "RSET" then begin
           session.sender <- None;
           session.rcpts <- [];
@@ -90,8 +97,8 @@ module Server = struct
 
   let create tcp ~port ~domain () =
     let t = { domain; delivered = []; rejected = 0 } in
-    Netstack.Tcp.listen tcp ~port (fun flow ->
-        P.catch (fun () -> handle t flow) (fun _ -> Netstack.Tcp.close flow));
+    T.listen tcp ~port (fun flow ->
+        P.catch (fun () -> handle t flow) (fun _ -> T.close flow));
     t
 
   let delivered t = t.delivered
@@ -99,13 +106,11 @@ module Server = struct
 end
 
 module Client = struct
-  exception Smtp_error of int * string
-
   let send tcp ~dst ?(port = 25) ~helo ~sender ~recipients ~body () =
-    Netstack.Tcp.connect tcp ~dst ~dst_port:port >>= fun flow ->
-    let reader = Netstack.Flow_reader.create flow in
+    T.connect tcp ~dst ~dst_port:port >>= fun flow ->
+    let reader = reader_of flow in
     let expect_code ok =
-      Netstack.Flow_reader.line reader >>= function
+      Device_sig.Reader.line reader >>= function
       | None -> P.fail (Smtp_error (0, "connection closed"))
       | Some line ->
         let code = try int_of_string (String.sub line 0 3) with _ -> 0 in
@@ -129,5 +134,6 @@ module Client = struct
         in
         write flow (payload ^ "\r\n.\r\n") >>= fun () ->
         expect_code [ 250 ] >>= fun () -> cmd "QUIT" [ 221 ])
-      (fun () -> Netstack.Tcp.close flow)
+      (fun () -> T.close flow)
+end
 end

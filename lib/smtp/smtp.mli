@@ -1,5 +1,6 @@
 (** SMTP (RFC 5321 subset) — Table 1 "Application": HELO, MAIL FROM,
-    RCPT TO, DATA, QUIT; a delivering server and a sending client. *)
+    RCPT TO, DATA, QUIT; a delivering server and a sending client, as a
+    functor over any {!Device_sig.TCP} transport. *)
 
 type message = {
   sender : string;
@@ -7,32 +8,34 @@ type message = {
   body : string;  (** headers + body as received *)
 }
 
-module Server : sig
-  type t
+exception Smtp_error of int * string  (** status code, server line *)
 
-  (** [create tcp ~port ~domain ()] accepts mail for [domain]; delivered
-      messages are queued in order. *)
-  val create : Netstack.Tcp.t -> port:int -> domain:string -> unit -> t
+module Make (T : Device_sig.TCP) : sig
+  module Server : sig
+    type t
 
-  val delivered : t -> message list
+    (** [create tcp ~port ~domain ()] accepts mail for [domain]; delivered
+        messages are queued in order. *)
+    val create : T.t -> port:int -> domain:string -> unit -> t
 
-  (** RCPT TO addresses outside our domain are refused with 550. *)
-  val rejected_rcpts : t -> int
-end
+    val delivered : t -> message list
 
-module Client : sig
-  exception Smtp_error of int * string  (** status code, server line *)
+    (** RCPT TO addresses outside our domain are refused with 550. *)
+    val rejected_rcpts : t -> int
+  end
 
-  (** [send tcp ~dst ~port ~helo ~sender ~recipients ~body ()] runs a full
-      SMTP session. Fails with {!Smtp_error} on any non-2xx/3xx reply. *)
-  val send :
-    Netstack.Tcp.t ->
-    dst:Netstack.Ipaddr.t ->
-    ?port:int ->
-    helo:string ->
-    sender:string ->
-    recipients:string list ->
-    body:string ->
-    unit ->
-    unit Mthread.Promise.t
+  module Client : sig
+    (** [send tcp ~dst ~port ~helo ~sender ~recipients ~body ()] runs a full
+        SMTP session. Fails with {!Smtp_error} on any non-2xx/3xx reply. *)
+    val send :
+      T.t ->
+      dst:T.ipaddr ->
+      ?port:int ->
+      helo:string ->
+      sender:string ->
+      recipients:string list ->
+      body:string ->
+      unit ->
+      unit Mthread.Promise.t
+  end
 end

@@ -1,29 +1,29 @@
 exception Connection_closed
 
-type t = { flow : Netstack.Tcp.flow; reader : Netstack.Flow_reader.t }
+module Make (T : Device_sig.TCP) = struct
+  type t = { flow : T.flow; reader : Device_sig.Reader.t }
 
-let ( >>= ) = Mthread.Promise.bind
-let return = Mthread.Promise.return
-let fail = Mthread.Promise.fail
+  let ( >>= ) = Mthread.Promise.bind
+  let return = Mthread.Promise.return
+  let fail = Mthread.Promise.fail
 
-let connect tcp ~dst ~port =
-  Netstack.Tcp.connect tcp ~dst ~dst_port:port >>= fun flow ->
-  return { flow; reader = Netstack.Flow_reader.create flow }
+  let connect tcp ~dst ~port =
+    T.connect tcp ~dst ~dst_port:port >>= fun flow ->
+    return { flow; reader = Device_sig.Reader.create ~read:(fun () -> T.read flow) }
 
-let request t ?(headers = []) ?(body = "") ~meth ~path () =
-  let req =
-    { Http_wire.meth; path; version = "HTTP/1.1"; headers; body }
-  in
-  Netstack.Tcp.write t.flow (Bytestruct.of_string (Http_wire.render_request req)) >>= fun () ->
-  Http_wire.read_response t.reader >>= function
-  | None -> fail Connection_closed
-  | Some resp -> return resp
+  let request t ?(headers = []) ?(body = "") ~meth ~path () =
+    let req = { Http_wire.meth; path; version = "HTTP/1.1"; headers; body } in
+    T.write t.flow (Bytestruct.of_string (Http_wire.render_request req)) >>= fun () ->
+    Http_wire.read_response t.reader >>= function
+    | None -> fail Connection_closed
+    | Some resp -> return resp
 
-let get t path = request t ~meth:Http_wire.GET ~path ()
-let post t path ~body = request t ~meth:Http_wire.POST ~path ~body ()
-let close t = Netstack.Tcp.close t.flow
+  let get t path = request t ~meth:Http_wire.GET ~path ()
+  let post t path ~body = request t ~meth:Http_wire.POST ~path ~body ()
+  let close t = T.close t.flow
 
-let get_once tcp ~dst ~port path =
-  connect tcp ~dst ~port >>= fun t ->
-  get t path >>= fun resp ->
-  close t >>= fun () -> return resp
+  let get_once tcp ~dst ~port path =
+    connect tcp ~dst ~port >>= fun t ->
+    get t path >>= fun resp ->
+    close t >>= fun () -> return resp
+end

@@ -1,29 +1,27 @@
-(** HTTP/1.1 client with keep-alive connection reuse. *)
-
-type t
-
-val connect : Netstack.Tcp.t -> dst:Netstack.Ipaddr.t -> port:int -> t Mthread.Promise.t
+(** HTTP/1.1 client with keep-alive connection reuse, functorized over
+    the transport like {!Server}. *)
 
 exception Connection_closed
 
-(** One request/response on the (kept-alive) connection. *)
-val request :
-  t ->
-  ?headers:(string * string) list ->
-  ?body:string ->
-  meth:Http_wire.meth ->
-  path:string ->
-  unit ->
-  Http_wire.response Mthread.Promise.t
+module Make (T : Device_sig.TCP) : sig
+  type t
 
-val get : t -> string -> Http_wire.response Mthread.Promise.t
-val post : t -> string -> body:string -> Http_wire.response Mthread.Promise.t
-val close : t -> unit Mthread.Promise.t
+  val connect : T.t -> dst:T.ipaddr -> port:int -> t Mthread.Promise.t
 
-(** One-shot convenience: connect, GET, close. *)
-val get_once :
-  Netstack.Tcp.t ->
-  dst:Netstack.Ipaddr.t ->
-  port:int ->
-  string ->
-  Http_wire.response Mthread.Promise.t
+  (** One request/response on the (kept-alive) connection. *)
+  val request :
+    t ->
+    ?headers:(string * string) list ->
+    ?body:string ->
+    meth:Http_wire.meth ->
+    path:string ->
+    unit ->
+    Http_wire.response Mthread.Promise.t
+
+  val get : t -> string -> Http_wire.response Mthread.Promise.t
+  val post : t -> string -> body:string -> Http_wire.response Mthread.Promise.t
+  val close : t -> unit Mthread.Promise.t
+
+  (** One-shot convenience: connect, GET, close. *)
+  val get_once : T.t -> dst:T.ipaddr -> port:int -> string -> Http_wire.response Mthread.Promise.t
+end

@@ -83,7 +83,7 @@ let render_response r =
 
 let read_headers reader =
   let rec go acc =
-    Netstack.Flow_reader.line reader >>= function
+    Device_sig.Reader.line reader >>= function
     | None -> fail (Bad_request "eof in headers")
     | Some "" -> return (List.rev acc)
     | Some line -> (
@@ -105,12 +105,12 @@ let read_body reader headers =
     | Some 0 -> return ""
     | Some n when n < 0 || n > 16 * 1024 * 1024 -> fail (Bad_request "unreasonable content-length")
     | Some n -> (
-      Netstack.Flow_reader.exactly reader n >>= function
+      Device_sig.Reader.exactly reader n >>= function
       | None -> fail (Bad_request "truncated body")
       | Some body -> return body))
 
 let read_request reader =
-  Netstack.Flow_reader.line reader >>= function
+  Device_sig.Reader.line reader >>= function
   | None -> return None
   | Some request_line -> (
     match String.split_on_char ' ' request_line with
@@ -124,7 +124,7 @@ let read_request reader =
     | _ -> fail (Bad_request ("malformed request line: " ^ request_line)))
 
 let read_response reader =
-  Netstack.Flow_reader.line reader >>= function
+  Device_sig.Reader.line reader >>= function
   | None -> return None
   | Some status_line -> (
     match String.split_on_char ' ' status_line with

@@ -1,4 +1,4 @@
-(** HTTP/1.1 message types and (de)serialisation over a {!Netstack.Flow_reader}. *)
+(** HTTP/1.1 message types and (de)serialisation over a {!Device_sig.Reader}. *)
 
 type meth = GET | POST | PUT | DELETE | HEAD
 
@@ -37,6 +37,6 @@ exception Bad_request of string
 
 (** Read one request from the flow; [None] at a clean end-of-stream.
     @raise Bad_request (in the promise) on malformed input. *)
-val read_request : Netstack.Flow_reader.t -> request option Mthread.Promise.t
+val read_request : Device_sig.Reader.t -> request option Mthread.Promise.t
 
-val read_response : Netstack.Flow_reader.t -> response option Mthread.Promise.t
+val read_response : Device_sig.Reader.t -> response option Mthread.Promise.t

@@ -7,73 +7,78 @@ type result = {
   reply_rate : float;
 }
 
-type session = Client.t -> unit Mthread.Promise.t
-
 let ( >>= ) = Mthread.Promise.bind
 let return = Mthread.Promise.return
 
-let run sim tcp ~dst ~port ~rate ~sessions ?(session_timeout_ns = Engine.Sim.sec 30) ~counter ~session () =
-  let open Mthread.Promise in
-  let interval_ns = int_of_float (1e9 /. rate) in
-  let completed = ref 0 and errors = ref 0 in
-  let replies_before = !counter in
-  let t0 = Engine.Sim.now sim in
-  let one_session () =
-    catch
-      (fun () ->
-        with_timeout sim session_timeout_ns (fun () ->
-            Client.connect tcp ~dst ~port >>= fun client ->
-            finalize
-              (fun () -> session client >>= fun () -> return ())
-              (fun () -> Client.close client))
-        >>= fun () ->
-        incr completed;
-        return ())
-      (fun _ ->
-        incr errors;
-        return ())
-  in
-  let finished = ref [] in
-  let rec launch i =
-    if i >= sessions then return ()
-    else begin
-      let p = one_session () in
-      finished := p :: !finished;
-      sleep sim interval_ns >>= fun () -> launch (i + 1)
-    end
-  in
-  launch 0 >>= fun () ->
-  join !finished >>= fun () ->
-  let duration_s = Engine.Sim.to_sec (Engine.Sim.now sim - t0) in
-  let replies = !counter - replies_before in
-  return
-    {
-      offered_sessions = sessions;
-      completed_sessions = !completed;
-      replies;
-      errors = !errors;
-      duration_s;
-      reply_rate = (if duration_s > 0.0 then float_of_int replies /. duration_s else 0.0);
-    }
+module Make (T : Device_sig.TCP) = struct
+  module C = Client.Make (T)
 
-(* The two reply counters live outside [run] (callers pass refs into the
-   session builders) because a session may count replies even when the
-   session as a whole later times out — exactly httperf's behaviour. *)
+  type session = C.t -> unit Mthread.Promise.t
 
-let twitter_session ~user ~counter client =
-  let rec gets n =
-    if n = 0 then return ()
-    else
-      Client.get client ("/tweets/" ^ user) >>= fun resp ->
-      if resp.Http_wire.status = 200 then incr counter;
-      gets (n - 1)
-  in
-  gets 9 >>= fun () ->
-  Client.post client ("/tweet/" ^ user) ~body:"status=hello%20world" >>= fun resp ->
-  if resp.Http_wire.status = 200 || resp.Http_wire.status = 201 then incr counter;
-  return ()
+  let run sim tcp ~dst ~port ~rate ~sessions ?(session_timeout_ns = Engine.Sim.sec 30) ~counter
+      ~session () =
+    let open Mthread.Promise in
+    let interval_ns = int_of_float (1e9 /. rate) in
+    let completed = ref 0 and errors = ref 0 in
+    let replies_before = !counter in
+    let t0 = Engine.Sim.now sim in
+    let one_session () =
+      catch
+        (fun () ->
+          with_timeout sim session_timeout_ns (fun () ->
+              C.connect tcp ~dst ~port >>= fun client ->
+              finalize
+                (fun () -> session client >>= fun () -> return ())
+                (fun () -> C.close client))
+          >>= fun () ->
+          incr completed;
+          return ())
+        (fun _ ->
+          incr errors;
+          return ())
+    in
+    let finished = ref [] in
+    let rec launch i =
+      if i >= sessions then return ()
+      else begin
+        let p = one_session () in
+        finished := p :: !finished;
+        sleep sim interval_ns >>= fun () -> launch (i + 1)
+      end
+    in
+    launch 0 >>= fun () ->
+    join !finished >>= fun () ->
+    let duration_s = Engine.Sim.to_sec (Engine.Sim.now sim - t0) in
+    let replies = !counter - replies_before in
+    return
+      {
+        offered_sessions = sessions;
+        completed_sessions = !completed;
+        replies;
+        errors = !errors;
+        duration_s;
+        reply_rate = (if duration_s > 0.0 then float_of_int replies /. duration_s else 0.0);
+      }
 
-let static_session ~path ~counter client =
-  Client.get client path >>= fun resp ->
-  if resp.Http_wire.status = 200 then incr counter;
-  return ()
+  (* The two reply counters live outside [run] (callers pass refs into the
+     session builders) because a session may count replies even when the
+     session as a whole later times out — exactly httperf's behaviour. *)
+
+  let twitter_session ~user ~counter client =
+    let rec gets n =
+      if n = 0 then return ()
+      else
+        C.get client ("/tweets/" ^ user) >>= fun resp ->
+        if resp.Http_wire.status = 200 then incr counter;
+        gets (n - 1)
+    in
+    gets 9 >>= fun () ->
+    C.post client ("/tweet/" ^ user) ~body:"status=hello%20world" >>= fun resp ->
+    if resp.Http_wire.status = 200 || resp.Http_wire.status = 201 then incr counter;
+    return ()
+
+  let static_session ~path ~counter client =
+    C.get client path >>= fun resp ->
+    if resp.Http_wire.status = 200 then incr counter;
+    return ()
+end

@@ -2,7 +2,10 @@
 
     Sessions arrive at a fixed rate; each opens one connection and issues
     its requests sequentially, then closes. The reply rate and error count
-    over the measurement window reproduce httperf's primary metrics. *)
+    over the measurement window reproduce httperf's primary metrics.
+
+    Functorized over the transport like {!Server}; the same generator
+    drives a unikernel stack or host-kernel sockets. *)
 
 type result = {
   offered_sessions : int;
@@ -13,29 +16,31 @@ type result = {
   reply_rate : float;  (** replies per second of virtual time *)
 }
 
-(** A session: given a connected client, run the requests. The
-    Twitter-like workload of Figure 12 is [9 GETs + 1 POST]. *)
-type session = Client.t -> unit Mthread.Promise.t
+module Make (T : Device_sig.TCP) : sig
+  (** A session: given a connected client, run the requests. The
+      Twitter-like workload of Figure 12 is [9 GETs + 1 POST]. *)
+  type session = Client.Make(T).t -> unit Mthread.Promise.t
 
-(** [run sim tcp ~dst ~port ~rate ~sessions ~session ()] starts [sessions]
-    sessions at [rate] per second and resolves once all have finished or
-    failed. [session_timeout_ns] bounds each session (default 30 s). *)
-val run :
-  Engine.Sim.t ->
-  Netstack.Tcp.t ->
-  dst:Netstack.Ipaddr.t ->
-  port:int ->
-  rate:float ->
-  sessions:int ->
-  ?session_timeout_ns:int ->
-  counter:int ref ->
-  session:session ->
-  unit ->
-  result Mthread.Promise.t
+  (** [run sim tcp ~dst ~port ~rate ~sessions ~session ()] starts [sessions]
+      sessions at [rate] per second and resolves once all have finished or
+      failed. [session_timeout_ns] bounds each session (default 30 s). *)
+  val run :
+    Engine.Sim.t ->
+    T.t ->
+    dst:T.ipaddr ->
+    port:int ->
+    rate:float ->
+    sessions:int ->
+    ?session_timeout_ns:int ->
+    counter:int ref ->
+    session:session ->
+    unit ->
+    result Mthread.Promise.t
 
-(** The paper's dynamic-web session: 9 [GET /tweets/:user] + 1
-    [POST /tweet/:user], counting replies via the returned counter. *)
-val twitter_session : user:string -> counter:int ref -> session
+  (** The paper's dynamic-web session: 9 [GET /tweets/:user] + 1
+      [POST /tweet/:user], counting replies via the returned counter. *)
+  val twitter_session : user:string -> counter:int ref -> session
 
-(** Single static-page fetch session (Figure 13). *)
-val static_session : path:string -> counter:int ref -> session
+  (** Single static-page fetch session (Figure 13). *)
+  val static_session : path:string -> counter:int ref -> session
+end

@@ -1,92 +1,97 @@
 type handler = Http_wire.request -> Http_wire.response Mthread.Promise.t
 
-type t = {
-  sim : Engine.Sim.t;
-  dom : Xensim.Domain.t option;
-  per_request_cost_ns : int;
-  handler : handler;
-  mutable requests : int;
-  mutable connections : int;
-  mutable bad : int;
-}
+(* Functor over the transport (paper §3, Fig. 2): the server speaks
+   Device_sig.TCP only, so the same code serves over the unikernel
+   netstack or Hostnet's host-kernel sockets — the configure step in
+   Core.Apps picks the backend per Unikernel.target. *)
+module Make (T : Device_sig.TCP) = struct
+  type t = {
+    sim : Engine.Sim.t;
+    dom : Xensim.Domain.t option;
+    per_request_cost_ns : int;
+    handler : handler;
+    mutable requests : int;
+    mutable connections : int;
+    mutable bad : int;
+  }
 
-let ( >>= ) = Mthread.Promise.bind
-let return = Mthread.Promise.return
+  let ( >>= ) = Mthread.Promise.bind
+  let return = Mthread.Promise.return
 
-let charge t =
-  match t.dom with
-  | None -> return ()
-  | Some d ->
-    Xensim.Domain.charge d
-      ~cost:
-        (int_of_float
-           (float_of_int t.per_request_cost_ns *. d.Xensim.Domain.platform.Platform.app_factor))
+  let charge t =
+    match t.dom with
+    | None -> return ()
+    | Some d ->
+      Xensim.Domain.charge d
+        ~cost:
+          (int_of_float
+             (float_of_int t.per_request_cost_ns *. d.Xensim.Domain.platform.Platform.app_factor))
 
-let serve_flow t flow =
-  let reader = Netstack.Flow_reader.create flow in
-  let rec loop () =
-    Mthread.Promise.catch
-      (fun () ->
-        Http_wire.read_request reader >>= function
-        | None -> Netstack.Tcp.close flow
-        | Some req ->
-          t.requests <- t.requests + 1;
-          (* The span opens under the causal flow of the frame that
-             completed the request and closes once the response bytes are
-             accepted by TCP — the application layer of the waterfall. *)
-          let sp =
-            if Trace.enabled () then
-              Trace.span
-                ?dom:(Option.map (fun d -> d.Xensim.Domain.id) t.dom)
-                ~cat:(Trace.User "http")
-                ~payload:[ ("path", Trace.String req.Http_wire.path) ]
-                "http.request"
-            else Trace.span ~cat:(Trace.User "http") "http.request"
-          in
-          charge t >>= fun () ->
-          t.handler req >>= fun resp ->
-          let ka = Http_wire.keep_alive req.Http_wire.headers in
-          let resp =
-            if ka then resp
-            else
-              {
-                resp with
-                Http_wire.resp_headers = ("Connection", "close") :: resp.Http_wire.resp_headers;
-              }
-          in
-          Netstack.Tcp.write flow (Bytestruct.of_string (Http_wire.render_response resp))
-          >>= fun () ->
-          Trace.finish sp;
-          if ka then loop () else Netstack.Tcp.close flow)
-      (function
-        | Http_wire.Bad_request _ ->
-          t.bad <- t.bad + 1;
-          let resp = Http_wire.response ~status:400 "bad request" in
-          Netstack.Tcp.write flow (Bytestruct.of_string (Http_wire.render_response resp))
-          >>= fun () -> Netstack.Tcp.close flow
-        | Netstack.Tcp.Connection_reset | Mthread.Promise.Canceled -> return ()
-        | e -> Mthread.Promise.fail e)
-  in
-  loop ()
+  let serve_flow t flow =
+    let reader = Device_sig.Reader.create ~read:(fun () -> T.read flow) in
+    let rec loop () =
+      Mthread.Promise.catch
+        (fun () ->
+          Http_wire.read_request reader >>= function
+          | None -> T.close flow
+          | Some req ->
+            t.requests <- t.requests + 1;
+            (* The span opens under the causal flow of the frame that
+               completed the request and closes once the response bytes are
+               accepted by TCP — the application layer of the waterfall. *)
+            let sp =
+              if Trace.enabled () then
+                Trace.span
+                  ?dom:(Option.map (fun d -> d.Xensim.Domain.id) t.dom)
+                  ~cat:(Trace.User "http")
+                  ~payload:[ ("path", Trace.String req.Http_wire.path) ]
+                  "http.request"
+              else Trace.span ~cat:(Trace.User "http") "http.request"
+            in
+            charge t >>= fun () ->
+            t.handler req >>= fun resp ->
+            let ka = Http_wire.keep_alive req.Http_wire.headers in
+            let resp =
+              if ka then resp
+              else
+                {
+                  resp with
+                  Http_wire.resp_headers = ("Connection", "close") :: resp.Http_wire.resp_headers;
+                }
+            in
+            T.write flow (Bytestruct.of_string (Http_wire.render_response resp)) >>= fun () ->
+            Trace.finish sp;
+            if ka then loop () else T.close flow)
+        (function
+          | Http_wire.Bad_request _ ->
+            t.bad <- t.bad + 1;
+            let resp = Http_wire.response ~status:400 "bad request" in
+            T.write flow (Bytestruct.of_string (Http_wire.render_response resp)) >>= fun () ->
+            T.close flow
+          | Device_sig.Connection_reset | Mthread.Promise.Canceled -> return ()
+          | e -> Mthread.Promise.fail e)
+    in
+    loop ()
 
-let create_detached sim ?dom ?(per_request_cost_ns = 25_000) handler =
-  { sim; dom; per_request_cost_ns; handler; requests = 0; connections = 0; bad = 0 }
+  let create_detached sim ?dom ?(per_request_cost_ns = 25_000) handler =
+    { sim; dom; per_request_cost_ns; handler; requests = 0; connections = 0; bad = 0 }
 
-let handle_flow t flow =
-  t.connections <- t.connections + 1;
-  serve_flow t flow
+  let handle_flow t flow =
+    t.connections <- t.connections + 1;
+    serve_flow t flow
 
-let create sim ?dom ?per_request_cost_ns ~tcp ~port handler =
-  let t = create_detached sim ?dom ?per_request_cost_ns handler in
-  Netstack.Tcp.listen tcp ~port (fun flow -> handle_flow t flow);
-  t
+  let create sim ?dom ?per_request_cost_ns ~tcp ~port handler =
+    let t = create_detached sim ?dom ?per_request_cost_ns handler in
+    T.listen tcp ~port (fun flow -> handle_flow t flow);
+    t
 
-let of_router sim ?dom ?per_request_cost_ns ~tcp ~port router =
-  create sim ?dom ?per_request_cost_ns ~tcp ~port (fun req ->
-      match Router.dispatch router req.Http_wire.meth req.Http_wire.path with
-      | Some handler_result -> handler_result req
-      | None -> return (Http_wire.response ~status:404 "not found"))
+  let of_router sim ?dom ?per_request_cost_ns ~tcp ~port router =
+    create sim ?dom ?per_request_cost_ns ~tcp ~port (fun req ->
+        match Router.dispatch router req.Http_wire.meth req.Http_wire.path with
+        | Some handler_result -> handler_result req
+        | None -> return (Http_wire.response ~status:404 "not found"))
 
-let requests_served t = t.requests
-let connections_accepted t = t.connections
-let bad_requests t = t.bad
+  let requests_served t = t.requests
+  let connections_accepted t = t.connections
+  let bad_requests t = t.bad
+end

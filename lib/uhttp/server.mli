@@ -1,41 +1,47 @@
-(** HTTP/1.1 server over TCP flows with keep-alive.
+(** HTTP/1.1 server over any {!Device_sig.TCP} transport, with keep-alive.
 
     [per_request_cost_ns] is charged to the appliance's vCPU per request
     served (application work: routing, handler, rendering); the default
-    models the lean Mirage dynamic-web path of §4.4. *)
+    models the lean Mirage dynamic-web path of §4.4.
 
-type t
+    The server is a functor over the transport signature; instantiation
+    happens at configure time ([Core.Apps], per [Unikernel.target]), so
+    this library never names a concrete backend. *)
 
 type handler = Http_wire.request -> Http_wire.response Mthread.Promise.t
 
-val create :
-  Engine.Sim.t ->
-  ?dom:Xensim.Domain.t ->
-  ?per_request_cost_ns:int ->
-  tcp:Netstack.Tcp.t ->
-  port:int ->
-  handler ->
-  t
+module Make (T : Device_sig.TCP) : sig
+  type t
 
-(** A server not bound to any port: callers accept connections themselves
-    and pass flows to {!handle_flow} (used by the baseline appliances,
-    which gate accepts on a worker pool). *)
-val create_detached :
-  Engine.Sim.t -> ?dom:Xensim.Domain.t -> ?per_request_cost_ns:int -> handler -> t
+  val create :
+    Engine.Sim.t ->
+    ?dom:Xensim.Domain.t ->
+    ?per_request_cost_ns:int ->
+    tcp:T.t ->
+    port:int ->
+    handler ->
+    t
 
-(** Serve one connection to completion (keep-alive loop). *)
-val handle_flow : t -> Netstack.Tcp.flow -> unit Mthread.Promise.t
+  (** A server not bound to any port: callers accept connections themselves
+      and pass flows to {!handle_flow} (used by the baseline appliances,
+      which gate accepts on a worker pool). *)
+  val create_detached :
+    Engine.Sim.t -> ?dom:Xensim.Domain.t -> ?per_request_cost_ns:int -> handler -> t
 
-(** Convenience: serve a {!Router.t} of handlers, 404 otherwise. *)
-val of_router :
-  Engine.Sim.t ->
-  ?dom:Xensim.Domain.t ->
-  ?per_request_cost_ns:int ->
-  tcp:Netstack.Tcp.t ->
-  port:int ->
-  (Http_wire.request -> Http_wire.response Mthread.Promise.t) Router.t ->
-  t
+  (** Serve one connection to completion (keep-alive loop). *)
+  val handle_flow : t -> T.flow -> unit Mthread.Promise.t
 
-val requests_served : t -> int
-val connections_accepted : t -> int
-val bad_requests : t -> int
+  (** Convenience: serve a {!Router.t} of handlers, 404 otherwise. *)
+  val of_router :
+    Engine.Sim.t ->
+    ?dom:Xensim.Domain.t ->
+    ?per_request_cost_ns:int ->
+    tcp:T.t ->
+    port:int ->
+    (Http_wire.request -> Http_wire.response Mthread.Promise.t) Router.t ->
+    t
+
+  val requests_served : t -> int
+  val connections_accepted : t -> int
+  val bad_requests : t -> int
+end

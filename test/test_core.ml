@@ -240,7 +240,7 @@ let test_networked_appliance_answers_ping () =
   let rtt =
     run w
       (Netstack.Icmp4.ping (Netstack.Stack.icmp client.stack)
-         ~dst:(Netstack.Stack.address networked.Core.Appliance.stack) ~seq:1 ())
+         ~dst:(Netstack.Stack.address (Core.Appliance.stack networked)) ~seq:1 ())
   in
   check_bool "unikernel answers ping" true (rtt > 0);
   check_bool "its pagetable is sealed" true

@@ -330,14 +330,14 @@ let dns_world ~engine =
   let client = make_host w ~platform:Platform.linux_native ~name:"resolver" ~ip:"10.0.0.9" () in
   let zone = Dns.Zone.synthesize ~origin:"test.zone" ~entries:100 in
   let srv =
-    Dns.Server.create w.sim ~dom:server.dom ~udp:(Netstack.Stack.udp server.stack)
+    Core.Apps.Net.Dns.create w.sim ~dom:server.dom ~udp:(Netstack.Stack.udp server.stack)
       ~db:(Dns.Db.of_zone zone) ~engine ()
   in
   (w, server, client, srv)
 
 let query w client server_ip qname =
   run w
-    (Dns.Server.Client.query w.sim (Netstack.Stack.udp client.stack) ~server:server_ip
+    (Core.Apps.Net.Dns.Client.query w.sim (Netstack.Stack.udp client.stack) ~server:server_ip
        ~qname:(name qname) ~qtype:Dns.Dns_wire.A ())
 
 let test_server_end_to_end () =
@@ -354,7 +354,7 @@ let test_server_end_to_end () =
     check_bool "nxdomain" true
       (reply.Dns.Dns_wire.flags.Dns.Dns_wire.rcode = Dns.Dns_wire.Name_error)
   | None -> Alcotest.fail "nxdomain query timed out");
-  check_int "served" 2 (Dns.Server.queries_served srv)
+  check_int "served" 2 (Core.Apps.Net.Dns.queries_served srv)
 
 let test_server_memoization_hits () =
   let w, server, client, srv = dns_world ~engine:(Dns.Server.Mirage { memoize = true }) in
@@ -367,7 +367,7 @@ let test_server_memoization_hits () =
   (match (r1, r3) with
   | Some a, Some b -> check_bool "ids differ" true (a.Dns.Dns_wire.id <> b.Dns.Dns_wire.id)
   | _ -> ());
-  match Dns.Server.memo srv with
+  match Core.Apps.Net.Dns.memo srv with
   | Some cache ->
     check_int "two hits" 2 (Dns.Memo.hits cache);
     check_int "one miss" 1 (Dns.Memo.misses cache)
@@ -380,7 +380,7 @@ let test_server_bad_packet_counted () =
        (Netstack.Udp.sendto (Netstack.Stack.udp client.stack) ~src_port:3333
           ~dst:(Netstack.Stack.address server.stack) ~dst_port:53 (bs "not dns")));
   Engine.Sim.run w.sim;
-  check_int "decode failure counted" 1 (Dns.Server.decode_failures srv)
+  check_int "decode failure counted" 1 (Core.Apps.Net.Dns.decode_failures srv)
 
 let test_server_engines_have_calibrated_costs () =
   (* Per-query engine cost ordering behind Figure 10: memoised Mirage

@@ -6,18 +6,18 @@ let smtp_world () =
   let w = make_world () in
   let server = make_host w ~platform:Platform.xen_extent ~name:"mx" ~ip:"10.0.0.25" () in
   let client = make_host w ~platform:Platform.linux_native ~name:"mua" ~ip:"10.0.0.9" () in
-  let srv = Smtp.Server.create (Netstack.Stack.tcp server.stack) ~port:25 ~domain:"example.org" () in
+  let srv = Core.Apps.Net.Smtp.Server.create (Netstack.Stack.tcp server.stack) ~port:25 ~domain:"example.org" () in
   (w, server, client, srv)
 
 let test_deliver () =
   let w, server, client, srv = smtp_world () in
   run w
-    (Smtp.Client.send (Netstack.Stack.tcp client.stack)
+    (Core.Apps.Net.Smtp.Client.send (Netstack.Stack.tcp client.stack)
        ~dst:(Netstack.Stack.address server.stack) ~helo:"mua.example.net"
        ~sender:"alice@example.net"
        ~recipients:[ "bob@example.org"; "carol@example.org" ]
        ~body:"Subject: hi\n\nunikernels are neat" ());
-  match Smtp.Server.delivered srv with
+  match Core.Apps.Net.Smtp.Server.delivered srv with
   | [ m ] ->
     check_string "sender" "alice@example.net" m.Smtp.sender;
     Alcotest.(check (list string)) "recipients" [ "bob@example.org"; "carol@example.org" ]
@@ -29,23 +29,23 @@ let test_relay_denied () =
   let w, server, client, srv = smtp_world () in
   (match
      run w
-       (Smtp.Client.send (Netstack.Stack.tcp client.stack)
+       (Core.Apps.Net.Smtp.Client.send (Netstack.Stack.tcp client.stack)
           ~dst:(Netstack.Stack.address server.stack) ~helo:"h" ~sender:"a@b"
           ~recipients:[ "victim@elsewhere.net" ] ~body:"spam" ())
    with
-  | exception Smtp.Client.Smtp_error (550, _) -> ()
+  | exception Smtp.Smtp_error (550, _) -> ()
   | _ -> Alcotest.fail "relay must be denied");
-  check_int "nothing delivered" 0 (List.length (Smtp.Server.delivered srv));
-  check_int "rejection counted" 1 (Smtp.Server.rejected_rcpts srv)
+  check_int "nothing delivered" 0 (List.length (Core.Apps.Net.Smtp.Server.delivered srv));
+  check_int "rejection counted" 1 (Core.Apps.Net.Smtp.Server.rejected_rcpts srv)
 
 let test_dot_stuffing () =
   let w, server, client, srv = smtp_world () in
   let body = "line one\n.hidden dot line\n..double" in
   run w
-    (Smtp.Client.send (Netstack.Stack.tcp client.stack)
+    (Core.Apps.Net.Smtp.Client.send (Netstack.Stack.tcp client.stack)
        ~dst:(Netstack.Stack.address server.stack) ~helo:"h" ~sender:"a@b"
        ~recipients:[ "bob@example.org" ] ~body ());
-  match Smtp.Server.delivered srv with
+  match Core.Apps.Net.Smtp.Server.delivered srv with
   | [ m ] -> check_bool "dot-stuffed body survives" true (m.Smtp.body = body)
   | _ -> Alcotest.fail "one message expected"
 
@@ -80,11 +80,11 @@ let test_multiple_messages_per_session () =
   (* our client sends one message per session; do two sessions *)
   for i = 1 to 2 do
     run w
-      (Smtp.Client.send (Netstack.Stack.tcp client.stack)
+      (Core.Apps.Net.Smtp.Client.send (Netstack.Stack.tcp client.stack)
          ~dst:(Netstack.Stack.address server.stack) ~helo:"h" ~sender:"a@b"
          ~recipients:[ "bob@example.org" ] ~body:(Printf.sprintf "msg %d" i) ())
   done;
-  check_int "both delivered in order" 2 (List.length (Smtp.Server.delivered srv));
+  check_int "both delivered in order" 2 (List.length (Core.Apps.Net.Smtp.Server.delivered srv));
   ignore server
 
 let () =

@@ -298,14 +298,14 @@ let test_flow_propagation () =
       let client = make_host w ~platform:Platform.linux_native ~name:"resolver" ~ip:"10.0.0.9" () in
       let zone = Dns.Zone.synthesize ~origin:"test.zone" ~entries:100 in
       let _srv =
-        Dns.Server.create w.sim ~dom:server.dom ~udp:(Netstack.Stack.udp server.stack)
+        Core.Apps.Net.Dns.create w.sim ~dom:server.dom ~udp:(Netstack.Stack.udp server.stack)
           ~db:(Dns.Db.of_zone zone)
           ~engine:(Dns.Server.Mirage { memoize = false })
           ()
       in
       let reply =
         run w
-          (Dns.Server.Client.query w.sim
+          (Core.Apps.Net.Dns.Client.query w.sim
              (Netstack.Stack.udp client.stack)
              ~server:(Netstack.Stack.address server.stack)
              ~qname:(Dns.Dns_name.of_string "host-42.test.zone")

@@ -77,35 +77,35 @@ let start_server ?per_request_cost_ns w (server : host) =
       P.return (H.response ~status:201 "created"));
   Uhttp.Router.add router H.GET "/index.html" (fun _ _ ->
       P.return (H.response ~status:200 "<html>hi</html>"));
-  Uhttp.Server.of_router w.sim ~dom:server.dom ?per_request_cost_ns
+  Core.Apps.Net.Http.of_router w.sim ~dom:server.dom ?per_request_cost_ns
     ~tcp:(Netstack.Stack.tcp server.stack) ~port:80 router
 
 let test_get_post_cycle () =
   let w, server, client = http_world () in
   let srv = start_server w server in
   let session =
-    Uhttp.Client.connect (Netstack.Stack.tcp client.stack)
+    Core.Apps.Net.Http_client.connect (Netstack.Stack.tcp client.stack)
       ~dst:(Netstack.Stack.address server.stack) ~port:80
     >>= fun c ->
-    Uhttp.Client.get c "/tweets/alice" >>= fun empty ->
-    Uhttp.Client.post c "/tweet/alice" ~body:"first!" >>= fun posted ->
-    Uhttp.Client.get c "/tweets/alice" >>= fun full ->
-    Uhttp.Client.close c >>= fun () -> P.return (empty, posted, full)
+    Core.Apps.Net.Http_client.get c "/tweets/alice" >>= fun empty ->
+    Core.Apps.Net.Http_client.post c "/tweet/alice" ~body:"first!" >>= fun posted ->
+    Core.Apps.Net.Http_client.get c "/tweets/alice" >>= fun full ->
+    Core.Apps.Net.Http_client.close c >>= fun () -> P.return (empty, posted, full)
   in
   let empty, posted, full = run w session in
   check_int "empty timeline" 200 empty.H.status;
   check_string "no tweets yet" "" empty.H.resp_body;
   check_int "created" 201 posted.H.status;
   check_string "timeline has tweet" "first!" full.H.resp_body;
-  check_int "three requests on one connection" 3 (Uhttp.Server.requests_served srv);
-  check_int "one connection" 1 (Uhttp.Server.connections_accepted srv)
+  check_int "three requests on one connection" 3 (Core.Apps.Net.Http.requests_served srv);
+  check_int "one connection" 1 (Core.Apps.Net.Http.connections_accepted srv)
 
 let test_404 () =
   let w, server, client = http_world () in
   ignore (start_server w server);
   let resp =
     run w
-      (Uhttp.Client.get_once (Netstack.Stack.tcp client.stack)
+      (Core.Apps.Net.Http_client.get_once (Netstack.Stack.tcp client.stack)
          ~dst:(Netstack.Stack.address server.stack) ~port:80 "/missing")
   in
   check_int "404" 404 resp.H.status
@@ -114,14 +114,14 @@ let test_connection_close_honoured () =
   let w, server, client = http_world () in
   ignore (start_server w server);
   let session =
-    Uhttp.Client.connect (Netstack.Stack.tcp client.stack)
+    Core.Apps.Net.Http_client.connect (Netstack.Stack.tcp client.stack)
       ~dst:(Netstack.Stack.address server.stack) ~port:80
     >>= fun c ->
-    Uhttp.Client.request c ~headers:[ ("Connection", "close") ] ~meth:H.GET ~path:"/index.html" ()
+    Core.Apps.Net.Http_client.request c ~headers:[ ("Connection", "close") ] ~meth:H.GET ~path:"/index.html" ()
     >>= fun resp ->
     (* server closes; next read must be EOF *)
     P.catch
-      (fun () -> Uhttp.Client.get c "/index.html" >|= fun _ -> `Second_worked)
+      (fun () -> Core.Apps.Net.Http_client.get c "/index.html" >|= fun _ -> `Second_worked)
       (fun _ -> P.return `Closed)
     >>= fun second -> P.return (resp, second)
   in
@@ -143,20 +143,20 @@ let test_bad_request () =
   (match run w raw_session with
   | Some resp -> check_int "400" 400 resp.H.status
   | None -> Alcotest.fail "expected a 400 response");
-  check_int "bad request counted" 1 (Uhttp.Server.bad_requests srv)
+  check_int "bad request counted" 1 (Core.Apps.Net.Http.bad_requests srv)
 
 let test_pipelined_requests_share_connection () =
   let w, server, client = http_world () in
   ignore (start_server w server);
   let session =
-    Uhttp.Client.connect (Netstack.Stack.tcp client.stack)
+    Core.Apps.Net.Http_client.connect (Netstack.Stack.tcp client.stack)
       ~dst:(Netstack.Stack.address server.stack) ~port:80
     >>= fun c ->
     let rec go n acc =
       if n = 0 then P.return acc
-      else Uhttp.Client.get c "/index.html" >>= fun r -> go (n - 1) (acc + if r.H.status = 200 then 1 else 0)
+      else Core.Apps.Net.Http_client.get c "/index.html" >>= fun r -> go (n - 1) (acc + if r.H.status = 200 then 1 else 0)
     in
-    go 50 0 >>= fun ok -> Uhttp.Client.close c >|= fun () -> ok
+    go 50 0 >>= fun ok -> Core.Apps.Net.Http_client.close c >|= fun () -> ok
   in
   check_int "50 keep-alive requests" 50 (run w session)
 
@@ -165,14 +165,14 @@ let test_large_body () =
   let router = Uhttp.Router.create () in
   Uhttp.Router.add router H.POST "/echo" (fun _ req -> P.return (H.response ~status:200 req.H.body));
   ignore
-    (Uhttp.Server.of_router w.sim ~dom:server.dom ~tcp:(Netstack.Stack.tcp server.stack) ~port:80
+    (Core.Apps.Net.Http.of_router w.sim ~dom:server.dom ~tcp:(Netstack.Stack.tcp server.stack) ~port:80
        router);
   let body = pattern 100_000 in
   let resp =
     run w
-      (Uhttp.Client.connect (Netstack.Stack.tcp client.stack)
+      (Core.Apps.Net.Http_client.connect (Netstack.Stack.tcp client.stack)
          ~dst:(Netstack.Stack.address server.stack) ~port:80
-       >>= fun c -> Uhttp.Client.post c "/echo" ~body)
+       >>= fun c -> Core.Apps.Net.Http_client.post c "/echo" ~body)
   in
   check_bool "100 KB body echoed" true (resp.H.resp_body = body)
 
@@ -183,15 +183,15 @@ let test_head_and_empty_post () =
   Uhttp.Router.add router H.POST "/empty" (fun _ req ->
       P.return (H.response ~status:200 (string_of_int (String.length req.H.body))));
   ignore
-    (Uhttp.Server.of_router w.sim ~dom:server.dom ~tcp:(Netstack.Stack.tcp server.stack) ~port:80
+    (Core.Apps.Net.Http.of_router w.sim ~dom:server.dom ~tcp:(Netstack.Stack.tcp server.stack) ~port:80
        router);
   let session =
-    Uhttp.Client.connect (Netstack.Stack.tcp client.stack)
+    Core.Apps.Net.Http_client.connect (Netstack.Stack.tcp client.stack)
       ~dst:(Netstack.Stack.address server.stack) ~port:80
     >>= fun c ->
-    Uhttp.Client.request c ~meth:H.HEAD ~path:"/probe" () >>= fun head ->
-    Uhttp.Client.post c "/empty" ~body:"" >>= fun post ->
-    Uhttp.Client.close c >>= fun () -> P.return (head, post)
+    Core.Apps.Net.Http_client.request c ~meth:H.HEAD ~path:"/probe" () >>= fun head ->
+    Core.Apps.Net.Http_client.post c "/empty" ~body:"" >>= fun post ->
+    Core.Apps.Net.Http_client.close c >>= fun () -> P.return (head, post)
   in
   let head, post = run w session in
   check_int "HEAD ok" 200 head.H.status;
@@ -213,9 +213,9 @@ let test_httperf_run () =
   let counter = ref 0 in
   let result =
     run w
-      (Uhttp.Httperf.run w.sim (Netstack.Stack.tcp client.stack)
+      (Core.Apps.Net.Httperf.run w.sim (Netstack.Stack.tcp client.stack)
          ~dst:(Netstack.Stack.address server.stack) ~port:80 ~rate:50.0 ~sessions:20 ~counter
-         ~session:(Uhttp.Httperf.twitter_session ~user:"alice" ~counter) ())
+         ~session:(Core.Apps.Net.Httperf.twitter_session ~user:"alice" ~counter) ())
   in
   check_int "all sessions completed" 20 result.Uhttp.Httperf.completed_sessions;
   check_int "10 replies per session" 200 result.Uhttp.Httperf.replies;

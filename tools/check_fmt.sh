@@ -1,0 +1,36 @@
+#!/bin/sh
+# Formatting gate, run from anywhere inside the repo.
+#
+# dune's @fmt alias only covers dune files here ((formatting (enabled_for
+# dune)) in dune-project); this script extends the gate to OCaml sources
+# with the ocamlformat version pinned in .ocamlformat. Machines without
+# that exact ocamlformat (the CI base image has none) still get the dune
+# gate and skip the source check with a warning instead of failing, so
+# the tree stays buildable everywhere while drift fails on any machine
+# that can actually check it.
+set -eu
+cd "$(git rev-parse --show-toplevel)"
+
+dune build @fmt
+
+if ! command -v ocamlformat >/dev/null 2>&1; then
+  echo "check_fmt: ocamlformat not installed; OCaml source check skipped" >&2
+  exit 0
+fi
+
+pinned=$(sed -n 's/^version *= *//p' .ocamlformat)
+installed=$(ocamlformat --version)
+if [ -n "$pinned" ] && [ "$installed" != "$pinned" ]; then
+  echo "check_fmt: ocamlformat $installed != pinned $pinned; OCaml source check skipped" >&2
+  exit 0
+fi
+
+status=0
+for f in $(git ls-files '*.ml' '*.mli'); do
+  if ! ocamlformat --check "$f" 2>/dev/null; then
+    echo "check_fmt: $f needs reformatting (ocamlformat $pinned)" >&2
+    status=1
+  fi
+done
+[ "$status" -eq 0 ] && echo "check_fmt: OK"
+exit $status
