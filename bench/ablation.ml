@@ -168,20 +168,30 @@ let run () =
   Util.header "Ablation: vchan vs TCP for on-host inter-VM transport (3.5.1)";
   let v = vchan_throughput () in
   let t = tcp_throughput () in
+  Util.emit ~figure:"ablation" ~metric:"transport/vchan" ~unit_:"MB/s" v;
+  Util.emit ~figure:"ablation" ~metric:"transport/tcp-netfront" ~unit_:"MB/s" t;
   Printf.printf "  vchan shared memory : %8.0f MB/s\n" v;
   Printf.printf "  TCP via netfront    : %8.0f MB/s   (vchan is %.1fx faster)\n" t (v /. t);
   Util.header "Ablation: ring event suppression (3.4)";
   let n_sup, c1 = ring_notifications ~suppression:true in
   let n_naive, c2 = ring_notifications ~suppression:false in
+  Util.emit ~figure:"ablation" ~metric:"ring/notifications-suppressed" ~unit_:"count"
+    (float_of_int n_sup);
+  Util.emit ~figure:"ablation" ~metric:"ring/notifications-naive" ~unit_:"count"
+    (float_of_int n_naive);
   Printf.printf "  with suppression    : %6d notifications for %d requests\n" n_sup c1;
   Printf.printf "  notify every push   : %6d notifications for %d requests (%.0fx more)\n"
     n_naive c2
     (float_of_int n_naive /. float_of_int (max 1 n_sup));
   Util.header "Ablation: micro-reboot cycle (4.1.1)";
-  Printf.printf "  destroy + rebuild + reboot + reseal: %.1f ms\n" (micro_reboot_cycle ());
+  let reboot_ms = micro_reboot_cycle () in
+  Util.emit ~figure:"ablation" ~metric:"micro-reboot/cycle" ~unit_:"ms" reboot_ms;
+  Printf.printf "  destroy + rebuild + reboot + reseal: %.1f ms\n" reboot_ms;
   Util.header "Ablation: sealing cost at boot (2.3.3)";
   let with_seal, sealed = boot_ms ~seal:true in
   let without, unsealed = boot_ms ~seal:false in
+  Util.emit ~figure:"ablation" ~metric:"sealing/boot-sealed" ~unit_:"ms" with_seal;
+  Util.emit ~figure:"ablation" ~metric:"sealing/boot-unsealed" ~unit_:"ms" without;
   Printf.printf "  sealed boot   : %.2f ms (sealed=%b)\n" with_seal sealed;
   Printf.printf "  unsealed boot : %.2f ms (sealed=%b) -> overhead %.3f ms\n" without unsealed
     (with_seal -. without)

@@ -105,6 +105,103 @@ let one_run ~seed ~schedule =
       }
   end
 
+(* ---- alerting accuracy (the monitoring plane's chaos check) ----
+
+   A web exporter scraped by the monitor over the same simulated
+   network, once on a clean link and once under Gilbert–Elliott burst
+   loss heavy enough to collapse goodput. The goodput-floor SLO must
+   fire under loss and stay quiet on the clean run — the monitoring
+   plane's false-negative and false-positive bounds, checked in-sim. *)
+
+let alert_interval_ns = Engine.Sim.ms 50
+let alert_duration_ns = Engine.Sim.sec 3
+let goodput_floor = 20_000.0 (* bytes/s; clean load runs well above 100 kB/s *)
+
+let alerting_run ~seed ~lossy =
+  Trace.Metrics.enable ();
+  let w = Util.make_world ~seed () in
+  let web = Util.make_host w ~platform:Platform.xen_extent ~name:"web" ~ip:"10.0.0.2" () in
+  let mon = Util.make_host w ~platform:Platform.xen_extent ~name:"monitor" ~ip:"10.0.0.3" () in
+  let client =
+    Util.make_host w ~platform:Platform.linux_native ~account_cpu:false ~name:"load"
+      ~ip:"10.0.0.9" ()
+  in
+  ignore
+    (Core.Apps.Net.Http.create w.Util.sim ~dom:web.Util.dom
+       ~tcp:(N.Stack.tcp web.Util.stack) ~port:80 (fun _req ->
+         P.return (Uhttp.Http_wire.response ~status:200 (String.make 512 'x'))));
+  ignore (Core.Apps.Net.Metrics.mount w.Util.sim ~dom:web.Util.dom ~port:9100 web.Util.stack);
+  let client_tcp = N.Stack.tcp client.Util.stack in
+  let dst = N.Stack.address web.Util.stack in
+  let rec drive () =
+    P.bind
+      (P.catch
+         (fun () ->
+           P.bind
+             (P.with_timeout w.Util.sim (Engine.Sim.ms 200) (fun () ->
+                  Core.Apps.Net.Http_client.get_once client_tcp ~dst ~port:80 "/"))
+             (fun _ -> P.return ()))
+         (fun _ -> P.sleep w.Util.sim (Engine.Sim.ms 5)))
+      (fun () -> P.bind (P.sleep w.Util.sim (Engine.Sim.ms 2)) drive)
+  in
+  P.async drive;
+  let rules =
+    [
+      Monitor.Slo.rule "goodput-floor"
+        ~source:(Monitor.Slo.Rate "http_bytes_sent")
+        ~cmp:Monitor.Slo.Below ~threshold:goodput_floor ~for_ns:(2 * alert_interval_ns)
+        ~hold_ns:(2 * alert_interval_ns);
+    ]
+  in
+  let m =
+    Core.Apps.Net.Monitor.create w.Util.sim ~tcp:(N.Stack.tcp mon.Util.stack)
+      ~interval_ns:alert_interval_ns ~rules ()
+  in
+  Core.Apps.Net.Monitor.add_target m ~name:"web"
+    ~addr:(N.Ipaddr.of_string "10.0.0.2")
+    ~port:9100;
+  if lossy then
+    Netsim.Bridge.set_faults w.Util.bridge web.Util.nic
+      (F.make ~ge:(F.burst_loss ~avg_loss:0.4 ~burst_len:30 ()) ());
+  P.async (fun () -> Core.Apps.Net.Monitor.run m);
+  let now = Engine.Sim.now w.Util.sim in
+  Engine.Sim.run w.Util.sim ~until:(now + alert_duration_ns);
+  let fired =
+    List.length
+      (List.filter
+         (fun a -> a.Monitor.al_rule = "goodput-floor")
+         (Core.Apps.Net.Monitor.alerts m))
+  in
+  Trace.Metrics.disable ();
+  Trace.Metrics.reset ();
+  fired
+
+let alerting_accuracy () =
+  Util.header "Chaos: monitoring-plane alerting accuracy (goodput SLO)";
+  let failures = ref 0 in
+  List.iter
+    (fun seed ->
+      let clean = alerting_run ~seed ~lossy:false in
+      let lossy = alerting_run ~seed ~lossy:true in
+      Util.emit ~figure:"chaos" ~seed
+        ~metric:"alerting/goodput-alerts-clean" ~unit_:"count" (float_of_int clean);
+      Util.emit ~figure:"chaos" ~seed
+        ~metric:"alerting/goodput-alerts-lossy" ~unit_:"count" (float_of_int lossy);
+      let verdict =
+        if clean = 0 && lossy > 0 then "ok"
+        else begin
+          incr failures;
+          Printf.sprintf "FAILED (%s)"
+            (if clean > 0 then "false positive on clean link" else "missed the outage")
+        end
+      in
+      Printf.printf "  seed %-6d clean: %d alerts, burst-loss: %d alerts  %s\n" seed clean
+        lossy verdict)
+    [ 42; 7; 1001 ];
+  if !failures = 0 then
+    Printf.printf "  (SLO fired under Gilbert-Elliott loss and stayed quiet on every clean run)\n";
+  !failures
+
 let run () =
   Util.header
     (Printf.sprintf "Chaos matrix: %d KB transfers, %d schedules x %d seeds"
@@ -120,7 +217,10 @@ let run () =
           | seed, Error e ->
             incr failures;
             Printf.printf "  %-18s seed %-6d FAILED: %s\n" name seed e
-          | _, Ok _ -> ())
+          | seed, Ok o ->
+            Util.emit ~figure:"chaos" ~seed
+              ~metric:(Printf.sprintf "goodput/%s" name)
+              ~unit_:"Mbps" o.goodput_mbps)
         outcomes;
       let oks = List.filter_map (function _, Ok o -> Some o | _ -> None) outcomes in
       if List.length oks = List.length seeds then begin
@@ -141,4 +241,6 @@ let run () =
   if !failures = 0 then
     Printf.printf "  (all %d runs: payload checksum intact, terminated inside the deadline)\n"
       (List.length schedules * List.length seeds)
-  else Printf.printf "  %d of %d runs FAILED\n" !failures (List.length schedules * List.length seeds)
+  else Printf.printf "  %d of %d runs FAILED\n" !failures (List.length schedules * List.length seeds);
+  failures := !failures + alerting_accuracy ();
+  if !failures > 0 then exit 1

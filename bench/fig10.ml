@@ -83,8 +83,12 @@ let run () =
     (fun entries ->
       Printf.printf "  %-18d" entries;
       List.iter
-        (fun (_, engine, platform) ->
-          Printf.printf " %-17.1f" (measure ~engine ~platform ~entries /. 1e3))
+        (fun (label, engine, platform) ->
+          let kqps = measure ~engine ~platform ~entries /. 1e3 in
+          Util.emit ~figure:"fig10"
+            ~metric:(Printf.sprintf "dns/%s/%d-entries" label entries)
+            ~unit_:"kqueries/s" kqps;
+          Printf.printf " %-17.1f" kqps)
         engines;
       print_newline ())
     [ 100; 300; 1000; 3000; 10000 ];

@@ -27,6 +27,13 @@ let run () =
     (fun profile ->
       let b = measure ~profile ~mode:`Batch in
       let s = measure ~profile ~mode:`Single in
+      let name = profile.Openflow.Controller.prof_name in
+      Util.emit ~figure:"fig11"
+        ~metric:(Printf.sprintf "openflow/%s/batch" name)
+        ~unit_:"kresponses/s" (b.Openflow.Cbench.throughput /. 1e3);
+      Util.emit ~figure:"fig11"
+        ~metric:(Printf.sprintf "openflow/%s/single" name)
+        ~unit_:"kresponses/s" (s.Openflow.Cbench.throughput /. 1e3);
       Printf.printf "  %-20s %-12.1f %-12.1f %-22.3f\n" profile.Openflow.Controller.prof_name
         (b.Openflow.Cbench.throughput /. 1e3)
         (s.Openflow.Cbench.throughput /. 1e3)

@@ -65,6 +65,12 @@ let fig12 () =
     (fun rate ->
       let m = fig12_point ~appliance:`Mirage ~rate in
       let l = fig12_point ~appliance:`Linux ~rate in
+      Util.emit ~figure:"fig12"
+        ~metric:(Printf.sprintf "reply-rate/Mirage/%.0f-sess" rate)
+        ~unit_:"replies/s" m;
+      Util.emit ~figure:"fig12"
+        ~metric:(Printf.sprintf "reply-rate/Linux PV/%.0f-sess" rate)
+        ~unit_:"replies/s" l;
       Printf.printf "  %-16.0f %-14.0f %-14.0f\n" rate m l)
     [ 10.; 20.; 30.; 40.; 60.; 80.; 100. ];
   Printf.printf
@@ -136,7 +142,11 @@ let fig13 () =
   in
   let results = List.map (fun (label, servers) -> (label, fig13_config ~label ~servers)) configs in
   let max_v = List.fold_left (fun m (_, v) -> max m v) 0.0 results in
-  List.iter (fun (label, v) -> Util.bar label v "conns/s" max_v) results;
+  List.iter
+    (fun (label, v) ->
+      Util.emit ~figure:"fig13" ~metric:("static/" ^ label) ~unit_:"conns/s" v;
+      Util.bar label v "conns/s" max_v)
+    results;
   Printf.printf
     "  (paper shape: scaling out beats scaling up for Apache; Mirage exceeds all Apache configs)\n"
 

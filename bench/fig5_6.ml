@@ -40,6 +40,12 @@ let fig5 () =
       let times =
         List.map (fun (_, p) -> boot_time ~mode:`Sync ~profile:p ~mem_mib:mem) (profiles ())
       in
+      List.iter2
+        (fun (label, _) t ->
+          Util.emit ~figure:"fig5"
+            ~metric:(Printf.sprintf "boot/%s/%dMiB" label mem)
+            ~unit_:"s" (Engine.Sim.to_sec t))
+        (profiles ()) times;
       match times with
       | [ a; b; c ] ->
         Printf.printf "  %-8d %-20.2f %-20.2f %-20.2f\n" mem (Engine.Sim.to_sec a)
@@ -69,6 +75,12 @@ let fig6 () =
       in
       let linux = isolate Baseline.Linux_vm.minimal_profile in
       let mirage = isolate (mirage_profile ()) in
+      Util.emit ~figure:"fig6"
+        ~metric:(Printf.sprintf "startup/Linux PV/%dMiB" mem)
+        ~unit_:"s" (Engine.Sim.to_sec linux);
+      Util.emit ~figure:"fig6"
+        ~metric:(Printf.sprintf "startup/Mirage/%dMiB" mem)
+        ~unit_:"s" (Engine.Sim.to_sec mirage);
       Printf.printf "  %-8d %-20.3f %-20.3f\n" mem (Engine.Sim.to_sec linux)
         (Engine.Sim.to_sec mirage))
     [ 64; 128; 256; 512; 1024; 2048 ];

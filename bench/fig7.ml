@@ -38,7 +38,12 @@ let fig7a () =
       let n = millions * 1_000_000 in
       Printf.printf "  %-10s" (Printf.sprintf "%dM" millions);
       List.iter
-        (fun (_, p) -> Printf.printf " %-18.2f" (Engine.Sim.to_sec (creation_time p n)))
+        (fun (label, p) ->
+          let t = Engine.Sim.to_sec (creation_time p n) in
+          Util.emit ~figure:"fig7a"
+            ~metric:(Printf.sprintf "create/%s/%dM" label millions)
+            ~unit_:"s" t;
+          Printf.printf " %-18.2f" t)
         platforms;
       print_newline ())
     [ 1; 5; 10; 15; 20 ]
@@ -58,6 +63,12 @@ let fig7b () =
             (base +. tail) /. 1e6)
       in
       let pc q = Engine.Stats.percentile q samples in
+      List.iter
+        (fun q ->
+          Util.emit ~figure:"fig7b" ~seed:7
+            ~metric:(Printf.sprintf "wakeup-jitter/%s/p%g" name q)
+            ~unit_:"ms" (pc q))
+        [ 50.0; 90.0; 99.0; 99.9 ];
       Printf.printf "  %-18s %-10.3f %-10.3f %-10.3f %-10.3f\n" name (pc 50.0) (pc 90.0)
         (pc 99.0) (pc 99.9))
     [ ("Mirage", Platform.xen_extent); ("Linux native", Platform.linux_native);

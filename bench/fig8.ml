@@ -63,6 +63,8 @@ let run () =
     (fun (name, s, r) ->
       let one = transfer_throughput ~sender_platform:s ~receiver_platform:r ~flows:1 in
       let ten = transfer_throughput ~sender_platform:s ~receiver_platform:r ~flows:10 in
+      Util.emit ~figure:"fig8" ~metric:(Printf.sprintf "throughput/%s/1-flow" name) ~unit_:"Mbps" one;
+      Util.emit ~figure:"fig8" ~metric:(Printf.sprintf "throughput/%s/10-flows" name) ~unit_:"Mbps" ten;
       Printf.printf "  %-18s %-12.0f %-12.0f\n" name one ten)
     configs;
   (* 4.1.3 flood-ping latency companion *)
@@ -85,6 +87,8 @@ let run () =
   in
   let linux = rtt Platform.linux_pv in
   let mirage = rtt Platform.xen_extent in
+  Util.emit ~figure:"fig8" ~metric:"flood-ping/Linux guest" ~unit_:"us" (linux /. 1e3);
+  Util.emit ~figure:"fig8" ~metric:"flood-ping/Mirage guest" ~unit_:"us" (mirage /. 1e3);
   Printf.printf "  Linux guest : %.1f us\n  Mirage guest: %.1f us  (+%.1f%%; paper: 4-10%%)\n"
     (linux /. 1e3) (mirage /. 1e3)
     (100.0 *. (mirage -. linux) /. linux)

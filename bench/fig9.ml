@@ -55,6 +55,12 @@ let run () =
       let mirage = throughput_direct ~platform:Platform.xen_extent ~block_kib in
       let linux = throughput_direct ~platform:Platform.linux_pv ~block_kib in
       let buffered = throughput_buffered ~block_kib in
+      List.iter
+        (fun (label, v) ->
+          Util.emit ~figure:"fig9"
+            ~metric:(Printf.sprintf "read/%s/%dKiB" label block_kib)
+            ~unit_:"MiB/s" v)
+        [ ("Mirage", mirage); ("Linux PV direct", linux); ("Linux PV buffered", buffered) ];
       Printf.printf "  %-10d %-14.0f %-18.0f %-18.0f\n" block_kib mirage linux buffered)
     [ 1; 2; 4; 8; 16; 32; 64; 128; 256; 512; 1024; 2048; 4096 ];
   Printf.printf

@@ -24,9 +24,10 @@ let experiments =
     ("chaos", "TCP chaos matrix: fault schedules x seeds", Chaos.run);
     ("micro", "real-time microbenchmarks", Micro.run);
     ("trace-guard", "disabled-tracing overhead guard", Micro.trace_guard);
+    ("monitor-guard", "disabled-metrics overhead + figure-8 invariance guard", Micro.monitor_guard);
   ]
 
-let run requested trace_out =
+let run requested trace_out out =
   let to_run =
     if requested = [] then experiments
     else
@@ -40,20 +41,23 @@ let run requested trace_out =
             exit 1)
         requested
   in
-  Util.with_trace trace_out (fun () ->
-      Printf.printf "Unikernels (ASPLOS'13) reproduction — benchmark harness\n";
-      Printf.printf "All appliance measurements run in simulated virtual time;\n";
-      Printf.printf "the 'micro' suite measures real wall-clock of the implementations.\n";
-      List.iter
-        (fun (name, descr, f) ->
-          ignore name;
-          ignore descr;
-          f ())
-        to_run)
+  Util.with_out out (fun () ->
+      Util.with_trace trace_out (fun () ->
+          Printf.printf "Unikernels (ASPLOS'13) reproduction — benchmark harness\n";
+          Printf.printf "All appliance measurements run in simulated virtual time;\n";
+          Printf.printf "the 'micro' suite measures real wall-clock of the implementations.\n";
+          List.iter
+            (fun (name, descr, f) ->
+              ignore name;
+              ignore descr;
+              f ())
+            to_run))
 
 let () =
   let open Cmdliner in
   let doc = "Regenerate the paper's tables and figures in simulated virtual time" in
   let names = Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT") in
-  let cmd = Cmd.v (Cmd.info "bench" ~doc) Term.(const run $ names $ Util.trace_term) in
+  let cmd =
+    Cmd.v (Cmd.info "bench" ~doc) Term.(const run $ names $ Util.trace_term $ Util.out_term)
+  in
   exit (Cmd.eval cmd)

@@ -174,32 +174,35 @@ let all_tests =
    `trace-guard` experiment. *)
 
 let guard_budget_ns = 25.0
+let guard_iters = 5_000_000
 
-let trace_guard_measure () =
-  let iters = 5_000_000 in
-  let per_op f =
+(* best-of-5 per-op cost, like the trace guard has always measured *)
+let guard_best f =
+  let per_op () =
     let t0 = Sys.time () in
-    for i = 1 to iters do
+    for i = 1 to guard_iters do
       ignore (Sys.opaque_identity (f i))
     done;
-    (Sys.time () -. t0) *. 1e9 /. float_of_int iters
+    (Sys.time () -. t0) *. 1e9 /. float_of_int guard_iters
   in
-  let baseline i = i land 0xff in
+  let m = ref infinity in
+  for _ = 1 to 5 do
+    m := Float.min !m (per_op ())
+  done;
+  !m
+
+let guard_baseline i = i land 0xff
+
+let trace_guard_measure () =
   let emit_site i =
     if Trace.enabled () then
       Trace.emit ~cat:Trace.Net ~payload:[ ("i", Trace.Int i) ] "guard.event";
     i land 0xff
   in
-  let best f =
-    let m = ref infinity in
-    for _ = 1 to 5 do
-      m := Float.min !m (per_op f)
-    done;
-    !m
-  in
-  let base = best baseline in
-  let site = best emit_site in
+  let base = guard_best guard_baseline in
+  let site = guard_best emit_site in
   let cost = Float.max 0.0 (site -. base) in
+  Util.emit ~figure:"trace-guard" ~metric:"disabled-emit-site" ~unit_:"ns/op" cost;
   Printf.printf "  disabled emit site: %.2f ns/op (baseline %.2f, budget %.1f)\n" cost base
     guard_budget_ns;
   if cost > guard_budget_ns then begin
@@ -216,6 +219,95 @@ let trace_guard () =
     Printf.printf "  skipped: tracing is enabled for this run\n"
   else trace_guard_measure ()
 
+(* ---- monitoring-plane guard ----
+
+   Two invariants of the metrics registry (Trace.Metrics), enforced by
+   `dune runtest` alongside the tracing guard:
+
+   1. With the registry compiled in but the plane off (the default for
+      every figure run), a metric-update site costs one load and one
+      predictable branch — measured for real against the same pinned
+      budget as trace emit sites.
+   2. Even *enabling* the plane must not perturb the simulation:
+      registration is pull-based reads over stats the subsystems keep
+      anyway, so Figure 8's stdout must be byte-identical with metrics
+      off and on (no scraper booted — in-band exposition only charges
+      when something actually scrapes). *)
+
+let monitor_guard_measure () =
+  (* registry disabled: registration is a no-op and the handles are
+     detached, exactly the state every figure runs in *)
+  let counter = Trace.Metrics.counter "guard_counter" in
+  let summ = Trace.Metrics.summary "guard_summary" in
+  let inc_site i =
+    Trace.Metrics.inc counter 1;
+    i land 0xff
+  in
+  let observe_site i =
+    Trace.Metrics.observe summ i;
+    i land 0xff
+  in
+  let base = guard_best guard_baseline in
+  let inc_cost = Float.max 0.0 (guard_best inc_site -. base) in
+  let obs_cost = Float.max 0.0 (guard_best observe_site -. base) in
+  Util.emit ~figure:"monitor-guard" ~metric:"disabled-inc-site" ~unit_:"ns/op" inc_cost;
+  Util.emit ~figure:"monitor-guard" ~metric:"disabled-observe-site" ~unit_:"ns/op" obs_cost;
+  Printf.printf "  disabled inc site    : %.2f ns/op (baseline %.2f, budget %.1f)\n" inc_cost
+    base guard_budget_ns;
+  Printf.printf "  disabled observe site: %.2f ns/op (baseline %.2f, budget %.1f)\n" obs_cost
+    base guard_budget_ns;
+  if inc_cost > guard_budget_ns || obs_cost > guard_budget_ns then begin
+    Printf.printf "  FAIL: disabled-metrics overhead exceeds budget\n";
+    exit 1
+  end
+  else Printf.printf "  OK: within budget\n"
+
+let capture_stdout f =
+  flush stdout;
+  let saved = Unix.dup Unix.stdout in
+  let tmp = Filename.temp_file ~temp_dir:(Sys.getcwd ()) "fig8" ".out" in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600 in
+  Unix.dup2 fd Unix.stdout;
+  Unix.close fd;
+  Fun.protect f ~finally:(fun () ->
+      flush stdout;
+      Unix.dup2 saved Unix.stdout;
+      Unix.close saved);
+  let ic = open_in_bin tmp in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove tmp;
+  s
+
+let fig8_invariance () =
+  (* fig8 runs twice under capture; restore the --out records afterwards
+     so its data points are not triplicated in a full-suite bench.json *)
+  let saved_results = !Util.results in
+  let off = capture_stdout Fig8.run in
+  Trace.Metrics.enable ();
+  let on = capture_stdout Fig8.run in
+  Trace.Metrics.disable ();
+  Trace.Metrics.reset ();
+  Util.results := saved_results;
+  Util.emit ~figure:"monitor-guard" ~metric:"fig8-byte-identical" ~unit_:"bool"
+    (if off = on then 1.0 else 0.0);
+  if off = on then
+    Printf.printf "  OK: figure 8 stdout byte-identical with metrics off/on (%d bytes)\n"
+      (String.length off)
+  else begin
+    Printf.printf "  FAIL: enabling the metrics registry changed figure 8 output\n";
+    exit 1
+  end
+
+let monitor_guard () =
+  Util.header "Monitoring-plane guard (disabled metric sites, figure-8 invariance)";
+  if Trace.Metrics.enabled () then
+    Printf.printf "  skipped: the metrics registry is enabled for this run\n"
+  else begin
+    monitor_guard_measure ();
+    fig8_invariance ()
+  end
+
 let run () =
   Util.header "Microbenchmarks (real wall-clock, Bechamel)";
   let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
@@ -228,7 +320,9 @@ let run () =
       Hashtbl.iter
         (fun name ols_result ->
           match Analyze.OLS.estimates ols_result with
-          | Some [ ns ] -> Printf.printf "  %-38s %10.1f ns/op\n" name ns
+          | Some [ ns ] ->
+            Util.emit ~figure:"micro" ~metric:name ~unit_:"ns/op" ns;
+            Printf.printf "  %-38s %10.1f ns/op\n" name ns
           | _ -> Printf.printf "  %-38s (no estimate)\n" name)
         results)
     all_tests;

@@ -91,3 +91,76 @@ let with_trace trace_out f =
     Engine.Trace_report.write_jsonl ~file;
     Printf.printf "\ntrace written to %s\n" file;
     Engine.Trace_report.print_summary ()
+
+(* ---- shared --out plumbing ----
+
+   Machine-readable results. Every experiment calls [emit] next to the
+   printf that renders the human table; the records accumulate in-process
+   (so recording never perturbs the figure stdout) and `--out FILE`
+   writes them as JSON lines, one object per data point:
+
+     {"figure": "fig8", "metric": "throughput/Linux to Mirage/1-flow",
+      "value": 1693.0, "unit": "Mbps", "seed": 42}
+
+   The seed is the world seed the point was measured under (the harness
+   default of 42 unless the experiment sweeps seeds, as chaos does). *)
+
+type result = {
+  r_figure : string;
+  r_metric : string;
+  r_value : float;
+  r_unit : string;
+  r_seed : int;
+}
+
+let results : result list ref = ref []
+
+let emit ~figure ~metric ?(seed = 42) ~unit_ value =
+  results :=
+    { r_figure = figure; r_metric = metric; r_value = value; r_unit = unit_; r_seed = seed }
+    :: !results
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_float v =
+  if not (Float.is_finite v) then "null"
+  else if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.6g" v
+
+let out_term =
+  let open Cmdliner in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "out" ] ~docv:"FILE"
+        ~doc:
+          "Write every measured data point to $(docv) as JSON lines \
+           ({\"figure\",\"metric\",\"value\",\"unit\",\"seed\"}), one object per point.")
+
+let with_out out f =
+  results := [];
+  f ();
+  match out with
+  | None -> ()
+  | Some file ->
+    let oc = open_out file in
+    List.iter
+      (fun r ->
+        Printf.fprintf oc
+          "{\"figure\": \"%s\", \"metric\": \"%s\", \"value\": %s, \"unit\": \"%s\", \"seed\": %d}\n"
+          (json_escape r.r_figure) (json_escape r.r_metric) (json_float r.r_value)
+          (json_escape r.r_unit) r.r_seed)
+      (List.rev !results);
+    close_out oc;
+    Printf.printf "\n%d results written to %s\n" (List.length !results) file

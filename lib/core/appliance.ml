@@ -31,6 +31,12 @@ let openflow_controller ?(aslr_seed = 0x0fc) () =
     ~bindings:[ Config.static "listen_port" (Config.Int 6633) ]
     ~aslr_seed ~app_text_bytes:(6 * 1024) ~app_loc:420 ()
 
+let monitor_appliance ?(aslr_seed = 0x0b5) () =
+  Config.make ~app_name:"monitor"
+    ~roots:[ "http"; "json" ]
+    ~bindings:[ Config.static "scrape_interval_ms" (Config.Int 100) ]
+    ~aslr_seed ~app_text_bytes:(5 * 1024) ~app_loc:380 ()
+
 let table2 () =
   [
     ("DNS", dns_appliance ());
@@ -46,6 +52,12 @@ let table2 () =
 type net =
   | Direct of { netif : Devices.Netif.t; stack : Netstack.Stack.t }
   | Sockets of Hostnet.t
+
+(* The exposition endpoint instantiated per backend, like every other
+   protocol functor — but here rather than in [Apps] because mounting is
+   part of bring-up ([Boot_spec.metrics_port]), not application code. *)
+module Net_metrics = Uhttp.Metrics_export.Make (Netstack.Device)
+module Host_metrics = Uhttp.Metrics_export.Make (Hostnet.Device)
 
 type networked = { unikernel : Unikernel.t; net : net }
 
@@ -92,6 +104,23 @@ let boot hv ts (spec : Boot_spec.t) ~main =
          in
          bind net (fun net ->
              let networked = { unikernel; net } in
+             (* One line in the spec makes any appliance scrapable: mount
+                the /metrics endpoint on its own stack and advertise it in
+                the bridge's service directory for monitor discovery. *)
+             (match spec.Boot_spec.metrics_port with
+             | None -> ()
+             | Some port ->
+               (match net with
+               | Direct d ->
+                 ignore (Net_metrics.mount sim ~dom ~port d.stack)
+               | Sockets h ->
+                 ignore (Host_metrics.mount sim ~dom ~port h));
+               Netsim.Bridge.advertise spec.Boot_spec.bridge
+                 ~name:
+                   (Printf.sprintf "%s.%d" spec.Boot_spec.config.Config.app_name
+                      dom.Xensim.Domain.id)
+                 ~ip:(Netstack.Ipaddr.to_string (address networked))
+                 ~port);
              Trace.finish boot_span;
              wakeup result_waker networked;
              main networked))

@@ -11,6 +11,10 @@ val web_server : ?aslr_seed:int -> unit -> Config.t
 val openflow_switch : ?aslr_seed:int -> unit -> Config.t
 val openflow_controller : ?aslr_seed:int -> unit -> Config.t
 
+(** The scraper unikernel of the monitoring plane (HTTP client + series
+    store); not part of Table 2. *)
+val monitor_appliance : ?aslr_seed:int -> unit -> Config.t
+
 (** All four, in Table 2 order, with their display names. *)
 val table2 : unit -> (string * Config.t) list
 

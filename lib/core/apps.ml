@@ -13,6 +13,8 @@ module Net = struct
   module Dns = Dns.Server.Make (Netstack.Device.Udp)
   module Smtp = Smtp.Make (Netstack.Device.Tcp)
   module Baseline = Baseline.Appliances.Make (Netstack.Device.Tcp)
+  module Metrics = Uhttp.Metrics_export.Make (Netstack.Device)
+  module Monitor = Monitor.Make (Netstack.Device.Tcp)
 end
 
 module Host = struct
@@ -22,4 +24,6 @@ module Host = struct
   module Dns = Dns.Server.Make (Hostnet.Device.Udp)
   module Smtp = Smtp.Make (Hostnet.Device.Tcp)
   module Baseline = Baseline.Appliances.Make (Hostnet.Device.Tcp)
+  module Metrics = Uhttp.Metrics_export.Make (Hostnet.Device)
+  module Monitor = Monitor.Make (Hostnet.Device.Tcp)
 end

@@ -6,9 +6,12 @@ type t = {
   mem_mib : int;
   ip : Netstack.Ipv4.config option;
   target : Target.t;
+  metrics_port : int option;
+      (* when set, the appliance mounts a /metrics exposition endpoint on
+         this port and advertises it in the bridge's service directory *)
 }
 
 let make ~backend_dom ~bridge ~config ?(mode = `Async) ?(mem_mib = 32) ?ip
-    ?(target = Target.Xen_direct) () =
+    ?(target = Target.Xen_direct) ?metrics_port () =
   if mem_mib <= 0 then invalid_arg "Boot_spec.make: mem_mib must be positive";
-  { backend_dom; bridge; config; mode; mem_mib; ip; target }
+  { backend_dom; bridge; config; mode; mem_mib; ip; target; metrics_port }

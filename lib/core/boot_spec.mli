@@ -13,10 +13,15 @@ type t = {
   mem_mib : int;
   ip : Netstack.Ipv4.config option;  (** static address, or DHCP when [None] *)
   target : Target.t;  (** which backend the appliance is configured against *)
+  metrics_port : int option;
+      (** when set, [Appliance.boot] mounts a /metrics exposition endpoint
+          on this port and advertises it in the bridge's service directory
+          (see [Netsim.Bridge.advertise]) — one line makes the appliance
+          scrapable by the monitor *)
 }
 
 (** Smart constructor; defaults: [mode = `Async], [mem_mib = 32],
-    [ip = None] (DHCP), [target = Xen_direct].
+    [ip = None] (DHCP), [target = Xen_direct], no metrics endpoint.
     @raise Invalid_argument if [mem_mib <= 0]. *)
 val make :
   backend_dom:Xensim.Domain.t ->
@@ -26,5 +31,6 @@ val make :
   ?mem_mib:int ->
   ?ip:Netstack.Ipv4.config ->
   ?target:Target.t ->
+  ?metrics_port:int ->
   unit ->
   t

@@ -6,6 +6,9 @@
 let slot_bytes = 32
 let backend_per_request_ns = 2_000
 
+(* Aggregate in-flight block requests across all blkifs in the process. *)
+let g_inflight = Trace.gauge "blkif.inflight"
+
 type pending = {
   gref : Xensim.Gnttab.grant_ref;
   buffer : Bytestruct.t;
@@ -89,6 +92,7 @@ let frontend_handle t () =
          | None -> ()
          | Some p ->
            Hashtbl.remove t.pending id;
+           Trace.gauge_add g_inflight (-1);
            Xensim.Gnttab.end_access (gnttab t) p.gref;
            Trace.finish p.span;
            Mthread.Msem.release t.ring_space;
@@ -123,6 +127,13 @@ let connect hv ~dom ~backend_dom ~disk () =
   in
   Xensim.Evtchn.set_handler ev port_back (fun () -> backend_handle t ());
   Xensim.Evtchn.set_handler ev port_front (fun () -> frontend_handle t ());
+  if Trace.Metrics.enabled () then begin
+    let id = dom.Xensim.Domain.id in
+    Trace.Metrics.register_read ~dom:id ~kind:Trace.Metrics.Counter "blkif_requests" (fun () ->
+        t.requests);
+    Trace.Metrics.register_read ~dom:id ~kind:Trace.Metrics.Gauge "blkif_inflight" (fun () ->
+        Hashtbl.length t.pending)
+  end;
   t
 
 let sector_bytes t = Blockdev.Disk.sector_bytes t.disk
@@ -147,6 +158,7 @@ let submit t ~op ~sector ~count ~buffer =
           (if op = `Read then "blkif.read" else "blkif.write")
       in
       Hashtbl.replace t.pending id { gref; buffer; waker; span };
+      Trace.gauge_add g_inflight 1;
       let slot = Xensim.Ring.Front.next_request t.front in
       Bytestruct.set_uint8 slot 0 (if op = `Read then 0 else 1);
       Bytestruct.LE.set_uint16 slot 2 id;

@@ -9,6 +9,11 @@ let slot_bytes = 16
 let mtu_bytes = 1500
 let backend_per_packet_ns = 1_600 (* dom0 netback work per frame *)
 
+(* Instantaneous ring occupancy across all PV netifs in the process;
+   deltas at the grant/response sites keep the aggregate current. *)
+let g_tx_inflight = Trace.gauge "netif.tx_inflight"
+let g_rx_posted = Trace.gauge "netif.rx_posted"
+
 type tx_pending = {
   gref : Xensim.Gnttab.grant_ref;
   waker : unit Mthread.Promise.u;
@@ -145,6 +150,7 @@ let post_rx_buffer t =
   let id = t.next_rx_id in
   t.next_rx_id <- (t.next_rx_id + 1) land 0xffff;
   Hashtbl.replace t.rx_posted id (gref, page);
+  Trace.gauge_add g_rx_posted 1;
   let slot = Xensim.Ring.Front.next_request t.rx_front in
   Bytestruct.LE.set_uint16 slot 0 id;
   Bytestruct.LE.set_uint32 slot 4 (Int32.of_int gref)
@@ -157,6 +163,7 @@ let frontend_handle_tx_responses t () =
          | None -> ()
          | Some { gref; waker; span; flow } ->
            Hashtbl.remove t.tx_pending id;
+           Trace.gauge_add g_tx_inflight (-1);
            Xensim.Gnttab.end_access (gnttab t) gref;
            Trace.Flow.with_flow flow (fun () ->
                Trace.finish span;
@@ -183,6 +190,7 @@ let frontend_handle_rx_responses t () =
         | None -> ()
         | Some (gref, page) ->
           Hashtbl.remove t.rx_posted id;
+          Trace.gauge_add g_rx_posted (-1);
           Xensim.Gnttab.end_access (gnttab t) gref;
           arrived := (id, page, size) :: !arrived)
   in
@@ -285,6 +293,16 @@ let connect hv ~dom ~backend_dom ~nic ?(rx_slots = 512) () =
     Xensim.Evtchn.notify ev t.rx_port_front;
   (* Ensure the backend sees the initial credit even without a notify edge. *)
   backend_handle_rx_credit t ();
+  if Trace.Metrics.enabled () then begin
+    let id = dom.Xensim.Domain.id in
+    let regc name read = Trace.Metrics.register_read ~dom:id ~kind:Trace.Metrics.Counter name read in
+    let regg name read = Trace.Metrics.register_read ~dom:id ~kind:Trace.Metrics.Gauge name read in
+    regc "netif_tx_frames" (fun () -> t.tx_frames);
+    regc "netif_rx_frames" (fun () -> t.rx_frames);
+    regc "netif_rx_dropped" (fun () -> t.rx_dropped);
+    regg "netif_tx_inflight" (fun () -> Hashtbl.length t.tx_pending);
+    regg "netif_rx_posted" (fun () -> Hashtbl.length t.rx_posted)
+  end;
   Pv t
 
 (* ---- direct attachment ---- *)
@@ -343,6 +361,13 @@ let connect_direct ~dom ~nic ?(frame_tax = false) () =
     }
   in
   Netsim.Nic.set_rx nic (fun frame -> direct_handle_frame d frame);
+  if Trace.Metrics.enabled () then begin
+    let id = dom.Xensim.Domain.id in
+    let regc name read = Trace.Metrics.register_read ~dom:id ~kind:Trace.Metrics.Counter name read in
+    regc "netif_tx_frames" (fun () -> d.d_tx_frames);
+    regc "netif_rx_frames" (fun () -> d.d_rx_frames);
+    regc "netif_rx_dropped" (fun () -> d.d_rx_dropped)
+  end;
   Direct d
 
 let direct_write d frame =
@@ -359,6 +384,7 @@ let direct_write d frame =
       return ())
 
 let mac = function Pv t -> Netsim.Nic.mac t.nic | Direct d -> Netsim.Nic.mac d.d_nic
+let nic = function Pv t -> t.nic | Direct d -> d.d_nic
 let mtu _ = mtu_bytes
 let pool = function Pv t -> t.pool | Direct d -> d.d_pool
 
@@ -382,6 +408,7 @@ let rec pv_write t frame =
     let span = Trace.span ~dom:t.dom.Xensim.Domain.id ~cat:Trace.Device "netif.tx" in
     let flow = if Trace.enabled () then Trace.Flow.current () else Trace.Flow.none in
     Hashtbl.replace t.tx_pending id { gref; waker; span; flow };
+    Trace.gauge_add g_tx_inflight 1;
     let slot = Xensim.Ring.Front.next_request t.tx_front in
     Bytestruct.LE.set_uint16 slot 0 id;
     Bytestruct.LE.set_uint16 slot 2 len;

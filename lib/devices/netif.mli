@@ -39,6 +39,11 @@ val connect :
 val connect_direct : dom:Xensim.Domain.t -> nic:Netsim.Nic.t -> ?frame_tax:bool -> unit -> t
 
 val mac : t -> string
+
+(** The underlying simulated NIC (e.g. for per-port fault injection at
+    the bridge). *)
+val nic : t -> Netsim.Nic.t
+
 val mtu : t -> int
 
 (** The frontend's I/O page pool; the network stack allocates transmit

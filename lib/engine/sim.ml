@@ -51,6 +51,16 @@ let vcpu_account t ~dom ~run_ns ~wait_ns =
     | None ->
       let a = { a_run_ns = 0; a_wait_ns = 0; a_slices = 0 } in
       Hashtbl.replace t.vcpu dom a;
+      if Trace.Metrics.enabled () then begin
+        (* Pull metrics over the accumulator the scheduler already keeps:
+           zero added cost on the accounting fast path. *)
+        Trace.Metrics.register_read ~dom ~kind:Trace.Metrics.Counter "vcpu_run_ns" (fun () ->
+            a.a_run_ns);
+        Trace.Metrics.register_read ~dom ~kind:Trace.Metrics.Counter "vcpu_wait_ns" (fun () ->
+            a.a_wait_ns);
+        Trace.Metrics.register_read ~dom ~kind:Trace.Metrics.Counter "vcpu_slices" (fun () ->
+            a.a_slices)
+      end;
       a
   in
   a.a_run_ns <- a.a_run_ns + max 0 run_ns;

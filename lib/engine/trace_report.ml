@@ -27,9 +27,10 @@ let span_row b ~name ~dom (h : Trace.Hist.t) =
 
 let summary_string () =
   let counters = List.filter (fun (_, v) -> v <> 0) (Trace.counters ()) in
-  let stats = Trace.span_stats () in
-  if counters = [] && stats = [] && Trace.events () = [] then ""
+  let gauges = List.filter (fun (_, v) -> v <> 0) (Trace.gauges ()) in
+  if counters = [] && gauges = [] && Trace.span_stats () = [] && Trace.events () = [] then ""
   else begin
+    let stats = Trace.span_stats () in
     let b = Buffer.create 1024 in
     let nevents = List.length (Trace.events ()) in
     Buffer.add_string b
@@ -39,6 +40,12 @@ let summary_string () =
       List.iter
         (fun (name, v) -> Buffer.add_string b (Printf.sprintf "  %-34s %12d\n" name v))
         counters
+    end;
+    if gauges <> [] then begin
+      Buffer.add_string b "gauges (final value):\n";
+      List.iter
+        (fun (name, v) -> Buffer.add_string b (Printf.sprintf "  %-34s %12d\n" name v))
+        gauges
     end;
     if stats <> [] then begin
       Buffer.add_string b

@@ -114,6 +114,7 @@ module Device = struct
   end
 
   type nonrec t = t
+  type ipaddr = Netstack.Ipaddr.t
 
   let tcp h = h
   let udp h = h

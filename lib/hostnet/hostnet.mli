@@ -38,6 +38,7 @@ module Device : sig
   module Udp : Device_sig.UDP with type t = t and type ipaddr = Netstack.Ipaddr.t
 
   type nonrec t = t
+  type ipaddr = Netstack.Ipaddr.t
 
   val tcp : t -> Tcp.t
   val udp : t -> Udp.t

@@ -117,6 +117,7 @@ and bridge = {
   mutable duplicated : int;
   mutable reordered : int;
   mutable taps : (time_ns:int -> Bytestruct.t -> unit) list;
+  mutable services : (string * string * int) list;  (* name, ip, port; newest first *)
 }
 
 type fault_counts = {
@@ -290,6 +291,7 @@ module Bridge = struct
       duplicated = 0;
       reordered = 0;
       taps = [];
+      services = [];
     }
 
   let new_nic t ?(bandwidth_bps = 1_000_000_000) ?(latency_ns = 30_000) ?(loss = 0.0) ~mac () =
@@ -340,4 +342,15 @@ module Bridge = struct
     }
 
   let tap t f = t.taps <- f :: t.taps
+
+  (* An mDNS-like service directory kept on the switch: appliances that
+     expose an endpoint advertise (name, ip, port) at boot and the monitor
+     discovers its scrape targets here instead of being configured with
+     addresses. Re-advertising a name replaces the entry. *)
+  let advertise t ~name ~ip ~port =
+    t.services <- (name, ip, port) :: List.filter (fun (n, _, _) -> n <> name) t.services
+
+  (* Advertisement order (oldest first): deterministic for a deterministic
+     boot sequence. *)
+  let services t = List.rev t.services
 end

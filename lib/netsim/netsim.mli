@@ -139,6 +139,16 @@ module Bridge : sig
 
   (** [tap t f] observes every frame traversing the bridge (pcap-style). *)
   val tap : t -> (time_ns:int -> Bytestruct.t -> unit) -> unit
+
+  (** An mDNS-like service directory kept on the switch: appliances that
+      expose an endpoint advertise [(name, ip, port)] at boot, and the
+      monitor appliance discovers its scrape targets here. Re-advertising
+      a name replaces the entry. *)
+  val advertise : t -> name:string -> ip:string -> port:int -> unit
+
+  (** Advertised services, oldest first (deterministic for a
+      deterministic boot sequence). *)
+  val services : t -> (string * string * int) list
 end
 
 (** Broadcast MAC, [ff:ff:ff:ff:ff:ff]. *)

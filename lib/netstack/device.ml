@@ -17,6 +17,7 @@ module Udp = struct
 end
 
 type t = Stack.t
+type ipaddr = Ipaddr.t
 
 let tcp = Stack.tcp
 let udp = Stack.udp

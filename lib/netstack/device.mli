@@ -16,6 +16,8 @@ module Udp : Device_sig.UDP with type t = Udp.t and type ipaddr = Ipaddr.t
 (** {!Stack.t} as a {!Device_sig.STACK}-shaped bundle. *)
 type t = Stack.t
 
+type ipaddr = Ipaddr.t
+
 val tcp : t -> Tcp.t
 val udp : t -> Udp.t
 val address : t -> Ipaddr.t

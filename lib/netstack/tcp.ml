@@ -938,6 +938,22 @@ let create sim ?dom ip =
   in
   Ipv4.set_handler ip ~proto:Ipv4.proto_tcp (fun ~src ~dst ~payload ->
       handle_datagram t ~src ~dst ~payload);
+  (if Trace.Metrics.enabled () then
+     match dom with
+     | None -> ()
+     | Some d ->
+       (* Pull metrics over stats the engine already maintains: the
+          send/retransmit fast paths are untouched. *)
+       let dom = d.Xensim.Domain.id in
+       let reg name read = Trace.Metrics.register_read ~dom ~kind:Trace.Metrics.Counter name read in
+       reg "tcp_segs_sent" (fun () -> t.segs_sent);
+       reg "tcp_segs_received" (fun () -> t.segs_received);
+       reg "tcp_retransmissions" (fun () -> t.retransmissions);
+       reg "tcp_fast_retransmits" (fun () -> t.fast_retransmits);
+       reg "tcp_rto_fires" (fun () -> t.rto_fires);
+       reg "tcp_persist_probes" (fun () -> t.persist_probes);
+       Trace.Metrics.register_read ~dom ~kind:Trace.Metrics.Gauge "tcp_active_flows" (fun () ->
+           Hashtbl.length t.flows));
   t
 
 let listen t ~port f = Hashtbl.replace t.listeners port f

@@ -152,6 +152,7 @@ module Hist = struct
 end
 
 type counter = { c_name : string; mutable c_value : int }
+type gauge = { g_name : string; mutable g_value : int }
 
 type span_acc = {
   sa_name : string;
@@ -194,6 +195,7 @@ type state = {
   mutable cur_flow : int;
   mutable next_flow : int;
   counters : (string, counter) Hashtbl.t;
+  gauges : (string, gauge) Hashtbl.t;
   spans : (string * int, span_acc) Hashtbl.t;
 }
 
@@ -225,6 +227,7 @@ let t =
     cur_flow = -1;
     next_flow = 0;
     counters = Hashtbl.create 32;
+    gauges = Hashtbl.create 32;
     spans = Hashtbl.create 32;
   }
 
@@ -254,6 +257,7 @@ let reset () =
   t.cur_flow <- -1;
   t.next_flow <- 0;
   Hashtbl.iter (fun _ c -> c.c_value <- 0) t.counters;
+  Hashtbl.iter (fun _ g -> g.g_value <- 0) t.gauges;
   Hashtbl.reset t.spans
 
 let set_clock f =
@@ -343,6 +347,29 @@ let counter_value c = c.c_value
 
 let counters () =
   Hashtbl.fold (fun name c acc -> (name, c.c_value) :: acc) t.counters []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+(* ---- gauges ----
+
+   Instantaneous values (ring occupancy, queue depth, buffered bytes):
+   unlike the saturating counters they move both ways, so they get
+   [set]/[add] instead of [incr]. Updates are gated on the enabled flag
+   like every other hot-path hook. *)
+
+let gauge name =
+  match Hashtbl.find_opt t.gauges name with
+  | Some g -> g
+  | None ->
+    let g = { g_name = name; g_value = 0 } in
+    Hashtbl.replace t.gauges name g;
+    g
+
+let gauge_set g v = if t.on then g.g_value <- v
+let gauge_add g d = if t.on then g.g_value <- g.g_value + d
+let gauge_value g = g.g_value
+
+let gauges () =
+  Hashtbl.fold (fun name g acc -> (name, g.g_value) :: acc) t.gauges []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 (* ---- spans ---- *)
@@ -455,6 +482,9 @@ let export_jsonl oc =
     (fun (name, v) -> Printf.fprintf oc "{\"counter\":\"%s\",\"value\":%d}\n" (json_escape name) v)
     (counters ());
   List.iter
+    (fun (name, v) -> Printf.fprintf oc "{\"gauge\":\"%s\",\"value\":%d}\n" (json_escape name) v)
+    (gauges ());
+  List.iter
     (fun s ->
       Printf.fprintf oc
         "{\"span\":\"%s\",\"cat\":\"%s\",\"dom\":%d,\"count\":%d,\"total_ns\":%d,\"min_ns\":%d,\"max_ns\":%d,\"p50_ns\":%.1f,\"p95_ns\":%.1f,\"p99_ns\":%.1f}\n"
@@ -464,3 +494,132 @@ let export_jsonl oc =
         (Hist.percentile s.span_hist 50.) (Hist.percentile s.span_hist 95.)
         (Hist.percentile s.span_hist 99.))
     (span_stats ())
+
+(* ---- per-domain metrics registry ----
+
+   The in-band monitoring plane: subsystems register named counters,
+   gauges and histogram-backed summaries per domain; an exposition
+   handler (Uhttp.Metrics_export) renders a domain's snapshot as
+   Prometheus-style text over the simulated network, and the Monitor
+   appliance scrapes it. Orthogonal to the event tracer above: tracing
+   can be off while the monitoring plane is on, and vice versa.
+
+   Cost discipline: with the registry disabled (the default) an update
+   site is one load and one predictable branch — the monitor-guard
+   benchmark pins that cost. Pull-based metrics ([register_read]) cost
+   nothing at the update site at all: the callback reads state the
+   subsystem already maintains, evaluated only at snapshot time. *)
+
+module Metrics = struct
+  type kind = Counter | Gauge | Summary
+
+  type metric = {
+    m_name : string;
+    m_dom : int;
+    m_kind : kind;
+    mutable m_value : int;
+    m_read : (unit -> int) option;
+    m_hist : Hist.t option;
+  }
+
+  type sample = {
+    s_name : string;
+    s_dom : int;
+    s_kind : kind;
+    s_value : int;  (* counter/gauge value; observation count for summaries *)
+    s_sum : int;  (* summaries only: total of observations *)
+    s_quantiles : (float * float) list;  (* summaries only: (q, value) *)
+  }
+
+  let quantiles = [ 0.5; 0.9; 0.99 ]
+  let m_on = ref false
+  let enabled () = !m_on
+  let registry : (string * int, metric) Hashtbl.t = Hashtbl.create 64
+  let enable () = m_on := true
+  let disable () = m_on := false
+  let reset () = Hashtbl.reset registry
+
+  (* Registration is itself gated: with the plane off, subsystem create
+     paths leave no trace in the registry, so successive disabled runs in
+     one process cannot accumulate stale read callbacks. The returned
+     metric is then detached — updates to it are no-ops. *)
+  let register ?(dom = -1) ~kind ?read ?hist name =
+    let m = { m_name = name; m_dom = dom; m_kind = kind; m_value = 0; m_read = read; m_hist = hist } in
+    if !m_on then Hashtbl.replace registry (name, dom) m;
+    m
+
+  let counter ?dom name = register ?dom ~kind:Counter name
+  let gauge ?dom name = register ?dom ~kind:Gauge name
+  let summary ?dom name = register ?dom ~kind:Summary ~hist:(Hist.create ()) name
+  let register_read ?dom ~kind name read = ignore (register ?dom ~kind ~read name)
+
+  (* A metric attached to nothing: every update is a no-op. Lets a
+     subsystem keep one unconditional update site while opting out of
+     registration (e.g. the exposition server's own internal Uhttp). *)
+  let detached =
+    { m_name = ""; m_dom = -1; m_kind = Counter; m_value = 0; m_read = None; m_hist = None }
+
+  let inc m n =
+    if !m_on && n > 0 then
+      m.m_value <- (if m.m_value > max_int - n then max_int else m.m_value + n)
+
+  let set m v = if !m_on then m.m_value <- v
+  let add m d = if !m_on then m.m_value <- m.m_value + d
+
+  let observe m v =
+    if !m_on then match m.m_hist with Some h -> Hist.record h (max 0 v) | None -> ()
+
+  let value m = match m.m_read with Some f -> f () | None -> m.m_value
+
+  let sample_of m =
+    match m.m_hist with
+    | Some h ->
+      {
+        s_name = m.m_name;
+        s_dom = m.m_dom;
+        s_kind = m.m_kind;
+        s_value = Hist.count h;
+        s_sum = Hist.total h;
+        s_quantiles = List.map (fun q -> (q, Hist.percentile h (q *. 100.))) quantiles;
+      }
+    | None ->
+      { s_name = m.m_name; s_dom = m.m_dom; s_kind = m.m_kind; s_value = value m; s_sum = 0;
+        s_quantiles = [] }
+
+  let snapshot ?dom () =
+    Hashtbl.fold
+      (fun (_, d) m acc ->
+        match dom with Some want when d <> want -> acc | _ -> sample_of m :: acc)
+      registry []
+    |> List.sort (fun a b -> compare (a.s_name, a.s_dom) (b.s_name, b.s_dom))
+
+  (* ---- Prometheus-style text exposition ---- *)
+
+  let sanitize name =
+    String.map (function ('a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_') as c -> c | _ -> '_') name
+
+  let kind_name = function Counter -> "counter" | Gauge -> "gauge" | Summary -> "summary"
+
+  let to_text ?dom () =
+    let b = Buffer.create 1024 in
+    List.iter
+      (fun s ->
+        let n = sanitize s.s_name in
+        let lbl = if s.s_dom < 0 then "" else Printf.sprintf "{dom=\"%d\"}" s.s_dom in
+        Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" n (kind_name s.s_kind));
+        match s.s_kind with
+        | Counter | Gauge -> Buffer.add_string b (Printf.sprintf "%s%s %d\n" n lbl s.s_value)
+        | Summary ->
+          List.iter
+            (fun (q, v) ->
+              let ql =
+                if s.s_dom < 0 then Printf.sprintf "{quantile=\"%g\"}" q
+                else Printf.sprintf "{dom=\"%d\",quantile=\"%g\"}" s.s_dom q
+              in
+              Buffer.add_string b (Printf.sprintf "%s%s %.1f\n" n ql v))
+            s.s_quantiles;
+          Buffer.add_string b (Printf.sprintf "%s_sum%s %d\n" n lbl s.s_sum);
+          Buffer.add_string b (Printf.sprintf "%s_count%s %d\n" n lbl s.s_value))
+      (snapshot ?dom ());
+    Buffer.contents b
+end

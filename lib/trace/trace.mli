@@ -167,6 +167,24 @@ val counter_value : counter -> int
 (** All registered counters as [(name, value)], sorted by name. *)
 val counters : unit -> (string * int) list
 
+(** {1 Gauges}
+
+    Gauges hold an instantaneous value (ring occupancy, queue depth,
+    connection count) rather than a monotonic total: they can go down.
+    Like counters they are interned by name for the whole process, cost
+    one load-and-branch when tracing is disabled, and have their values
+    (not registrations) dropped by {!reset}. *)
+
+type gauge
+
+val gauge : string -> gauge
+val gauge_set : gauge -> int -> unit
+val gauge_add : gauge -> int -> unit
+val gauge_value : gauge -> int
+
+(** All registered gauges as [(name, value)], sorted by name. *)
+val gauges : unit -> (string * int) list
+
 (** {1 Spans}
 
     A span measures the virtual time between {!span} and {!finish},
@@ -218,3 +236,84 @@ val to_json_line : event -> string
     statistic (count/total/min/max plus histogram-derived p50/p95/p99).
     Deterministic for deterministic runs. *)
 val export_jsonl : out_channel -> unit
+
+(** {1 Per-domain metrics registry}
+
+    The in-band monitoring plane: subsystems register named counters,
+    gauges and {!Hist}-backed summaries attributed to a domain; the
+    registry is snapshotted per domain and rendered as Prometheus-style
+    text by the exposition handler ([Uhttp.Metrics_export]), which the
+    monitor appliance scrapes over simulated TCP.
+
+    Orthogonal to the event tracer: either plane can be on while the
+    other is off. Disabled (the default), an update site costs one load
+    and one predictable branch, and registration is a no-op — figure
+    output is byte-identical with the plane compiled in. *)
+
+module Metrics : sig
+  type kind = Counter | Gauge | Summary
+  type metric
+
+  (** One registry entry at snapshot time. For counters/gauges, [s_value]
+      is the value and the other fields are empty; for summaries,
+      [s_value] is the observation count, [s_sum] the total, and
+      [s_quantiles] the (q, estimate) pairs for q in {0.5, 0.9, 0.99}. *)
+  type sample = {
+    s_name : string;
+    s_dom : int;
+    s_kind : kind;
+    s_value : int;
+    s_sum : int;
+    s_quantiles : (float * float) list;
+  }
+
+  val enabled : unit -> bool
+  val enable : unit -> unit
+  val disable : unit -> unit
+
+  (** Drop every registration (unlike the tracer's {!reset}, which keeps
+      counter registrations: metric read-callbacks capture subsystem
+      state, so they must not outlive the world that registered them). *)
+  val reset : unit -> unit
+
+  (** Register a push-updated metric owned by the caller. [dom] defaults
+      to [-1] (unattributed). When the plane is disabled the metric is
+      created but not entered in the registry, and updates to it are
+      no-ops. Re-registering the same (name, dom) replaces the entry. *)
+  val counter : ?dom:int -> string -> metric
+
+  val gauge : ?dom:int -> string -> metric
+  val summary : ?dom:int -> string -> metric
+
+  (** [register_read ~dom ~kind name read] registers a pull metric whose
+      value is [read ()] evaluated at snapshot time — zero update-site
+      cost for stats the subsystem already maintains. *)
+  val register_read : ?dom:int -> kind:kind -> string -> (unit -> int) -> unit
+
+  (** A metric attached to nothing: every update is a no-op. Lets a
+      subsystem keep one unconditional update site while opting out of
+      registration. *)
+  val detached : metric
+
+  (** Saturating add of [n > 0] (counters). *)
+  val inc : metric -> int -> unit
+
+  (** Gauge store / signed delta. *)
+  val set : metric -> int -> unit
+
+  val add : metric -> int -> unit
+
+  (** Record one observation into a summary's histogram. *)
+  val observe : metric -> int -> unit
+
+  val value : metric -> int
+
+  (** All samples, optionally restricted to one domain, sorted by
+      (name, dom). Deterministic for deterministic runs. *)
+  val snapshot : ?dom:int -> unit -> sample list
+
+  (** Prometheus-style text exposition of {!snapshot}: a [# TYPE] line
+      per metric, [name{dom="N"} value] series, and for summaries the
+      quantile series plus [_sum]/[_count]. *)
+  val to_text : ?dom:int -> unit -> string
+end

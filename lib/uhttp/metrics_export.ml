@@ -1,0 +1,41 @@
+(* Prometheus-style /metrics exposition over any Device_sig.STACK.
+
+   A sealed appliance has no shell or /proc to inspect, so the metrics
+   registry (Trace.Metrics) is exported in-band: a tiny HTTP endpoint on
+   the appliance's own stack renders the domain's snapshot as text, and
+   the monitor appliance scrapes it over real simulated TCP — the scrape
+   traffic contends with the workload exactly as production scrapes do.
+
+   The internal Uhttp server opts out of metric registration
+   ([register_metrics:false]) so the exposition path never overwrites
+   the workload server's per-domain http_* series. *)
+
+let default_port = 9100
+
+module Make (S : Device_sig.STACK) = struct
+  module Http = Server.Make (S.Tcp)
+
+  type t = { server : Http.t; port : int }
+
+  let mount sim ?dom ?(port = default_port) stack =
+    let mid = Option.map (fun d -> d.Xensim.Domain.id) dom in
+    let scrapes = Trace.Metrics.counter ?dom:mid "metrics_scrapes" in
+    let handler (req : Http_wire.request) =
+      match req.Http_wire.path with
+      | "/metrics" ->
+        Trace.Metrics.inc scrapes 1;
+        Mthread.Promise.return
+          (Http_wire.response
+             ~headers:[ ("Content-Type", "text/plain; version=0.0.4") ]
+             ~status:200
+             (Trace.Metrics.to_text ?dom:mid ()))
+      | _ -> Mthread.Promise.return (Http_wire.response ~status:404 "not found")
+    in
+    let server =
+      Http.create sim ?dom ~register_metrics:false ~tcp:(S.tcp stack) ~port handler
+    in
+    { server; port }
+
+  let port t = t.port
+  let scrapes_served t = Http.requests_served t.server
+end

@@ -13,6 +13,8 @@ module Make (T : Device_sig.TCP) = struct
     mutable requests : int;
     mutable connections : int;
     mutable bad : int;
+    mutable bytes_sent : int;
+    m_latency : Trace.Metrics.metric;  (* http_request_ns summary *)
   }
 
   let ( >>= ) = Mthread.Promise.bind
@@ -36,6 +38,7 @@ module Make (T : Device_sig.TCP) = struct
           | None -> T.close flow
           | Some req ->
             t.requests <- t.requests + 1;
+            let started = Engine.Sim.now t.sim in
             (* The span opens under the causal flow of the frame that
                completed the request and closes once the response bytes are
                accepted by TCP — the application layer of the waterfall. *)
@@ -59,8 +62,11 @@ module Make (T : Device_sig.TCP) = struct
                   Http_wire.resp_headers = ("Connection", "close") :: resp.Http_wire.resp_headers;
                 }
             in
-            T.write flow (Bytestruct.of_string (Http_wire.render_response resp)) >>= fun () ->
+            let data = Bytestruct.of_string (Http_wire.render_response resp) in
+            t.bytes_sent <- t.bytes_sent + Bytestruct.length data;
+            T.write flow data >>= fun () ->
             Trace.finish sp;
+            Trace.Metrics.observe t.m_latency (Engine.Sim.now t.sim - started);
             if ka then loop () else T.close flow)
         (function
           | Http_wire.Bad_request _ ->
@@ -73,20 +79,51 @@ module Make (T : Device_sig.TCP) = struct
     in
     loop ()
 
-  let create_detached sim ?dom ?(per_request_cost_ns = 25_000) handler =
-    { sim; dom; per_request_cost_ns; handler; requests = 0; connections = 0; bad = 0 }
+  (* [register_metrics:false] keeps this server instance out of the
+     registry — the /metrics exposition endpoint itself uses it so scrape
+     traffic does not overwrite the workload server's per-domain entries. *)
+  let create_detached sim ?dom ?(register_metrics = true) ?(per_request_cost_ns = 25_000) handler =
+    let mid = Option.map (fun d -> d.Xensim.Domain.id) dom in
+    let registered = register_metrics && Trace.Metrics.enabled () in
+    let m_latency =
+      if registered then Trace.Metrics.summary ?dom:mid "http_request_ns"
+      else Trace.Metrics.detached
+    in
+    let t =
+      {
+        sim;
+        dom;
+        per_request_cost_ns;
+        handler;
+        requests = 0;
+        connections = 0;
+        bad = 0;
+        bytes_sent = 0;
+        m_latency;
+      }
+    in
+    if registered then begin
+      let reg name read =
+        Trace.Metrics.register_read ?dom:mid ~kind:Trace.Metrics.Counter name read
+      in
+      reg "http_requests" (fun () -> t.requests);
+      reg "http_connections" (fun () -> t.connections);
+      reg "http_bad_requests" (fun () -> t.bad);
+      reg "http_bytes_sent" (fun () -> t.bytes_sent)
+    end;
+    t
 
   let handle_flow t flow =
     t.connections <- t.connections + 1;
     serve_flow t flow
 
-  let create sim ?dom ?per_request_cost_ns ~tcp ~port handler =
-    let t = create_detached sim ?dom ?per_request_cost_ns handler in
+  let create sim ?dom ?register_metrics ?per_request_cost_ns ~tcp ~port handler =
+    let t = create_detached sim ?dom ?register_metrics ?per_request_cost_ns handler in
     T.listen tcp ~port (fun flow -> handle_flow t flow);
     t
 
-  let of_router sim ?dom ?per_request_cost_ns ~tcp ~port router =
-    create sim ?dom ?per_request_cost_ns ~tcp ~port (fun req ->
+  let of_router sim ?dom ?register_metrics ?per_request_cost_ns ~tcp ~port router =
+    create sim ?dom ?register_metrics ?per_request_cost_ns ~tcp ~port (fun req ->
         match Router.dispatch router req.Http_wire.meth req.Http_wire.path with
         | Some handler_result -> handler_result req
         | None -> return (Http_wire.response ~status:404 "not found"))
@@ -94,4 +131,5 @@ module Make (T : Device_sig.TCP) = struct
   let requests_served t = t.requests
   let connections_accepted t = t.connections
   let bad_requests t = t.bad
+  let bytes_sent t = t.bytes_sent
 end

@@ -13,9 +13,15 @@ type handler = Http_wire.request -> Http_wire.response Mthread.Promise.t
 module Make (T : Device_sig.TCP) : sig
   type t
 
+  (** When the metrics plane is enabled ([Trace.Metrics]), each server
+      registers per-domain request/connection/error/bytes counters plus
+      an [http_request_ns] latency summary; [register_metrics:false]
+      opts an instance out (the /metrics exposition server uses this so
+      scrape traffic does not pollute the workload's series). *)
   val create :
     Engine.Sim.t ->
     ?dom:Xensim.Domain.t ->
+    ?register_metrics:bool ->
     ?per_request_cost_ns:int ->
     tcp:T.t ->
     port:int ->
@@ -26,7 +32,12 @@ module Make (T : Device_sig.TCP) : sig
       and pass flows to {!handle_flow} (used by the baseline appliances,
       which gate accepts on a worker pool). *)
   val create_detached :
-    Engine.Sim.t -> ?dom:Xensim.Domain.t -> ?per_request_cost_ns:int -> handler -> t
+    Engine.Sim.t ->
+    ?dom:Xensim.Domain.t ->
+    ?register_metrics:bool ->
+    ?per_request_cost_ns:int ->
+    handler ->
+    t
 
   (** Serve one connection to completion (keep-alive loop). *)
   val handle_flow : t -> T.flow -> unit Mthread.Promise.t
@@ -35,6 +46,7 @@ module Make (T : Device_sig.TCP) : sig
   val of_router :
     Engine.Sim.t ->
     ?dom:Xensim.Domain.t ->
+    ?register_metrics:bool ->
     ?per_request_cost_ns:int ->
     tcp:T.t ->
     port:int ->
@@ -44,4 +56,5 @@ module Make (T : Device_sig.TCP) : sig
   val requests_served : t -> int
   val connections_accepted : t -> int
   val bad_requests : t -> int
+  val bytes_sent : t -> int
 end

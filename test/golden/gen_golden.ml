@@ -1,0 +1,66 @@
+(* Generates the pinned trace for the golden CLI tests in this
+   directory: a tiny deterministic scenario (two PV guests on one
+   bridge, three HTTP exchanges and a ping, seed 11) traced end to end
+   and written as JSON lines.
+
+   The committed golden_trace.jsonl is this program's output. The trace
+   CLI's renderings of it (waterfall.expected, flame.expected,
+   queues.expected) are diffed by `dune runtest`; if the trace schema or
+   the analyses change legitimately, regenerate with
+
+     dune exec test/golden/gen_golden.exe -- test/golden/golden_trace.jsonl
+
+   and promote the new expectations with `dune promote`. *)
+
+module P = Mthread.Promise
+
+let ( >>= ) = P.bind
+
+let static_ip s =
+  {
+    Netstack.Ipv4.address = Netstack.Ipaddr.of_string s;
+    netmask = Netstack.Ipaddr.of_string "255.255.255.0";
+    gateway = None;
+  }
+
+let () =
+  let file = if Array.length Sys.argv > 1 then Sys.argv.(1) else "golden_trace.jsonl" in
+  Trace.enable ~capacity:65536 ();
+  let sim = Engine.Sim.create ~seed:11 () in
+  let hv = Xensim.Hypervisor.create sim in
+  let dom0 =
+    Xensim.Hypervisor.create_domain hv ~name:"dom0" ~mem_mib:512 ~platform:Platform.linux_pv ()
+  in
+  dom0.Xensim.Domain.state <- Xensim.Domain.Running;
+  let bridge = Netsim.Bridge.create sim in
+  let host name ip =
+    let dom =
+      Xensim.Hypervisor.create_domain hv ~name ~mem_mib:64 ~platform:Platform.xen_extent ()
+    in
+    dom.Xensim.Domain.state <- Xensim.Domain.Running;
+    let nic =
+      Netsim.Bridge.new_nic bridge ~mac:(Netsim.mac_of_int (100 + dom.Xensim.Domain.id)) ()
+    in
+    let netif = Devices.Netif.connect hv ~dom ~backend_dom:dom0 ~nic () in
+    let stack =
+      P.run sim (Netstack.Stack.create sim ~dom ~netif (Netstack.Stack.Static (static_ip ip)))
+    in
+    (dom, stack)
+  in
+  let s_dom, server = host "server" "10.0.0.2" in
+  let _, client = host "client" "10.0.0.9" in
+  ignore
+    (Core.Apps.Net.Http.create sim ~dom:s_dom ~tcp:(Netstack.Stack.tcp server) ~port:80
+       (fun _req -> P.return (Uhttp.Http_wire.response ~status:200 (String.make 256 'x'))));
+  let dst = Netstack.Stack.address server in
+  P.run sim
+    (let rec get n =
+       if n = 0 then P.return ()
+       else
+         Core.Apps.Net.Http_client.get_once (Netstack.Stack.tcp client) ~dst ~port:80 "/"
+         >>= fun _ -> P.sleep sim (Engine.Sim.ms 1) >>= fun () -> get (n - 1)
+     in
+     get 3 >>= fun () ->
+     Netstack.Icmp4.ping (Netstack.Stack.icmp client) ~dst ~seq:1 () >>= fun _ -> P.return ());
+  Engine.Trace_report.write_jsonl ~file;
+  Printf.eprintf "wrote %s (%d events)\n" file (List.length (Trace.events ()))

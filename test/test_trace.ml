@@ -172,6 +172,93 @@ let test_counter_saturation () =
       check_int "saturates, no wraparound" max_int (Trace.counter_value c);
       check_bool "listed" true (List.mem_assoc "test.sat" (Trace.counters ())))
 
+(* ---- gauges ---- *)
+
+let test_gauges () =
+  with_trace (fun () ->
+      let g = Trace.gauge "test.inflight" in
+      Trace.gauge_add g 1;
+      Trace.gauge_add g 1;
+      Trace.gauge_add g (-1);
+      check_int "delta-tracked level" 1 (Trace.gauge_value g);
+      Trace.gauge_set g 42;
+      check_int "set overrides" 42 (Trace.gauge_value g);
+      check_bool "listed" true (List.mem_assoc "test.inflight" (Trace.gauges ()));
+      let g' = Trace.gauge "test.inflight" in
+      Trace.gauge_add g' 1;
+      check_int "same name, same gauge" 43 (Trace.gauge_value g);
+      Trace.reset ();
+      check_int "reset zeroes, keeps registration" 0 (Trace.gauge_value g);
+      Trace.disable ();
+      Trace.gauge_add g 7;
+      check_int "disabled updates are no-ops" 0 (Trace.gauge_value g))
+
+(* ---- the metrics registry ---- *)
+
+let with_metrics f =
+  Trace.Metrics.reset ();
+  Trace.Metrics.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.Metrics.disable ();
+      Trace.Metrics.reset ())
+    f
+
+let test_metrics_registry () =
+  with_metrics (fun () ->
+      let c = Trace.Metrics.counter ~dom:3 "http_requests" in
+      Trace.Metrics.inc c 2;
+      Trace.Metrics.inc c (-5) (* counters only move forward *);
+      let backing = ref 17 in
+      Trace.Metrics.register_read ~dom:3 ~kind:Trace.Metrics.Gauge "tcp_active_flows" (fun () ->
+          !backing);
+      let s = Trace.Metrics.summary ~dom:3 "http_request_ns" in
+      List.iter (Trace.Metrics.observe s) [ 1_000; 2_000; 4_000 ];
+      (match Trace.Metrics.snapshot ~dom:3 () with
+      | [ reqs; lat; flows ] ->
+        (* sorted by name: http_request_ns, http_requests, tcp_active_flows *)
+        check_string "summary name" "http_request_ns" reqs.Trace.Metrics.s_name;
+        check_int "summary count" 3 reqs.Trace.Metrics.s_value;
+        check_int "summary sum" 7_000 reqs.Trace.Metrics.s_sum;
+        check_int "counter value" 2 lat.Trace.Metrics.s_value;
+        check_int "pull-based read" 17 flows.Trace.Metrics.s_value
+      | l -> Alcotest.failf "expected 3 samples, got %d" (List.length l));
+      backing := 23;
+      let text = Trace.Metrics.to_text ~dom:3 () in
+      let contains needle =
+        let nl = String.length needle and tl = String.length text in
+        let rec go i = i + nl <= tl && (String.sub text i nl = needle || go (i + 1)) in
+        go 0
+      in
+      check_bool "exposition text complete" true
+        (List.for_all contains
+           [
+             "# TYPE http_requests counter";
+             "http_requests{dom=\"3\"} 2";
+             "# TYPE tcp_active_flows gauge";
+             "tcp_active_flows{dom=\"3\"} 23";
+             "http_request_ns_count{dom=\"3\"} 3";
+             "quantile=\"0.99\"";
+           ]))
+
+let test_metrics_disabled_and_detached () =
+  Trace.Metrics.disable ();
+  Trace.Metrics.reset ();
+  (* registration with the plane off leaves no trace and the handle is
+     inert, so figure runs stay unperturbed *)
+  let c = Trace.Metrics.counter "noop" in
+  Trace.Metrics.inc c 5;
+  check_int "disabled registration invisible" 0 (List.length (Trace.Metrics.snapshot ()));
+  check_int "disabled update is a no-op" 0 (Trace.Metrics.value c);
+  with_metrics (fun () ->
+      let d = Trace.Metrics.detached in
+      Trace.Metrics.inc d 5;
+      Trace.Metrics.observe d 100;
+      (* a detached handle may tick privately but is never registered,
+         so nothing it sees ever reaches a snapshot or the exposition *)
+      check_int "detached never registers" 0 (List.length (Trace.Metrics.snapshot ()));
+      check_string "detached never exported" "" (Trace.Metrics.to_text ()))
+
 (* ---- disabled tracing ---- *)
 
 let test_disabled_noop () =
@@ -362,6 +449,10 @@ let () =
           Alcotest.test_case "set_clock re-basing" `Quick test_set_clock_rebase;
           Alcotest.test_case "flow propagation" `Quick test_flow_propagation;
           Alcotest.test_case "counter saturation" `Quick test_counter_saturation;
+          Alcotest.test_case "gauges" `Quick test_gauges;
+          Alcotest.test_case "metrics registry + exposition" `Quick test_metrics_registry;
+          Alcotest.test_case "metrics disabled / detached no-ops" `Quick
+            test_metrics_disabled_and_detached;
           Alcotest.test_case "disabled tracing is a no-op" `Quick test_disabled_noop;
           Alcotest.test_case "deterministic jsonl" `Quick test_deterministic_jsonl;
           Alcotest.test_case "appliance boot trace" `Quick test_appliance_boot_trace;
