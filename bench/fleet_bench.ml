@@ -1,0 +1,46 @@
+(* Fleet experiment: the elasticity claim, measured. An open-loop client
+   population ramps 100x (5 -> 500 rps, ~5*10^5 users at a 1000 s think
+   time); the orchestrator scales the web pool behind the LB appliance;
+   the verdict is whether tail latency held while the fleet tracked the
+   load. The denominator is a single-shard baseline at the base rate —
+   the acceptance bar is hold-phase p99 within 2x of it. *)
+
+let ms_of_ns ns = ns /. 1e6
+
+let run () =
+  Util.header "Fleet: LB appliance + closed-loop autoscaler under a 100x open-loop ramp";
+
+  let base = Fleet.baseline () in
+  let base_p99 = base.Fleet.o_hold_p99_ns in
+  Printf.printf "  baseline (1 shard, %.0f rps): p99 %.2f ms over %d requests\n"
+    base.Fleet.o_params.Fleet.base_rps (ms_of_ns base_p99) base.Fleet.o_ok;
+
+  let o = Fleet.run Fleet.defaults in
+  let p = o.Fleet.o_params in
+  let overall_p99 = Trace.Hist.percentile o.Fleet.o_latencies 99.0 in
+  let ratio = if base_p99 > 0.0 then o.Fleet.o_hold_p99_ns /. base_p99 else 0.0 in
+  Printf.printf "  fleet (%.0f -> %.0f rps): %d ok, %d errors, %d timeouts, %d refused\n"
+    p.Fleet.base_rps p.Fleet.peak_rps o.Fleet.o_ok o.Fleet.o_errors o.Fleet.o_timeouts
+    o.Fleet.o_refused;
+  Printf.printf "  p99: hold-phase %.2f ms, whole-run %.2f ms  (baseline %.2f ms, ratio %.2fx)\n"
+    (ms_of_ns o.Fleet.o_hold_p99_ns) (ms_of_ns overall_p99) (ms_of_ns base_p99) ratio;
+  Printf.printf "  fleet: %d scale-outs, %d scale-ins, peak %d shards, final %d, ~%d users at peak\n"
+    o.Fleet.o_scale_outs o.Fleet.o_scale_ins o.Fleet.o_peak_shards o.Fleet.o_final_shards
+    o.Fleet.o_peak_population;
+  Printf.printf "  %s: hold-phase p99 within 2x of baseline, >=1 scale-out and >=1 scale-in\n"
+    (if ratio > 0.0 && ratio <= 2.0 && o.Fleet.o_scale_outs >= 1 && o.Fleet.o_scale_ins >= 1
+     then "OK"
+     else "FAIL");
+
+  let emit metric ~unit_ v = Util.emit ~figure:"fleet" ~metric ~seed:p.Fleet.seed ~unit_ v in
+  emit "baseline/hold-p99" ~unit_:"ms" (ms_of_ns base_p99);
+  emit "fleet/hold-p99" ~unit_:"ms" (ms_of_ns o.Fleet.o_hold_p99_ns);
+  emit "fleet/whole-run-p99" ~unit_:"ms" (ms_of_ns overall_p99);
+  emit "fleet/p99-ratio-vs-baseline" ~unit_:"x" ratio;
+  emit "fleet/requests-ok" ~unit_:"requests" (float_of_int o.Fleet.o_ok);
+  emit "fleet/requests-lost" ~unit_:"requests"
+    (float_of_int (o.Fleet.o_errors + o.Fleet.o_timeouts + o.Fleet.o_refused));
+  emit "fleet/scale-outs" ~unit_:"events" (float_of_int o.Fleet.o_scale_outs);
+  emit "fleet/scale-ins" ~unit_:"events" (float_of_int o.Fleet.o_scale_ins);
+  emit "fleet/peak-shards" ~unit_:"shards" (float_of_int o.Fleet.o_peak_shards);
+  emit "fleet/peak-population" ~unit_:"users" (float_of_int o.Fleet.o_peak_population)

@@ -22,6 +22,7 @@ let experiments =
     ("sealing", "specialisation & sealing summary", Tables.sealing_and_config);
     ("ablation", "design-choice ablations", Ablation.run);
     ("chaos", "TCP chaos matrix: fault schedules x seeds", Chaos.run);
+    ("fleet", "LB + autoscaler under a 100x open-loop ramp", Fleet_bench.run);
     ("micro", "real-time microbenchmarks", Micro.run);
     ("trace-guard", "disabled-tracing overhead guard", Micro.trace_guard);
     ("monitor-guard", "disabled-metrics overhead + figure-8 invariance guard", Micro.monitor_guard);

@@ -1,0 +1,111 @@
+(* `mirage_sim fleet`: run the fleet-scale serving scenario (lib/fleet) —
+   an LB appliance fronting an autoscaled pool of web unikernels under an
+   open-loop 100x traffic ramp — and render the control-plane story:
+   scale events, a shards/rate/p99 timeline, and the latency verdict. *)
+
+open Cmdliner
+
+let run_fleet seed peak_rps duration_scale policy trace_out =
+  (if trace_out <> None then Trace.enable ~capacity:(1 lsl 18) () else Trace.enable ());
+  let scale n = n * duration_scale / 100 in
+  let d = Fleet.defaults in
+  let p =
+    {
+      d with
+      Fleet.seed;
+      peak_rps;
+      policy;
+      warm_ns = scale d.Fleet.warm_ns;
+      ramp_up_ns = scale d.Fleet.ramp_up_ns;
+      hold_ns = scale d.Fleet.hold_ns;
+      ramp_down_ns = scale d.Fleet.ramp_down_ns;
+      tail_ns = scale d.Fleet.tail_ns;
+    }
+  in
+  Printf.printf "fleet: %.0f -> %.0f rps (%.0fx ramp), policy %s, seed %d\n"
+    p.Fleet.base_rps p.Fleet.peak_rps
+    (p.Fleet.peak_rps /. p.Fleet.base_rps)
+    (Lb.Balancer.policy_name p.Fleet.policy)
+    seed;
+  let o = Fleet.run p in
+
+  Printf.printf "\n-- scale events --\n";
+  List.iter
+    (fun (ev : Core.Apps.Net.Orchestrator.event) ->
+      Printf.printf "  [%8.1f ms] %-9s %-8s -> %2d shards  (%s)\n"
+        (Engine.Sim.to_ms ev.Core.Apps.Net.Orchestrator.ev_time_ns)
+        (match ev.Core.Apps.Net.Orchestrator.ev_action with
+        | Core.Apps.Net.Orchestrator.Scale_out -> "SCALE-OUT"
+        | Core.Apps.Net.Orchestrator.Scale_in -> "SCALE-IN")
+        ev.Core.Apps.Net.Orchestrator.ev_shard ev.Core.Apps.Net.Orchestrator.ev_shards
+        ev.Core.Apps.Net.Orchestrator.ev_reason)
+    o.Fleet.o_events;
+
+  Printf.printf "\n-- timeline (0.5 s samples) --\n";
+  Printf.printf "  %9s %7s %9s %9s %9s\n" "t(ms)" "shards" "rate(rps)" "p99(ms)" "in-flight";
+  let every = max 1 (List.length o.Fleet.o_timeline / 24) in
+  List.iteri
+    (fun i (s : Fleet.sample) ->
+      if i mod every = 0 then
+        Printf.printf "  %9.0f %7d %9.1f %9.2f %9d\n" s.Fleet.s_ms s.Fleet.s_shards
+          s.Fleet.s_rate_rps s.Fleet.s_p99_ms s.Fleet.s_in_flight)
+    o.Fleet.o_timeline;
+
+  let h = o.Fleet.o_latencies in
+  Printf.printf "\n-- verdict --\n";
+  Printf.printf "  requests   : %d issued, %d ok, %d errors, %d timeouts, %d refused\n"
+    o.Fleet.o_issued o.Fleet.o_ok o.Fleet.o_errors o.Fleet.o_timeouts o.Fleet.o_refused;
+  Printf.printf "  latency    : p50 %.2f ms, p99 %.2f ms (hold-phase p99 %.2f ms)\n"
+    (Engine.Sim.to_ms (int_of_float (Trace.Hist.percentile h 50.0)))
+    (Engine.Sim.to_ms (int_of_float (Trace.Hist.percentile h 99.0)))
+    (Engine.Sim.to_ms (int_of_float o.Fleet.o_hold_p99_ns));
+  Printf.printf "  fleet      : %d scale-outs, %d scale-ins, peak %d shards, final %d\n"
+    o.Fleet.o_scale_outs o.Fleet.o_scale_ins o.Fleet.o_peak_shards o.Fleet.o_final_shards;
+  Printf.printf "  population : ~%d simulated users at peak (Little's law)\n"
+    o.Fleet.o_peak_population;
+  Printf.printf "  domains    : %d left in the hypervisor table (retired shards are gone)\n"
+    o.Fleet.o_domains_left;
+
+  (match trace_out with
+  | None -> ()
+  | Some file ->
+    Engine.Trace_report.write_jsonl ~file;
+    Printf.printf "\ntrace: %s\n" file);
+  Trace.Metrics.disable ();
+  Trace.Metrics.reset ();
+  Trace.disable ();
+  Trace.reset ()
+
+let policy_conv =
+  let parse = function
+    | "hash" -> Ok Lb.Balancer.Hash
+    | "least-conns" -> Ok Lb.Balancer.Least_conns
+    | s -> Error (`Msg (Printf.sprintf "unknown policy %s (hash|least-conns)" s))
+  in
+  Arg.conv (parse, fun fmt p -> Format.pp_print_string fmt (Lb.Balancer.policy_name p))
+
+let cmd =
+  let doc = "Run the fleet: LB + autoscaled web shards under a 100x open-loop traffic ramp" in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Simulation PRNG seed.") in
+  let peak =
+    Arg.(value & opt float 500.0 & info [ "peak-rps" ] ~docv:"RPS" ~doc:"Peak arrival rate.")
+  in
+  let duration =
+    Arg.(
+      value & opt int 100
+      & info [ "duration-pct" ] ~docv:"PCT"
+          ~doc:"Scale every schedule phase to $(docv)%% of the default 85 s run.")
+  in
+  let policy =
+    Arg.(
+      value
+      & opt policy_conv Lb.Balancer.Least_conns
+      & info [ "policy" ] ~docv:"POLICY" ~doc:"Balancing policy: hash or least-conns.")
+  in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE" ~doc:"Write the run's event trace to $(docv) as JSON lines.")
+  in
+  Cmd.v (Cmd.info "fleet" ~doc) Term.(const run_fleet $ seed $ peak $ duration $ policy $ trace_out)

@@ -248,6 +248,6 @@ let boot_cmd =
 let main =
   let doc = "Mirage unikernel construction pipeline on a simulated Xen host" in
   Cmd.group (Cmd.info "mirage_sim" ~version:"1.0" ~doc)
-    [ list_cmd; build_cmd; boot_cmd; Trace_cli.cmd; Monitor_cli.cmd ]
+    [ list_cmd; build_cmd; boot_cmd; Trace_cli.cmd; Monitor_cli.cmd; Fleet_cli.cmd ]
 
 let () = exit (Cmd.eval main)

@@ -63,17 +63,18 @@ let run_monitor seed servers duration_ms interval_ms flap trace_out =
   let boot_web i =
     let ip = Printf.sprintf "10.0.0.%d" (10 + i) in
     P.run sim
-      (Core.Appliance.boot hv ts
+      (Core.Appliance.start hv ts
          (Core.Boot_spec.make ~backend_dom:dom0 ~bridge
             ~config:(Core.Appliance.web_server ~aslr_seed:(0x3eb + i) ())
             ~ip:(static_ip ip) ~metrics_port ())
-         ~main:(fun n ->
-           let dom = n.Core.Appliance.unikernel.Core.Unikernel.domain in
+         ~main:(fun h ->
+           let dom = Core.Appliance.Handle.domain h in
            ignore
              (Core.Apps.Net.Http.of_router sim ~dom
-                ~tcp:(Netstack.Stack.tcp (Core.Appliance.stack n))
+                ~tcp:(Netstack.Stack.tcp (Core.Appliance.Handle.stack h))
                 ~port:80 router);
            P.sleep sim (duration_ns * 2) >>= fun () -> P.return 0))
+    |> Core.Appliance.Handle.networked
   in
   let webs = List.init servers boot_web in
 
@@ -143,15 +144,15 @@ let run_monitor seed servers duration_ms interval_ms flap trace_out =
   let monitor_ref = ref None in
   let _mon =
     P.run sim
-      (Core.Appliance.boot hv ts
+      (Core.Appliance.start hv ts
          (Core.Boot_spec.make ~backend_dom:dom0 ~bridge
             ~config:(Core.Appliance.monitor_appliance ())
             ~ip:(static_ip "10.0.0.100") ())
-         ~main:(fun n ->
-           let dom = n.Core.Appliance.unikernel.Core.Unikernel.domain in
+         ~main:(fun h ->
+           let dom = Core.Appliance.Handle.domain h in
            let m =
              Core.Apps.Net.Monitor.create sim ~dom:dom.Xensim.Domain.id
-               ~tcp:(Netstack.Stack.tcp (Core.Appliance.stack n))
+               ~tcp:(Netstack.Stack.tcp (Core.Appliance.Handle.stack h))
                ~interval_ns ~rules ()
            in
            List.iter

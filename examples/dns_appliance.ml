@@ -47,16 +47,17 @@ let () =
   let server_ref = ref None in
   let networked =
     P.run sim
-      (Core.Appliance.boot hv toolstack
+      (Core.Appliance.start hv toolstack
          (Core.Boot_spec.make ~backend_dom:dom0 ~bridge ~config ~ip ())
-         ~main:(fun n ->
+         ~main:(fun h ->
            let srv =
-             Core.Apps.Net.Dns.create sim ~dom:n.Core.Appliance.unikernel.Core.Unikernel.domain
-               ~udp:(Netstack.Stack.udp (Core.Appliance.stack n)) ~db
+             Core.Apps.Net.Dns.create sim ~dom:(Core.Appliance.Handle.domain h)
+               ~udp:(Netstack.Stack.udp (Core.Appliance.Handle.stack h)) ~db
                ~engine:(Dns.Server.Mirage { memoize = true }) ()
            in
            server_ref := Some srv;
            P.sleep sim (Engine.Sim.sec 3600) >>= fun () -> P.return 0))
+    |> Core.Appliance.Handle.networked
   in
   Printf.printf "appliance image: %d kB (%d kB before dead-code elimination), sealed=%b\n"
     (networked.Core.Appliance.unikernel.Core.Unikernel.image.Core.Linker.total_bytes / 1024)

@@ -40,17 +40,18 @@ let () =
   let t0 = Engine.Sim.now sim in
   let networked =
     P.run sim
-      (Core.Appliance.boot hv toolstack
+      (Core.Appliance.start hv toolstack
          (Core.Boot_spec.make ~backend_dom:dom0 ~bridge ~config ~ip ())
-         ~main:(fun n ->
+         ~main:(fun h ->
            (* a one-route HTTP appliance *)
            let router = Uhttp.Router.create () in
            Uhttp.Router.add router Uhttp.Http_wire.GET "/" (fun _ _ ->
                P.return (Uhttp.Http_wire.response ~status:200 greeting));
            ignore
-             (Core.Apps.Net.Http.of_router sim ~dom:n.Core.Appliance.unikernel.Core.Unikernel.domain
-                ~tcp:(Netstack.Stack.tcp (Core.Appliance.stack n)) ~port:80 router);
+             (Core.Apps.Net.Http.of_router sim ~dom:(Core.Appliance.Handle.domain h)
+                ~tcp:(Netstack.Stack.tcp (Core.Appliance.Handle.stack h)) ~port:80 router);
            P.sleep sim (Engine.Sim.sec 3600) >>= fun () -> P.return 0))
+    |> Core.Appliance.Handle.networked
   in
   Printf.printf "booted in        : %.1f ms (sealed=%b, %d randomised sections)\n"
     (Engine.Sim.to_ms (networked.Core.Appliance.unikernel.Core.Unikernel.ready_at_ns - t0))

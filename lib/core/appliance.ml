@@ -37,6 +37,12 @@ let monitor_appliance ?(aslr_seed = 0x0b5) () =
     ~bindings:[ Config.static "scrape_interval_ms" (Config.Int 100) ]
     ~aslr_seed ~app_text_bytes:(5 * 1024) ~app_loc:380 ()
 
+let lb_appliance ?(aslr_seed = 0x1b0) () =
+  Config.make ~app_name:"lb"
+    ~roots:[ "http"; "json" ]
+    ~bindings:[ Config.static "listen_port" (Config.Int 80) ]
+    ~aslr_seed ~app_text_bytes:(4 * 1024) ~app_loc:320 ()
+
 let table2 () =
   [
     ("DNS", dns_appliance ());
@@ -68,7 +74,89 @@ let netif n = match n.net with Direct d -> d.netif | Sockets h -> Hostnet.netif 
 let address n = Netstack.Stack.address (stack n)
 let hostnet n = match n.net with Sockets h -> Some h | Direct _ -> None
 
-let boot hv ts (spec : Boot_spec.t) ~main =
+(* ---- lifecycle handles ----
+
+   [start] hands back a first-class handle instead of the bare network
+   plumbing: the paper's elasticity story needs domains that can be
+   retired as cheaply as they boot, and a promise of a [networked] gives
+   no way to stop one. The handle owns the teardown path — immediate
+   [shutdown] or graceful [drain] — and undoes at death everything boot
+   did: service-directory advertisements are withdrawn and the vif leaves
+   the bridge, so monitors stop scraping the corpse and health checks
+   fail fast. *)
+
+module Handle = struct
+  type status = Running | Draining | Stopped
+
+  let status_name = function Running -> "running" | Draining -> "draining" | Stopped -> "stopped"
+
+  type t = {
+    h_networked : networked;
+    h_hv : Xensim.Hypervisor.t;
+    h_spec : Boot_spec.t;
+    mutable h_status : status;
+    mutable h_drain_hooks : (unit -> unit Mthread.Promise.t) list;
+    mutable h_ads : string list;  (* service-directory names to withdraw at death *)
+    h_stopped : unit Mthread.Promise.t;
+    h_stopped_w : unit Mthread.Promise.u;
+  }
+
+  let networked t = t.h_networked
+  let unikernel t = t.h_networked.unikernel
+  let domain t = t.h_networked.unikernel.Unikernel.domain
+  let status t = t.h_status
+  let stack t = stack t.h_networked
+  let netif t = netif t.h_networked
+  let address t = address t.h_networked
+  let hostnet t = hostnet t.h_networked
+  let name t = t.h_spec.Boot_spec.config.Config.app_name
+  let spec t = t.h_spec
+  let stopped t = t.h_stopped
+  let on_drain t f = t.h_drain_hooks <- f :: t.h_drain_hooks
+  let add_advertisement t ad = t.h_ads <- ad :: t.h_ads
+
+  let emit_lifecycle t what =
+    if Trace.enabled () then
+      Trace.emit
+        ~dom:(domain t).Xensim.Domain.id
+        ~payload:[ ("appliance", Trace.String (name t)) ]
+        ~cat:Trace.Boot what
+
+  (* Immediate stop: withdraw every advertisement, unplug the vif (frames
+     in flight vanish, exactly as for a destroyed domain), and tear the
+     domain down with exit code 0. Idempotent. *)
+  let shutdown t =
+    (match t.h_status with
+    | Stopped -> ()
+    | Running | Draining ->
+      t.h_status <- Stopped;
+      List.iter (fun ad -> Netsim.Bridge.withdraw t.h_spec.Boot_spec.bridge ~name:ad) t.h_ads;
+      Netsim.Bridge.detach t.h_spec.Boot_spec.bridge (Devices.Netif.nic (netif t));
+      emit_lifecycle t "appliance.shutdown";
+      Xensim.Hypervisor.destroy ~exit_code:0 t.h_hv (domain t);
+      Mthread.Promise.wakeup t.h_stopped_w ());
+    Mthread.Promise.return ()
+
+  (* Graceful stop: leave the directory at once (no new discovery), ask
+     every registered server to drain — stop accepting, finish requests
+     in flight byte-identically — and only then shut the domain down.
+     Idempotent; a second call (or a call racing [shutdown]) just waits
+     for the stop. *)
+  let drain t =
+    match t.h_status with
+    | Stopped -> Mthread.Promise.return ()
+    | Draining -> t.h_stopped
+    | Running ->
+      t.h_status <- Draining;
+      List.iter (fun ad -> Netsim.Bridge.withdraw t.h_spec.Boot_spec.bridge ~name:ad) t.h_ads;
+      emit_lifecycle t "appliance.drain";
+      let hooks = List.rev t.h_drain_hooks in
+      Mthread.Promise.bind
+        (Mthread.Promise.join (List.map (fun f -> f ()) hooks))
+        (fun () -> shutdown t)
+end
+
+let start hv ts (spec : Boot_spec.t) ~main =
   let open Mthread.Promise in
   let sim = hv.Xensim.Hypervisor.sim in
   let result, result_waker = wait () in
@@ -104,9 +192,24 @@ let boot hv ts (spec : Boot_spec.t) ~main =
          in
          bind net (fun net ->
              let networked = { unikernel; net } in
+             let stopped, stopped_w = wait () in
+             let handle =
+               {
+                 Handle.h_networked = networked;
+                 h_hv = hv;
+                 h_spec = spec;
+                 h_status = Handle.Running;
+                 h_drain_hooks = [];
+                 h_ads = [];
+                 h_stopped = stopped;
+                 h_stopped_w = stopped_w;
+               }
+             in
              (* One line in the spec makes any appliance scrapable: mount
                 the /metrics endpoint on its own stack and advertise it in
-                the bridge's service directory for monitor discovery. *)
+                the bridge's service directory for monitor discovery. The
+                advertisement is recorded on the handle so shutdown
+                withdraws it. *)
              (match spec.Boot_spec.metrics_port with
              | None -> ()
              | Some port ->
@@ -115,14 +218,24 @@ let boot hv ts (spec : Boot_spec.t) ~main =
                  ignore (Net_metrics.mount sim ~dom ~port d.stack)
                | Sockets h ->
                  ignore (Host_metrics.mount sim ~dom ~port h));
-               Netsim.Bridge.advertise spec.Boot_spec.bridge
-                 ~name:
-                   (Printf.sprintf "%s.%d" spec.Boot_spec.config.Config.app_name
-                      dom.Xensim.Domain.id)
+               let ad =
+                 Printf.sprintf "%s.%d" spec.Boot_spec.config.Config.app_name
+                   dom.Xensim.Domain.id
+               in
+               Handle.add_advertisement handle ad;
+               Netsim.Bridge.advertise spec.Boot_spec.bridge ~name:ad
                  ~ip:(Netstack.Ipaddr.to_string (address networked))
                  ~port);
              Trace.finish boot_span;
-             wakeup result_waker networked;
-             main networked))
+             wakeup result_waker handle;
+             main handle))
        ())
     (fun _unikernel -> result)
+
+(* Deprecated thin wrapper (one release, mirroring the boot_networked
+   precedent): projects the handle away for callers that only ever wanted
+   the network plumbing. *)
+let boot hv ts spec ~main =
+  Mthread.Promise.bind
+    (start hv ts spec ~main:(fun h -> main (Handle.networked h)))
+    (fun h -> Mthread.Promise.return (Handle.networked h))

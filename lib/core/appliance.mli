@@ -15,6 +15,10 @@ val openflow_controller : ?aslr_seed:int -> unit -> Config.t
     store); not part of Table 2. *)
 val monitor_appliance : ?aslr_seed:int -> unit -> Config.t
 
+(** The L4 load-balancer unikernel of the fleet plane (forwarder + HTTP
+    client for health checks); not part of Table 2. *)
+val lb_appliance : ?aslr_seed:int -> unit -> Config.t
+
 (** All four, in Table 2 order, with their display names. *)
 val table2 : unit -> (string * Config.t) list
 
@@ -38,15 +42,81 @@ val address : networked -> Netstack.Ipaddr.t
 (** The socket layer when the appliance runs on [Posix_sockets]. *)
 val hostnet : networked -> Hostnet.t option
 
-(** [boot hv ts spec ~main] boots the unikernel described by [spec],
+(** A running appliance as a first-class value: the network plumbing plus
+    the lifecycle. Fleet control (the orchestrator's scale-in path, test
+    teardown) needs domains that can be retired as cheaply as they boot;
+    the handle owns that teardown and undoes at death everything boot did
+    — advertisements withdrawn from the service directory, vif detached
+    from the bridge, domain destroyed. *)
+module Handle : sig
+  type t
+
+  type status =
+    | Running
+    | Draining  (** no longer accepting work; finishing requests in flight *)
+    | Stopped
+
+  val status : t -> status
+  val status_name : status -> string
+
+  (** The network plumbing, as [boot] used to return it. *)
+  val networked : t -> networked
+
+  val unikernel : t -> Unikernel.t
+  val domain : t -> Xensim.Domain.t
+  val stack : t -> Netstack.Stack.t
+  val netif : t -> Devices.Netif.t
+  val address : t -> Netstack.Ipaddr.t
+  val hostnet : t -> Hostnet.t option
+
+  (** The appliance name from the spec's config. *)
+  val name : t -> string
+
+  val spec : t -> Boot_spec.t
+
+  (** Resolves once the appliance reaches [Stopped]. Appliance mains that
+      should live exactly as long as the domain return this. *)
+  val stopped : t -> unit Mthread.Promise.t
+
+  (** Register a graceful-stop hook, typically a server's [drain]
+      ([Uhttp.Server], [Dns.Server]). All hooks run concurrently when
+      {!drain} is called; {!shutdown} skips them. *)
+  val on_drain : t -> (unit -> unit Mthread.Promise.t) -> unit
+
+  (** Record an extra service-directory advertisement to withdraw at
+      death (the /metrics advertisement from [Boot_spec.metrics_port] is
+      recorded automatically). *)
+  val add_advertisement : t -> string -> unit
+
+  (** Immediate stop: withdraw advertisements, detach the vif (frames in
+      flight vanish), destroy the domain with exit code 0. Idempotent. *)
+  val shutdown : t -> unit Mthread.Promise.t
+
+  (** Graceful stop: withdraw advertisements at once (no new discovery),
+      run every {!on_drain} hook — stop accepting, finish requests in
+      flight byte-identically — then {!shutdown}. Resolves when the
+      appliance is [Stopped]. Idempotent. *)
+  val drain : t -> unit Mthread.Promise.t
+end
+
+(** [start hv ts spec ~main] boots the unikernel described by [spec],
     attaches a NIC on its bridge, brings up the target's network backend
     (static address or DHCP per [spec.ip]) and runs [main] once the
-    network is ready. The returned promise resolves as soon as the stack
-    is up; [main] keeps running in the appliance. Emits an
-    [appliance.boot] trace span. *)
+    network is ready. The returned promise resolves with the lifecycle
+    handle as soon as the stack is up; [main] keeps running in the
+    appliance (mains that should live until retirement end with
+    [Handle.stopped]). Emits an [appliance.boot] trace span. *)
+val start :
+  Xensim.Hypervisor.t ->
+  Xensim.Toolstack.t ->
+  Boot_spec.t ->
+  main:(Handle.t -> int Mthread.Promise.t) ->
+  Handle.t Mthread.Promise.t
+
 val boot :
   Xensim.Hypervisor.t ->
   Xensim.Toolstack.t ->
   Boot_spec.t ->
   main:(networked -> int Mthread.Promise.t) ->
   networked Mthread.Promise.t
+[@@ocaml.deprecated "use Appliance.start, which returns a lifecycle Handle"]

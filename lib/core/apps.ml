@@ -15,6 +15,9 @@ module Net = struct
   module Baseline = Baseline.Appliances.Make (Netstack.Device.Tcp)
   module Metrics = Uhttp.Metrics_export.Make (Netstack.Device)
   module Monitor = Monitor.Make (Netstack.Device.Tcp)
+  module Loadgen = Lb.Loadgen.Make (Netstack.Device.Tcp)
+  module Orchestrator = Orchestrator.Make (Netstack.Device.Tcp)
+  module Lb = Lb.Balancer.Make (Netstack.Device.Tcp)
 end
 
 module Host = struct
@@ -26,4 +29,7 @@ module Host = struct
   module Baseline = Baseline.Appliances.Make (Hostnet.Device.Tcp)
   module Metrics = Uhttp.Metrics_export.Make (Hostnet.Device)
   module Monitor = Monitor.Make (Hostnet.Device.Tcp)
+  module Loadgen = Lb.Loadgen.Make (Hostnet.Device.Tcp)
+  module Orchestrator = Orchestrator.Make (Hostnet.Device.Tcp)
+  module Lb = Lb.Balancer.Make (Hostnet.Device.Tcp)
 end

@@ -15,3 +15,17 @@ let make ~backend_dom ~bridge ~config ?(mode = `Async) ?(mem_mib = 32) ?ip
     ?(target = Target.Xen_direct) ?metrics_port () =
   if mem_mib <= 0 then invalid_arg "Boot_spec.make: mem_mib must be positive";
   { backend_dom; bridge; config; mode; mem_mib; ip; target; metrics_port }
+
+(* Stamp out replica N+1 from a template: same library configuration and
+   placement, fresh identity. The ASR seed is re-derived from the replica
+   name so every clone links a differently-randomised image (each
+   deployment gets its own layout, §2.3.4) while staying deterministic
+   for a deterministic name sequence. *)
+let clone t ~name ?ip ?aslr_seed () =
+  let aslr_seed =
+    match aslr_seed with
+    | Some s -> s
+    | None -> (t.config.Config.aslr_seed + Hashtbl.hash name) land 0xffffff
+  in
+  let config = { t.config with Config.app_name = name; aslr_seed } in
+  { t with config; ip = (match ip with Some _ -> ip | None -> t.ip) }

@@ -34,3 +34,11 @@ val make :
   ?metrics_port:int ->
   unit ->
   t
+
+(** [clone t ~name ?ip ()] stamps out a fleet replica from a template
+    spec: same libraries, bridge, target and metrics port, but a fresh
+    appliance name, its own address, and an ASR seed re-derived from the
+    name (each replica links a differently-randomised image,
+    deterministically). The orchestrator uses this to boot shard N+1
+    without rebuilding a spec by hand. *)
+val clone : t -> name:string -> ?ip:Netstack.Ipv4.config -> ?aslr_seed:int -> unit -> t

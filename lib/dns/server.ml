@@ -48,11 +48,13 @@ module Make (U : Device_sig.UDP) = struct
     sim : Engine.Sim.t;
     dom : Xensim.Domain.t option;
     udp : U.t;
+    port : int;
     db : Db.t;
     engine : engine;
     memo : Memo.t option;
     mutable served : int;
     mutable decode_failures : int;
+    mutable draining : bool;
   }
 
   let charge t ~memo_hit =
@@ -127,11 +129,24 @@ module Make (U : Device_sig.UDP) = struct
 
   let create sim ?dom ~udp ?(port = 53) ~db ~engine () =
     let memo = match engine with Mirage { memoize = true } -> Some (Memo.create ()) | _ -> None in
-    let t = { sim; dom; udp; db; engine; memo; served = 0; decode_failures = 0 } in
+    let t =
+      { sim; dom; udp; port; db; engine; memo; served = 0; decode_failures = 0; draining = false }
+    in
     U.listen udp ~port (fun ~src ~src_port ~dst_port ~payload ->
         handle t ~src ~src_port ~dst_port ~payload);
     t
 
+  (* Datagram drain is immediate: unlisten, and any answer already being
+     charged to the vCPU still goes out ([respond] holds the socket, not
+     the listener). Idempotent. *)
+  let drain t =
+    if not t.draining then begin
+      t.draining <- true;
+      U.unlisten t.udp ~port:t.port
+    end;
+    Mthread.Promise.return ()
+
+  let draining t = t.draining
   let queries_served t = t.served
   let decode_failures t = t.decode_failures
   let memo t = t.memo

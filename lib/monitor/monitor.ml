@@ -280,6 +280,17 @@ module Make (T : Device_sig.TCP) = struct
         }
         :: t.targets
 
+  (* Forget a retired target (orchestrator scale-in): its series go with
+     it, and its outstanding alerts resolve now — nothing will ever
+     evaluate them again, and a permanently-firing ghost alert would pin
+     any controller watching the alert list. *)
+  let remove_target t ~name =
+    let now = Engine.Sim.now t.sim in
+    List.iter
+      (fun a -> if a.al_target = name && a.al_resolved_ns = None then a.al_resolved_ns <- Some now)
+      t.alerts;
+    t.targets <- List.filter (fun tg -> tg.tg_name <> name) t.targets
+
   let targets t = List.rev t.targets
   let alerts t = List.rev t.alerts
   let rounds t = t.rounds

@@ -100,6 +100,9 @@ type nic = {
   mutable ge_bad : bool;
   mutable ge_last_ns : int;
   mutable fault_nth : int;
+  (* false once the port is detached (its domain destroyed): frames from
+     it vanish at the wire and the bridge never delivers to it again. *)
+  mutable attached : bool;
 }
 
 and bridge = {
@@ -139,8 +142,10 @@ module Nic = struct
   let set_rx t f = t.rx <- Some f
 
   let deliver t frame =
-    t.frames_received <- t.frames_received + 1;
-    match t.rx with None -> () | Some f -> f frame
+    if t.attached then begin
+      t.frames_received <- t.frames_received + 1;
+      match t.rx with None -> () | Some f -> f frame
+    end
 
   (* Bridge-side arrival: tap, learn the source port, forward or flood. *)
   let forward b src_nic frame ~time =
@@ -186,6 +191,8 @@ module Nic = struct
   let send t frame =
     let len = Bytestruct.length frame in
     if len < 14 then invalid_arg "Netsim: frame shorter than an Ethernet header";
+    if not t.attached then ()
+    else
     let b = t.bridge in
     t.frames_sent <- t.frames_sent + 1;
     t.bytes_sent <- t.bytes_sent + len;
@@ -313,10 +320,22 @@ module Bridge = struct
         ge_bad = false;
         ge_last_ns = 0;
         fault_nth = 0;
+        attached = true;
       }
     in
     t.nics <- nic :: t.nics;
     nic
+
+  (* Unplug a port: the NIC stops sending and receiving, its learned
+     table entries are flushed, and it leaves the flood set. Models the
+     toolstack tearing down a destroyed domain's vif. *)
+  let detach t nic =
+    nic.attached <- false;
+    nic.rx <- None;
+    t.nics <- List.filter (fun n -> n != nic) t.nics;
+    Hashtbl.iter
+      (fun mac port -> if port == nic then Hashtbl.remove t.table mac)
+      (Hashtbl.copy t.table)
 
   let set_loss _t nic p = nic.loss <- p
 
@@ -349,6 +368,11 @@ module Bridge = struct
      addresses. Re-advertising a name replaces the entry. *)
   let advertise t ~name ~ip ~port =
     t.services <- (name, ip, port) :: List.filter (fun (n, _, _) -> n <> name) t.services
+
+  (* Deregistration on domain shutdown: a destroyed exporter must not
+     linger in the directory, or the monitor keeps scraping a corpse
+     (stale-series → rate-0 masks the death). *)
+  let withdraw t ~name = t.services <- List.filter (fun (n, _, _) -> n <> name) t.services
 
   (* Advertisement order (oldest first): deterministic for a deterministic
      boot sequence. *)

@@ -123,6 +123,11 @@ module Bridge : sig
       injection for the TCP tests). *)
   val set_loss : t -> Nic.t -> float -> unit
 
+  (** [detach t nic] unplugs a port: the NIC stops sending and receiving,
+      its learned MAC entries are flushed, and it leaves the flood set —
+      the toolstack tearing down a destroyed domain's vif. Idempotent. *)
+  val detach : t -> Nic.t -> unit
+
   (** [set_faults t nic f] installs a fault schedule on a link (replacing
       any previous one) and re-seeds the link's fault PRNG by splitting the
       bridge PRNG, so each installation starts a fresh deterministic
@@ -145,6 +150,11 @@ module Bridge : sig
       monitor appliance discovers its scrape targets here. Re-advertising
       a name replaces the entry. *)
   val advertise : t -> name:string -> ip:string -> port:int -> unit
+
+  (** [withdraw t ~name] removes a directory entry. Appliance shutdown
+      calls this so a destroyed exporter cannot linger as a scrape target
+      (the stale-series → rate-0 path would otherwise mask its death). *)
+  val withdraw : t -> name:string -> unit
 
   (** Advertised services, oldest first (deterministic for a
       deterministic boot sequence). *)

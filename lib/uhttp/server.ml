@@ -10,11 +10,20 @@ module Make (T : Device_sig.TCP) = struct
     dom : Xensim.Domain.t option;
     per_request_cost_ns : int;
     handler : handler;
+    on_request : (latency_ns:int -> unit) option;
     mutable requests : int;
     mutable connections : int;
     mutable bad : int;
     mutable bytes_sent : int;
     m_latency : Trace.Metrics.metric;  (* http_request_ns summary *)
+    (* drain state: a draining server has unlistened its port, finishes
+       the request in flight on each open connection byte-for-byte, then
+       closes instead of continuing the keep-alive loop. *)
+    mutable bound : (T.t * int) option;
+    mutable active : int;  (* connections currently being served *)
+    mutable flows : (T.flow * bool ref) list;  (* open connections; flag = request in flight *)
+    mutable draining : bool;
+    mutable drained_wakers : unit Mthread.Promise.u list;
   }
 
   let ( >>= ) = Mthread.Promise.bind
@@ -29,7 +38,7 @@ module Make (T : Device_sig.TCP) = struct
           (int_of_float
              (float_of_int t.per_request_cost_ns *. d.Xensim.Domain.platform.Platform.app_factor))
 
-  let serve_flow t flow =
+  let serve_flow t ~busy flow =
     let reader = Device_sig.Reader.create ~read:(fun () -> T.read flow) in
     let rec loop () =
       Mthread.Promise.catch
@@ -37,6 +46,7 @@ module Make (T : Device_sig.TCP) = struct
           Http_wire.read_request reader >>= function
           | None -> T.close flow
           | Some req ->
+            busy := true;
             t.requests <- t.requests + 1;
             let started = Engine.Sim.now t.sim in
             (* The span opens under the causal flow of the frame that
@@ -66,8 +76,11 @@ module Make (T : Device_sig.TCP) = struct
             t.bytes_sent <- t.bytes_sent + Bytestruct.length data;
             T.write flow data >>= fun () ->
             Trace.finish sp;
-            Trace.Metrics.observe t.m_latency (Engine.Sim.now t.sim - started);
-            if ka then loop () else T.close flow)
+            let latency_ns = Engine.Sim.now t.sim - started in
+            Trace.Metrics.observe t.m_latency latency_ns;
+            (match t.on_request with None -> () | Some f -> f ~latency_ns);
+            busy := false;
+            if ka && not t.draining then loop () else T.close flow)
         (function
           | Http_wire.Bad_request _ ->
             t.bad <- t.bad + 1;
@@ -82,7 +95,8 @@ module Make (T : Device_sig.TCP) = struct
   (* [register_metrics:false] keeps this server instance out of the
      registry — the /metrics exposition endpoint itself uses it so scrape
      traffic does not overwrite the workload server's per-domain entries. *)
-  let create_detached sim ?dom ?(register_metrics = true) ?(per_request_cost_ns = 25_000) handler =
+  let create_detached sim ?dom ?(register_metrics = true) ?(per_request_cost_ns = 25_000)
+      ?on_request handler =
     let mid = Option.map (fun d -> d.Xensim.Domain.id) dom in
     let registered = register_metrics && Trace.Metrics.enabled () in
     let m_latency =
@@ -95,11 +109,17 @@ module Make (T : Device_sig.TCP) = struct
         dom;
         per_request_cost_ns;
         handler;
+        on_request;
         requests = 0;
         connections = 0;
         bad = 0;
         bytes_sent = 0;
         m_latency;
+        bound = None;
+        active = 0;
+        flows = [];
+        draining = false;
+        drained_wakers = [];
       }
     in
     if registered then begin
@@ -113,21 +133,58 @@ module Make (T : Device_sig.TCP) = struct
     end;
     t
 
+  let note_idle t =
+    if t.active = 0 && t.draining then begin
+      let ws = t.drained_wakers in
+      t.drained_wakers <- [];
+      List.iter (fun w -> Mthread.Promise.wakeup w ()) ws
+    end
+
   let handle_flow t flow =
     t.connections <- t.connections + 1;
-    serve_flow t flow
+    t.active <- t.active + 1;
+    let busy = ref false in
+    t.flows <- (flow, busy) :: t.flows;
+    Mthread.Promise.finalize
+      (fun () -> serve_flow t ~busy flow)
+      (fun () ->
+        t.active <- t.active - 1;
+        t.flows <- List.filter (fun (f, _) -> f != flow) t.flows;
+        note_idle t;
+        return ())
 
-  let create sim ?dom ?register_metrics ?per_request_cost_ns ~tcp ~port handler =
-    let t = create_detached sim ?dom ?register_metrics ?per_request_cost_ns handler in
+  let create sim ?dom ?register_metrics ?per_request_cost_ns ?on_request ~tcp ~port handler =
+    let t = create_detached sim ?dom ?register_metrics ?per_request_cost_ns ?on_request handler in
+    t.bound <- Some (tcp, port);
     T.listen tcp ~port (fun flow -> handle_flow t flow);
     t
 
-  let of_router sim ?dom ?register_metrics ?per_request_cost_ns ~tcp ~port router =
-    create sim ?dom ?register_metrics ?per_request_cost_ns ~tcp ~port (fun req ->
+  let of_router sim ?dom ?register_metrics ?per_request_cost_ns ?on_request ~tcp ~port router =
+    create sim ?dom ?register_metrics ?per_request_cost_ns ?on_request ~tcp ~port (fun req ->
         match Router.dispatch router req.Http_wire.meth req.Http_wire.path with
         | Some handler_result -> handler_result req
         | None -> return (Http_wire.response ~status:404 "not found"))
 
+  (* Stop accepting (close the listener), finish every request in flight
+     byte-identically, reset connections parked between keep-alive
+     requests (nothing of theirs is lost; a half-sent request head is the
+     client's to retry, as with any real server close race), then
+     resolve. Idempotent. *)
+  let drain t =
+    if not t.draining then begin
+      t.draining <- true;
+      (match t.bound with Some (tcp, port) -> T.unlisten tcp ~port | None -> ());
+      List.iter (fun (flow, busy) -> if not !busy then T.abort flow) t.flows
+    end;
+    if t.active = 0 then return ()
+    else begin
+      let p, w = Mthread.Promise.wait () in
+      t.drained_wakers <- w :: t.drained_wakers;
+      p
+    end
+
+  let draining t = t.draining
+  let active_connections t = t.active
   let requests_served t = t.requests
   let connections_accepted t = t.connections
   let bad_requests t = t.bad

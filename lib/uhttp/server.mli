@@ -17,12 +17,19 @@ module Make (T : Device_sig.TCP) : sig
       registers per-domain request/connection/error/bytes counters plus
       an [http_request_ns] latency summary; [register_metrics:false]
       opts an instance out (the /metrics exposition server uses this so
-      scrape traffic does not pollute the workload's series). *)
+      scrape traffic does not pollute the workload's series).
+
+      [on_request] is invoked after each response is accepted by the
+      transport with the request's end-to-end service latency (parse →
+      vCPU queueing → handler → render → write); the fleet scenarios hang
+      windowed-percentile gauges off it without touching the cumulative
+      metrics summary. *)
   val create :
     Engine.Sim.t ->
     ?dom:Xensim.Domain.t ->
     ?register_metrics:bool ->
     ?per_request_cost_ns:int ->
+    ?on_request:(latency_ns:int -> unit) ->
     tcp:T.t ->
     port:int ->
     handler ->
@@ -36,6 +43,7 @@ module Make (T : Device_sig.TCP) : sig
     ?dom:Xensim.Domain.t ->
     ?register_metrics:bool ->
     ?per_request_cost_ns:int ->
+    ?on_request:(latency_ns:int -> unit) ->
     handler ->
     t
 
@@ -48,10 +56,23 @@ module Make (T : Device_sig.TCP) : sig
     ?dom:Xensim.Domain.t ->
     ?register_metrics:bool ->
     ?per_request_cost_ns:int ->
+    ?on_request:(latency_ns:int -> unit) ->
     tcp:T.t ->
     port:int ->
     (Http_wire.request -> Http_wire.response Mthread.Promise.t) Router.t ->
     t
+
+  (** Graceful drain ([Core.Appliance.Handle.drain]'s server hook): close
+      the listener, finish the request in flight on every connection
+      byte-identically, reset connections idle between keep-alive
+      requests, and resolve once no connection remains. Idempotent; a
+      drained server never serves again. *)
+  val drain : t -> unit Mthread.Promise.t
+
+  val draining : t -> bool
+
+  (** Connections currently open (serving or parked). *)
+  val active_connections : t -> int
 
   val requests_served : t -> int
   val connections_accepted : t -> int

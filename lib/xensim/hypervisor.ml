@@ -44,8 +44,8 @@ let seal t d =
   t.stats.Xstats.seals <- t.stats.Xstats.seals + 1;
   if Trace.enabled () then Trace.emit ~dom:d.Domain.id ~cat:Trace.Boot "domain.seal"
 
-let destroy t d =
-  Domain.shutdown d ~exit_code:(-1);
+let destroy ?(exit_code = -1) t d =
+  Domain.shutdown d ~exit_code;
   t.domains <- List.filter (fun x -> x != d) t.domains
 
 let domain_count t = List.length t.domains

@@ -33,6 +33,9 @@ val domain : t -> int -> Domain.t option
     @raise Pagetable.Sealed_violation on a double seal. *)
 val seal : t -> Domain.t -> unit
 
-val destroy : t -> Domain.t -> unit
+(** Remove the domain from the domain table and mark it shut down.
+    [exit_code] defaults to [-1] (killed); an orderly teardown
+    ([Appliance.Handle.shutdown]) passes [0]. *)
+val destroy : ?exit_code:int -> t -> Domain.t -> unit
 
 val domain_count : t -> int

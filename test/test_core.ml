@@ -230,12 +230,13 @@ let test_networked_appliance_answers_ping () =
   in
   let networked =
     run w
-      (Core.Appliance.boot w.hv ts
+      (Core.Appliance.start w.hv ts
          (Core.Boot_spec.make ~backend_dom:w.dom0 ~bridge:w.bridge
             ~config:(Core.Appliance.dns_appliance ()) ~ip:ip_cfg ())
-         ~main:(fun _n ->
+         ~main:(fun _h ->
            (* appliance idles; serving happens through the stack *)
            P.sleep w.sim (Engine.Sim.sec 3600) >>= fun () -> P.return 0))
+    |> Core.Appliance.Handle.networked
   in
   let rtt =
     run w

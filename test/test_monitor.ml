@@ -46,18 +46,19 @@ let scenario ?(seed = 42) ?(flap = false) () =
       P.return (Uhttp.Http_wire.response ~status:200 (String.make 512 'x')));
   let boot_web i =
     run w
-      (Core.Appliance.boot w.hv ts
+      (Core.Appliance.start w.hv ts
          (Core.Boot_spec.make ~backend_dom:w.dom0 ~bridge:w.bridge
             ~config:(Core.Appliance.web_server ~aslr_seed:(0x3eb + i) ())
             ~ip:(static_ip (Printf.sprintf "10.0.0.%d" (10 + i)))
             ~metrics_port:9100 ())
-         ~main:(fun n ->
-           let dom = n.Core.Appliance.unikernel.Core.Unikernel.domain in
+         ~main:(fun h ->
+           let dom = Core.Appliance.Handle.domain h in
            ignore
              (Core.Apps.Net.Http.of_router w.sim ~dom
-                ~tcp:(Netstack.Stack.tcp (Core.Appliance.stack n))
+                ~tcp:(Netstack.Stack.tcp (Core.Appliance.Handle.stack h))
                 ~port:80 router);
            P.sleep w.sim (Engine.Sim.sec 3600) >>= fun () -> P.return 0))
+    |> Core.Appliance.Handle.networked
   in
   let webs = List.init n_webs boot_web in
   let client = make_host w ~platform:Platform.linux_native ~account_cpu:false ~name:"load" ~ip:"10.0.0.9" () in

@@ -20,12 +20,13 @@ let static_ip s =
 
 let boot_appliance w ts ~target ~config ~serve =
   run w
-    (Core.Appliance.boot w.hv ts
+    (Core.Appliance.start w.hv ts
        (Core.Boot_spec.make ~backend_dom:w.dom0 ~bridge:w.bridge ~config
           ~ip:(static_ip appliance_ip) ~target ())
-       ~main:(fun n ->
-         serve n;
+       ~main:(fun h ->
+         serve (Core.Appliance.Handle.networked h);
          P.sleep w.sim (Engine.Sim.sec 3600) >>= fun () -> P.return 0))
+  |> Core.Appliance.Handle.networked
 
 (* ---- DNS: scripted query sequence, raw payload capture ---- *)
 

@@ -346,10 +346,11 @@ let test_appliance_boot_trace () =
       in
       let networked =
         run w
-          (Core.Appliance.boot w.hv ts
+          (Core.Appliance.start w.hv ts
              (Core.Boot_spec.make ~backend_dom:w.dom0 ~bridge:w.bridge
                 ~config:(Core.Appliance.dns_appliance ()) ~ip ())
              ~main:(fun _ -> P.return 0))
+        |> Core.Appliance.Handle.networked
       in
       Engine.Sim.run w.sim;
       check_bool "booted" true

@@ -1,0 +1,129 @@
+#!/bin/sh
+# Regression gate over `bench --out` JSON-lines snapshots.
+#
+# Compares a freshly measured run against a committed baseline and fails
+# (exit 1) when any named metric regresses by more than the tolerance
+# (default 20%, override with BENCH_GATE_TOLERANCE=0.30 etc.).
+#
+# Usage:
+#   tools/bench_gate.sh BASELINE.json CURRENT.json [SPEC...]
+#
+#   SPEC = figure:metric:direction
+#     direction 'lower'  — lower is better; fail when current > baseline*(1+tol)
+#     direction 'higher' — higher is better; fail when current < baseline*(1-tol)
+#
+# With no SPECs the default set below gates the fleet scenario's
+# deterministic virtual-time metrics. Wall-clock metrics (the 'micro'
+# figure) are machine-dependent: snapshot them for reference, but only
+# gate them explicitly, on hardware you control, e.g.
+#
+#   dune exec bench/main.exe -- fleet --out /tmp/now.json
+#   tools/bench_gate.sh BENCH_fleet.json /tmp/now.json
+#
+set -u
+
+if [ $# -lt 2 ]; then
+  sed -n '2,21p' "$0" | sed 's/^# \{0,1\}//'
+  exit 2
+fi
+
+baseline=$1
+current=$2
+shift 2
+
+tol=${BENCH_GATE_TOLERANCE:-0.20}
+
+if [ ! -f "$baseline" ]; then
+  echo "bench_gate: baseline $baseline not found" >&2
+  exit 2
+fi
+if [ ! -f "$current" ]; then
+  echo "bench_gate: current $current not found" >&2
+  exit 2
+fi
+
+# Default gate: the fleet scenario runs in simulated virtual time, so on
+# any machine these numbers depend only on the seed. A >20% drift means
+# the behaviour changed, not the hardware.
+if [ $# -eq 0 ]; then
+  set -- \
+    'fleet:fleet/hold-p99:lower' \
+    'fleet:fleet/whole-run-p99:lower' \
+    'fleet:fleet/p99-ratio-vs-baseline:lower' \
+    'fleet:fleet/requests-ok:higher' \
+    'fleet:fleet/requests-lost:lower' \
+    'fleet:fleet/peak-shards:lower'
+fi
+
+# Pull "value" for one figure/metric out of a JSON-lines snapshot
+# (the fixed one-object-per-line format bench/util.ml writes).
+lookup() {
+  # $1 = file, $2 = figure, $3 = metric
+  awk -v fig="\"figure\": \"$2\"" -v met="\"metric\": \"$3\"" '
+    index($0, fig) && index($0, met) {
+      if (match($0, /"value": [-0-9.e+]+|"value": null/)) {
+        v = substr($0, RSTART + 9, RLENGTH - 9)
+        print v
+        exit
+      }
+    }' "$1"
+}
+
+fails=0
+checked=0
+
+for spec in "$@"; do
+  figure=${spec%%:*}
+  rest=${spec#*:}
+  metric=${rest%:*}
+  direction=${rest##*:}
+  case "$direction" in
+  lower | higher) ;;
+  *)
+    echo "bench_gate: bad spec '$spec' (want figure:metric:lower|higher)" >&2
+    exit 2
+    ;;
+  esac
+
+  base=$(lookup "$baseline" "$figure" "$metric")
+  cur=$(lookup "$current" "$figure" "$metric")
+
+  if [ -z "$base" ] || [ "$base" = null ]; then
+    echo "bench_gate: $figure $metric missing from baseline $baseline" >&2
+    fails=$((fails + 1))
+    continue
+  fi
+  if [ -z "$cur" ] || [ "$cur" = null ]; then
+    echo "bench_gate: $figure $metric missing from current $current" >&2
+    fails=$((fails + 1))
+    continue
+  fi
+
+  checked=$((checked + 1))
+  verdict=$(awk -v b="$base" -v c="$cur" -v t="$tol" -v d="$direction" '
+    BEGIN {
+      if (d == "lower") {
+        limit = (b >= 0) ? b * (1 + t) : b * (1 - t)
+        bad = (c > limit)
+      } else {
+        limit = (b >= 0) ? b * (1 - t) : b * (1 + t)
+        bad = (c < limit)
+      }
+      printf "%s %.6g", bad ? "FAIL" : "ok", limit
+    }')
+  status=${verdict%% *}
+  limit=${verdict#* }
+
+  if [ "$status" = FAIL ]; then
+    echo "FAIL $figure $metric: $cur vs baseline $base ($direction is better, limit $limit)"
+    fails=$((fails + 1))
+  else
+    echo "  ok $figure $metric: $cur (baseline $base, limit $limit)"
+  fi
+done
+
+if [ "$fails" -gt 0 ]; then
+  echo "bench_gate: $fails of $((checked + fails)) gated metrics regressed past ${tol} tolerance"
+  exit 1
+fi
+echo "bench_gate: all $checked gated metrics within ${tol} tolerance"
