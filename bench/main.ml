@@ -23,6 +23,7 @@ let experiments =
     ("ablation", "design-choice ablations", Ablation.run);
     ("chaos", "TCP chaos matrix: fault schedules x seeds", Chaos.run);
     ("fleet", "LB + autoscaler under a 100x open-loop ramp", Fleet_bench.run);
+    ("bootstorm", "10^2..10^4-domain cold-start storms to first response", Bootstorm.run);
     ("micro", "real-time microbenchmarks", Micro.run);
     ("trace-guard", "disabled-tracing overhead guard", Micro.trace_guard);
     ("monitor-guard", "disabled-metrics overhead + figure-8 invariance guard", Micro.monitor_guard);

@@ -5,7 +5,7 @@
 
 open Cmdliner
 
-let run_fleet seed peak_rps duration_scale policy trace_out =
+let run_fleet seed peak_rps duration_scale policy scale_to_zero trace_out =
   (if trace_out <> None then Trace.enable ~capacity:(1 lsl 18) () else Trace.enable ());
   let scale n = n * duration_scale / 100 in
   let d = Fleet.defaults in
@@ -15,6 +15,7 @@ let run_fleet seed peak_rps duration_scale policy trace_out =
       Fleet.seed;
       peak_rps;
       policy;
+      scale_to_zero;
       warm_ns = scale d.Fleet.warm_ns;
       ramp_up_ns = scale d.Fleet.ramp_up_ns;
       hold_ns = scale d.Fleet.hold_ns;
@@ -22,11 +23,18 @@ let run_fleet seed peak_rps duration_scale policy trace_out =
       tail_ns = scale d.Fleet.tail_ns;
     }
   in
-  Printf.printf "fleet: %.0f -> %.0f rps (%.0fx ramp), policy %s, seed %d\n"
-    p.Fleet.base_rps p.Fleet.peak_rps
-    (p.Fleet.peak_rps /. p.Fleet.base_rps)
-    (Lb.Balancer.policy_name p.Fleet.policy)
-    seed;
+  if scale_to_zero then
+    Printf.printf "fleet: scale-to-zero, %.0f rps bursts with %.0f s idle gaps, policy %s, seed %d\n"
+      p.Fleet.s2z_burst_rps
+      (float_of_int p.Fleet.s2z_gap_ns /. 1e9)
+      (Lb.Balancer.policy_name p.Fleet.policy)
+      seed
+  else
+    Printf.printf "fleet: %.0f -> %.0f rps (%.0fx ramp), policy %s, seed %d\n"
+      p.Fleet.base_rps p.Fleet.peak_rps
+      (p.Fleet.peak_rps /. p.Fleet.base_rps)
+      (Lb.Balancer.policy_name p.Fleet.policy)
+      seed;
   let o = Fleet.run p in
 
   Printf.printf "\n-- scale events --\n";
@@ -63,6 +71,10 @@ let run_fleet seed peak_rps duration_scale policy trace_out =
     o.Fleet.o_scale_outs o.Fleet.o_scale_ins o.Fleet.o_peak_shards o.Fleet.o_final_shards;
   Printf.printf "  population : ~%d simulated users at peak (Little's law)\n"
     o.Fleet.o_peak_population;
+  if scale_to_zero then
+    Printf.printf "  cold start : %d boots from zero, %d flows parked, longest park %.2f ms\n"
+      o.Fleet.o_cold_starts o.Fleet.o_held
+      (Engine.Sim.to_ms o.Fleet.o_held_wait_max_ns);
   Printf.printf "  domains    : %d left in the hypervisor table (retired shards are gone)\n"
     o.Fleet.o_domains_left;
 
@@ -108,4 +120,14 @@ let cmd =
       & opt (some string) None
       & info [ "trace" ] ~docv:"FILE" ~doc:"Write the run's event trace to $(docv) as JSON lines.")
   in
-  Cmd.v (Cmd.info "fleet" ~doc) Term.(const run_fleet $ seed $ peak $ duration $ policy $ trace_out)
+  let scale_to_zero =
+    Arg.(
+      value & flag
+      & info [ "scale-to-zero" ]
+          ~doc:
+            "Replace the ramp with idle/burst cycles: the fleet starts at zero shards, the LB \
+             parks the first request of each burst while the orchestrator boots from zero, and \
+             idle gaps reap the pool back to zero.")
+  in
+  Cmd.v (Cmd.info "fleet" ~doc)
+    Term.(const run_fleet $ seed $ peak $ duration $ policy $ scale_to_zero $ trace_out)

@@ -132,6 +132,7 @@ module Handle = struct
       t.h_status <- Stopped;
       List.iter (fun ad -> Netsim.Bridge.withdraw t.h_spec.Boot_spec.bridge ~name:ad) t.h_ads;
       Netsim.Bridge.detach t.h_spec.Boot_spec.bridge (Devices.Netif.nic (netif t));
+      Devices.Netif.disconnect (netif t);
       emit_lifecycle t "appliance.shutdown";
       Xensim.Hypervisor.destroy ~exit_code:0 t.h_hv (domain t);
       Mthread.Promise.wakeup t.h_stopped_w ());
@@ -176,17 +177,19 @@ let start hv ts (spec : Boot_spec.t) ~main =
            | Some static -> Netstack.Stack.Static static
            | None -> Netstack.Stack.Dhcp
          in
+         let announce = not spec.Boot_spec.quiet_net in
          let net =
            match spec.Boot_spec.target with
            | Target.Xen_direct ->
              let netif =
-               Devices.Netif.connect hv ~dom ~backend_dom:spec.Boot_spec.backend_dom ~nic ()
+               Devices.Netif.connect hv ~dom ~backend_dom:spec.Boot_spec.backend_dom ~nic
+                 ~rx_slots:spec.Boot_spec.rx_slots ()
              in
-             bind (Netstack.Stack.create sim ~dom ~netif cfg) (fun stack ->
+             bind (Netstack.Stack.create sim ~dom ~announce ~netif cfg) (fun stack ->
                  return (Direct { netif; stack }))
            | Target.Posix_direct ->
              let netif = Devices.Netif.connect_direct ~dom ~nic ~frame_tax:true () in
-             bind (Netstack.Stack.create sim ~dom ~netif cfg) (fun stack ->
+             bind (Netstack.Stack.create sim ~dom ~announce ~netif cfg) (fun stack ->
                  return (Direct { netif; stack }))
            | Target.Posix_sockets -> bind (Hostnet.create sim ~dom ~nic cfg) (fun h -> return (Sockets h))
          in

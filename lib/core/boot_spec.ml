@@ -9,12 +9,19 @@ type t = {
   metrics_port : int option;
       (* when set, the appliance mounts a /metrics exposition endpoint on
          this port and advertises it in the bridge's service directory *)
+  quiet_net : bool;
+      (* suppress the gratuitous ARP broadcast at stack bring-up — boot
+         storms pre-seed ARP instead of announcing to 10⁴ ports *)
+  rx_slots : int;
+      (* receive credit the vif posts on its ring (netfront negotiates
+         ring size); smaller rings keep 10⁴-vif storms cheap *)
 }
 
 let make ~backend_dom ~bridge ~config ?(mode = `Async) ?(mem_mib = 32) ?ip
-    ?(target = Target.Xen_direct) ?metrics_port () =
+    ?(target = Target.Xen_direct) ?metrics_port ?(quiet_net = false) ?(rx_slots = 512) () =
   if mem_mib <= 0 then invalid_arg "Boot_spec.make: mem_mib must be positive";
-  { backend_dom; bridge; config; mode; mem_mib; ip; target; metrics_port }
+  if rx_slots < 1 then invalid_arg "Boot_spec.make: rx_slots must be positive";
+  { backend_dom; bridge; config; mode; mem_mib; ip; target; metrics_port; quiet_net; rx_slots }
 
 (* Stamp out replica N+1 from a template: same library configuration and
    placement, fresh identity. The ASR seed is re-derived from the replica

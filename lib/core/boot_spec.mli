@@ -18,6 +18,19 @@ type t = {
           on this port and advertises it in the bridge's service directory
           (see [Netsim.Bridge.advertise]) — one line makes the appliance
           scrapable by the monitor *)
+  quiet_net : bool;
+      (** suppress the gratuitous ARP broadcast a static-IP stack sends
+          at bring-up ([Netstack.Stack.create ~announce:false]). Boot
+          storms set this and pre-seed ARP caches instead: 10⁴
+          simultaneous announcements over a 10⁴-port bridge would be
+          10⁸ frame deliveries before the first request. Default
+          [false] — normal appliances keep announcing. *)
+  rx_slots : int;
+      (** receive credit the vif posts on its ring, as netfront's
+          negotiated ring size. The default (512) absorbs several TCP
+          windows of burst; boot storms use a small ring because 10â´
+          vifs times 511 posted grants is millions of live grant-table
+          entries for appliances that each serve a handful of frames. *)
 }
 
 (** Smart constructor; defaults: [mode = `Async], [mem_mib = 32],
@@ -32,6 +45,8 @@ val make :
   ?ip:Netstack.Ipv4.config ->
   ?target:Target.t ->
   ?metrics_port:int ->
+  ?quiet_net:bool ->
+  ?rx_slots:int ->
   unit ->
   t
 

@@ -36,7 +36,7 @@ type pv = {
   rx_port_front : Xensim.Evtchn.port;
   rx_port_back : Xensim.Evtchn.port;
   tx_pending : (int, tx_pending) Hashtbl.t;
-  rx_posted : (int, Xensim.Gnttab.grant_ref * Bytestruct.t) Hashtbl.t;
+  rx_posted : (int, Xensim.Gnttab.grant_ref * Bytestruct.t Lazy.t) Hashtbl.t;
   rx_spans : (int, Trace.span) Hashtbl.t;  (* backend copy -> guest delivery *)
   rx_flows : (int, Trace.Flow.id) Hashtbl.t;  (* per-slot flow: one evtchn batch mixes flows *)
   rx_avail : (int * Xensim.Gnttab.grant_ref) Queue.t;  (* backend side *)
@@ -142,10 +142,14 @@ let backend_handle_frame t frame =
 (* ---- frontend ---- *)
 
 let post_rx_buffer t =
-  let page = Io_page.alloc t.pool in
+  (* Credit is a promise of a page, not a page: the grant materialises
+     the buffer only when the backend actually copies a frame into it.
+     A vif posts ~511 slots but a storm appliance receives a handful of
+     frames, so eager buffers would pin ~2 MiB per vif. *)
+  let page = lazy (Io_page.alloc t.pool) in
   let gref =
-    Xensim.Gnttab.grant_access (gnttab t) ~dom:t.dom.Xensim.Domain.id
-      ~peer:t.backend_dom.Xensim.Domain.id ~writable:true page
+    Xensim.Gnttab.grant_access_lazy (gnttab t) ~dom:t.dom.Xensim.Domain.id
+      ~peer:t.backend_dom.Xensim.Domain.id ~writable:true (fun () -> Lazy.force page)
   in
   let id = t.next_rx_id in
   t.next_rx_id <- (t.next_rx_id + 1) land 0xffff;
@@ -192,7 +196,8 @@ let frontend_handle_rx_responses t () =
           Hashtbl.remove t.rx_posted id;
           Trace.gauge_add g_rx_posted (-1);
           Xensim.Gnttab.end_access (gnttab t) gref;
-          arrived := (id, page, size) :: !arrived)
+          (* a response means the backend copied into it: materialised *)
+          arrived := (id, Lazy.force page, size) :: !arrived)
   in
   if n > 0 then begin
     let plat = t.dom.Xensim.Domain.platform in
@@ -256,7 +261,11 @@ let connect hv ~dom ~backend_dom ~nic ?(rx_slots = 512) () =
       dom;
       backend_dom;
       nic;
-      pool = Io_page.create ~initial:rx_slots ();
+      (* No pre-allocation: credit posts lazy grants, so pages exist
+         only for frames actually in flight (pool grows on demand and
+         recycles). An eager [rx_slots]-page pool would pin ~2 MiB per
+         vif whether or not a single frame ever arrives. *)
+      pool = Io_page.create ();
       tx_front;
       tx_back;
       rx_front;
@@ -426,6 +435,42 @@ let rec pv_write t frame =
   end
 
 let write t frame = match t with Pv p -> pv_write p frame | Direct d -> direct_write d frame
+
+(* Teardown, audited so nothing here scans other domains' state: close
+   the event channels (which frees the port entries and the backend/
+   frontend handler closures pinning this device), revoke every
+   outstanding grant, and drop posted receive credit.  After this the
+   whole device — rings, pool, pending tables — is garbage as soon as
+   the caller lets go of [t].  TX writers still parked on a full ring
+   never resume, exactly as for a destroyed domain. *)
+let pv_disconnect t =
+  let ev = evtchn t in
+  Xensim.Evtchn.close ev t.tx_port_front;
+  Xensim.Evtchn.close ev t.rx_port_front;
+  t.listener <- None;
+  Trace.gauge_add g_tx_inflight (-Hashtbl.length t.tx_pending);
+  Hashtbl.iter
+    (fun _ (p : tx_pending) -> Xensim.Gnttab.end_access (gnttab t) p.gref)
+    t.tx_pending;
+  Hashtbl.reset t.tx_pending;
+  Trace.gauge_add g_rx_posted (-Hashtbl.length t.rx_posted);
+  Hashtbl.iter
+    (fun _ (gref, page) ->
+      Xensim.Gnttab.end_access (gnttab t) gref;
+      if Lazy.is_val page then Io_page.recycle t.pool (Lazy.force page))
+    t.rx_posted;
+  Hashtbl.reset t.rx_posted;
+  Hashtbl.reset t.rx_spans;
+  Hashtbl.reset t.rx_flows;
+  Queue.clear t.rx_avail;
+  Queue.clear t.tx_waiters;
+  Netsim.Nic.set_rx t.nic (fun _ -> ())
+
+let disconnect = function
+  | Pv t -> pv_disconnect t
+  | Direct d ->
+    d.d_listener <- None;
+    Netsim.Nic.set_rx d.d_nic (fun _ -> ())
 
 let set_listener t f =
   match t with Pv p -> p.listener <- Some f | Direct d -> d.d_listener <- Some f

@@ -59,6 +59,15 @@ val write : t -> Bytestruct.t -> unit Mthread.Promise.t
     after the listener returns — retain only copies. *)
 val set_listener : t -> (Bytestruct.t -> unit) -> unit
 
+(** [disconnect t] tears the device down: closes its event channels
+    (freeing the port entries whose handler closures pin the device),
+    revokes outstanding TX grants and posted receive credit, and stops
+    accepting frames from the wire. Part of the domain-teardown audit:
+    without it every destroyed domain's rings and page pool stay
+    reachable from the hypervisor's port table for ever. Writers blocked
+    on a full TX ring never resume, as for a destroyed domain. *)
+val disconnect : t -> unit
+
 val tx_frames : t -> int
 val rx_frames : t -> int
 

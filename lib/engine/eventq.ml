@@ -3,17 +3,31 @@ type handle = {
   seq : int;
   action : unit -> unit;
   mutable cancelled : bool;
+  (* Still physically present in the owner's heap array?  Lets [cancel]
+     keep the owner's live/cancelled counters exact: cancelling a handle
+     that already fired (or was swept by a compaction) must not touch
+     them. *)
+  mutable in_heap : bool;
+  owner : t;
 }
 
-type t = {
+and t = {
   mutable heap : handle array;
-  mutable size : int;
+  mutable size : int; (* physical entries, live + cancelled *)
+  mutable live : int; (* size minus cancelled-but-still-present *)
   mutable next_seq : int;
 }
 
-let dummy = { time = 0; seq = 0; action = (fun () -> ()); cancelled = true }
+(* The placeholder for empty slots needs an owner of its own; tie the
+   knot with a throwaway queue that never schedules anything. *)
+let rec dummy =
+  { time = 0; seq = 0; action = (fun () -> ()); cancelled = true; in_heap = false; owner = dummy_q }
 
-let create () = { heap = Array.make 64 dummy; size = 0; next_seq = 0 }
+and dummy_q = { heap = [||]; size = 0; live = 0; next_seq = 0 }
+
+let initial_capacity = 64
+
+let create () = { heap = Array.make initial_capacity dummy; size = 0; live = 0; next_seq = 0 }
 
 let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
 
@@ -46,16 +60,57 @@ let grow t =
   Array.blit t.heap 0 bigger 0 t.size;
   t.heap <- bigger
 
+(* Drop every cancelled entry in one pass and re-establish the heap
+   property bottom-up (Floyd, O(n)).  Heap order among survivors is a
+   function of (time, seq) only, so the result is independent of when
+   compaction runs — determinism is preserved.  Shrinking the array when
+   mostly empty returns memory after mass cancellation (ACKed
+   retransmits, reaped domains). *)
+let compact t =
+  let kept = ref 0 in
+  for i = 0 to t.size - 1 do
+    let h = t.heap.(i) in
+    if h.cancelled then h.in_heap <- false
+    else begin
+      t.heap.(!kept) <- h;
+      incr kept
+    end
+  done;
+  for i = !kept to t.size - 1 do
+    t.heap.(i) <- dummy
+  done;
+  t.size <- !kept;
+  t.live <- !kept;
+  for i = (t.size / 2) - 1 downto 0 do
+    sift_down t i
+  done;
+  let cap = ref (Array.length t.heap) in
+  while !cap > initial_capacity && t.size * 4 <= !cap do
+    cap := !cap / 2
+  done;
+  if !cap < Array.length t.heap then t.heap <- Array.sub t.heap 0 !cap
+
 let push t ~time action =
-  let h = { time; seq = t.next_seq; action; cancelled = false } in
+  let h = { time; seq = t.next_seq; action; cancelled = false; in_heap = true; owner = t } in
   t.next_seq <- t.next_seq + 1;
   if t.size = Array.length t.heap then grow t;
   t.heap.(t.size) <- h;
   t.size <- t.size + 1;
+  t.live <- t.live + 1;
   sift_up t (t.size - 1);
   h
 
-let cancel h = h.cancelled <- true
+let cancel h =
+  if not h.cancelled then begin
+    h.cancelled <- true;
+    if h.in_heap then begin
+      let t = h.owner in
+      t.live <- t.live - 1;
+      (* Cancelled majority → sweep them out now so their closures are
+         collectable, instead of leaking until they surface at the root. *)
+      if t.size - t.live > t.size / 2 then compact t
+    end
+  end
 
 let is_cancelled h = h.cancelled
 
@@ -67,6 +122,8 @@ let pop_raw t =
     t.heap.(0) <- t.heap.(t.size);
     t.heap.(t.size) <- dummy;
     if t.size > 0 then sift_down t 0;
+    top.in_heap <- false;
+    if not top.cancelled then t.live <- t.live - 1;
     Some top
   end
 
@@ -85,11 +142,10 @@ let rec pop t =
   | None -> None
   | Some h -> if h.cancelled then pop t else Some (h.time, h.action)
 
-let length t =
-  let n = ref 0 in
-  for i = 0 to t.size - 1 do
-    if not t.heap.(i).cancelled then incr n
-  done;
-  !n
+let length t = t.live
 
-let is_empty t = length t = 0
+let is_empty t = t.live = 0
+
+let physical_size t = t.size
+
+let capacity t = Array.length t.heap

@@ -1,7 +1,9 @@
 (** Priority queue of timestamped events, the heart of the simulator.
 
     Events fire in (time, insertion-order) order; cancellation is O(1)
-    (lazy deletion at pop time). *)
+    amortised (lazy deletion at pop time, plus an eager sweep whenever
+    cancelled entries outnumber live ones so mass cancellation frees the
+    captured closures promptly). *)
 
 type t
 
@@ -10,9 +12,10 @@ type handle
 
 val create : unit -> t
 
-(** Number of live (non-cancelled) events. *)
+(** Number of live (non-cancelled) events; O(1). *)
 val length : t -> int
 
+(** O(1). *)
 val is_empty : t -> bool
 
 (** [push t ~time f] schedules [f] at absolute virtual [time]. *)
@@ -28,3 +31,12 @@ val peek_time : t -> int option
 
 (** Pop the earliest live event, or [None] if the queue is empty. *)
 val pop : t -> (int * (unit -> unit)) option
+
+(** Entries physically present in the heap array, live + cancelled —
+    for tests asserting that compaction really evicts cancelled
+    entries. *)
+val physical_size : t -> int
+
+(** Current backing-array capacity — for tests asserting the array
+    shrinks back after mass cancellation. *)
+val capacity : t -> int

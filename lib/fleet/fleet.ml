@@ -16,6 +16,10 @@
    the drain path ([Appliance.Handle.drain]) — the whole PR 6 surface in
    one scenario. *)
 
+(* Re-export: [fleet.ml] is the library's root module, so siblings are
+   hidden unless surfaced here. *)
+module Bootstorm = Bootstorm
+
 module P = Mthread.Promise
 module Apps = Core.Apps.Net
 module Handle = Core.Appliance.Handle
@@ -40,6 +44,16 @@ type params = {
   autoscale : bool;  (* false: fixed fleet of [min_shards] (baseline) *)
   p99_alert_ns : int;  (* SLO threshold on the windowed p99 gauge *)
   interval_ns : int;  (* scrape + health-check + control interval *)
+  (* scale-to-zero: the fleet idles with no shards at all; the balancer
+     parks flows that arrive with no backend and pokes the
+     orchestrator's cold-start path, which boots a shard on demand, and
+     the idle window reaps back to zero via the drain path. The traffic
+     becomes burst/idle/burst instead of the ramp. *)
+  scale_to_zero : bool;
+  s2z_burst_rps : float;  (* request rate inside a burst *)
+  s2z_burst_ns : int;  (* burst length *)
+  s2z_gap_ns : int;  (* idle window between (and after) bursts *)
+  s2z_pending_timeout_ns : int;  (* how long the LB parks a flow *)
 }
 
 (* Per-shard capacity is 1e9 / per_request_cost_ns = 100 rps; the 35 rps
@@ -65,6 +79,13 @@ let defaults =
     autoscale = true;
     p99_alert_ns = 40_000_000;
     interval_ns = 250_000_000;
+    scale_to_zero = false;
+    s2z_burst_rps = 20.0;
+    s2z_burst_ns = Engine.Sim.sec 10;
+    (* > scale_in_hold (5 s) + cooldown + a couple of control rounds, so
+       the fleet demonstrably reaps to zero inside each idle window *)
+    s2z_gap_ns = Engine.Sim.sec 25;
+    s2z_pending_timeout_ns = Engine.Sim.sec 2;
   }
 
 type sample = {
@@ -93,6 +114,10 @@ type outcome = {
   o_timeline : sample list;
   o_domains_left : int;  (* hypervisor domain-table size at the end *)
   o_shard_handles : (string * Handle.t) list;  (* every shard ever booted *)
+  (* scale-to-zero accounting (zero on ordinary runs) *)
+  o_cold_starts : int;  (* boots triggered by a parked flow *)
+  o_held : int;  (* flows ever parked while the fleet was at zero *)
+  o_held_wait_max_ns : int;  (* longest park before dispatch *)
 }
 
 let static_ip s =
@@ -115,6 +140,15 @@ let run p =
   let ts = Xensim.Toolstack.create hv in
 
   (* -- the front door: LB appliance -- *)
+  (* Forward reference broken by a ref: the balancer's on-demand hook
+     pokes the orchestrator, which is only built once the balancer
+     exists. *)
+  let orch_ref = ref None in
+  let on_demand =
+    if p.scale_to_zero then
+      Some (fun () -> match !orch_ref with Some o -> Apps.Orchestrator.cold_start o | None -> ())
+    else None
+  in
   let lb_ref = ref None in
   let lb_h =
     P.run sim
@@ -126,7 +160,8 @@ let run p =
            let dom = Handle.domain h in
            let lb =
              Apps.Lb.create sim ~dom:dom.Xensim.Domain.id ~policy:p.policy
-               ~check_interval_ns:p.interval_ns
+               ~check_interval_ns:p.interval_ns ?on_demand
+               ~pending_timeout_ns:p.s2z_pending_timeout_ns
                ~tcp:(Netstack.Stack.tcp (Handle.stack h))
                ~port:80 ()
            in
@@ -211,11 +246,13 @@ let run p =
   let orch =
     Apps.Orchestrator.create sim
       ~dom:(Handle.domain mon_h).Xensim.Domain.id
-      ~lb ~mon ~boot:boot_shard ~min_shards:p.min_shards ~max_shards:p.max_shards
-      ~target_rps_per_shard:p.target_rps_per_shard ~watch_rule:"p99-latency"
-      ~interval_ns:(2 * p.interval_ns) ~cooldown_ns:(Engine.Sim.sec 1)
+      ~lb ~mon ~boot:boot_shard
+      ~min_shards:(if p.scale_to_zero then 0 else p.min_shards)
+      ~max_shards:p.max_shards ~target_rps_per_shard:p.target_rps_per_shard
+      ~watch_rule:"p99-latency" ~interval_ns:(2 * p.interval_ns) ~cooldown_ns:(Engine.Sim.sec 1)
       ~scale_in_hold_ns:(Engine.Sim.sec 5) ~max_step:2 ()
   in
+  orch_ref := Some orch;
   P.run sim (Apps.Orchestrator.launch orch);
   if p.autoscale then P.async (fun () -> Apps.Orchestrator.run orch);
 
@@ -250,16 +287,36 @@ let run p =
       ~prng:(Engine.Prng.create ~seed:(p.seed lxor 0x10ad) ())
       ()
   in
-  let duration_ns = p.warm_ns + p.ramp_up_ns + p.hold_ns + p.ramp_down_ns + p.tail_ns in
+  let duration_ns =
+    if p.scale_to_zero then (2 * p.s2z_burst_ns) + (2 * p.s2z_gap_ns)
+    else p.warm_ns + p.ramp_up_ns + p.hold_ns + p.ramp_down_ns + p.tail_ns
+  in
   let schedule =
-    [
-      (0, p.base_rps);
-      (p.warm_ns, p.base_rps);
-      (hold_start, p.peak_rps);
-      (hold_end, p.peak_rps);
-      (hold_end + p.ramp_down_ns, p.base_rps);
-      (duration_ns, p.base_rps);
-    ]
+    if p.scale_to_zero then begin
+      (* burst / idle / burst / idle: the first gap proves the reap to
+         zero mid-run, the second burst proves the cold boot from zero,
+         the final gap proves the fleet ends at zero. *)
+      let b = p.s2z_burst_ns and g = p.s2z_gap_ns and r = p.s2z_burst_rps in
+      [
+        (0, r);
+        (b, r);
+        (b, 0.0);
+        (b + g, 0.0);
+        (b + g, r);
+        (b + g + b, r);
+        (b + g + b, 0.0);
+        (duration_ns, 0.0);
+      ]
+    end
+    else
+      [
+        (0, p.base_rps);
+        (p.warm_ns, p.base_rps);
+        (hold_start, p.peak_rps);
+        (hold_end, p.peak_rps);
+        (hold_end + p.ramp_down_ns, p.base_rps);
+        (duration_ns, p.base_rps);
+      ]
   in
   P.async (fun () -> Apps.Loadgen.run gen ~schedule ~duration_ns);
 
@@ -314,6 +371,9 @@ let run p =
     o_timeline = List.rev !timeline;
     o_domains_left = Xensim.Hypervisor.domain_count hv;
     o_shard_handles = List.rev !shard_handles;
+    o_cold_starts = Apps.Orchestrator.cold_starts orch;
+    o_held = Apps.Lb.held_total lb;
+    o_held_wait_max_ns = Apps.Lb.held_wait_max_ns lb;
   }
 
 (* The single-shard reference: same machinery, flat schedule at the base
@@ -327,6 +387,7 @@ let baseline ?(p = defaults) () =
       min_shards = 1;
       max_shards = 1;
       autoscale = false;
+      scale_to_zero = false;
       warm_ns = Engine.Sim.sec 2;
       ramp_up_ns = Engine.Sim.sec 2;
       hold_ns = Engine.Sim.sec 10;

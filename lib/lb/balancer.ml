@@ -42,6 +42,15 @@ module Make (T : Device_sig.TCP) = struct
     mutable b_checks_failed : int;
   }
 
+  (* A flow accepted while the backend set was empty, parked until a
+     backend appears (scale-to-zero cold start) or the hold times out. *)
+  type pending = {
+    p_client : T.flow;
+    p_at : int;  (* enqueue time, for held-wait accounting *)
+    mutable p_settled : bool;  (* dispatched or timed out *)
+    mutable p_timer : unit Mthread.Promise.t option;
+  }
+
   type t = {
     sim : Engine.Sim.t;
     dom : int;
@@ -52,6 +61,15 @@ module Make (T : Device_sig.TCP) = struct
     check_timeout_ns : int;
     healthy_after : int;
     unhealthy_after : int;
+    (* scale-to-zero hooks: when set, a flow arriving with no eligible
+       backend is parked on [pending] and [on_demand] is poked (the
+       orchestrator's cold-start path) instead of refusing outright. *)
+    on_demand : (unit -> unit) option;
+    pending_timeout_ns : int;
+    pending : pending Queue.t;
+    mutable pending_count : int;  (* unsettled entries in [pending] *)
+    mutable held_total : int;
+    mutable held_wait_max_ns : int;
     mutable backends : backend list;  (* newest first; [backends] reverses *)
     mutable conns_total : int;
     mutable refused : int;  (* accepted with no backend to give *)
@@ -64,6 +82,9 @@ module Make (T : Device_sig.TCP) = struct
   let active_connections t = t.active
   let connections_total t = t.conns_total
   let refused t = t.refused
+  let pending_count t = t.pending_count
+  let held_total t = t.held_total
+  let held_wait_max_ns t = t.held_wait_max_ns
 
   let eligible t =
     List.filter (fun b -> b.b_healthy && not b.b_draining) (backends t)
@@ -79,30 +100,6 @@ module Make (T : Device_sig.TCP) = struct
         ~cat:(Trace.User "lb") what
 
   (* ---- backend set ---- *)
-
-  let add_backend t ~name ~addr ~port ~health_port =
-    if not (List.exists (fun b -> b.b_name = name) t.backends) then begin
-      let b =
-        {
-          b_name = name;
-          b_addr = addr;
-          b_port = port;
-          b_health_port = health_port;
-          b_conns = 0;
-          b_total = 0;
-          (* optimistic: the orchestrator registers a shard after its
-             stack is up, so don't make it wait out a first check round *)
-          b_healthy = true;
-          b_draining = false;
-          b_ok_streak = 0;
-          b_fail_streak = 0;
-          b_checks_ok = 0;
-          b_checks_failed = 0;
-        }
-      in
-      t.backends <- b :: t.backends;
-      emit t "lb.backend_add" b
-    end
 
   let drain_backend t ~name =
     match find_backend t name with
@@ -154,13 +151,41 @@ module Make (T : Device_sig.TCP) = struct
       List.iter (fun w -> Mthread.Promise.wakeup w ()) ws
     end
 
-  let handle_flow t client =
+  let rec handle_flow t client =
     match pick t ~client:(T.remote client) with
-    | None ->
-      (* nothing to give: refuse fast rather than queue blind *)
-      t.refused <- t.refused + 1;
-      T.abort client;
-      return ()
+    | None -> (
+      match t.on_demand with
+      | Some notify when not t.draining ->
+        (* Scale-to-zero: park the flow, poke the orchestrator's
+           cold-start path, and give the boot [pending_timeout_ns] to
+           produce a backend before the client is refused. *)
+        let e =
+          { p_client = client; p_at = Engine.Sim.now t.sim; p_settled = false; p_timer = None }
+        in
+        Queue.add e t.pending;
+        t.pending_count <- t.pending_count + 1;
+        t.held_total <- t.held_total + 1;
+        let timer = Mthread.Promise.sleep t.sim t.pending_timeout_ns in
+        e.p_timer <- Some timer;
+        Mthread.Promise.async (fun () ->
+            Mthread.Promise.catch
+              (fun () ->
+                timer >>= fun () ->
+                if not e.p_settled then begin
+                  e.p_settled <- true;
+                  t.pending_count <- t.pending_count - 1;
+                  t.refused <- t.refused + 1;
+                  T.abort e.p_client
+                end;
+                return ())
+              (fun _ -> (* timer cancelled at dispatch *) return ()));
+        notify ();
+        return ()
+      | _ ->
+        (* nothing to give: refuse fast rather than queue blind *)
+        t.refused <- t.refused + 1;
+        T.abort client;
+        return ())
     | Some b ->
       t.conns_total <- t.conns_total + 1;
       t.active <- t.active + 1;
@@ -182,6 +207,52 @@ module Make (T : Device_sig.TCP) = struct
           note_idle t;
           return ())
 
+  (* A backend appeared (cold boot finished, or a sick one recovered):
+     re-dispatch every parked flow in arrival order. *)
+  and flush_pending t =
+    if t.pending_count > 0 && eligible t <> [] then begin
+      let ready = ref [] in
+      while not (Queue.is_empty t.pending) do
+        let e = Queue.pop t.pending in
+        if not e.p_settled then begin
+          e.p_settled <- true;
+          t.pending_count <- t.pending_count - 1;
+          (match e.p_timer with Some tm -> Mthread.Promise.cancel tm | None -> ());
+          let waited = Engine.Sim.now t.sim - e.p_at in
+          if waited > t.held_wait_max_ns then t.held_wait_max_ns <- waited;
+          ready := e :: !ready
+        end
+      done;
+      List.iter
+        (fun e -> Mthread.Promise.async (fun () -> handle_flow t e.p_client))
+        (List.rev !ready)
+    end
+
+  let add_backend t ~name ~addr ~port ~health_port =
+    if not (List.exists (fun b -> b.b_name = name) t.backends) then begin
+      let b =
+        {
+          b_name = name;
+          b_addr = addr;
+          b_port = port;
+          b_health_port = health_port;
+          b_conns = 0;
+          b_total = 0;
+          (* optimistic: the orchestrator registers a shard after its
+             stack is up, so don't make it wait out a first check round *)
+          b_healthy = true;
+          b_draining = false;
+          b_ok_streak = 0;
+          b_fail_streak = 0;
+          b_checks_ok = 0;
+          b_checks_failed = 0;
+        }
+      in
+      t.backends <- b :: t.backends;
+      emit t "lb.backend_add" b;
+      flush_pending t
+    end
+
   (* ---- health checks ---- *)
 
   let check t b =
@@ -198,7 +269,8 @@ module Make (T : Device_sig.TCP) = struct
       b.b_ok_streak <- b.b_ok_streak + 1;
       if (not b.b_healthy) && b.b_ok_streak >= t.healthy_after then begin
         b.b_healthy <- true;
-        emit t "lb.backend_up" b
+        emit t "lb.backend_up" b;
+        flush_pending t
       end
     end
     else begin
@@ -229,7 +301,8 @@ module Make (T : Device_sig.TCP) = struct
   (* ---- lifecycle ---- *)
 
   let create sim ?(dom = -1) ?(policy = Least_conns) ?(check_interval_ns = 100_000_000)
-      ?check_timeout_ns ?(healthy_after = 2) ?(unhealthy_after = 2) ~tcp ~port () =
+      ?check_timeout_ns ?(healthy_after = 2) ?(unhealthy_after = 2) ?on_demand
+      ?(pending_timeout_ns = 1_000_000_000) ~tcp ~port () =
     let check_timeout_ns =
       match check_timeout_ns with Some n -> n | None -> check_interval_ns / 2
     in
@@ -244,6 +317,12 @@ module Make (T : Device_sig.TCP) = struct
         check_timeout_ns;
         healthy_after;
         unhealthy_after;
+        on_demand;
+        pending_timeout_ns;
+        pending = Queue.create ();
+        pending_count = 0;
+        held_total = 0;
+        held_wait_max_ns = 0;
         backends = [];
         conns_total = 0;
         refused = 0;
@@ -258,6 +337,8 @@ module Make (T : Device_sig.TCP) = struct
       let reg kind name read = Trace.Metrics.register_read ~dom ~kind name read in
       reg Trace.Metrics.Counter "lb_conns_total" (fun () -> t.conns_total);
       reg Trace.Metrics.Counter "lb_refused" (fun () -> t.refused);
+      reg Trace.Metrics.Counter "lb_held_total" (fun () -> t.held_total);
+      reg Trace.Metrics.Gauge "lb_held_pending" (fun () -> t.pending_count);
       reg Trace.Metrics.Gauge "lb_active_conns" (fun () -> t.active);
       reg Trace.Metrics.Gauge "lb_backends" (fun () -> List.length t.backends);
       reg Trace.Metrics.Gauge "lb_backends_healthy" (fun () -> healthy_count t)
@@ -269,7 +350,19 @@ module Make (T : Device_sig.TCP) = struct
   let drain t =
     if not t.draining then begin
       t.draining <- true;
-      T.unlisten t.tcp ~port:t.port
+      T.unlisten t.tcp ~port:t.port;
+      (* Parked flows will never get a backend now: refuse them so no
+         client hangs out its timeout against a draining balancer. *)
+      while not (Queue.is_empty t.pending) do
+        let e = Queue.pop t.pending in
+        if not e.p_settled then begin
+          e.p_settled <- true;
+          t.pending_count <- t.pending_count - 1;
+          (match e.p_timer with Some tm -> Mthread.Promise.cancel tm | None -> ());
+          t.refused <- t.refused + 1;
+          T.abort e.p_client
+        end
+      done
     end;
     if t.active = 0 then return ()
     else begin

@@ -109,6 +109,15 @@ and bridge = {
   sim : Engine.Sim.t;
   prng : Engine.Prng.t;
   mutable nics : nic list;
+  mutable nic_count : int;  (* physical length of [nics], O(1) *)
+  (* Detached ports stay in [nics] (deliver skips them) and are swept out
+     lazily once they outnumber live ones — O(1) amortised detach instead
+     of an O(ports) filter per domain teardown. *)
+  mutable detached_count : int;
+  (* Pre-program MAC → port at [new_nic] time (like static fdb entries on
+     a Xen vif): a 10⁴-port boot storm never floods to learn addresses,
+     which would otherwise cost O(ports) deliveries per unknown frame. *)
+  static_fdb : bool;
   table : (string, nic) Hashtbl.t;  (* learned MAC -> port *)
   mutable forwarded : int;
   mutable flooded : int;
@@ -120,7 +129,11 @@ and bridge = {
   mutable duplicated : int;
   mutable reordered : int;
   mutable taps : (time_ns:int -> Bytestruct.t -> unit) list;
-  mutable services : (string * string * int) list;  (* name, ip, port; newest first *)
+  (* Service directory keyed by name for O(1) advertise/withdraw; the seq
+     stamp reconstructs the historical enumeration order (oldest
+     advertisement first, re-advertising moves a name to the end). *)
+  services : (string, int * string * int) Hashtbl.t;  (* name -> seq, ip, port *)
+  mutable ad_seq : int;
 }
 
 type fault_counts = {
@@ -153,19 +166,24 @@ module Nic = struct
     let src = Bytestruct.get_string frame 6 6 in
     Hashtbl.replace b.table src src_nic;
     let dst = Bytestruct.get_string frame 0 6 in
-    if dst = broadcast_mac then begin
+    let flood () =
       b.flooded <- b.flooded + 1;
       List.iter (fun n -> if n != src_nic then deliver n frame) b.nics
-    end
+    in
+    if dst = broadcast_mac then flood ()
     else
       match Hashtbl.find_opt b.table dst with
+      | Some port when not port.attached ->
+        (* Stale entry for a detached port, cleaned lazily here rather
+           than by an O(table) sweep at detach time: behaves exactly as
+           if detach had flushed it (unknown destination → flood). *)
+        Hashtbl.remove b.table dst;
+        flood ()
       | Some port when port != src_nic ->
         b.forwarded <- b.forwarded + 1;
         deliver port frame
       | Some _ -> ()
-      | None ->
-        b.flooded <- b.flooded + 1;
-        List.iter (fun n -> if n != src_nic then deliver n frame) b.nics
+      | None -> flood ()
 
   (* Single-bit corruption, restricted to the IP packet body past the
      ethernet + IPv4 headers: this models the bit errors that evade the
@@ -282,11 +300,14 @@ end
 module Bridge = struct
   type t = bridge
 
-  let create sim =
+  let create ?(static_fdb = false) sim =
     {
       sim;
       prng = Engine.Prng.split (Engine.Sim.prng sim);
       nics = [];
+      nic_count = 0;
+      detached_count = 0;
+      static_fdb;
       table = Hashtbl.create 32;
       forwarded = 0;
       flooded = 0;
@@ -298,7 +319,8 @@ module Bridge = struct
       duplicated = 0;
       reordered = 0;
       taps = [];
-      services = [];
+      services = Hashtbl.create 32;
+      ad_seq = 0;
     }
 
   let new_nic t ?(bandwidth_bps = 1_000_000_000) ?(latency_ns = 30_000) ?(loss = 0.0) ~mac () =
@@ -324,18 +346,34 @@ module Bridge = struct
       }
     in
     t.nics <- nic :: t.nics;
+    t.nic_count <- t.nic_count + 1;
+    if t.static_fdb then Hashtbl.replace t.table mac nic;
     nic
 
   (* Unplug a port: the NIC stops sending and receiving, its learned
      table entries are flushed, and it leaves the flood set. Models the
-     toolstack tearing down a destroyed domain's vif. *)
+     toolstack tearing down a destroyed domain's vif.
+
+     O(1) amortised: the port's own MAC entry goes now; entries learned
+     for other source MACs on this port (rare) are evicted lazily at
+     lookup in [Nic.forward], and the flood list is only compacted once
+     detached ports outnumber live ones (relative order of survivors is
+     preserved, so flood delivery order — and with it every downstream
+     event — is unchanged). *)
   let detach t nic =
-    nic.attached <- false;
-    nic.rx <- None;
-    t.nics <- List.filter (fun n -> n != nic) t.nics;
-    Hashtbl.iter
-      (fun mac port -> if port == nic then Hashtbl.remove t.table mac)
-      (Hashtbl.copy t.table)
+    if nic.attached then begin
+      nic.attached <- false;
+      nic.rx <- None;
+      (match Hashtbl.find_opt t.table nic.mac with
+      | Some port when port == nic -> Hashtbl.remove t.table nic.mac
+      | _ -> ());
+      t.detached_count <- t.detached_count + 1;
+      if t.detached_count * 2 > t.nic_count then begin
+        t.nics <- List.filter (fun n -> n.attached) t.nics;
+        t.nic_count <- t.nic_count - t.detached_count;
+        t.detached_count <- 0
+      end
+    end
 
   let set_loss _t nic p = nic.loss <- p
 
@@ -365,16 +403,24 @@ module Bridge = struct
   (* An mDNS-like service directory kept on the switch: appliances that
      expose an endpoint advertise (name, ip, port) at boot and the monitor
      discovers its scrape targets here instead of being configured with
-     addresses. Re-advertising a name replaces the entry. *)
+     addresses. Re-advertising a name replaces the entry — and restamps
+     it, so it moves to the end of the enumeration just as it did when
+     this was an assoc list. O(1) either way, where the assoc-list
+     rebuild was O(services) per boot/teardown. *)
   let advertise t ~name ~ip ~port =
-    t.services <- (name, ip, port) :: List.filter (fun (n, _, _) -> n <> name) t.services
+    Hashtbl.replace t.services name (t.ad_seq, ip, port);
+    t.ad_seq <- t.ad_seq + 1
 
   (* Deregistration on domain shutdown: a destroyed exporter must not
      linger in the directory, or the monitor keeps scraping a corpse
      (stale-series → rate-0 masks the death). *)
-  let withdraw t ~name = t.services <- List.filter (fun (n, _, _) -> n <> name) t.services
+  let withdraw t ~name = Hashtbl.remove t.services name
 
   (* Advertisement order (oldest first): deterministic for a deterministic
-     boot sequence. *)
-  let services t = List.rev t.services
+     boot sequence. Enumeration pays an O(n log n) sort so that the hot
+     advertise/withdraw path doesn't. *)
+  let services t =
+    Hashtbl.fold (fun name (seq, ip, port) acc -> (seq, (name, ip, port)) :: acc) t.services []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+    |> List.map snd
 end

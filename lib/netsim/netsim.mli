@@ -105,7 +105,12 @@ type fault_counts = {
 module Bridge : sig
   type t
 
-  val create : Engine.Sim.t -> t
+  (** [static_fdb] (default false) pre-programs each port's MAC into the
+      forwarding table at {!new_nic} time, like static fdb entries on a
+      Xen vif: a 10⁴-port boot storm then never floods to learn
+      addresses. Off by default — the learning-switch behaviour of every
+      existing scenario is untouched. *)
+  val create : ?static_fdb:bool -> Engine.Sim.t -> t
 
   (** [new_nic t ~mac] attaches a NIC. Defaults: 1 Gb/s, 30 µs propagation
       latency, no loss, no faults. [loss] is a uniform per-frame drop

@@ -139,6 +139,11 @@ let resolve t ip =
     if List.length !waiters = 1 then async (fun () -> attempt 1);
     p
 
+(* Seed the cache without traffic: boot storms pre-program well-known
+   peers (the way /etc/ethers or a controller would) so 10⁴ concurrent
+   boots don't each broadcast a resolution to 10⁴ ports. *)
+let add_static t ~ip ~mac = learn t ip mac
+
 let cached t ip = Hashtbl.find_opt t.cache ip
 let cache_size t = Hashtbl.length t.cache
 let requests_sent t = t.requests_sent

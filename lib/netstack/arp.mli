@@ -17,6 +17,11 @@ val resolve : t -> Ipaddr.t -> Macaddr.t Mthread.Promise.t
 (** Peek at the cache without generating traffic. *)
 val cached : t -> Ipaddr.t -> Macaddr.t option
 
+(** [add_static t ~ip ~mac] seeds the cache without generating traffic
+    (an /etc/ethers-style static entry); also wakes any waiter already
+    blocked in {!resolve} for [ip]. *)
+val add_static : t -> ip:Ipaddr.t -> mac:Macaddr.t -> unit
+
 (** Broadcast a gratuitous ARP for our address. *)
 val announce : t -> unit Mthread.Promise.t
 

@@ -9,7 +9,7 @@ type t = {
 
 type ip_config = Static of Ipv4.config | Dhcp
 
-let create sim ?dom ~netif config =
+let create sim ?dom ?(announce = true) ~netif config =
   let open Mthread.Promise in
   let eth = Ethernet.create netif in
   let initial =
@@ -24,6 +24,7 @@ let create sim ?dom ~netif config =
   let tcp = Tcp.create sim ?dom ip in
   let t = { eth; arp; ip; icmp; udp; tcp } in
   match config with
+  | Static _ when not announce -> return t
   | Static _ -> bind (Arp.announce arp) (fun () -> return t)
   | Dhcp ->
     bind (Dhcp.Client.acquire sim udp ~mac:(Ethernet.mac eth)) (fun lease ->

@@ -10,10 +10,14 @@ type ip_config =
 
 (** [create sim ?dom ~netif config] brings the interface up. With [Dhcp]
     the promise resolves after the lease is bound. [dom] is used for
-    per-segment TCP cost accounting. *)
+    per-segment TCP cost accounting. [announce] (default true) controls
+    the gratuitous ARP broadcast a [Static] stack sends at bring-up;
+    boot storms disable it — 10⁴ simultaneous broadcasts over a
+    10⁴-port bridge is 10⁸ deliveries before the first request. *)
 val create :
   Engine.Sim.t ->
   ?dom:Xensim.Domain.t ->
+  ?announce:bool ->
   netif:Devices.Netif.t ->
   ip_config ->
   t Mthread.Promise.t

@@ -19,6 +19,15 @@ let max_persist_ns = Engine.Sim.sec 5
 let msl_ns = Engine.Sim.sec 1
 let max_syn_retries = 5
 
+(* Data-path give-up threshold, Linux's tcp_retries2: after this many
+   consecutive unacknowledged RTO retransmissions (or zero-window persist
+   probes) the peer is presumed gone and the flow fails with [Timeout].
+   Without a cap a vanished peer — a destroyed domain, say — leaves the
+   sender rearming its backed-off timer for ever, which in a
+   run-to-empty simulator means the run never terminates.  A 10^4-domain
+   boot storm makes that certain rather than merely possible. *)
+let max_data_retries = 15
+
 (* Cap on the out-of-order reassembly list. A window-respecting sender of
    full-size segments can have at most rcv_wnd_bytes / default_mss ≈ 91
    segments outstanding, so 128 is never reached in legitimate operation;
@@ -97,10 +106,12 @@ type flow = {
   mutable rto_timer : Engine.Sim.handle option;
   mutable persist_timer : Engine.Sim.handle option;
   mutable persist_backoff_ns : int;
+  mutable probes_out : int;  (* consecutive unanswered zero-window probes *)
   (* lifecycle *)
   mutable connect_waker : flow Mthread.Promise.u option;
   mutable close_waker : unit Mthread.Promise.u option;
   mutable syn_tries : int;
+  mutable rto_tries : int;  (* consecutive data RTOs without forward progress *)
   mutable error : exn option;
   mutable bytes_acked : int;
   mutable bytes_received : int;
@@ -272,6 +283,12 @@ and fail_flow fl err =
     fl.error <- Some err;
     cancel_rto fl;
     cancel_persist fl;
+    (* Drop all unsent/unacked data: nothing may retransmit from a dead
+       flow, and a non-empty [rtx] would invite a later [arm_rto]. *)
+    Queue.clear fl.rtx;
+    Queue.clear fl.tx_chunks;
+    fl.tx_head_off <- 0;
+    fl.tx_buffered <- 0;
     Hashtbl.remove fl.t.flows fl.key;
     Mthread.Mstream.close fl.rx;
     (match fl.connect_waker with
@@ -410,10 +427,16 @@ and on_persist fl =
   | Established | Close_wait | Fin_wait_1 | Closing | Last_ack ->
     if fl.snd_wnd > 0 then begin
       fl.persist_backoff_ns <- 0;
+      fl.probes_out <- 0;
       if (not (Queue.is_empty fl.rtx)) && fl.rto_timer = None then arm_rto fl;
       try_output fl
     end
+    else if fl.probes_out >= max_data_retries then
+      (* The window never reopened and no probe was ever answered: the
+         peer is gone (Linux's probe counter against tcp_retries2). *)
+      fail_flow fl Mthread.Promise.Timeout
     else begin
+      fl.probes_out <- fl.probes_out + 1;
       fl.t.persist_probes <- fl.t.persist_probes + 1;
       if Trace.enabled () then begin
         Trace.incr c_persist;
@@ -535,6 +558,8 @@ let handle_ack fl ~old_wnd (seg : Tcp_wire.segment) =
     fl.snd_una <- ack;
     fl.bytes_acked <- fl.bytes_acked + acked;
     fl.dupacks <- 0;
+    fl.rto_tries <- 0;
+    fl.probes_out <- 0;
     (match fl.rtt_probe with
     | Some (probe_seq, t0) when Seq.geq ack probe_seq ->
       (* Karn: only sample if nothing acked was retransmitted — the probe
@@ -688,6 +713,7 @@ let update_snd_wnd fl (seg : Tcp_wire.segment) =
       (* Window reopened: back to the regular retransmit regime. *)
       cancel_persist fl;
       fl.persist_backoff_ns <- 0;
+      fl.probes_out <- 0;
       if (not (Queue.is_empty fl.rtx)) && fl.rto_timer = None then arm_rto fl
     end
   end
@@ -834,9 +860,11 @@ let make_flow t key state =
     rto_timer = None;
     persist_timer = None;
     persist_backoff_ns = 0;
+    probes_out = 0;
     connect_waker = None;
     close_waker = None;
     syn_tries = 0;
+    rto_tries = 0;
     error = None;
     bytes_acked = 0;
     bytes_received = 0;

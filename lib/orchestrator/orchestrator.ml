@@ -79,13 +79,17 @@ module Make (T : Device_sig.TCP) = struct
     mutable rounds : int;
     mutable scale_outs : int;
     mutable scale_ins : int;
+    mutable cold_starts : int;
+    mutable cold_booting : bool;  (* a cold-start boot is in flight *)
     mutable events : event list;  (* newest first; [events] reverses *)
   }
 
   let create sim ?(dom = -1) ~lb ~mon ~boot ?(min_shards = 1) ?(max_shards = 16)
       ?(target_rps_per_shard = 35.0) ?watch_rule ?(interval_ns = 500_000_000)
       ?(cooldown_ns = 1_000_000_000) ?(scale_in_hold_ns = 5_000_000_000) ?(max_step = 2) () =
-    if min_shards < 1 then invalid_arg "Orchestrator.create: min_shards must be >= 1";
+    (* 0 is legal: scale-to-zero fleets idle with no shards at all and
+       boot on demand via [cold_start]. *)
+    if min_shards < 0 then invalid_arg "Orchestrator.create: min_shards must be >= 0";
     if max_shards < min_shards then invalid_arg "Orchestrator.create: max_shards < min_shards";
     let t =
       {
@@ -109,6 +113,8 @@ module Make (T : Device_sig.TCP) = struct
         rounds = 0;
         scale_outs = 0;
         scale_ins = 0;
+        cold_starts = 0;
+        cold_booting = false;
         events = [];
       }
     in
@@ -125,6 +131,7 @@ module Make (T : Device_sig.TCP) = struct
   let events t = List.rev t.events
   let scale_outs t = t.scale_outs
   let scale_ins t = t.scale_ins
+  let cold_starts t = t.cold_starts
   let rounds t = t.rounds
 
   let emit_event t action shard reason =
@@ -220,6 +227,24 @@ module Make (T : Device_sig.TCP) = struct
       t.scale_ins <- t.scale_ins + 1;
       emit_event t Scale_in ep.ep_name reason;
       return ()
+
+  (* Scale-to-zero cold start: the balancer just parked a flow with no
+     backend to give ([Lb.Balancer]'s [on_demand] hook). Boot shard 0
+     immediately, bypassing the control-loop interval and cooldown — a
+     client is waiting on the result. One boot at a time; re-pokes from
+     further held flows while it is in flight are absorbed, and the
+     flows all flush when the one backend registers. *)
+  let cold_start t =
+    if (not t.cold_booting) && shard_count t = 0 && t.max_shards > 0 then begin
+      t.cold_booting <- true;
+      t.cold_starts <- t.cold_starts + 1;
+      Mthread.Promise.async (fun () ->
+          Mthread.Promise.finalize
+            (fun () -> scale_out t ~reason:"cold-start")
+            (fun () ->
+              t.cold_booting <- false;
+              return ()))
+    end
 
   (* ---- the loop ---- *)
 

@@ -553,6 +553,17 @@ module Metrics = struct
   let summary ?dom name = register ?dom ~kind:Summary ~hist:(Hist.create ()) name
   let register_read ?dom ~kind name read = ignore (register ?dom ~kind ~read name)
 
+  (* Domain teardown: drop every series the domain registered, so read
+     callbacks (which capture device and stack state) do not pin a
+     destroyed domain's world.  Cost is one pass over the registry —
+     which holds live domains' series only, precisely because destroy
+     calls this. *)
+  let unregister_dom dom =
+    let doomed =
+      Hashtbl.fold (fun ((_, d) as k) _ acc -> if d = dom then k :: acc else acc) registry []
+    in
+    List.iter (Hashtbl.remove registry) doomed
+
   (* A metric attached to nothing: every update is a no-op. Lets a
      subsystem keep one unconditional update site while opting out of
      registration (e.g. the exposition server's own internal Uhttp). *)

@@ -290,6 +290,11 @@ module Metrics : sig
       cost for stats the subsystem already maintains. *)
   val register_read : ?dom:int -> kind:kind -> string -> (unit -> int) -> unit
 
+  (** [unregister_dom dom] drops every series registered under [dom].
+      Called from domain teardown so read callbacks do not pin a
+      destroyed domain's devices and stack. *)
+  val unregister_dom : int -> unit
+
   (** A metric attached to nothing: every update is a no-op. Lets a
       subsystem keep one unconditional update site while opting out of
       registration. *)

@@ -113,17 +113,30 @@ let unmask t p =
 
 let is_pending t p = (get t p).pending
 
+(* Closing actually frees the port table entries (both ends of a bound
+   pair).  Dropping the entry is what releases the handler closure — a
+   netif handler closes over the whole device (rings, page pool), so a
+   close that merely flagged the port would pin every destroyed domain's
+   device state for the lifetime of the hypervisor.  In-flight deliveries
+   hold the [port_state] record directly and check [closed], so removal
+   is safe; [close] is idempotent because teardown paths race. *)
 let close t p =
-  let st = get t p in
-  st.closed <- true;
-  match st.peer with
+  match Hashtbl.find_opt t.ports p with
   | None -> ()
-  | Some q -> (
-    match Hashtbl.find_opt t.ports q with
-    | Some peer ->
-      peer.peer <- None;
-      peer.closed <- true
-    | None -> ())
+  | Some st ->
+    st.closed <- true;
+    st.handler <- None;
+    Hashtbl.remove t.ports p;
+    (match st.peer with
+    | None -> ()
+    | Some q -> (
+      match Hashtbl.find_opt t.ports q with
+      | Some peer ->
+        peer.peer <- None;
+        peer.closed <- true;
+        peer.handler <- None;
+        Hashtbl.remove t.ports q
+      | None -> ()))
 
 let owner t p = (get t p).owner
 let peer t p = (get t p).peer

@@ -32,7 +32,11 @@ val mask : t -> port -> unit
 val unmask : t -> port -> unit
 val is_pending : t -> port -> bool
 
-(** Close both halves of the channel. *)
+(** Close both halves of the channel and free their port table entries —
+    including the registered handlers, so device state captured by a
+    handler closure becomes collectable. Idempotent: closing an unknown or
+    already-closed port is a no-op. Any in-flight delivery for the port is
+    dropped. *)
 val close : t -> port -> unit
 
 val owner : t -> port -> int

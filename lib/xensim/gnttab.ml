@@ -4,11 +4,16 @@ exception Invalid_grant of grant_ref
 exception Grant_busy of grant_ref
 exception Permission_denied of grant_ref
 
+(* [page] is lazy so a grant can promise storage without materialising
+   it: netfront posts hundreds of receive buffers per vif as credit, and
+   in a 10^4-domain storm most are never filled.  Eager pages would pin
+   ~2 MiB per vif (511 slots x 4 KiB) for the vif's whole lifetime; the
+   thunk allocates only when the peer actually maps or copies. *)
 type entry = {
   dom : int;
   peer : int;
   writable : bool;
-  page : Bytestruct.t;
+  page : Bytestruct.t Lazy.t;
   mutable mapped_by : int list;
 }
 
@@ -28,11 +33,17 @@ let create ~stats = { stats; entries = Hashtbl.create 128; next_ref = 8 }
 let get t r =
   match Hashtbl.find_opt t.entries r with Some e -> e | None -> raise (Invalid_grant r)
 
-let grant_access t ~dom ~peer ~writable page =
+let grant_lazy t ~dom ~peer ~writable page =
   let r = t.next_ref in
   t.next_ref <- t.next_ref + 1;
   Hashtbl.replace t.entries r { dom; peer; writable; page; mapped_by = [] };
   r
+
+let grant_access t ~dom ~peer ~writable page =
+  grant_lazy t ~dom ~peer ~writable (Lazy.from_val page)
+
+let grant_access_lazy t ~dom ~peer ~writable alloc =
+  grant_lazy t ~dom ~peer ~writable (Lazy.from_fun alloc)
 
 let map t ~by r =
   let e = get t r in
@@ -40,7 +51,7 @@ let map t ~by r =
   e.mapped_by <- by :: e.mapped_by;
   t.stats.Xstats.grant_maps <- t.stats.Xstats.grant_maps + 1;
   trace_op "gnttab.map" ~by r;
-  e.page
+  Lazy.force e.page
 
 let map_rw t ~by r =
   let e = get t r in
@@ -61,16 +72,18 @@ let copy t ~by r ~dst =
   if e.peer <> by then raise (Permission_denied r);
   t.stats.Xstats.grant_copies <- t.stats.Xstats.grant_copies + 1;
   trace_op "gnttab.copy" ~by r;
-  let len = min (Bytestruct.length e.page) (Bytestruct.length dst) in
-  Bytestruct.blit e.page 0 dst 0 len
+  let page = Lazy.force e.page in
+  let len = min (Bytestruct.length page) (Bytestruct.length dst) in
+  Bytestruct.blit page 0 dst 0 len
 
 let copy_to t ~by r ~src =
   let e = get t r in
   if e.peer <> by || not e.writable then raise (Permission_denied r);
   t.stats.Xstats.grant_copies <- t.stats.Xstats.grant_copies + 1;
   trace_op "gnttab.copy" ~by r;
-  let len = min (Bytestruct.length e.page) (Bytestruct.length src) in
-  Bytestruct.blit src 0 e.page 0 len
+  let page = Lazy.force e.page in
+  let len = min (Bytestruct.length page) (Bytestruct.length src) in
+  Bytestruct.blit src 0 page 0 len
 
 let end_access t r =
   let e = get t r in

@@ -21,6 +21,15 @@ val create : stats:Xstats.t -> t
 val grant_access :
   t -> dom:int -> peer:int -> writable:bool -> Bytestruct.t -> grant_ref
 
+(** [grant_access_lazy t ~dom ~peer ~writable alloc] grants a page that is
+    only materialised (by calling [alloc] once) when the peer first maps or
+    copies through the grant. Receive credit posted on device rings is the
+    intended user: netfront posts hundreds of buffers per vif, and in a
+    large boot storm most are revoked without ever carrying a frame —
+    backing them eagerly would pin pages for the vif's whole lifetime. *)
+val grant_access_lazy :
+  t -> dom:int -> peer:int -> writable:bool -> (unit -> Bytestruct.t) -> grant_ref
+
 (** [map t ~by ref] returns a view aliasing the granted page.
     @raise Permission_denied when [by] is not the grantee. *)
 val map : t -> by:int -> grant_ref -> Bytestruct.t

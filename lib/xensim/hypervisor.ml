@@ -5,7 +5,11 @@ type t = {
   gnttab : Gnttab.t;
   xenstore : Xenstore.t;
   seal_patch : bool;
-  mutable domains : Domain.t list;
+  (* Domain table keyed by id: boot storms create and destroy 10⁴+
+     domains, so lookup/destroy must not scan.  Reports that need a
+     stable order use [domains], which sorts by id — ids are handed out
+     monotonically, so that matches creation order. *)
+  domain_table : (int, Domain.t) Hashtbl.t;
   mutable next_domid : int;
 }
 
@@ -20,7 +24,7 @@ let create ?(seal_patch = true) sim =
     gnttab = Gnttab.create ~stats;
     xenstore = Xenstore.create ();
     seal_patch;
-    domains = [];
+    domain_table = Hashtbl.create 64;
     next_domid = 0;
   }
 
@@ -28,14 +32,18 @@ let create_domain t ~name ~mem_mib ~platform ?(vcpus = 1) () =
   let id = t.next_domid in
   t.next_domid <- id + 1;
   let d = Domain.create ~sim:t.sim ~stats:t.stats ~id ~name ~mem_mib ~platform ~vcpus () in
-  t.domains <- d :: t.domains;
+  Hashtbl.replace t.domain_table id d;
   if Trace.enabled () then
     Trace.emit ~dom:id ~cat:Trace.Boot
       ~payload:[ ("name", Trace.String name); ("mem_mib", Trace.Int mem_mib) ]
       "domain.create";
   d
 
-let domain t id = List.find_opt (fun d -> d.Domain.id = id) t.domains
+let domain t id = Hashtbl.find_opt t.domain_table id
+
+let domains t =
+  let ds = Hashtbl.fold (fun _ d acc -> d :: acc) t.domain_table [] in
+  List.sort (fun a b -> compare a.Domain.id b.Domain.id) ds
 
 let seal t d =
   if not t.seal_patch then raise Seal_unsupported;
@@ -46,6 +54,14 @@ let seal t d =
 
 let destroy ?(exit_code = -1) t d =
   Domain.shutdown d ~exit_code;
-  t.domains <- List.filter (fun x -> x != d) t.domains
+  (* Guard against a stale handle to an id that has since been reused:
+     only remove the table entry if it is this very domain. *)
+  (match Hashtbl.find_opt t.domain_table d.Domain.id with
+  | Some x when x == d ->
+    Hashtbl.remove t.domain_table d.Domain.id;
+    (* Teardown audit: drop the domain's metric series too, or their
+       read callbacks pin the dead domain's devices and stack. *)
+    Trace.Metrics.unregister_dom d.Domain.id
+  | _ -> ())
 
-let domain_count t = List.length t.domains
+let domain_count t = Hashtbl.length t.domain_table

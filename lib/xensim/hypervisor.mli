@@ -13,7 +13,7 @@ type t = {
   gnttab : Gnttab.t;
   xenstore : Xenstore.t;
   seal_patch : bool;
-  mutable domains : Domain.t list;
+  domain_table : (int, Domain.t) Hashtbl.t;
   mutable next_domid : int;
 }
 
@@ -26,7 +26,12 @@ val create : ?seal_patch:bool -> Engine.Sim.t -> t
 val create_domain :
   t -> name:string -> mem_mib:int -> platform:Platform.t -> ?vcpus:int -> unit -> Domain.t
 
+(** O(1) lookup by domain id. *)
 val domain : t -> int -> Domain.t option
+
+(** All live domains, sorted by id (= creation order, ids being
+    monotonic) so reports iterate deterministically. *)
+val domains : t -> Domain.t list
 
 (** The seal hypercall (§2.3.3).
     @raise Seal_unsupported on an unpatched hypervisor

@@ -220,6 +220,71 @@ let test_eventq_pending_count () =
   Engine.Sim.run sim;
   check_int "none pending after run" 0 (Engine.Sim.pending sim)
 
+(* Mass cancellation must physically evict the corpses (so their
+   closures are collectable) and shrink the backing array, while [length]
+   stays exact throughout — the boot-storm reap cancels thousands of
+   timers at once. *)
+let test_eventq_compaction () =
+  let q = Engine.Eventq.create () in
+  let handles = Array.init 1000 (fun i -> Engine.Eventq.push q ~time:i (fun () -> ())) in
+  check_int "all live" 1000 (Engine.Eventq.length q);
+  check_int "all physically present" 1000 (Engine.Eventq.physical_size q);
+  Array.iteri (fun i h -> if i mod 100 <> 0 then Engine.Eventq.cancel h) handles;
+  check_int "live after mass cancel" 10 (Engine.Eventq.length q);
+  (* the eager sweep runs whenever corpses outnumber the living, so at
+     rest at most half the physical entries are cancelled *)
+  check_bool "cancelled entries swept out" true
+    (Engine.Eventq.physical_size q <= 2 * Engine.Eventq.length q);
+  check_bool "backing array shrank"
+    true
+    (Engine.Eventq.capacity q < 1000);
+  (* cancelling an already-swept handle must not corrupt the counters *)
+  Engine.Eventq.cancel handles.(1);
+  Engine.Eventq.cancel handles.(1);
+  check_int "re-cancel is a no-op" 10 (Engine.Eventq.length q);
+  (* survivors still pop in time order with correct accounting *)
+  let times = ref [] in
+  let rec drain () =
+    match Engine.Eventq.pop q with
+    | None -> ()
+    | Some (t, _) ->
+      times := t :: !times;
+      drain ()
+  in
+  drain ();
+  check (Alcotest.list Alcotest.int) "survivors in order"
+    [ 0; 100; 200; 300; 400; 500; 600; 700; 800; 900 ]
+    (List.rev !times);
+  check_int "empty after drain" 0 (Engine.Eventq.length q)
+
+(* [length] is a counter, not a scan: interleaved push/cancel/pop across
+   thousands of events keeps it exactly equal to the survivor count. *)
+let test_eventq_length_exact () =
+  let q = Engine.Eventq.create () in
+  let expected = ref 0 in
+  let live = Hashtbl.create 64 in
+  let prng = Engine.Prng.create ~seed:11 () in
+  for i = 0 to 4999 do
+    match Engine.Prng.int prng 3 with
+    | 0 | 1 ->
+      let h = Engine.Eventq.push q ~time:(Engine.Prng.int prng 1_000_000) (fun () -> ()) in
+      Hashtbl.replace live i h;
+      incr expected
+    | _ ->
+      (match Hashtbl.fold (fun k h _ -> Some (k, h)) live None with
+      | Some (k, h) ->
+        Engine.Eventq.cancel h;
+        Hashtbl.remove live k;
+        decr expected
+      | None -> ());
+      if Engine.Eventq.length q <> !expected then
+        Alcotest.failf "length %d <> expected %d after op %d" (Engine.Eventq.length q) !expected
+          i
+  done;
+  check_int "final length exact" !expected (Engine.Eventq.length q);
+  check_bool "physical never below live" true
+    (Engine.Eventq.physical_size q >= Engine.Eventq.length q)
+
 (* property: events always pop in nondecreasing time order *)
 let prop_eventq_sorted =
   qtest "eventq pops sorted" QCheck.(list (int_bound 10_000)) (fun delays ->
@@ -271,6 +336,8 @@ let () =
           Alcotest.test_case "negative delay clamped" `Quick test_sim_negative_delay_clamped;
           Alcotest.test_case "time units" `Quick test_time_units;
           Alcotest.test_case "pending count" `Quick test_eventq_pending_count;
+          Alcotest.test_case "eventq compaction" `Quick test_eventq_compaction;
+          Alcotest.test_case "eventq length exact" `Quick test_eventq_length_exact;
           prop_eventq_sorted;
         ] );
     ]

@@ -41,6 +41,32 @@ let test_flood_then_learn () =
   check_int "b received unicast" 2 !b_got;
   check_bool "forwarded count grew" true (Netsim.Bridge.forwarded br >= 1)
 
+(* The service directory is a hashtable (O(1) advertise/withdraw for
+   boot storms) but enumeration must stay deterministic: oldest first,
+   and re-advertising a name moves it to the end like a fresh entry. *)
+let test_services_enumeration_order () =
+  let sim = Engine.Sim.create () in
+  let br = Netsim.Bridge.create sim in
+  for i = 1 to 20 do
+    Netsim.Bridge.advertise br ~name:(Printf.sprintf "svc.%d" i) ~ip:"10.0.0.1" ~port:i
+  done;
+  let names () = List.map (fun (n, _, _) -> n) (Netsim.Bridge.services br) in
+  check (Alcotest.list Alcotest.string) "oldest first"
+    (List.init 20 (fun i -> Printf.sprintf "svc.%d" (i + 1)))
+    (names ());
+  Netsim.Bridge.withdraw br ~name:"svc.7";
+  check_int "withdraw removes" 19 (List.length (names ()));
+  check_bool "withdrawn name gone" false (List.mem "svc.7" (names ()));
+  (* re-advertise: fresh registration, so it enumerates last *)
+  Netsim.Bridge.advertise br ~name:"svc.3" ~ip:"10.0.0.9" ~port:333;
+  (match List.rev (Netsim.Bridge.services br) with
+  | (n, ip, port) :: _ ->
+    check_string "re-advertised name is last" "svc.3" n;
+    check_string "with the fresh ip" "10.0.0.9" ip;
+    check_int "and the fresh port" 333 port
+  | [] -> Alcotest.fail "directory empty");
+  check_int "re-advertise does not duplicate" 19 (List.length (names ()))
+
 let test_broadcast () =
   let sim, _, a, b = two_nics () in
   let got = ref 0 in
@@ -322,6 +348,7 @@ let () =
         [
           Alcotest.test_case "mac utils" `Quick test_mac_utils;
           Alcotest.test_case "flood then learn" `Quick test_flood_then_learn;
+          Alcotest.test_case "services enumeration order" `Quick test_services_enumeration_order;
           Alcotest.test_case "broadcast" `Quick test_broadcast;
           Alcotest.test_case "no self delivery" `Quick test_no_self_delivery;
           Alcotest.test_case "latency" `Quick test_latency;

@@ -91,6 +91,56 @@ let test_hypervisor_seal_counts () =
   check_int "seal counted" 1 w.hv.Xensim.Hypervisor.stats.Xensim.Xstats.seals;
   check_bool "pagetable sealed" true (Xensim.Pagetable.is_sealed d.Xensim.Domain.pagetable)
 
+(* ---- Domain table ---- *)
+
+(* The table is a hashtable so boot storms don't scan: lookup must go
+   negative the instant a domain is destroyed, [domain_count] must track
+   exactly, and a stale handle to a reused id must not evict the new
+   tenant. *)
+let test_hypervisor_lookup_after_destroy () =
+  let w = make_world () in
+  let ds =
+    List.init 50 (fun i ->
+        Xensim.Hypervisor.create_domain w.hv ~name:(Printf.sprintf "g%d" i) ~mem_mib:16
+          ~platform:Platform.xen_extent ())
+  in
+  check_int "all registered (plus dom0)" 51 (Xensim.Hypervisor.domain_count w.hv);
+  List.iteri
+    (fun i d ->
+      if i mod 2 = 0 then Xensim.Hypervisor.destroy w.hv d)
+    ds;
+  check_int "destroyed domains deregistered" 26 (Xensim.Hypervisor.domain_count w.hv);
+  List.iteri
+    (fun i d ->
+      let found = Xensim.Hypervisor.domain w.hv d.Xensim.Domain.id in
+      if i mod 2 = 0 then check_bool "destroyed id not found" true (found = None)
+      else
+        match found with
+        | Some x -> check_bool "survivor found by id" true (x == d)
+        | None -> Alcotest.fail "live domain vanished from the table")
+    ds;
+  (* destroy is idempotent, and a stale destroy must not touch a reused id *)
+  let victim = List.nth ds 1 in
+  Xensim.Hypervisor.destroy w.hv victim;
+  Xensim.Hypervisor.destroy w.hv victim;
+  check_int "double destroy is a no-op" 25 (Xensim.Hypervisor.domain_count w.hv)
+
+(* [domains] must iterate in creation (= id) order regardless of hash
+   bucket layout — reports and the boot storm's schedule depend on it. *)
+let test_hypervisor_domains_deterministic () =
+  let w = make_world () in
+  let ds =
+    List.init 200 (fun i ->
+        Xensim.Hypervisor.create_domain w.hv ~name:(Printf.sprintf "d%d" i) ~mem_mib:16
+          ~platform:Platform.xen_extent ())
+  in
+  (* punch holes so the surviving id set is irregular *)
+  List.iteri (fun i d -> if i mod 3 = 1 then Xensim.Hypervisor.destroy w.hv d) ds;
+  let ids = List.map (fun d -> d.Xensim.Domain.id) (Xensim.Hypervisor.domains w.hv) in
+  check (Alcotest.list Alcotest.int) "sorted by id" (List.sort compare ids) ids;
+  let again = List.map (fun d -> d.Xensim.Domain.id) (Xensim.Hypervisor.domains w.hv) in
+  check (Alcotest.list Alcotest.int) "iteration is stable" ids again
+
 (* ---- Event channels ---- *)
 
 let test_evtchn_notify () =
@@ -533,6 +583,12 @@ let () =
           Alcotest.test_case "double seal" `Quick test_double_seal;
           Alcotest.test_case "seal needs hypervisor patch" `Quick test_hypervisor_seal_requires_patch;
           Alcotest.test_case "seal hypercall counted" `Quick test_hypervisor_seal_counts;
+        ] );
+      ( "domain table",
+        [
+          Alcotest.test_case "lookup after destroy" `Quick test_hypervisor_lookup_after_destroy;
+          Alcotest.test_case "deterministic iteration" `Quick
+            test_hypervisor_domains_deterministic;
         ] );
       ( "evtchn",
         [
