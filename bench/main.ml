@@ -24,12 +24,14 @@ let experiments =
     ("chaos", "TCP chaos matrix: fault schedules x seeds", Chaos.run);
     ("fleet", "LB + autoscaler under a 100x open-loop ramp", Fleet_bench.run);
     ("bootstorm", "10^2..10^4-domain cold-start storms to first response", Bootstorm.run);
+    ("dpath", "per-packet per-hop datapath cost attribution", Dpath.run);
     ("micro", "real-time microbenchmarks", Micro.run);
     ("trace-guard", "disabled-tracing overhead guard", Micro.trace_guard);
     ("monitor-guard", "disabled-metrics overhead + figure-8 invariance guard", Micro.monitor_guard);
+    ("profile-guard", "disabled-profiler overhead + figure-8 invariance guard", Micro.profile_guard);
   ]
 
-let run requested trace_out out =
+let run requested trace_out out profile_out flight_dir =
   let to_run =
     if requested = [] then experiments
     else
@@ -44,6 +46,7 @@ let run requested trace_out out =
         requested
   in
   Util.with_out out (fun () ->
+      Util.with_profile profile_out flight_dir (fun () ->
       Util.with_trace trace_out (fun () ->
           Printf.printf "Unikernels (ASPLOS'13) reproduction — benchmark harness\n";
           Printf.printf "All appliance measurements run in simulated virtual time;\n";
@@ -53,13 +56,16 @@ let run requested trace_out out =
               ignore name;
               ignore descr;
               f ())
-            to_run))
+            to_run)))
 
 let () =
   let open Cmdliner in
   let doc = "Regenerate the paper's tables and figures in simulated virtual time" in
   let names = Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT") in
   let cmd =
-    Cmd.v (Cmd.info "bench" ~doc) Term.(const run $ names $ Util.trace_term $ Util.out_term)
+    Cmd.v (Cmd.info "bench" ~doc)
+      Term.(
+        const run $ names $ Util.trace_term $ Util.out_term $ Util.profile_term
+        $ Util.flight_term)
   in
   exit (Cmd.eval cmd)

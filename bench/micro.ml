@@ -308,6 +308,86 @@ let monitor_guard () =
     fig8_invariance ()
   end
 
+(* ---- profiler guard ----
+
+   Same contract as the trace and metrics guards, for the profiling
+   plane (Trace.Prof / Trace.Dpath / Trace.Flight): every hot site is
+   `if X.enabled () then ... else f ()`, so with the planes off (the
+   default for every figure run) the cost is one load and one
+   predictable branch. Measured for real against the shared pinned
+   budget; then Figure 8 must be byte-identical with all three planes
+   enabled, because profiling and the flight recorder only accumulate —
+   they never change scheduling, costs or behaviour. *)
+
+let profile_guard_measure () =
+  let account_site i =
+    if Trace.Prof.enabled () then Trace.Prof.account ~dom:0 i;
+    i land 0xff
+  in
+  let frame_site i =
+    let f () = i land 0xff in
+    if Trace.Prof.enabled () then Trace.Prof.with_frame "guard" f else f ()
+  in
+  let dpath_site i =
+    let f () = i land 0xff in
+    if Trace.Dpath.enabled () then Trace.Dpath.measure Trace.Dpath.Tcp ~vcpu_ns:i f else f ()
+  in
+  let flight_site i =
+    if Trace.Flight.enabled () then Trace.Flight.note ~dom:0 ~cat:Trace.Net "guard.note";
+    i land 0xff
+  in
+  let base = guard_best guard_baseline in
+  let report metric cost =
+    Util.emit ~figure:"profile-guard" ~metric ~unit_:"ns/op" cost;
+    Printf.printf "  disabled %-13s: %.2f ns/op (baseline %.2f, budget %.1f)\n" metric cost base
+      guard_budget_ns;
+    cost > guard_budget_ns
+  in
+  let bad_account = report "account-site" (Float.max 0.0 (guard_best account_site -. base)) in
+  let bad_frame = report "frame-site" (Float.max 0.0 (guard_best frame_site -. base)) in
+  let bad_dpath = report "dpath-site" (Float.max 0.0 (guard_best dpath_site -. base)) in
+  let bad_flight = report "flight-site" (Float.max 0.0 (guard_best flight_site -. base)) in
+  let bad = bad_account || bad_frame || bad_dpath || bad_flight in
+  if bad then begin
+    Printf.printf "  FAIL: disabled-profiler overhead exceeds budget\n";
+    exit 1
+  end
+  else Printf.printf "  OK: within budget\n"
+
+let fig8_profile_invariance () =
+  let saved_results = !Util.results in
+  let off = capture_stdout Fig8.run in
+  Trace.Prof.enable ();
+  Trace.Dpath.enable ();
+  Trace.Flight.enable ();
+  let on = capture_stdout Fig8.run in
+  Trace.Prof.disable ();
+  Trace.Prof.reset ();
+  Trace.Dpath.disable ();
+  Trace.Dpath.reset ();
+  Trace.Flight.disable ();
+  Trace.Flight.reset ();
+  Util.results := saved_results;
+  Util.emit ~figure:"profile-guard" ~metric:"fig8-byte-identical" ~unit_:"bool"
+    (if off = on then 1.0 else 0.0);
+  if off = on then
+    Printf.printf
+      "  OK: figure 8 stdout byte-identical with profiler+flight recorder off/on (%d bytes)\n"
+      (String.length off)
+  else begin
+    Printf.printf "  FAIL: enabling the profiling planes changed figure 8 output\n";
+    exit 1
+  end
+
+let profile_guard () =
+  Util.header "Profiler guard (disabled frame/account/dpath/flight sites, figure-8 invariance)";
+  if Trace.Prof.enabled () || Trace.Dpath.enabled () || Trace.Flight.enabled () then
+    Printf.printf "  skipped: a profiling plane is enabled for this run\n"
+  else begin
+    profile_guard_measure ();
+    fig8_profile_invariance ()
+  end
+
 let run () =
   Util.header "Microbenchmarks (real wall-clock, Bechamel)";
   let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in

@@ -92,6 +92,52 @@ let with_trace trace_out f =
     Printf.printf "\ntrace written to %s\n" file;
     Engine.Trace_report.print_summary ()
 
+(* ---- shared --profile / --flight plumbing ----
+
+   [--profile FILE] runs the requested experiments with the vCPU
+   profiler and datapath accounting enabled, writes the profile as JSON
+   lines (input to `mirage_sim profile top/folded/diff`) and prints a
+   top-style summary. [--flight DIR] arms the flight recorder for the
+   run; postmortem bundles land in DIR only when something actually
+   fails. *)
+
+let profile_term =
+  let open Cmdliner in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "profile" ] ~docv:"FILE"
+        ~doc:
+          "Run with the vCPU profiler and per-packet datapath accounting enabled and write the \
+           profile to $(docv) as JSON lines (analyse with mirage_sim profile).")
+
+let flight_term =
+  let open Cmdliner in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "flight" ] ~docv:"DIR"
+        ~doc:
+          "Arm the flight recorder; postmortem bundles are written into $(docv) on failure \
+           signals only.")
+
+let with_profile profile_out flight_dir f =
+  if profile_out <> None then begin
+    Trace.Prof.enable ();
+    Trace.Dpath.enable ()
+  end;
+  (match flight_dir with Some dir -> Trace.Flight.enable ~dir () | None -> ());
+  f ();
+  (match profile_out with
+  | None -> ()
+  | Some file ->
+    Engine.Trace_report.write_profile ~file;
+    Printf.printf "\nprofile written to %s\n" file;
+    Engine.Trace_report.print_profile_summary ());
+  if flight_dir <> None then
+    Printf.printf "flight recorder: %d trip(s), %d bundle(s) retained\n" (Trace.Flight.trips ())
+      (List.length (Trace.Flight.bundles ()))
+
 (* ---- shared --out plumbing ----
 
    Machine-readable results. Every experiment calls [emit] next to the
@@ -99,11 +145,20 @@ let with_trace trace_out f =
    (so recording never perturbs the figure stdout) and `--out FILE`
    writes them as JSON lines, one object per data point:
 
-     {"figure": "fig8", "metric": "throughput/Linux to Mirage/1-flow",
+     {"schema": 2, "figure": "fig8",
+      "metric": "throughput/Linux to Mirage/1-flow",
       "value": 1693.0, "unit": "Mbps", "seed": 42}
 
    The seed is the world seed the point was measured under (the harness
-   default of 42 unless the experiment sweeps seeds, as chaos does). *)
+   default of 42 unless the experiment sweeps seeds, as chaos does).
+
+   [schema] versions the record format so gates and plotting scripts can
+   detect incompatible snapshots; an absent field means version 1
+   (identical minus the field). The full field-by-field contract lives
+   in EXPERIMENTS.md ("bench --out schema"). Bump [schema_version] on
+   any change to the line shape. *)
+
+let schema_version = 2
 
 type result = {
   r_figure : string;
@@ -158,8 +213,9 @@ let with_out out f =
     List.iter
       (fun r ->
         Printf.fprintf oc
-          "{\"figure\": \"%s\", \"metric\": \"%s\", \"value\": %s, \"unit\": \"%s\", \"seed\": %d}\n"
-          (json_escape r.r_figure) (json_escape r.r_metric) (json_float r.r_value)
+          "{\"schema\": %d, \"figure\": \"%s\", \"metric\": \"%s\", \"value\": %s, \"unit\": \
+           \"%s\", \"seed\": %d}\n"
+          schema_version (json_escape r.r_figure) (json_escape r.r_metric) (json_float r.r_value)
           (json_escape r.r_unit) r.r_seed)
       (List.rev !results);
     close_out oc;

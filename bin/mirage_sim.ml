@@ -178,8 +178,33 @@ let boot_cmd =
       & info [ "trace" ] ~docv:"FILE"
           ~doc:"Record a full event trace of the boot and write it to $(docv) as JSON lines.")
   in
-  let run (name, mk) mem sync no_seal target trace_out =
+  let profile_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "profile" ] ~docv:"FILE"
+          ~doc:
+            "Attribute every vCPU nanosecond to its layer stack and every datapath packet to its \
+             per-hop cost; write the profile to $(docv) as JSON lines (input to $(b,mirage_sim \
+             profile)) and print a top-style summary.")
+  in
+  let flight_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "flight" ] ~docv:"DIR"
+          ~doc:
+            "Arm the flight recorder: keep a bounded ring of recent events per domain and dump a \
+             postmortem bundle into $(docv) on failure signals (TCP give-up, fired alerts, \
+             non-zero domain exits). No bundle is written on a clean run.")
+  in
+  let run (name, mk) mem sync no_seal target trace_out profile_out flight_dir =
     if trace_out <> None then Trace.enable ();
+    if profile_out <> None then begin
+      Trace.Prof.enable ();
+      Trace.Dpath.enable ()
+    end;
+    (match flight_dir with Some dir -> Trace.Flight.enable ~dir () | None -> ());
     let mk () = mk ?aslr_seed:None () in
     let sim = Engine.Sim.create () in
     let hv = Xensim.Hypervisor.create ~seal_patch:(not no_seal) sim in
@@ -224,7 +249,7 @@ let boot_cmd =
       List.iter (fun line -> Printf.printf "  console      | %s\n" line)
         (Devices.Console.log console)
     | None -> ());
-    match trace_out with
+    (match trace_out with
     | None -> ()
     | Some file ->
       Engine.Trace_report.write_jsonl ~file;
@@ -240,14 +265,25 @@ let boot_cmd =
             Printf.printf "  %5d %10d %12.1f %12.1f\n" v.Engine.Sim.vt_dom v.Engine.Sim.vt_slices
               (float_of_int v.Engine.Sim.vt_run_ns /. 1e3)
               (float_of_int v.Engine.Sim.vt_wait_ns /. 1e3))
-          totals)
+          totals));
+    (match profile_out with
+    | None -> ()
+    | Some file ->
+      Engine.Trace_report.write_profile ~file;
+      Printf.printf "  profile      : %s\n" file;
+      Engine.Trace_report.print_profile_summary ());
+    if Trace.Flight.enabled () then
+      Printf.printf "  flight       : %d trip(s), %d bundle(s) retained\n" (Trace.Flight.trips ())
+        (List.length (Trace.Flight.bundles ()))
   in
   Cmd.v (Cmd.info "boot" ~doc)
-    Term.(const run $ appliance $ mem $ sync $ no_seal $ target_arg $ trace_out)
+    Term.(
+      const run $ appliance $ mem $ sync $ no_seal $ target_arg $ trace_out $ profile_out
+      $ flight_dir)
 
 let main =
   let doc = "Mirage unikernel construction pipeline on a simulated Xen host" in
   Cmd.group (Cmd.info "mirage_sim" ~version:"1.0" ~doc)
-    [ list_cmd; build_cmd; boot_cmd; Trace_cli.cmd; Monitor_cli.cmd; Fleet_cli.cmd ]
+    [ list_cmd; build_cmd; boot_cmd; Trace_cli.cmd; Profile_cli.cmd; Monitor_cli.cmd; Fleet_cli.cmd ]
 
 let () = exit (Cmd.eval main)

@@ -89,16 +89,22 @@ let backend_handle_tx t () =
           | None -> Trace.Flow.none
         in
         Trace.Flow.with_flow fl (fun () ->
-            let page = Xensim.Gnttab.map (gnttab t) ~by:t.backend_dom.Xensim.Domain.id gref in
-            let frame = Bytestruct.sub page 0 size in
-            Netsim.Nic.send t.nic frame;
-            Xensim.Gnttab.unmap (gnttab t) ~by:t.backend_dom.Xensim.Domain.id gref;
-            let rsp = Xensim.Ring.Back.next_response t.tx_back in
-            Bytestruct.LE.set_uint16 rsp 0 id;
-            Bytestruct.LE.set_uint16 rsp 2 0 (* NETIF_RSP_OKAY *)))
+            let work () =
+              let page = Xensim.Gnttab.map (gnttab t) ~by:t.backend_dom.Xensim.Domain.id gref in
+              let frame = Bytestruct.sub page 0 size in
+              Netsim.Nic.send t.nic frame;
+              Xensim.Gnttab.unmap (gnttab t) ~by:t.backend_dom.Xensim.Domain.id gref;
+              let rsp = Xensim.Ring.Back.next_response t.tx_back in
+              Bytestruct.LE.set_uint16 rsp 0 id;
+              Bytestruct.LE.set_uint16 rsp 2 0 (* NETIF_RSP_OKAY *)
+            in
+            if Trace.Dpath.enabled () then
+              Trace.Dpath.measure Trace.Dpath.Ring_slot ~vcpu_ns:backend_per_packet_ns work
+            else work ()))
   in
   if n > 0 then begin
-    Xensim.Domain.charge_k t.backend_dom ~cost:(n * backend_per_packet_ns) (fun () -> ());
+    let kick () = Xensim.Domain.charge_k t.backend_dom ~cost:(n * backend_per_packet_ns) (fun () -> ()) in
+    if Trace.Prof.enabled () then Trace.Prof.with_frame "netif" kick else kick ();
     if Xensim.Ring.Back.push_responses_and_check_notify t.tx_back then
       Xensim.Evtchn.notify (evtchn t) t.tx_port_back
   end
@@ -114,19 +120,28 @@ let backend_deliver_frame t ~id ~gref frame =
   if Trace.enabled () then
     Hashtbl.replace t.rx_spans id
       (Trace.span ~dom:t.dom.Xensim.Domain.id ~cat:Trace.Device "netif.rx");
-  Xensim.Gnttab.copy_to (gnttab t) ~by:t.backend_dom.Xensim.Domain.id gref ~src:frame;
-  let rsp = Xensim.Ring.Back.next_response t.rx_back in
-  Bytestruct.LE.set_uint16 rsp 0 id;
-  Bytestruct.LE.set_uint16 rsp 2 (Bytestruct.length frame);
-  Xensim.Domain.charge_k t.backend_dom ~cost:backend_per_packet_ns (fun () -> ());
-  if Xensim.Ring.Back.push_responses_and_check_notify t.rx_back then
-    Xensim.Evtchn.notify (evtchn t) t.rx_port_back
+  let work () =
+    Xensim.Gnttab.copy_to (gnttab t) ~by:t.backend_dom.Xensim.Domain.id gref ~src:frame;
+    let rsp = Xensim.Ring.Back.next_response t.rx_back in
+    Bytestruct.LE.set_uint16 rsp 0 id;
+    Bytestruct.LE.set_uint16 rsp 2 (Bytestruct.length frame);
+    let kick () = Xensim.Domain.charge_k t.backend_dom ~cost:backend_per_packet_ns (fun () -> ()) in
+    if Trace.Prof.enabled () then Trace.Prof.with_frame "netif" kick else kick ();
+    if Xensim.Ring.Back.push_responses_and_check_notify t.rx_back then
+      Xensim.Evtchn.notify (evtchn t) t.rx_port_back
+  in
+  if Trace.Dpath.enabled () then
+    Trace.Dpath.measure Trace.Dpath.Ring_slot ~vcpu_ns:backend_per_packet_ns work
+  else work ()
 
 let backend_handle_frame t frame =
   (* Pull any freshly-posted credit before deciding to drop. *)
   backend_handle_rx_credit t ();
   match Queue.take_opt t.rx_avail with
-  | None -> t.rx_dropped <- t.rx_dropped + 1
+  | None ->
+    t.rx_dropped <- t.rx_dropped + 1;
+    if Trace.Flight.enabled () then
+      Trace.Flight.note ~dom:t.dom.Xensim.Domain.id ~cat:Trace.Device "netif.rx_drop"
   | Some (id, gref) ->
     if Trace.enabled () then begin
       (* Every frame entering a backend begins a fresh causal flow; the
@@ -204,33 +219,45 @@ let frontend_handle_rx_responses t () =
     List.iter
       (fun (id, page, size) ->
         t.rx_frames <- t.rx_frames + 1;
+        let cost = Platform.rx_cost plat ~bytes_len:size in
         (* Deliver once the vCPU has done the receive-path work; charge_k
            keeps per-frame ordering (sequential reservations on one vCPU). *)
-        Xensim.Domain.charge_k t.dom ~cost:(Platform.rx_cost plat ~bytes_len:size) (fun () ->
-            (* The evtchn kick that scheduled us carries only the flow of
-               the frame that raised it; a batched ring holds frames from
-               many flows, so re-establish this slot's own. *)
-            let fl =
-              match Hashtbl.find_opt t.rx_flows id with
-              | Some fl ->
-                Hashtbl.remove t.rx_flows id;
-                fl
-              | None -> Trace.Flow.none
-            in
-            Trace.Flow.with_flow fl (fun () ->
-                (match Hashtbl.find_opt t.rx_spans id with
-                | Some span ->
-                  Hashtbl.remove t.rx_spans id;
-                  Trace.finish span
-                | None -> ());
-                (match t.listener with
-                | Some f -> f (Bytestruct.sub page 0 size)
-                | None -> ());
-                Io_page.recycle t.pool page;
-                (* Replace the consumed credit. *)
-                post_rx_buffer t;
-                if Xensim.Ring.Front.push_requests_and_check_notify t.rx_front then
-                  Xensim.Evtchn.notify (evtchn t) t.rx_port_front)))
+        let deliver () =
+          (* The evtchn kick that scheduled us carries only the flow of
+             the frame that raised it; a batched ring holds frames from
+             many flows, so re-establish this slot's own. *)
+          let fl =
+            match Hashtbl.find_opt t.rx_flows id with
+            | Some fl ->
+              Hashtbl.remove t.rx_flows id;
+              fl
+            | None -> Trace.Flow.none
+          in
+          Trace.Flow.with_flow fl (fun () ->
+              (match Hashtbl.find_opt t.rx_spans id with
+              | Some span ->
+                Hashtbl.remove t.rx_spans id;
+                Trace.finish span
+              | None -> ());
+              (match t.listener with
+              | Some f -> f (Bytestruct.sub page 0 size)
+              | None -> ());
+              Io_page.recycle t.pool page;
+              (* Replace the consumed credit. *)
+              post_rx_buffer t;
+              if Xensim.Ring.Front.push_requests_and_check_notify t.rx_front then
+                Xensim.Evtchn.notify (evtchn t) t.rx_port_front)
+        in
+        let deliver () =
+          if Trace.Dpath.enabled () then
+            Trace.Dpath.measure Trace.Dpath.Netfront ~vcpu_ns:cost deliver
+          else deliver ()
+        in
+        (* Charge under the [netif] frame so the rx work — and everything
+           the listener defers — is attributed to the driver stack. *)
+        if Trace.Prof.enabled () then
+          Trace.Prof.with_frame "netif" (fun () -> Xensim.Domain.charge_k t.dom ~cost deliver)
+        else Xensim.Domain.charge_k t.dom ~cost deliver)
       (List.rev !arrived)
   end
 
@@ -425,13 +452,16 @@ let rec pv_write t frame =
     t.tx_frames <- t.tx_frames + 1;
     (* The vCPU does the driver work before the frame reaches the ring —
        this is what makes a busy guest the throughput bottleneck. *)
-    bind
-      (Xensim.Domain.charge t.dom
-         ~cost:(Platform.tx_cost t.dom.Xensim.Domain.platform ~bytes_len:len))
-      (fun () ->
-        if Xensim.Ring.Front.push_requests_and_check_notify t.tx_front then
-          Xensim.Evtchn.notify (evtchn t) t.tx_port_front;
-        done_p)
+    let send () =
+      bind
+        (Xensim.Domain.charge t.dom
+           ~cost:(Platform.tx_cost t.dom.Xensim.Domain.platform ~bytes_len:len))
+        (fun () ->
+          if Xensim.Ring.Front.push_requests_and_check_notify t.tx_front then
+            Xensim.Evtchn.notify (evtchn t) t.tx_port_front;
+          done_p)
+    in
+    if Trace.Prof.enabled () then Trace.Prof.with_frame "netif" send else send ()
   end
 
 let write t frame = match t with Pv p -> pv_write p frame | Direct d -> direct_write d frame

@@ -42,6 +42,16 @@ let at t ~time f =
     end
     else f
   in
+  (* Same trick for profiler frames: a callback scheduled under a layer
+     frame stack runs under that stack, so vCPU charges made by deferred
+     continuations still land on the layer that caused them. *)
+  let f =
+    if Trace.Prof.enabled () then begin
+      let node = Trace.Prof.current_node () in
+      if not (Trace.Prof.is_root node) then fun () -> Trace.Prof.wrap node f else f
+    end
+    else f
+  in
   Eventq.push t.q ~time f
 
 let vcpu_account t ~dom ~run_ns ~wait_ns =
@@ -92,6 +102,7 @@ let step t =
         ~payload:[ ("pending", Trace.Int (Eventq.length t.q)) ]
         "sim.dispatch"
     end;
+    if Trace.Flight.enabled () then Trace.Flight.watermark "sim.pending" (Eventq.length t.q);
     action ();
     true
 

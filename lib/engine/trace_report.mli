@@ -16,3 +16,16 @@ val summary_string : unit -> string
 
 (** Print {!summary_string} to stdout with a heading, if non-empty. *)
 val print_summary : unit -> unit
+
+(** Write the profiler and datapath tables to [file] as JSON lines (see
+    [Trace.export_profile_jsonl]) — input to [mirage_sim profile]. *)
+val write_profile : file:string -> unit
+
+(** Top-style table of the profiler state: per-(stack, dom) vCPU time
+    sorted by run time descending with share-of-total, then the per-packet
+    datapath cost table. [""] when both planes are empty. *)
+val profile_summary_string : unit -> string
+
+(** Print {!profile_summary_string} to stdout with a heading, if
+    non-empty. *)
+val print_profile_summary : unit -> unit

@@ -334,7 +334,18 @@ module Make (T : Device_sig.TCP) = struct
                   ("target", Trace.String tg.tg_name);
                   ("value", Trace.Float value);
                 ]
-              ~cat:(Trace.User "monitor") "alert.fire"
+              ~cat:(Trace.User "monitor") "alert.fire";
+          (* An SLO breach is a failure signal: freeze the black box so
+             the postmortem covers the window that caused the alert. *)
+          if Trace.Flight.enabled () then
+            Trace.Flight.trip ~dom:t.dom
+              ~payload:
+                [
+                  ("rule", Trace.String st.Slo.s_rule.Slo.r_name);
+                  ("target", Trace.String tg.tg_name);
+                  ("value", Trace.Float value);
+                ]
+              ~reason:"alert.fire" ()
         | Some (Slo.Resolved value) ->
           (match
              List.find_opt

@@ -179,8 +179,11 @@ let send_segment t ~key ~seq ~ack ~flags ~options ~window ~payload =
         d.Xensim.Domain.platform.Platform.tcp_tx_extra_ns
       else d.Xensim.Domain.platform.Platform.tcp_ack_extra_ns
     in
-    Mthread.Promise.async (fun () ->
-        Mthread.Promise.bind (Xensim.Domain.charge d ~cost) (fun () -> emit ()))
+    let send () =
+      Mthread.Promise.async (fun () ->
+          Mthread.Promise.bind (Xensim.Domain.charge d ~cost) (fun () -> emit ()))
+    in
+    if Trace.Prof.enabled () then Trace.Prof.with_frame "tcp" send else send ()
 
 let send_rst_for t ~key ~seq ~ack =
   send_segment t ~key ~seq ~ack
@@ -223,17 +226,27 @@ and on_rto fl =
       end
       else retransmit_entry fl e
     | _ ->
-      (* Timeout: collapse to slow start (RFC 5681). *)
-      let flight = Seq.diff fl.snd_nxt fl.snd_una in
-      fl.ssthresh <- max (flight / 2) (2 * fl.mss);
-      fl.cwnd <- fl.mss;
-      fl.in_recovery <- false;
-      fl.dupacks <- 0;
-      (* Everything in flight at the timeout is presumed lost: record the
-         high-water mark so returning ACKs clock go-back-N retransmission
-         (RFC 5681 §3.1) instead of paying one backed-off RTO per segment. *)
-      fl.rto_recover <- fl.snd_nxt;
-      retransmit_entry fl e);
+      fl.rto_tries <- fl.rto_tries + 1;
+      if fl.rto_tries > max_data_retries then begin
+        (* Data-path give-up (tcp_retries2): this many consecutive
+           backed-off RTOs with no forward progress means the peer is
+           gone — fail the flow instead of retransmitting forever. *)
+        fail_flow fl Mthread.Promise.Timeout;
+        cancel_rto fl
+      end
+      else begin
+        (* Timeout: collapse to slow start (RFC 5681). *)
+        let flight = Seq.diff fl.snd_nxt fl.snd_una in
+        fl.ssthresh <- max (flight / 2) (2 * fl.mss);
+        fl.cwnd <- fl.mss;
+        fl.in_recovery <- false;
+        fl.dupacks <- 0;
+        (* Everything in flight at the timeout is presumed lost: record the
+           high-water mark so returning ACKs clock go-back-N retransmission
+           (RFC 5681 §3.1) instead of paying one backed-off RTO per segment. *)
+        fl.rto_recover <- fl.snd_nxt;
+        retransmit_entry fl e
+      end);
     fl.rto_ns <- min (fl.rto_ns * 2) max_rto_ns;
     arm_rto fl
 
@@ -257,6 +270,18 @@ and retransmit_entry_now fl e =
       ~payload:[ ("seq", Trace.Int (Seq.to_int e.e_seq)); ("len", Trace.Int e.e_len) ]
       "tcp.retransmit"
   end;
+  if Trace.Flight.enabled () then
+    Trace.Flight.note
+      ?dom:(Option.map (fun d -> d.Xensim.Domain.id) fl.t.dom)
+      ~cat:Trace.Net
+      ~payload:
+        [
+          ("seq", Trace.Int (Seq.to_int e.e_seq));
+          ("len", Trace.Int e.e_len);
+          ("rport", Trace.Int fl.key.k_rport);
+          ("rto_ns", Trace.Int fl.rto_ns);
+        ]
+      "tcp.retransmit";
   e.e_retx <- true;
   e.e_sent_at <- Engine.Sim.now fl.t.sim;
   let flags =
@@ -279,6 +304,29 @@ and retransmit_entry_now fl e =
 
 and fail_flow fl err =
   if fl.state <> Closed then begin
+    (* Black box first: freeze the flow's identity and send-state while it
+       is still intact, then trip a postmortem on the give-up path — a
+       [Timeout] means retransmits/probes exhausted against a silent peer,
+       exactly the failure that is invisible once the flow is dropped. *)
+    if Trace.Flight.enabled () then begin
+      let dom = match fl.t.dom with Some d -> d.Xensim.Domain.id | None -> -1 in
+      let payload =
+        [
+          ("port", Trace.Int fl.key.k_port);
+          ("rip", Trace.String (Ipaddr.to_string fl.key.k_rip));
+          ("rport", Trace.Int fl.key.k_rport);
+          ("snd_una", Trace.Int (Seq.to_int fl.snd_una));
+          ("snd_nxt", Trace.Int (Seq.to_int fl.snd_nxt));
+          ("tx_buffered", Trace.Int fl.tx_buffered);
+          ("rto_ns", Trace.Int fl.rto_ns);
+          ("probes_out", Trace.Int fl.probes_out);
+        ]
+      in
+      Trace.Flight.note ~dom ~cat:Trace.Net ~payload "tcp.flow_fail";
+      match err with
+      | Mthread.Promise.Timeout -> Trace.Flight.trip ~dom ~payload ~reason:"tcp.timeout" ()
+      | _ -> ()
+    end;
     fl.state <- Closed;
     fl.error <- Some err;
     cancel_rto fl;
@@ -446,6 +494,17 @@ and on_persist fl =
           ~payload:[ ("backoff_ns", Trace.Int fl.persist_backoff_ns) ]
           "tcp.persist_probe"
       end;
+      if Trace.Flight.enabled () then
+        Trace.Flight.note
+          ?dom:(Option.map (fun d -> d.Xensim.Domain.id) fl.t.dom)
+          ~cat:Trace.Net
+          ~payload:
+            [
+              ("backoff_ns", Trace.Int fl.persist_backoff_ns);
+              ("probes_out", Trace.Int fl.probes_out);
+              ("rport", Trace.Int fl.key.k_rport);
+            ]
+          "tcp.persist_probe";
       (match Queue.peek_opt fl.rtx with
       | Some e ->
         (* The previous probe is still unacknowledged: resend it. *)
@@ -618,7 +677,11 @@ let deliver_rx fl payload =
       ~cat:Trace.Net
       ~payload:[ ("qlen", Trace.Int fl.rx_buffered) ]
       "tcp.rx_buffered";
-  Mthread.Mstream.push fl.rx (Bytestruct.copy payload)
+  if Trace.Flight.enabled () then Trace.Flight.watermark "tcp.rx_buffered" fl.rx_buffered;
+  if Trace.Dpath.enabled () then
+    Trace.Dpath.measure Trace.Dpath.Deliver ~vcpu_ns:0 (fun () ->
+        Mthread.Mstream.push fl.rx (Bytestruct.copy payload))
+  else Mthread.Mstream.push fl.rx (Bytestruct.copy payload)
 
 let rec integrate_ooo fl =
   match fl.ooo with
@@ -934,17 +997,27 @@ let handle_datagram t ~src ~dst ~payload =
           d.Xensim.Domain.platform.Platform.tcp_rx_extra_ns
         else d.Xensim.Domain.platform.Platform.tcp_ack_extra_ns
       in
-      if Trace.enabled () then begin
-        let queued = Engine.Sim.now t.sim in
-        Xensim.Domain.charge_k d ~cost (fun () ->
-            (* Retro-span covering queue-for-vCPU + segment processing,
-               so the flow's TCP-layer time is attributable offline. *)
-            if Trace.enabled () then
-              Trace.record_span_ns ~dom:d.Xensim.Domain.id ~cat:Trace.Net "tcp.rx"
-                (Engine.Sim.now t.sim - queued);
-            process ())
-      end
-      else Xensim.Domain.charge_k d ~cost process)
+      (* Datapath hop: the deferred segment processing runs top-of-stack,
+         so its allocation region nests nothing but [deliver_rx]. *)
+      let process () =
+        if Trace.Dpath.enabled () then
+          Trace.Dpath.measure Trace.Dpath.Tcp ~vcpu_ns:cost process
+        else process ()
+      in
+      let charge () =
+        if Trace.enabled () then begin
+          let queued = Engine.Sim.now t.sim in
+          Xensim.Domain.charge_k d ~cost (fun () ->
+              (* Retro-span covering queue-for-vCPU + segment processing,
+                 so the flow's TCP-layer time is attributable offline. *)
+              if Trace.enabled () then
+                Trace.record_span_ns ~dom:d.Xensim.Domain.id ~cat:Trace.Net "tcp.rx"
+                  (Engine.Sim.now t.sim - queued);
+              process ())
+        end
+        else Xensim.Domain.charge_k d ~cost process
+      in
+      if Trace.Prof.enabled () then Trace.Prof.with_frame "tcp" charge else charge ())
 
 let create sim ?dom ip =
   let t =

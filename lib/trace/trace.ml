@@ -634,3 +634,446 @@ module Metrics = struct
       (snapshot ?dom ());
     Buffer.contents b
 end
+
+(* ---- continuous virtual-time profiler ----
+
+   Attributes vCPU time to ambient layer frames. Frames form a tree
+   interned at push time (one hashtable probe per push; the folded-stack
+   string is built once per distinct stack, never on the hot path), and
+   the current position is a single mutable pointer — capturing the
+   ambient stack for a deferred callback is one load, exactly like flow
+   ids. Because time is virtual and vCPU charges are discrete, every
+   charge event is a sample tick whose weight is the charged duration:
+   the profile is an exact, complete attribution of every vCPU
+   nanosecond, not a statistical estimate — simulation makes the
+   continuous profiler free of sampling error. *)
+
+module Prof = struct
+  type node = {
+    n_name : string;
+    n_parent : node option;
+    n_folded : string;  (* "engine;netif;ip;tcp" *)
+    n_children : (string, node) Hashtbl.t;
+    n_accs : (int, acc) Hashtbl.t;  (* dom -> accumulator *)
+  }
+
+  and acc = { mutable a_run_ns : int; mutable a_wait_ns : int; mutable a_samples : int }
+
+  type stat = {
+    p_dom : int;
+    p_stack : string;
+    p_run_ns : int;
+    p_wait_ns : int;
+    p_samples : int;
+  }
+
+  let p_on = ref false
+  let enabled () = !p_on
+
+  let make_root () =
+    {
+      n_name = "engine";
+      n_parent = None;
+      n_folded = "engine";
+      n_children = Hashtbl.create 8;
+      n_accs = Hashtbl.create 8;
+    }
+
+  let root = ref (make_root ())
+  let cur = ref !root
+  let enable () = p_on := true
+  let disable () = p_on := false
+
+  let reset () =
+    root := make_root ();
+    cur := !root
+
+  let current_node () = !cur
+  let is_root n = n.n_parent = None
+
+  (* Re-entering a layer that is already on the ambient stack pops back
+     to that frame instead of nesting: the stack chains across deferred
+     continuations (each packet's callbacks inherit the stack of the
+     code that scheduled them), so without the pop a ping-pong between
+     two layers would grow one node chain per packet —
+     engine;tcp;netif;netif;... at depth 10^4 after 10^4 packets. With
+     it, depth is bounded by the number of distinct layer names. *)
+  let rec ancestor_named name n =
+    if n.n_name = name then Some n
+    else match n.n_parent with Some p -> ancestor_named name p | None -> None
+
+  let enter name =
+    let parent = !cur in
+    match ancestor_named name parent with
+    | Some n -> cur := n
+    | None ->
+      let child =
+        match Hashtbl.find_opt parent.n_children name with
+        | Some c -> c
+        | None ->
+          let c =
+            {
+              n_name = name;
+              n_parent = Some parent;
+              n_folded = parent.n_folded ^ ";" ^ name;
+              n_children = Hashtbl.create 4;
+              n_accs = Hashtbl.create 4;
+            }
+          in
+          Hashtbl.replace parent.n_children name c;
+          c
+      in
+      cur := child
+
+  let with_frame name f =
+    if not !p_on then f ()
+    else begin
+      let prev = !cur in
+      enter name;
+      Fun.protect ~finally:(fun () -> cur := prev) f
+    end
+
+  let wrap node f =
+    let prev = !cur in
+    cur := node;
+    Fun.protect ~finally:(fun () -> cur := prev) f
+
+  let account ?(dom = -1) ?(wait_ns = 0) run_ns =
+    if !p_on then begin
+      let node = !cur in
+      let a =
+        match Hashtbl.find_opt node.n_accs dom with
+        | Some a -> a
+        | None ->
+          let a = { a_run_ns = 0; a_wait_ns = 0; a_samples = 0 } in
+          Hashtbl.replace node.n_accs dom a;
+          a
+      in
+      a.a_run_ns <- a.a_run_ns + max 0 run_ns;
+      a.a_wait_ns <- a.a_wait_ns + max 0 wait_ns;
+      a.a_samples <- a.a_samples + 1
+    end
+
+  (* Domain teardown: retired domains must not leave stale series behind
+     (same discipline as [Metrics.unregister_dom]). *)
+  let unregister_dom dom =
+    let rec go n =
+      Hashtbl.remove n.n_accs dom;
+      Hashtbl.iter (fun _ c -> go c) n.n_children
+    in
+    go !root
+
+  let stats () =
+    let acc = ref [] in
+    let rec go n =
+      Hashtbl.iter
+        (fun dom a ->
+          if a.a_samples > 0 then
+            acc :=
+              {
+                p_dom = dom;
+                p_stack = n.n_folded;
+                p_run_ns = a.a_run_ns;
+                p_wait_ns = a.a_wait_ns;
+                p_samples = a.a_samples;
+              }
+              :: !acc)
+        n.n_accs;
+      Hashtbl.iter (fun _ c -> go c) n.n_children
+    in
+    go !root;
+    List.sort (fun a b -> compare (a.p_stack, a.p_dom) (b.p_stack, b.p_dom)) !acc
+end
+
+(* ---- per-packet datapath cost accounting ----
+
+   A fixed set of hops along the RX→app→TX path, each accumulating
+   packet count, modeled vCPU ns, and bytes allocated. Allocation is
+   measured with [Gc.allocated_bytes] deltas over a region stack, so
+   nested hops report exclusive (self) allocation: a parent region
+   subtracts everything consumed by regions opened inside it. *)
+
+module Dpath = struct
+  type hop = Ring_slot | Netfront | Ip | Tcp | Deliver | App
+
+  let all_hops = [ Ring_slot; Netfront; Ip; Tcp; Deliver; App ]
+
+  let hop_name = function
+    | Ring_slot -> "ring"
+    | Netfront -> "netfront"
+    | Ip -> "ip"
+    | Tcp -> "tcp"
+    | Deliver -> "deliver"
+    | App -> "app"
+
+  let hop_index = function
+    | Ring_slot -> 0
+    | Netfront -> 1
+    | Ip -> 2
+    | Tcp -> 3
+    | Deliver -> 4
+    | App -> 5
+
+  let n_hops = 6
+
+  type hstat = { h_hop : hop; h_pkts : int; h_vcpu_ns : int; h_alloc_b : float }
+  type cell = { mutable pkts : int; mutable vcpu_ns : int; mutable alloc_b : float }
+  type region = { r_idx : int; r_start : float; mutable r_inner : float }
+
+  let d_on = ref false
+  let enabled () = !d_on
+  let cells = Array.init n_hops (fun _ -> { pkts = 0; vcpu_ns = 0; alloc_b = 0. })
+  let stack : region list ref = ref []
+
+  let reset () =
+    Array.iter
+      (fun c ->
+        c.pkts <- 0;
+        c.vcpu_ns <- 0;
+        c.alloc_b <- 0.)
+      cells;
+    stack := []
+
+  (* Datapath totals double as pull metrics on the monitoring plane when
+     both are enabled: zero update-site cost, read at snapshot time. *)
+  let register_metrics () =
+    List.iter
+      (fun h ->
+        let i = hop_index h in
+        let nm = "dpath_" ^ hop_name h in
+        Metrics.register_read ~kind:Metrics.Counter (nm ^ "_pkts_total") (fun () -> cells.(i).pkts);
+        Metrics.register_read ~kind:Metrics.Counter (nm ^ "_vcpu_ns_total") (fun () ->
+            cells.(i).vcpu_ns);
+        Metrics.register_read ~kind:Metrics.Counter (nm ^ "_alloc_bytes_total") (fun () ->
+            int_of_float cells.(i).alloc_b))
+      all_hops
+
+  let enable () =
+    d_on := true;
+    if Metrics.enabled () then register_metrics ()
+
+  let disable () = d_on := false
+
+  let enter hop =
+    stack := { r_idx = hop_index hop; r_start = Gc.allocated_bytes (); r_inner = 0. } :: !stack
+
+  let leave ?(pkts = 1) ~vcpu_ns () =
+    match !stack with
+    | [] -> ()
+    | r :: rest ->
+      stack := rest;
+      let total = Gc.allocated_bytes () -. r.r_start in
+      let self = Float.max 0. (total -. r.r_inner) in
+      (match rest with p :: _ -> p.r_inner <- p.r_inner +. total | [] -> ());
+      let c = cells.(r.r_idx) in
+      c.pkts <- c.pkts + pkts;
+      c.vcpu_ns <- c.vcpu_ns + vcpu_ns;
+      c.alloc_b <- c.alloc_b +. self
+
+  let measure hop ?(pkts = 1) ~vcpu_ns f =
+    if not !d_on then f ()
+    else begin
+      enter hop;
+      Fun.protect ~finally:(fun () -> leave ~pkts ~vcpu_ns ()) f
+    end
+
+  let stats () =
+    List.filter_map
+      (fun h ->
+        let c = cells.(hop_index h) in
+        if c.pkts = 0 then None
+        else Some { h_hop = h; h_pkts = c.pkts; h_vcpu_ns = c.vcpu_ns; h_alloc_b = c.alloc_b })
+      all_hops
+end
+
+(* ---- profile export (profiler + datapath tables as JSON lines) ---- *)
+
+let add_profile_lines b =
+  List.iter
+    (fun (s : Prof.stat) ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"prof\":{\"dom\":%d,\"stack\":\"%s\",\"run_ns\":%d,\"wait_ns\":%d,\"samples\":%d}}\n"
+           s.Prof.p_dom (json_escape s.Prof.p_stack) s.Prof.p_run_ns s.Prof.p_wait_ns
+           s.Prof.p_samples))
+    (Prof.stats ());
+  List.iter
+    (fun (h : Dpath.hstat) ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"dpath\":{\"hop\":\"%s\",\"pkts\":%d,\"vcpu_ns\":%d,\"alloc_bytes\":%.0f}}\n"
+           (Dpath.hop_name h.Dpath.h_hop)
+           h.Dpath.h_pkts h.Dpath.h_vcpu_ns h.Dpath.h_alloc_b))
+    (Dpath.stats ())
+
+let export_profile_jsonl oc =
+  output_string oc "{\"profile\":\"v1\"}\n";
+  let b = Buffer.create 4096 in
+  add_profile_lines b;
+  output_string oc (Buffer.contents b)
+
+(* ---- flight recorder ----
+
+   The black box: a bounded per-domain ring of recent notes (retransmits,
+   probes, drops, state changes) plus named high-watermarks, kept even
+   when full tracing is off. On a failure signal — TCP flow give-up,
+   monitor alert firing, nonzero domain exit — [trip] freezes a
+   postmortem bundle: the tripping domain's recent notes, watermarks,
+   the per-layer profile and datapath cost tables (when those planes are
+   on), and a metrics snapshot. Bundles are retained in memory (bounded)
+   and optionally written to a directory as JSONL. *)
+
+module Flight = struct
+  type fev = { fe_t : int; fe_dom : int; fe_cat : category; fe_name : string; fe_payload : payload }
+  type ring = { buf : fev array; mutable len : int; mutable head : int }
+
+  let default_capacity = 256
+  let max_bundles = 8
+
+  type fstate = {
+    mutable f_on : bool;
+    mutable f_cap : int;
+    mutable f_dir : string option;
+    rings : (int, ring) Hashtbl.t;
+    marks : (string, int ref) Hashtbl.t;
+    mutable f_trips : int;
+    mutable f_bundles : (string * string) list;  (* newest first, bounded *)
+    mutable f_seq : int;
+  }
+
+  let fs =
+    {
+      f_on = false;
+      f_cap = default_capacity;
+      f_dir = None;
+      rings = Hashtbl.create 8;
+      marks = Hashtbl.create 8;
+      f_trips = 0;
+      f_bundles = [];
+      f_seq = 0;
+    }
+
+  let enabled () = fs.f_on
+
+  let enable ?(capacity = default_capacity) ?dir () =
+    if capacity <= 0 then invalid_arg "Trace.Flight.enable: capacity must be positive";
+    fs.f_cap <- capacity;
+    (match dir with Some _ -> fs.f_dir <- dir | None -> ());
+    fs.f_on <- true
+
+  let disable () = fs.f_on <- false
+
+  let reset () =
+    Hashtbl.reset fs.rings;
+    Hashtbl.reset fs.marks;
+    fs.f_trips <- 0;
+    fs.f_bundles <- [];
+    fs.f_seq <- 0;
+    fs.f_dir <- None
+
+  let dummy_fev = { fe_t = 0; fe_dom = -1; fe_cat = Sched; fe_name = ""; fe_payload = [] }
+
+  let ring_of dom =
+    match Hashtbl.find_opt fs.rings dom with
+    | Some r -> r
+    | None ->
+      let r = { buf = Array.make fs.f_cap dummy_fev; len = 0; head = 0 } in
+      Hashtbl.replace fs.rings dom r;
+      r
+
+  let note ?(dom = -1) ?(payload = []) ~cat name =
+    if fs.f_on then begin
+      let r = ring_of dom in
+      r.buf.(r.head) <-
+        { fe_t = now (); fe_dom = dom; fe_cat = cat; fe_name = name; fe_payload = payload };
+      r.head <- (r.head + 1) mod Array.length r.buf;
+      if r.len < Array.length r.buf then r.len <- r.len + 1
+    end
+
+  let watermark name v =
+    if fs.f_on then
+      match Hashtbl.find_opt fs.marks name with
+      | Some m -> if v > !m then m := v
+      | None -> Hashtbl.replace fs.marks name (ref v)
+
+  let recent dom =
+    match Hashtbl.find_opt fs.rings dom with
+    | None -> []
+    | Some r ->
+      let cap = Array.length r.buf in
+      List.init r.len (fun i -> r.buf.((r.head - r.len + i + (2 * cap)) mod cap))
+
+  let watermarks () =
+    Hashtbl.fold (fun name m acc -> (name, !m) :: acc) fs.marks []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+  (* Domain teardown: drop the retired domain's ring (postmortem-on-exit
+     trips before this runs, so a crash bundle still sees the ring). *)
+  let unregister_dom dom = Hashtbl.remove fs.rings dom
+
+  let fev_to_json fe =
+    Printf.sprintf "{\"t\":%d,\"dom\":%d,\"cat\":\"%s\",\"name\":\"%s\",\"args\":%s}" fe.fe_t
+      fe.fe_dom
+      (json_escape (category_name fe.fe_cat))
+      (json_escape fe.fe_name) (payload_to_json fe.fe_payload)
+
+  let sanitize_reason s =
+    String.map (function ('a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_') as c -> c | _ -> '.') s
+
+  let rec take n = function [] -> [] | x :: tl -> if n <= 0 then [] else x :: take (n - 1) tl
+
+  let build_bundle ~dom ~reason ~payload =
+    let b = Buffer.create 4096 in
+    Buffer.add_string b
+      (Printf.sprintf "{\"flight\":\"postmortem\",\"seq\":%d,\"reason\":\"%s\",\"dom\":%d,\"t\":%d,\"args\":%s}\n"
+         fs.f_seq (json_escape reason) dom (now ()) (payload_to_json payload));
+    let evs = if dom >= 0 then recent (-1) @ recent dom else recent (-1) in
+    List.iter
+      (fun fe ->
+        Buffer.add_string b (fev_to_json fe);
+        Buffer.add_char b '\n')
+      (List.sort (fun a b -> compare (a.fe_t, a.fe_dom) (b.fe_t, b.fe_dom)) evs);
+    List.iter
+      (fun (name, v) ->
+        Buffer.add_string b (Printf.sprintf "{\"watermark\":\"%s\",\"max\":%d}\n" (json_escape name) v))
+      (watermarks ());
+    add_profile_lines b;
+    if Metrics.enabled () then begin
+      let samples =
+        if dom >= 0 then Metrics.snapshot ~dom:(-1) () @ Metrics.snapshot ~dom ()
+        else Metrics.snapshot ()
+      in
+      List.iter
+        (fun (s : Metrics.sample) ->
+          Buffer.add_string b
+            (Printf.sprintf "{\"metric\":\"%s\",\"dom\":%d,\"value\":%d,\"sum\":%d}\n"
+               (json_escape s.Metrics.s_name) s.Metrics.s_dom s.Metrics.s_value s.Metrics.s_sum))
+        samples
+    end;
+    Buffer.contents b
+
+  let trip ?(dom = -1) ?(payload = []) ~reason () =
+    if fs.f_on then begin
+      fs.f_seq <- fs.f_seq + 1;
+      fs.f_trips <- fs.f_trips + 1;
+      let name = Printf.sprintf "flight-%04d-%s.jsonl" fs.f_seq (sanitize_reason reason) in
+      let contents = build_bundle ~dom ~reason ~payload in
+      fs.f_bundles <- take max_bundles ((name, contents) :: fs.f_bundles);
+      (match fs.f_dir with
+      | Some dir -> (
+        try
+          let oc = open_out (Filename.concat dir name) in
+          output_string oc contents;
+          close_out oc
+        with Sys_error _ -> ())
+      | None -> ());
+      if t.on then
+        record ~dom
+          ~payload:(("reason", String reason) :: payload)
+          ~cat:(User "flight") ~phase:Instant "flight.trip"
+    end
+
+  let trips () = fs.f_trips
+  let bundles () = List.rev fs.f_bundles
+  let last_bundle () = match fs.f_bundles with [] -> None | hd :: _ -> Some hd
+end

@@ -322,3 +322,184 @@ module Metrics : sig
       quantile series plus [_sum]/[_count]. *)
   val to_text : ?dom:int -> unit -> string
 end
+
+(** {1 Continuous virtual-time profiler}
+
+    Attributes vCPU time to ambient layer/callsite frames
+    ([engine;netif;ip;tcp;app]). Frames are pushed with {!Prof.with_frame}
+    around layer entry points and propagated across asynchronous hops by
+    the engine scheduler exactly like flow ids: [Engine.Sim.at] captures
+    {!Prof.current_node} (one load) and re-installs it around the deferred
+    callback. Every vCPU charge ([Xensim.Domain.reserve_slice]) is a
+    sample tick on the virtual-time axis whose weight is the charged
+    duration, so the resulting folded stacks are an exact attribution of
+    every vCPU nanosecond — the simulator's continuous profiler has no
+    sampling error by construction. Folded stacks merge by summation
+    (the [profile diff] CLI relies on this). Disabled (the default),
+    every site costs one load and one predictable branch. *)
+
+module Prof : sig
+  (** A position in the interned frame tree (an ambient stack). *)
+  type node
+
+  type stat = {
+    p_dom : int;  (** domain charged, [-1] when unattributed *)
+    p_stack : string;  (** folded stack, e.g. ["engine;netif;ip;tcp"] *)
+    p_run_ns : int;  (** vCPU ns charged under this exact stack *)
+    p_wait_ns : int;  (** vCPU-queue wait ns behind those charges *)
+    p_samples : int;  (** number of charge ticks *)
+  }
+
+  val enabled : unit -> bool
+  val enable : unit -> unit
+  val disable : unit -> unit
+
+  (** Drop all accumulated stacks and return to the root frame. Do not
+      call while frames are pushed. *)
+  val reset : unit -> unit
+
+  (** The ambient stack position. Cheap (one load); used by the scheduler
+      to capture context for deferred callbacks. *)
+  val current_node : unit -> node
+
+  (** True for the root ([engine]) frame — no need to wrap callbacks
+      scheduled from the root. *)
+  val is_root : node -> bool
+
+  (** [with_frame name f] runs [f] with [name] pushed on the ambient
+      stack, restoring afterwards (exception-safe). When the profiler is
+      disabled, runs [f] unchanged — guard call sites with {!enabled} so
+      the closure is never allocated. *)
+  val with_frame : string -> (unit -> 'a) -> 'a
+
+  (** [wrap node f] runs [f] with the ambient stack restored to a
+      captured [node] (scheduler use). *)
+  val wrap : node -> (unit -> unit) -> unit
+
+  (** [account ~dom ~wait_ns run_ns] attributes one vCPU charge to the
+      ambient stack. Called from the vCPU accounting chokepoint. *)
+  val account : ?dom:int -> ?wait_ns:int -> int -> unit
+
+  (** Drop the domain's series from every frame (domain teardown). *)
+  val unregister_dom : int -> unit
+
+  (** All non-empty (stack, dom) accumulators, sorted by (stack, dom).
+      Deterministic for deterministic runs. *)
+  val stats : unit -> stat list
+end
+
+(** {1 Per-packet datapath cost accounting}
+
+    A fixed set of hops along the packet path — backend ring slot,
+    netfront delivery, IP input, TCP processing, receive-buffer delivery,
+    app reply — each accumulating packet count, modeled vCPU cost, and
+    allocated bytes. Allocation is measured as [Gc.allocated_bytes]
+    deltas over a region stack: nested hops report {e exclusive} (self)
+    allocation, a parent subtracting everything consumed by regions
+    opened inside it. Totals are process-global (not per-domain) and
+    deterministic for a fixed binary and seed, so `bench --out` can pin a
+    per-packet cost trajectory. When the {!Metrics} plane is enabled at
+    {!Dpath.enable} time, per-hop totals are also exposed as pull
+    metrics ([dpath_<hop>_{pkts,vcpu_ns,alloc_bytes}_total]). *)
+
+module Dpath : sig
+  type hop = Ring_slot | Netfront | Ip | Tcp | Deliver | App
+
+  type hstat = {
+    h_hop : hop;
+    h_pkts : int;
+    h_vcpu_ns : int;
+    h_alloc_b : float;  (** exclusive allocated bytes in this hop *)
+  }
+
+  val all_hops : hop list
+  val hop_name : hop -> string
+  val enabled : unit -> bool
+  val enable : unit -> unit
+  val disable : unit -> unit
+  val reset : unit -> unit
+
+  (** [measure hop ~pkts ~vcpu_ns f] runs [f] as one region of [hop],
+      charging it [pkts] packets (default 1), [vcpu_ns] of modeled vCPU
+      cost, and the bytes allocated inside [f] minus nested regions.
+      Runs [f] unchanged when disabled — guard call sites with {!enabled}
+      so the closure and cost arguments are never constructed. *)
+  val measure : hop -> ?pkts:int -> vcpu_ns:int -> (unit -> 'a) -> 'a
+
+  (** Hops with at least one packet, in path order. *)
+  val stats : unit -> hstat list
+end
+
+(** Write the profiler and datapath tables as JSON lines: a
+    [{"profile":"v1"}] header, one [{"prof":{..}}] line per (stack, dom)
+    and one [{"dpath":{..}}] line per hop. Input to [mirage_sim profile]. *)
+val export_profile_jsonl : out_channel -> unit
+
+(** {1 Flight recorder and postmortem bundles}
+
+    The black box: a bounded per-domain ring of recent notes (retransmit,
+    persist probes, drops, failure breadcrumbs) plus named
+    high-watermarks, cheap enough to leave always-on. On a failure signal
+    — TCP flow give-up ([Timeout]), a monitor alert firing, a nonzero
+    domain exit — {!Flight.trip} freezes a postmortem bundle: the
+    tripping domain's recent notes, the watermarks, the per-layer
+    profile/datapath cost tables (when those planes are on) and a metrics
+    snapshot, as JSON lines. Bundles are retained in memory (last 8) and
+    optionally written to a directory. Clean runs trip nothing and write
+    nothing. *)
+
+module Flight : sig
+  (** One recorded breadcrumb. *)
+  type fev = {
+    fe_t : int;
+    fe_dom : int;
+    fe_cat : category;
+    fe_name : string;
+    fe_payload : payload;
+  }
+
+  val enabled : unit -> bool
+
+  (** [enable ~capacity ~dir ()] turns the recorder on. [capacity] bounds
+      each per-domain ring (default 256, applies to rings created from
+      now on); [dir], when given, is where {!trip} writes each bundle as
+      [flight-NNNN-<reason>.jsonl]. *)
+  val enable : ?capacity:int -> ?dir:string -> unit -> unit
+
+  val disable : unit -> unit
+
+  (** Drop rings, watermarks, retained bundles, trip count and the output
+      directory. *)
+  val reset : unit -> unit
+
+  (** Append a breadcrumb to [dom]'s ring (no-op when disabled; guard
+      payload construction with {!enabled}). *)
+  val note : ?dom:int -> ?payload:payload -> cat:category -> string -> unit
+
+  (** [watermark name v] raises the named high-watermark to at least [v]
+      (queue depths, buffered bytes). *)
+  val watermark : string -> int -> unit
+
+  (** [dom]'s recent notes, oldest first. *)
+  val recent : int -> fev list
+
+  (** All high-watermarks as [(name, max)], sorted by name. *)
+  val watermarks : unit -> (string * int) list
+
+  (** Freeze a postmortem bundle attributed to [dom] (plus the
+      unattributed ring) for [reason]. Also emits a ["flight.trip"] trace
+      event when tracing is on. *)
+  val trip : ?dom:int -> ?payload:payload -> reason:string -> unit -> unit
+
+  (** Number of trips since the last {!reset}. *)
+  val trips : unit -> int
+
+  (** Retained bundles as [(filename, contents)], oldest first. *)
+  val bundles : unit -> (string * string) list
+
+  val last_bundle : unit -> (string * string) option
+
+  (** Drop the domain's ring (domain teardown; postmortem-on-exit trips
+      before this). *)
+  val unregister_dom : int -> unit
+end

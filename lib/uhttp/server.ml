@@ -61,26 +61,47 @@ module Make (T : Device_sig.TCP) = struct
                   "http.request"
               else Trace.span ~cat:(Trace.User "http") "http.request"
             in
-            charge t >>= fun () ->
-            t.handler req >>= fun resp ->
-            let ka = Http_wire.keep_alive req.Http_wire.headers in
-            let resp =
-              if ka then resp
-              else
-                {
-                  resp with
-                  Http_wire.resp_headers = ("Connection", "close") :: resp.Http_wire.resp_headers;
-                }
+            let respond () =
+              charge t >>= fun () ->
+              t.handler req >>= fun resp ->
+              let ka = Http_wire.keep_alive req.Http_wire.headers in
+              let resp =
+                if ka then resp
+                else
+                  {
+                    resp with
+                    Http_wire.resp_headers =
+                      ("Connection", "close") :: resp.Http_wire.resp_headers;
+                  }
+              in
+              (* App-reply hop: the synchronous render of the response is
+                 the request's exclusive application allocation. *)
+              let render () = Bytestruct.of_string (Http_wire.render_response resp) in
+              let data =
+                if Trace.Dpath.enabled () then
+                  let vcpu_ns =
+                    match t.dom with
+                    | Some d ->
+                      int_of_float
+                        (float_of_int t.per_request_cost_ns
+                        *. d.Xensim.Domain.platform.Platform.app_factor)
+                    | None -> t.per_request_cost_ns
+                  in
+                  Trace.Dpath.measure Trace.Dpath.App ~vcpu_ns render
+                else render ()
+              in
+              t.bytes_sent <- t.bytes_sent + Bytestruct.length data;
+              T.write flow data >>= fun () ->
+              Trace.finish sp;
+              let latency_ns = Engine.Sim.now t.sim - started in
+              Trace.Metrics.observe t.m_latency latency_ns;
+              (match t.on_request with None -> () | Some f -> f ~latency_ns);
+              busy := false;
+              if ka && not t.draining then loop () else T.close flow
             in
-            let data = Bytestruct.of_string (Http_wire.render_response resp) in
-            t.bytes_sent <- t.bytes_sent + Bytestruct.length data;
-            T.write flow data >>= fun () ->
-            Trace.finish sp;
-            let latency_ns = Engine.Sim.now t.sim - started in
-            Trace.Metrics.observe t.m_latency latency_ns;
-            (match t.on_request with None -> () | Some f -> f ~latency_ns);
-            busy := false;
-            if ka && not t.draining then loop () else T.close flow)
+            (* The [app] frame covers the request charge and everything the
+               handler defers, via the scheduler's frame capture. *)
+            if Trace.Prof.enabled () then Trace.Prof.with_frame "app" respond else respond ())
         (function
           | Http_wire.Bad_request _ ->
             t.bad <- t.bad + 1;

@@ -48,6 +48,9 @@ let reserve_slice d cost =
   d.cpu_free_at.(!lane) <- finish;
   d.busy_ns <- d.busy_ns + cost;
   Engine.Sim.vcpu_account d.sim ~dom:d.id ~run_ns:cost ~wait_ns:(start - now);
+  (* Profiler tick: every vCPU nanosecond charged lands on the ambient
+     layer stack (the scheduler re-installs it across deferred hops). *)
+  if Trace.Prof.enabled () then Trace.Prof.account ~dom:d.id ~wait_ns:(start - now) cost;
   (start, finish)
 
 let reserve d cost = snd (reserve_slice d cost)

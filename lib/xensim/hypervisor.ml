@@ -54,14 +54,24 @@ let seal t d =
 
 let destroy ?(exit_code = -1) t d =
   Domain.shutdown d ~exit_code;
+  (* Crash postmortem: a positive exit code is an abnormal guest exit
+     (0 is clean, -1 is an external kill/teardown) — freeze the flight
+     bundle while the domain's ring is still intact. *)
+  if Trace.Flight.enabled () && exit_code > 0 then
+    Trace.Flight.trip ~dom:d.Domain.id
+      ~payload:[ ("name", Trace.String d.Domain.name); ("exit_code", Trace.Int exit_code) ]
+      ~reason:"domain.exit" ();
   (* Guard against a stale handle to an id that has since been reused:
      only remove the table entry if it is this very domain. *)
   (match Hashtbl.find_opt t.domain_table d.Domain.id with
   | Some x when x == d ->
     Hashtbl.remove t.domain_table d.Domain.id;
     (* Teardown audit: drop the domain's metric series too, or their
-       read callbacks pin the dead domain's devices and stack. *)
-    Trace.Metrics.unregister_dom d.Domain.id
+       read callbacks pin the dead domain's devices and stack — and the
+       profiler/flight series, so retired domains leave no stale rows. *)
+    Trace.Metrics.unregister_dom d.Domain.id;
+    Trace.Prof.unregister_dom d.Domain.id;
+    Trace.Flight.unregister_dom d.Domain.id
   | _ -> ())
 
 let domain_count t = Hashtbl.length t.domain_table

@@ -1,16 +1,22 @@
-(* Generates the pinned trace for the golden CLI tests in this
-   directory: a tiny deterministic scenario (two PV guests on one
-   bridge, three HTTP exchanges and a ping, seed 11) traced end to end
-   and written as JSON lines.
+(* Generates the pinned trace and profiles for the golden CLI tests in
+   this directory: a tiny deterministic scenario (two PV guests on one
+   bridge, HTTP exchanges and a ping, seed 11) traced and profiled end
+   to end and written as JSON lines.
 
-   The committed golden_trace.jsonl is this program's output. The trace
-   CLI's renderings of it (waterfall.expected, flame.expected,
-   queues.expected) are diffed by `dune runtest`; if the trace schema or
-   the analyses change legitimately, regenerate with
+   The committed golden_trace.jsonl, golden_profile.jsonl and
+   golden_profile_b.jsonl are this program's output (the B profile is a
+   second run with more requests and no ping — the `profile diff`
+   input). The CLI renderings (waterfall/flame/queues for `trace`,
+   profile_top/profile_folded/profile_diff for `profile`) are diffed by
+   `dune runtest`; if a schema or an analysis changes legitimately,
+   regenerate with
 
-     dune exec test/golden/gen_golden.exe -- test/golden/golden_trace.jsonl
+     dune exec test/golden/gen_golden.exe -- test/golden/golden_trace.jsonl \
+       test/golden/golden_profile.jsonl test/golden/golden_profile_b.jsonl
 
-   and promote the new expectations with `dune promote`. *)
+   and promote the new expectations with `dune promote`. (Profile alloc
+   bytes are real GC allocation of gen_golden.exe — regenerating under a
+   different compiler legitimately shifts them.) *)
 
 module P = Mthread.Promise
 
@@ -23,9 +29,9 @@ let static_ip s =
     gateway = None;
   }
 
-let () =
-  let file = if Array.length Sys.argv > 1 then Sys.argv.(1) else "golden_trace.jsonl" in
-  Trace.enable ~capacity:65536 ();
+(* Two PV guests on one bridge; the server answers [gets] HTTP GETs from
+   the client, then optionally one ping. *)
+let scenario ~gets ~ping =
   let sim = Engine.Sim.create ~seed:11 () in
   let hv = Xensim.Hypervisor.create sim in
   let dom0 =
@@ -60,7 +66,26 @@ let () =
          Core.Apps.Net.Http_client.get_once (Netstack.Stack.tcp client) ~dst ~port:80 "/"
          >>= fun _ -> P.sleep sim (Engine.Sim.ms 1) >>= fun () -> get (n - 1)
      in
-     get 3 >>= fun () ->
-     Netstack.Icmp4.ping (Netstack.Stack.icmp client) ~dst ~seq:1 () >>= fun _ -> P.return ());
+     get gets >>= fun () ->
+     if ping then
+       Netstack.Icmp4.ping (Netstack.Stack.icmp client) ~dst ~seq:1 () >>= fun _ -> P.return ()
+     else P.return ())
+
+let () =
+  let arg i d = if Array.length Sys.argv > i then Sys.argv.(i) else d in
+  let file = arg 1 "golden_trace.jsonl" in
+  let profile_a = arg 2 "golden_profile.jsonl" in
+  let profile_b = arg 3 "golden_profile_b.jsonl" in
+  Trace.enable ~capacity:65536 ();
+  Trace.Prof.enable ();
+  Trace.Dpath.enable ();
+  scenario ~gets:3 ~ping:true;
   Engine.Trace_report.write_jsonl ~file;
-  Printf.eprintf "wrote %s (%d events)\n" file (List.length (Trace.events ()))
+  Engine.Trace_report.write_profile ~file:profile_a;
+  Printf.eprintf "wrote %s (%d events), %s\n" file (List.length (Trace.events ())) profile_a;
+  (* Run B: same world, more work — the `profile diff` golden input. *)
+  Trace.Prof.reset ();
+  Trace.Dpath.reset ();
+  scenario ~gets:5 ~ping:false;
+  Engine.Trace_report.write_profile ~file:profile_b;
+  Printf.eprintf "wrote %s\n" profile_b

@@ -437,6 +437,111 @@ let test_flow_propagation () =
             check_bool "flow.begin stamped with its id" true (ev.Trace.flow >= 0))
         evs)
 
+(* ---- profiler (Prof) ---- *)
+
+let with_prof f =
+  Trace.Prof.reset ();
+  Trace.Prof.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.Prof.disable ();
+      Trace.Prof.reset ())
+    f
+
+let find_stat ~dom ~stack =
+  List.find_opt
+    (fun (s : Trace.Prof.stat) -> s.Trace.Prof.p_dom = dom && s.Trace.Prof.p_stack = stack)
+    (Trace.Prof.stats ())
+
+let test_prof_folded_stacks () =
+  with_prof (fun () ->
+      Trace.Prof.account ~dom:2 10;
+      Trace.Prof.with_frame "netif" (fun () ->
+          Trace.Prof.account ~dom:1 100;
+          Trace.Prof.with_frame "tcp" (fun () -> Trace.Prof.account ~dom:1 ~wait_ns:7 50));
+      (* a second visit interns the same frame node and accumulates *)
+      Trace.Prof.with_frame "netif" (fun () -> Trace.Prof.account ~dom:1 25);
+      (match find_stat ~dom:2 ~stack:"engine" with
+      | Some s -> check_int "root run" 10 s.Trace.Prof.p_run_ns
+      | None -> Alcotest.fail "no engine stack for dom 2");
+      (match find_stat ~dom:1 ~stack:"engine;netif" with
+      | Some s ->
+        check_int "netif run accumulates" 125 s.Trace.Prof.p_run_ns;
+        check_int "netif samples" 2 s.Trace.Prof.p_samples
+      | None -> Alcotest.fail "no engine;netif stack");
+      match find_stat ~dom:1 ~stack:"engine;netif;tcp" with
+      | Some s ->
+        check_int "nested run" 50 s.Trace.Prof.p_run_ns;
+        check_int "nested wait" 7 s.Trace.Prof.p_wait_ns
+      | None -> Alcotest.fail "no engine;netif;tcp stack")
+
+(* The frame stack is ambient: a callback deferred through the scheduler
+   chokepoint keeps the stack of the code that scheduled it (same
+   capture trick as causal flow ids). *)
+let test_prof_scheduler_capture () =
+  with_prof (fun () ->
+      let sim = Engine.Sim.create () in
+      Trace.Prof.with_frame "netif" (fun () ->
+          ignore
+            (Engine.Sim.schedule sim ~delay:10 (fun () ->
+                 Trace.Prof.with_frame "tcp" (fun () -> Trace.Prof.account ~dom:3 77))));
+      Engine.Sim.run sim;
+      match find_stat ~dom:3 ~stack:"engine;netif;tcp" with
+      | Some s -> check_int "deferred account keeps the stack" 77 s.Trace.Prof.p_run_ns
+      | None -> Alcotest.fail "frame stack not captured across Sim.at")
+
+let test_prof_unregister () =
+  with_prof (fun () ->
+      Trace.Prof.with_frame "netif" (fun () ->
+          Trace.Prof.account ~dom:1 10;
+          Trace.Prof.account ~dom:2 20);
+      Trace.Prof.unregister_dom 1;
+      check_bool "dom 1 series dropped" true (find_stat ~dom:1 ~stack:"engine;netif" = None);
+      match find_stat ~dom:2 ~stack:"engine;netif" with
+      | Some s -> check_int "dom 2 series survives" 20 s.Trace.Prof.p_run_ns
+      | None -> Alcotest.fail "unregister_dom dropped the wrong series")
+
+let test_prof_disabled_noop () =
+  Trace.Prof.reset ();
+  Trace.Prof.account ~dom:1 100;
+  Trace.Prof.with_frame "netif" (fun () -> Trace.Prof.account ~dom:1 100);
+  check_bool "disabled profiler stays empty" true (Trace.Prof.stats () = [])
+
+(* ---- datapath accounting (Dpath) ---- *)
+
+let test_dpath_exclusive () =
+  Trace.Dpath.reset ();
+  Trace.Dpath.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.Dpath.disable ();
+      Trace.Dpath.reset ())
+    (fun () ->
+      Trace.Dpath.measure Trace.Dpath.Netfront ~vcpu_ns:100 (fun () ->
+          ignore (Sys.opaque_identity (Bytes.create 64));
+          Trace.Dpath.measure Trace.Dpath.Tcp ~vcpu_ns:40 (fun () ->
+              ignore (Sys.opaque_identity (Bytes.create 200_000))));
+      Trace.Dpath.measure Trace.Dpath.Netfront ~vcpu_ns:100 (fun () -> ());
+      let get hop =
+        List.find
+          (fun (h : Trace.Dpath.hstat) -> h.Trace.Dpath.h_hop = hop)
+          (Trace.Dpath.stats ())
+      in
+      let nf = get Trace.Dpath.Netfront and tcp = get Trace.Dpath.Tcp in
+      check_int "netfront pkts" 2 nf.Trace.Dpath.h_pkts;
+      check_int "netfront vcpu" 200 nf.Trace.Dpath.h_vcpu_ns;
+      check_int "tcp pkts" 1 tcp.Trace.Dpath.h_pkts;
+      check_int "tcp vcpu" 40 tcp.Trace.Dpath.h_vcpu_ns;
+      (* allocation is exclusive: the inner hop's bytes are subtracted
+         from the enclosing hop's self cost *)
+      check_bool "inner alloc attributed to tcp" true (tcp.Trace.Dpath.h_alloc_b >= 200_000.);
+      check_bool "outer alloc excludes inner" true (nf.Trace.Dpath.h_alloc_b < 50_000.))
+
+let test_dpath_disabled_noop () =
+  Trace.Dpath.reset ();
+  Trace.Dpath.measure Trace.Dpath.Ip ~vcpu_ns:10 (fun () -> ());
+  check_bool "disabled dpath stays empty" true (Trace.Dpath.stats () = [])
+
 let () =
   Alcotest.run "trace"
     [
@@ -457,5 +562,12 @@ let () =
           Alcotest.test_case "disabled tracing is a no-op" `Quick test_disabled_noop;
           Alcotest.test_case "deterministic jsonl" `Quick test_deterministic_jsonl;
           Alcotest.test_case "appliance boot trace" `Quick test_appliance_boot_trace;
+          Alcotest.test_case "profiler folded stacks" `Quick test_prof_folded_stacks;
+          Alcotest.test_case "profiler ambient capture via scheduler" `Quick
+            test_prof_scheduler_capture;
+          Alcotest.test_case "profiler unregister_dom" `Quick test_prof_unregister;
+          Alcotest.test_case "profiler disabled no-op" `Quick test_prof_disabled_noop;
+          Alcotest.test_case "dpath exclusive attribution" `Quick test_dpath_exclusive;
+          Alcotest.test_case "dpath disabled no-op" `Quick test_dpath_disabled_noop;
         ] );
     ]

@@ -65,8 +65,17 @@ if [ $# -eq 0 ]; then
     'bootstorm:10000/boots-per-sec:higher' \
     'bootstorm:10000/ttfr-p99:lower' \
     'bootstorm:10000/ok:higher' \
-    'bootstorm:10000/domains-left:lower'
+    'bootstorm:10000/domains-left:lower' \
+    'dpath:ring/pkts:lower' \
+    'dpath:ring/vcpu-ns-per-pkt:lower' \
+    'dpath:netfront/vcpu-ns-per-pkt:lower' \
+    'dpath:tcp/vcpu-ns-per-pkt:lower' \
+    'dpath:app/vcpu-ns-per-pkt:lower' \
+    'dpath:replies:higher'
 fi
+# (dpath alloc-b-per-pkt is real GC allocation of the binary — compiler-
+# version dependent, so snapshotted for reference but not gated by
+# default, like the micro wall-clock numbers.)
 
 # Pull "value" for one figure/metric out of a JSON-lines snapshot
 # (the fixed one-object-per-line format bench/util.ml writes).
@@ -126,16 +135,20 @@ for spec in "$@"; do
         limit = (b >= 0) ? b * (1 - t) : b * (1 + t)
         bad = (c < limit)
       }
-      printf "%s %.6g", bad ? "FAIL" : "ok", limit
+      delta = (b != 0) ? 100 * (c - b) / b : 0
+      printf "%s %.6g %+.1f%%", bad ? "FAIL" : "ok", limit, delta
     }')
-  status=${verdict%% *}
-  limit=${verdict#* }
+  status=$(echo "$verdict" | cut -d' ' -f1)
+  limit=$(echo "$verdict" | cut -d' ' -f2)
+  delta=$(echo "$verdict" | cut -d' ' -f3)
 
+  # The per-metric delta prints on pass as well as on failure, so a green
+  # gate still shows how far each metric drifted from the baseline.
   if [ "$status" = FAIL ]; then
-    echo "FAIL $figure $metric: $cur vs baseline $base ($direction is better, limit $limit)"
+    echo "FAIL $figure $metric: $cur vs baseline $base ($delta, $direction is better, limit $limit)"
     fails=$((fails + 1))
   else
-    echo "  ok $figure $metric: $cur (baseline $base, limit $limit)"
+    echo "  ok $figure $metric: $cur (baseline $base, delta $delta, limit $limit)"
   fi
 done
 
