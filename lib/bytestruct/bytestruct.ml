@@ -25,8 +25,20 @@ let split t n = (sub t 0 n, shift t n)
 
 let to_string t = Bytes.sub_string t.buffer t.off t.len
 
-let equal a b = a.len = b.len && to_string a = to_string b
-let compare a b = String.compare (to_string a) (to_string b)
+(* Compare in place: these run on the datapath (dedup checks, ordered
+   containers), so they must not allocate intermediate strings. *)
+let compare a b =
+  let n = if a.len < b.len then a.len else b.len in
+  let rec go i =
+    if i = n then Stdlib.compare a.len b.len
+    else
+      let ca = Bytes.unsafe_get a.buffer (a.off + i)
+      and cb = Bytes.unsafe_get b.buffer (b.off + i) in
+      if ca = cb then go (i + 1) else Char.compare ca cb
+  in
+  go 0
+
+let equal a b = a.len = b.len && compare a b = 0
 
 let same_storage a b = a.buffer == b.buffer && a.off = b.off && a.len = b.len
 

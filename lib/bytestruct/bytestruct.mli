@@ -30,9 +30,11 @@ val length : t -> int
 (** Copy out as a fresh string. *)
 val to_string : t -> string
 
-(** [equal a b] compares contents (not identity). *)
+(** [equal a b] compares contents (not identity), in place —
+    allocation-free, safe on the datapath. *)
 val equal : t -> t -> bool
 
+(** Lexicographic content comparison, in place and allocation-free. *)
 val compare : t -> t -> int
 
 (** True when both views share storage and coordinates — used by tests to

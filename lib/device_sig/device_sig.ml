@@ -122,21 +122,40 @@ end = struct
   let ( >>= ) = Mthread.Promise.bind
   let return = Mthread.Promise.return
 
+  (* A flat byte window [start, fill): chunks are blitted in directly
+     (no intermediate string), lines and blocks are found by scanning in
+     place and extracted with a single [Bytes.sub_string] each — the one
+     mandatory copy at the application boundary, since stack chunks may
+     alias pooled driver pages that are only valid until the next read. *)
   type t = {
     read : unit -> Bytestruct.t option Mthread.Promise.t;
-    buf : Buffer.t;
+    mutable buf : bytes;
     mutable start : int;
+    mutable fill : int;
     mutable eof : bool;
   }
 
-  let create ~read = { read; buf = Buffer.create 256; start = 0; eof = false }
+  let create ~read = { read; buf = Bytes.create 4096; start = 0; fill = 0; eof = false }
 
-  let compact t =
-    if t.start > 4096 && t.start * 2 > Buffer.length t.buf then begin
-      let rest = Buffer.sub t.buf t.start (Buffer.length t.buf - t.start) in
-      Buffer.clear t.buf;
-      Buffer.add_string t.buf rest;
-      t.start <- 0
+  let available t = t.fill - t.start
+
+  (* Room for [n] more bytes: slide the live region to the front first,
+     and only reallocate (doubling) when the buffer is genuinely full. *)
+  let reserve t n =
+    if t.fill + n > Bytes.length t.buf then begin
+      let live = available t in
+      if live + n > Bytes.length t.buf then begin
+        let cap = ref (Bytes.length t.buf * 2) in
+        while live + n > !cap do
+          cap := !cap * 2
+        done;
+        let nb = Bytes.create !cap in
+        Bytes.blit t.buf t.start nb 0 live;
+        t.buf <- nb
+      end
+      else Bytes.blit t.buf t.start t.buf 0 live;
+      t.start <- 0;
+      t.fill <- live
     end
 
   let refill t =
@@ -145,45 +164,46 @@ end = struct
       t.eof <- true;
       return false
     | Some chunk ->
-      Buffer.add_string t.buf (Bytestruct.to_string chunk);
+      let n = Bytestruct.length chunk in
+      reserve t n;
+      Bytestruct.blit chunk 0 (Bytestruct.of_bytes t.buf) t.fill n;
+      t.fill <- t.fill + n;
       return true
 
-  let available t = Buffer.length t.buf - t.start
-
-  let take t n =
-    let s = Buffer.sub t.buf t.start n in
+  (* Consume [n] bytes, returning all but the trailing [drop]
+     (terminators are consumed but never copied). *)
+  let take_drop t n drop =
+    let s = Bytes.sub_string t.buf t.start (n - drop) in
     t.start <- t.start + n;
-    compact t;
+    if t.start = t.fill then begin
+      t.start <- 0;
+      t.fill <- 0
+    end;
     s
 
+  let take t n = take_drop t n 0
+
   let rec line t =
-    let contents = Buffer.contents t.buf in
     let rec find i =
-      if i >= String.length contents then None
-      else if contents.[i] = '\n' then Some i
-      else find (i + 1)
+      if i >= t.fill then -1 else if Bytes.unsafe_get t.buf i = '\n' then i else find (i + 1)
     in
-    match find t.start with
-    | Some i ->
-      let raw = take t (i - t.start + 1) in
-      let raw = String.sub raw 0 (String.length raw - 1) in
-      let raw =
-        if String.length raw > 0 && raw.[String.length raw - 1] = '\r' then
-          String.sub raw 0 (String.length raw - 1)
-        else raw
-      in
-      return (Some raw)
-    | None -> if t.eof then return None else refill t >>= fun ok -> if ok then line t else return None
+    let i = find t.start in
+    if i >= 0 then begin
+      let crlf = i > t.start && Bytes.unsafe_get t.buf (i - 1) = '\r' in
+      return (Some (take_drop t (i - t.start + 1) (if crlf then 2 else 1)))
+    end
+    else if t.eof then return None
+    else refill t >>= fun ok -> if ok then line t else return None
 
   let rec exactly t n =
     if available t >= n then return (Some (take t n))
     else if t.eof then return None
     else refill t >>= fun ok -> if ok then exactly t n else return None
 
-  let block_crlf t n =
-    exactly t (n + 2) >>= function
-    | None -> return None
-    | Some s -> return (Some (String.sub s 0 n))
+  let rec block_crlf t n =
+    if available t >= n + 2 then return (Some (take_drop t (n + 2) 2))
+    else if t.eof then return None
+    else refill t >>= fun ok -> if ok then block_crlf t n else return None
 
   let buffered = available
   let eof t = t.eof

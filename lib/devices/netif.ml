@@ -9,6 +9,20 @@ let slot_bytes = 16
 let mtu_bytes = 1500
 let backend_per_packet_ns = 1_600 (* dom0 netback work per frame *)
 
+(* TSO-style doorbell coalescing: when on, TX requests accumulate on the
+   ring and one event-channel notify covers the batch (flushed after
+   [tx_flush_delay_ns] or [tx_batch_max] frames, whichever first). Off
+   by default — the per-frame doorbell keeps wire behaviour, and thus
+   every figure, bit-identical. *)
+let tx_batching = ref false
+let tx_flush_delay_ns = ref 10_000
+let tx_batch_max = 32
+let set_tx_batching ?(flush_delay_ns = 10_000) on =
+  tx_batching := on;
+  tx_flush_delay_ns := flush_delay_ns
+
+let c_doorbell = Trace.counter "netif.tx_doorbells"
+
 (* Instantaneous ring occupancy across all PV netifs in the process;
    deltas at the grant/response sites keep the aggregate current. *)
 let g_tx_inflight = Trace.gauge "netif.tx_inflight"
@@ -19,6 +33,7 @@ type tx_pending = {
   waker : unit Mthread.Promise.u;
   span : Trace.span;  (* request enqueue -> TX response *)
   flow : Trace.Flow.id;  (* causal flow of the sender, for the backend *)
+  owner : Pktbuf.t option;  (* TX buffer ref, released on TX response *)
 }
 
 type pv = {
@@ -26,7 +41,7 @@ type pv = {
   dom : Xensim.Domain.t;
   backend_dom : Xensim.Domain.t;
   nic : Netsim.Nic.t;
-  pool : Io_page.t;
+  pool : Pktbuf.pool;
   tx_front : Xensim.Ring.Front.t;
   tx_back : Xensim.Ring.Back.t;
   rx_front : Xensim.Ring.Front.t;
@@ -36,7 +51,7 @@ type pv = {
   rx_port_front : Xensim.Evtchn.port;
   rx_port_back : Xensim.Evtchn.port;
   tx_pending : (int, tx_pending) Hashtbl.t;
-  rx_posted : (int, Xensim.Gnttab.grant_ref * Bytestruct.t Lazy.t) Hashtbl.t;
+  rx_posted : (int, Xensim.Gnttab.grant_ref * Pktbuf.t Lazy.t) Hashtbl.t;
   rx_spans : (int, Trace.span) Hashtbl.t;  (* backend copy -> guest delivery *)
   rx_flows : (int, Trace.Flow.id) Hashtbl.t;  (* per-slot flow: one evtchn batch mixes flows *)
   rx_avail : (int * Xensim.Gnttab.grant_ref) Queue.t;  (* backend side *)
@@ -47,6 +62,9 @@ type pv = {
   mutable tx_frames : int;
   mutable rx_frames : int;
   mutable rx_dropped : int;
+  mutable tx_unflushed : int;  (* requests on the ring since last doorbell *)
+  mutable tx_flush_pending : bool;
+  mutable closed : bool;
 }
 
 (* Direct (non-PV) attachment: the NIC is a host-kernel device, so there
@@ -60,7 +78,7 @@ type pv = {
 type direct = {
   d_dom : Xensim.Domain.t;
   d_nic : Netsim.Nic.t;
-  d_pool : Io_page.t;
+  d_pool : Pktbuf.pool;
   d_frame_tax : bool;
   mutable d_listener : (Bytestruct.t -> unit) option;
   mutable d_tx_frames : int;
@@ -83,16 +101,19 @@ let backend_handle_tx t () =
         let gref = Int32.to_int (Bytestruct.LE.get_uint32 slot 4) in
         (* One evtchn kick covers a batch of slots from different flows:
            re-establish each frame's own flow around the wire send. *)
-        let fl =
+        let fl, owner =
           match Hashtbl.find_opt t.tx_pending id with
-          | Some p -> p.flow
-          | None -> Trace.Flow.none
+          | Some p -> (p.flow, p.owner)
+          | None -> (Trace.Flow.none, None)
         in
         Trace.Flow.with_flow fl (fun () ->
             let work () =
               let page = Xensim.Gnttab.map (gnttab t) ~by:t.backend_dom.Xensim.Domain.id gref in
               let frame = Bytestruct.sub page 0 size in
-              Netsim.Nic.send t.nic frame;
+              (* The mapped grant IS the guest's TX pktbuf storage: hand
+                 the wire its refcount so the pool cannot recycle the
+                 buffer while the frame is in flight. *)
+              Netsim.Nic.send ?owner t.nic frame;
               Xensim.Gnttab.unmap (gnttab t) ~by:t.backend_dom.Xensim.Domain.id gref;
               let rsp = Xensim.Ring.Back.next_response t.tx_back in
               Bytestruct.LE.set_uint16 rsp 0 id;
@@ -161,10 +182,11 @@ let post_rx_buffer t =
      the buffer only when the backend actually copies a frame into it.
      A vif posts ~511 slots but a storm appliance receives a handful of
      frames, so eager buffers would pin ~2 MiB per vif. *)
-  let page = lazy (Io_page.alloc t.pool) in
+  let page = lazy (Pktbuf.alloc t.pool) in
   let gref =
     Xensim.Gnttab.grant_access_lazy (gnttab t) ~dom:t.dom.Xensim.Domain.id
-      ~peer:t.backend_dom.Xensim.Domain.id ~writable:true (fun () -> Lazy.force page)
+      ~peer:t.backend_dom.Xensim.Domain.id ~writable:true (fun () ->
+        Pktbuf.storage (Lazy.force page))
   in
   let id = t.next_rx_id in
   t.next_rx_id <- (t.next_rx_id + 1) land 0xffff;
@@ -180,10 +202,14 @@ let frontend_handle_tx_responses t () =
          let id = Bytestruct.LE.get_uint16 slot 0 in
          match Hashtbl.find_opt t.tx_pending id with
          | None -> ()
-         | Some { gref; waker; span; flow } ->
+         | Some { gref; waker; span; flow; owner } ->
            Hashtbl.remove t.tx_pending id;
            Trace.gauge_add g_tx_inflight (-1);
            Xensim.Gnttab.end_access (gnttab t) gref;
+           (* Driver's TX reference: the wire holds its own if the frame
+              is still in flight, so this release is what lets a
+              delivered frame's buffer return to the pool. *)
+           (match owner with Some pb -> Pktbuf.release pb | None -> ());
            Trace.Flow.with_flow flow (fun () ->
                Trace.finish span;
                if Mthread.Promise.wakener_pending waker then Mthread.Promise.wakeup waker ())));
@@ -239,10 +265,15 @@ let frontend_handle_rx_responses t () =
                 Hashtbl.remove t.rx_spans id;
                 Trace.finish span
               | None -> ());
+              (* Zero-copy handoff: the listener gets a view straight
+                 over the granted buffer, with the pktbuf ambient so any
+                 layer that defers work can retain instead of copying.
+                 Releasing the driver's reference afterwards returns the
+                 buffer to the pool only if nobody retained. *)
               (match t.listener with
-              | Some f -> f (Bytestruct.sub page 0 size)
+              | Some f -> Pktbuf.with_current page (fun () -> f (Pktbuf.view page ~off:0 ~len:size))
               | None -> ());
-              Io_page.recycle t.pool page;
+              Pktbuf.release page;
               (* Replace the consumed credit. *)
               post_rx_buffer t;
               if Xensim.Ring.Front.push_requests_and_check_notify t.rx_front then
@@ -288,11 +319,11 @@ let connect hv ~dom ~backend_dom ~nic ?(rx_slots = 512) () =
       dom;
       backend_dom;
       nic;
-      (* No pre-allocation: credit posts lazy grants, so pages exist
+      (* No pre-allocation: credit posts lazy grants, so buffers exist
          only for frames actually in flight (pool grows on demand and
-         recycles). An eager [rx_slots]-page pool would pin ~2 MiB per
+         recycles). An eager [rx_slots]-buffer pool would pin ~1 MiB per
          vif whether or not a single frame ever arrives. *)
-      pool = Io_page.create ();
+      pool = Pktbuf.create_pool ~name:(Printf.sprintf "netif.dom%d" dom.Xensim.Domain.id) ();
       tx_front;
       tx_back;
       rx_front;
@@ -313,6 +344,9 @@ let connect hv ~dom ~backend_dom ~nic ?(rx_slots = 512) () =
       tx_frames = 0;
       rx_frames = 0;
       rx_dropped = 0;
+      tx_unflushed = 0;
+      tx_flush_pending = false;
+      closed = false;
     }
   in
   Xensim.Evtchn.set_handler ev tx_port_back (fun () -> backend_handle_tx t ());
@@ -358,10 +392,19 @@ let direct_handle_frame d frame =
   | None -> d.d_rx_dropped <- d.d_rx_dropped + 1
   | Some _ ->
     let size = Bytestruct.length frame in
-    (* The wire buffer is only valid during this callback: copy into a
-       pool page before deferring delivery behind the vCPU charge. *)
-    let page = Io_page.alloc d.d_pool in
-    Bytestruct.blit frame 0 page 0 size;
+    (* The wire buffer is only valid during this callback. When it is
+       pktbuf-backed (PV peer on the same bridge), a reference keeps it
+       alive across the deferred vCPU charge — the copy tax this path
+       models is in the cost model, not a real blit. Raw frames still
+       get copied into a pool buffer. *)
+    let view, holder =
+      match Pktbuf.retain_current () with
+      | Some pb -> (frame, pb)
+      | None ->
+        let pb = Pktbuf.alloc d.d_pool in
+        Bytestruct.blit frame 0 (Pktbuf.storage pb) 0 size;
+        (Pktbuf.view pb ~off:0 ~len:size, pb)
+    in
     let deliver () =
       d.d_rx_frames <- d.d_rx_frames + 1;
       let span =
@@ -372,9 +415,9 @@ let direct_handle_frame d frame =
       Xensim.Domain.charge_k d.d_dom ~cost:(direct_rx_cost d size) (fun () ->
           (match span with Some sp -> Trace.finish sp | None -> ());
           (match d.d_listener with
-          | Some f -> f (Bytestruct.sub page 0 size)
+          | Some f -> Pktbuf.with_current holder (fun () -> f view)
           | None -> ());
-          Io_page.recycle d.d_pool page)
+          Pktbuf.release holder)
     in
     if Trace.enabled () then
       (* As on the PV path: every frame entering from the wire begins a
@@ -388,7 +431,7 @@ let connect_direct ~dom ~nic ?(frame_tax = false) () =
     {
       d_dom = dom;
       d_nic = nic;
-      d_pool = Io_page.create ~initial:64 ();
+      d_pool = Pktbuf.create_pool ~name:(Printf.sprintf "netif.dom%d" dom.Xensim.Domain.id) ();
       d_frame_tax = frame_tax;
       d_listener = None;
       d_tx_frames = 0;
@@ -406,7 +449,7 @@ let connect_direct ~dom ~nic ?(frame_tax = false) () =
   end;
   Direct d
 
-let direct_write d frame =
+let direct_write ?owner d frame =
   let open Mthread.Promise in
   let len = Bytestruct.length frame in
   if len > mtu_bytes + 14 then invalid_arg "Netif.write: frame exceeds MTU";
@@ -415,7 +458,10 @@ let direct_write d frame =
   bind
     (Xensim.Domain.charge d.d_dom ~cost:(direct_tx_cost d len))
     (fun () ->
-      Netsim.Nic.send d.d_nic frame;
+      (* The wire retains per scheduled delivery, so the write's own
+         reference (transferred by the caller) can drop right away. *)
+      Netsim.Nic.send ?owner d.d_nic frame;
+      (match owner with Some pb -> Pktbuf.release pb | None -> ());
       Trace.finish span;
       return ())
 
@@ -424,14 +470,28 @@ let nic = function Pv t -> t.nic | Direct d -> d.d_nic
 let mtu _ = mtu_bytes
 let pool = function Pv t -> t.pool | Direct d -> d.d_pool
 
-let rec pv_write t frame =
+let tx_doorbells () = Trace.counter_value c_doorbell
+
+(* Push whatever requests accumulated since the last doorbell and ring
+   it once — the flush side of TSO-style batching. *)
+let pv_tx_flush t =
+  t.tx_flush_pending <- false;
+  if (not t.closed) && t.tx_unflushed > 0 then begin
+    t.tx_unflushed <- 0;
+    if Xensim.Ring.Front.push_requests_and_check_notify t.tx_front then begin
+      Trace.incr c_doorbell;
+      Xensim.Evtchn.notify (evtchn t) t.tx_port_front
+    end
+  end
+
+let rec pv_write ?owner t frame =
   let open Mthread.Promise in
   let len = Bytestruct.length frame in
   if len > mtu_bytes + 14 then invalid_arg "Netif.write: frame exceeds MTU";
   if Xensim.Ring.Front.free_requests t.tx_front = 0 then begin
     let p, u = wait () in
     Queue.add u t.tx_waiters;
-    bind p (fun () -> pv_write t frame)
+    bind p (fun () -> pv_write ?owner t frame)
   end
   else begin
     let gref =
@@ -443,7 +503,7 @@ let rec pv_write t frame =
     let done_p, waker = Mthread.Promise.wait () in
     let span = Trace.span ~dom:t.dom.Xensim.Domain.id ~cat:Trace.Device "netif.tx" in
     let flow = if Trace.enabled () then Trace.Flow.current () else Trace.Flow.none in
-    Hashtbl.replace t.tx_pending id { gref; waker; span; flow };
+    Hashtbl.replace t.tx_pending id { gref; waker; span; flow; owner };
     Trace.gauge_add g_tx_inflight 1;
     let slot = Xensim.Ring.Front.next_request t.tx_front in
     Bytestruct.LE.set_uint16 slot 0 id;
@@ -457,14 +517,31 @@ let rec pv_write t frame =
         (Xensim.Domain.charge t.dom
            ~cost:(Platform.tx_cost t.dom.Xensim.Domain.platform ~bytes_len:len))
         (fun () ->
-          if Xensim.Ring.Front.push_requests_and_check_notify t.tx_front then
-            Xensim.Evtchn.notify (evtchn t) t.tx_port_front;
+          if not !tx_batching then begin
+            if Xensim.Ring.Front.push_requests_and_check_notify t.tx_front then begin
+              Trace.incr c_doorbell;
+              Xensim.Evtchn.notify (evtchn t) t.tx_port_front
+            end
+          end
+          else begin
+            t.tx_unflushed <- t.tx_unflushed + 1;
+            if t.tx_unflushed >= tx_batch_max then pv_tx_flush t
+            else if not t.tx_flush_pending then begin
+              t.tx_flush_pending <- true;
+              let sim = t.hv.Xensim.Hypervisor.sim in
+              ignore
+                (Engine.Sim.at sim
+                   ~time:(Engine.Sim.now sim + !tx_flush_delay_ns)
+                   (fun () -> pv_tx_flush t))
+            end
+          end;
           done_p)
     in
     if Trace.Prof.enabled () then Trace.Prof.with_frame "netif" send else send ()
   end
 
-let write t frame = match t with Pv p -> pv_write p frame | Direct d -> direct_write d frame
+let write ?owner t frame =
+  match t with Pv p -> pv_write ?owner p frame | Direct d -> direct_write ?owner d frame
 
 (* Teardown, audited so nothing here scans other domains' state: close
    the event channels (which frees the port entries and the backend/
@@ -475,19 +552,22 @@ let write t frame = match t with Pv p -> pv_write p frame | Direct d -> direct_w
    never resume, exactly as for a destroyed domain. *)
 let pv_disconnect t =
   let ev = evtchn t in
+  t.closed <- true;
   Xensim.Evtchn.close ev t.tx_port_front;
   Xensim.Evtchn.close ev t.rx_port_front;
   t.listener <- None;
   Trace.gauge_add g_tx_inflight (-Hashtbl.length t.tx_pending);
   Hashtbl.iter
-    (fun _ (p : tx_pending) -> Xensim.Gnttab.end_access (gnttab t) p.gref)
+    (fun _ (p : tx_pending) ->
+      Xensim.Gnttab.end_access (gnttab t) p.gref;
+      match p.owner with Some pb -> Pktbuf.release pb | None -> ())
     t.tx_pending;
   Hashtbl.reset t.tx_pending;
   Trace.gauge_add g_rx_posted (-Hashtbl.length t.rx_posted);
   Hashtbl.iter
     (fun _ (gref, page) ->
       Xensim.Gnttab.end_access (gnttab t) gref;
-      if Lazy.is_val page then Io_page.recycle t.pool (Lazy.force page))
+      if Lazy.is_val page then Pktbuf.release (Lazy.force page))
     t.rx_posted;
   Hashtbl.reset t.rx_posted;
   Hashtbl.reset t.rx_spans;

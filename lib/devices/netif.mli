@@ -46,18 +46,39 @@ val nic : t -> Netsim.Nic.t
 
 val mtu : t -> int
 
-(** The frontend's I/O page pool; the network stack allocates transmit
-    buffers here. *)
-val pool : t -> Io_page.t
+(** The frontend's packet-buffer pool; the network stack allocates
+    transmit buffers here. *)
+val pool : t -> Pktbuf.pool
 
 (** [write t frame] transmits, blocking while the TX ring is full. The
-    promise resolves once the request is on the ring (the driver pipelines;
-    grant cleanup happens on the TX response). *)
-val write : t -> Bytestruct.t -> unit Mthread.Promise.t
+    promise resolves once the request is on the ring (the driver
+    pipelines; grant cleanup happens on the TX response). With [?owner]
+    the caller transfers its reference on the frame's backing pktbuf:
+    the driver holds it until the TX response (PV) or the wire send
+    (direct), and the wire itself retains per in-flight delivery — so
+    the buffer returns to the pool only after the last consumer. *)
+val write : ?owner:Pktbuf.t -> t -> Bytestruct.t -> unit Mthread.Promise.t
 
-(** Frames delivered to the listener are views over pool pages recycled
-    after the listener returns — retain only copies. *)
+(** Frames delivered to the listener are views over pool buffers
+    released after the listener returns. The buffer is the ambient
+    {!Pktbuf.current} for the duration of the callback: a layer that
+    defers work over the payload calls [Pktbuf.retain_current] to keep
+    the view valid instead of copying. *)
 val set_listener : t -> (Bytestruct.t -> unit) -> unit
+
+(** {1 TSO-style doorbell coalescing}
+
+    When enabled, TX requests accumulate on the ring and one
+    event-channel notify covers the whole batch (flushed after
+    [flush_delay_ns], default 10 µs, or 32 frames — whichever first).
+    Off by default: the per-frame doorbell keeps wire timing, and so
+    every figure, bit-identical. *)
+
+val set_tx_batching : ?flush_delay_ns:int -> bool -> unit
+
+(** Process-wide count of TX doorbells rung (the [netif.tx_doorbells]
+    trace counter) — how batching is observed in tests and benches. *)
+val tx_doorbells : unit -> int
 
 (** [disconnect t] tears the device down: closes its event channels
     (freeing the port entries whose handler closures pin the device),

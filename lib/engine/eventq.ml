@@ -3,38 +3,42 @@ type handle = {
   seq : int;
   action : unit -> unit;
   mutable cancelled : bool;
-  (* Still physically present in the owner's heap array?  Lets [cancel]
-     keep the owner's live/cancelled counters exact: cancelling a handle
-     that already fired (or was swept by a compaction) must not touch
-     them. *)
-  mutable in_heap : bool;
+  (* Physical index in the owner's heap array, maintained by every swap;
+     -1 once fired or removed. Cancellation uses it to delete the entry
+     in O(log n) instead of leaving a corpse to skip at pop time — a
+     steady arm/cancel pattern (RTO timers, session timeouts) would
+     otherwise pile dead entries into the array and churn it through
+     grow/shrink cycles, and that garbage lands on whichever datapath
+     hop happens to push next. *)
+  mutable pos : int;
   owner : t;
 }
 
 and t = {
   mutable heap : handle array;
-  mutable size : int; (* physical entries, live + cancelled *)
-  mutable live : int; (* size minus cancelled-but-still-present *)
+  mutable size : int;
   mutable next_seq : int;
 }
 
 (* The placeholder for empty slots needs an owner of its own; tie the
    knot with a throwaway queue that never schedules anything. *)
 let rec dummy =
-  { time = 0; seq = 0; action = (fun () -> ()); cancelled = true; in_heap = false; owner = dummy_q }
+  { time = 0; seq = 0; action = (fun () -> ()); cancelled = true; pos = -1; owner = dummy_q }
 
-and dummy_q = { heap = [||]; size = 0; live = 0; next_seq = 0 }
+and dummy_q = { heap = [||]; size = 0; next_seq = 0 }
 
 let initial_capacity = 64
 
-let create () = { heap = Array.make initial_capacity dummy; size = 0; live = 0; next_seq = 0 }
+let create () = { heap = Array.make initial_capacity dummy; size = 0; next_seq = 0 }
 
 let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
 
 let swap t i j =
-  let tmp = t.heap.(i) in
-  t.heap.(i) <- t.heap.(j);
-  t.heap.(j) <- tmp
+  let a = t.heap.(i) and b = t.heap.(j) in
+  t.heap.(i) <- b;
+  b.pos <- i;
+  t.heap.(j) <- a;
+  a.pos <- j
 
 let rec sift_up t i =
   if i > 0 then begin
@@ -60,91 +64,79 @@ let grow t =
   Array.blit t.heap 0 bigger 0 t.size;
   t.heap <- bigger
 
-(* Drop every cancelled entry in one pass and re-establish the heap
-   property bottom-up (Floyd, O(n)).  Heap order among survivors is a
-   function of (time, seq) only, so the result is independent of when
-   compaction runs — determinism is preserved.  Shrinking the array when
-   mostly empty returns memory after mass cancellation (ACKed
-   retransmits, reaped domains). *)
-let compact t =
-  let kept = ref 0 in
-  for i = 0 to t.size - 1 do
-    let h = t.heap.(i) in
-    if h.cancelled then h.in_heap <- false
-    else begin
-      t.heap.(!kept) <- h;
-      incr kept
-    end
-  done;
-  for i = !kept to t.size - 1 do
-    t.heap.(i) <- dummy
-  done;
-  t.size <- !kept;
-  t.live <- !kept;
-  for i = (t.size / 2) - 1 downto 0 do
-    sift_down t i
-  done;
+(* Return memory after mass cancellation (ACKed retransmits, reaped
+   domains): halve while under a quarter full. The 4x hysteresis against
+   [grow]'s doubling keeps a heap hovering at one size from thrashing
+   allocations in either direction. *)
+let maybe_shrink t =
   let cap = ref (Array.length t.heap) in
   while !cap > initial_capacity && t.size * 4 <= !cap do
     cap := !cap / 2
   done;
-  if !cap < Array.length t.heap then t.heap <- Array.sub t.heap 0 !cap
+  if !cap < Array.length t.heap then begin
+    let smaller = Array.make !cap dummy in
+    Array.blit t.heap 0 smaller 0 t.size;
+    t.heap <- smaller
+  end
 
 let push t ~time action =
-  let h = { time; seq = t.next_seq; action; cancelled = false; in_heap = true; owner = t } in
+  let h = { time; seq = t.next_seq; action; cancelled = false; pos = t.size; owner = t } in
   t.next_seq <- t.next_seq + 1;
   if t.size = Array.length t.heap then grow t;
   t.heap.(t.size) <- h;
   t.size <- t.size + 1;
-  t.live <- t.live + 1;
   sift_up t (t.size - 1);
   h
+
+(* True deletion: move the last entry into the vacated slot and restore
+   the heap property around it. Pop order among survivors is a pure
+   function of their (time, seq) keys, so when a removal happens cannot
+   change what pops next — determinism is preserved. *)
+let remove t h =
+  let i = h.pos in
+  h.pos <- -1;
+  t.size <- t.size - 1;
+  if i < t.size then begin
+    let moved = t.heap.(t.size) in
+    t.heap.(i) <- moved;
+    moved.pos <- i;
+    t.heap.(t.size) <- dummy;
+    sift_down t i;
+    sift_up t i
+  end
+  else t.heap.(t.size) <- dummy;
+  maybe_shrink t
 
 let cancel h =
   if not h.cancelled then begin
     h.cancelled <- true;
-    if h.in_heap then begin
-      let t = h.owner in
-      t.live <- t.live - 1;
-      (* Cancelled majority → sweep them out now so their closures are
-         collectable, instead of leaking until they surface at the root. *)
-      if t.size - t.live > t.size / 2 then compact t
-    end
+    if h.pos >= 0 then remove h.owner h
   end
 
 let is_cancelled h = h.cancelled
 
-let pop_raw t =
+let pop t =
   if t.size = 0 then None
   else begin
     let top = t.heap.(0) in
+    top.pos <- -1;
     t.size <- t.size - 1;
-    t.heap.(0) <- t.heap.(t.size);
-    t.heap.(t.size) <- dummy;
-    if t.size > 0 then sift_down t 0;
-    top.in_heap <- false;
-    if not top.cancelled then t.live <- t.live - 1;
-    Some top
+    if t.size > 0 then begin
+      let moved = t.heap.(t.size) in
+      t.heap.(0) <- moved;
+      moved.pos <- 0;
+      t.heap.(t.size) <- dummy;
+      sift_down t 0
+    end
+    else t.heap.(t.size) <- dummy;
+    Some (top.time, top.action)
   end
 
-let rec drop_cancelled t =
-  if t.size > 0 && t.heap.(0).cancelled then begin
-    ignore (pop_raw t);
-    drop_cancelled t
-  end
+let peek_time t = if t.size = 0 then None else Some t.heap.(0).time
 
-let peek_time t =
-  drop_cancelled t;
-  if t.size = 0 then None else Some t.heap.(0).time
+let length t = t.size
 
-let rec pop t =
-  match pop_raw t with
-  | None -> None
-  | Some h -> if h.cancelled then pop t else Some (h.time, h.action)
-
-let length t = t.live
-
-let is_empty t = t.live = 0
+let is_empty t = t.size = 0
 
 let physical_size t = t.size
 

@@ -1,9 +1,11 @@
 (** Priority queue of timestamped events, the heart of the simulator.
 
-    Events fire in (time, insertion-order) order; cancellation is O(1)
-    amortised (lazy deletion at pop time, plus an eager sweep whenever
-    cancelled entries outnumber live ones so mass cancellation frees the
-    captured closures promptly). *)
+    Events fire in (time, insertion-order) order; cancellation is
+    O(log n) true deletion — the handle tracks its heap index, so a
+    cancelled entry leaves the array (and its captured closure becomes
+    collectable) immediately instead of lingering as a corpse to skip
+    at pop time. Steady arm/cancel traffic therefore keeps the heap at
+    exactly the live-event count, with no grow/shrink churn. *)
 
 type t
 
@@ -32,9 +34,9 @@ val peek_time : t -> int option
 (** Pop the earliest live event, or [None] if the queue is empty. *)
 val pop : t -> (int * (unit -> unit)) option
 
-(** Entries physically present in the heap array, live + cancelled —
-    for tests asserting that compaction really evicts cancelled
-    entries. *)
+(** Entries physically present in the heap array — equals {!length}
+    now that cancellation deletes eagerly; kept for tests asserting
+    cancelled entries really leave the array. *)
 val physical_size : t -> int
 
 (** Current backing-array capacity — for tests asserting the array

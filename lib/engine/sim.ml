@@ -30,11 +30,13 @@ let create ?(seed = 42) () =
 let now t = t.now
 let prng t = t.prng
 
-let at t ~time f =
-  let time = max time t.now in
-  (* Causal flow propagation: a callback scheduled while a flow is
-     ambient runs under that flow, however many hops later. Only when
-     tracing — with it off, [f] is pushed untouched. *)
+(* Causal flow propagation: a callback scheduled while a flow is
+   ambient runs under that flow, however many hops later. Only when
+   tracing — with it off, [f] is returned untouched. The same trick
+   applies to profiler frames, so vCPU charges made by deferred
+   continuations still land on the layer that caused them. Exposed so
+   the timer wheel can capture ambients at arm time the way [at] does. *)
+let wrap_ambient f =
   let f =
     if Trace.enabled () then begin
       let fl = Trace.Flow.current () in
@@ -42,17 +44,14 @@ let at t ~time f =
     end
     else f
   in
-  (* Same trick for profiler frames: a callback scheduled under a layer
-     frame stack runs under that stack, so vCPU charges made by deferred
-     continuations still land on the layer that caused them. *)
-  let f =
-    if Trace.Prof.enabled () then begin
-      let node = Trace.Prof.current_node () in
-      if not (Trace.Prof.is_root node) then fun () -> Trace.Prof.wrap node f else f
-    end
-    else f
-  in
-  Eventq.push t.q ~time f
+  if Trace.Prof.enabled () then begin
+    let node = Trace.Prof.current_node () in
+    if not (Trace.Prof.is_root node) then fun () -> Trace.Prof.wrap node f else f
+  end
+  else f
+
+let at_raw t ~time f = Eventq.push t.q ~time:(max time t.now) f
+let at t ~time f = at_raw t ~time (wrap_ambient f)
 
 let vcpu_account t ~dom ~run_ns ~wait_ns =
   let a =

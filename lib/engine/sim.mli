@@ -30,6 +30,16 @@ val schedule : t -> delay:int -> (unit -> unit) -> handle
     per-subsystem plumbing. *)
 val at : t -> time:int -> (unit -> unit) -> handle
 
+(** [at_raw] is {!at} without the ambient flow/profiler capture — for
+    callers (the timer wheel) that capture ambients themselves at a
+    different point than the push. *)
+val at_raw : t -> time:int -> (unit -> unit) -> handle
+
+(** [wrap_ambient f] captures the current trace flow and profiler frame
+    (when those planes are on) so that running the result later restores
+    them — the capture {!at} applies to every callback it pushes. *)
+val wrap_ambient : (unit -> unit) -> unit -> unit
+
 val cancel : handle -> unit
 
 (** Number of pending events. *)

@@ -1,0 +1,169 @@
+(* Hierarchical timing wheel (Varghese & Lauck) adapted to the
+   discrete-event simulator: instead of a periodic tick cascading slots,
+   the wheel keeps a single "anchor" event in the sim heap at the exact
+   earliest live deadline. Arm and cancel are O(1) (cons into a slot /
+   lazy mark); only arrival at a real deadline — or cancelling the
+   earliest timer — walks the occupancy bitmasks to find the next one.
+   This keeps one heap entry per wheel rather than two per TCP flow, and
+   never advances the virtual clock spuriously: no live timer, no event. *)
+
+(* 32 slots per level, not 64: the occupancy bitmask lives in an OCaml
+   int, which has 63 usable bits — [1 lsl 63] is 0, so a 64th slot's
+   bit could never be set and timers hashing into it would vanish. *)
+let bits = 5
+let slot_count = 1 lsl bits
+let shift0 = 16 (* level-0 tick = 65.536 us *)
+let levels = 9
+
+type timer = {
+  deadline : int;
+  seq : int; (* stable fire order among equal deadlines *)
+  callback : unit -> unit;
+  mutable armed : bool;
+}
+
+type t = {
+  sim : Sim.t;
+  slots : timer list array array; (* levels x slot_count, unordered *)
+  occ : int array; (* per-level slot-occupancy bitmask (conservative) *)
+  mutable live : int;
+  mutable next_seq : int;
+  mutable anchor : (int * Sim.handle) option; (* exact min deadline *)
+}
+
+let create sim =
+  {
+    sim;
+    slots = Array.init levels (fun _ -> Array.make slot_count []);
+    occ = Array.make levels 0;
+    live = 0;
+    next_seq = 0;
+    anchor = None;
+  }
+
+let live t = t.live
+
+(* Level l covers deltas below [slot_count * tick l]; timers land in the
+   finest level wide enough for their remaining delta, indexed by the
+   deadline's own bits so they never need to move. *)
+let place t tm =
+  let delta = max 0 (tm.deadline - Sim.now t.sim) in
+  let rec level l =
+    if l >= levels - 1 then levels - 1
+    else if delta < 1 lsl (shift0 + (bits * (l + 1))) then l
+    else level (l + 1)
+  in
+  let l = level 0 in
+  let i = (tm.deadline lsr (shift0 + (bits * l))) land (slot_count - 1) in
+  t.slots.(l).(i) <- tm :: t.slots.(l).(i);
+  t.occ.(l) <- t.occ.(l) lor (1 lsl i)
+
+(* Exact minimum live deadline, pruning cancelled entries as we pass
+   them (and clearing the bit of any slot that drains). The rescan runs
+   on every cancel-of-minimum, so it must not allocate on the common
+   nothing-pruned path: slots are rebuilt only when a dead entry is
+   actually present. *)
+let min_deadline t =
+  let best = ref max_int in
+  for l = 0 to levels - 1 do
+    let mask = t.occ.(l) in
+    if mask <> 0 then
+      for i = 0 to slot_count - 1 do
+        if mask land (1 lsl i) <> 0 then begin
+          let slot = t.slots.(l).(i) in
+          let rec any_dead = function
+            | [] -> false
+            | tm :: rest -> (not tm.armed) || any_dead rest
+          in
+          let kept = if any_dead slot then List.filter (fun tm -> tm.armed) slot else slot in
+          if kept != slot then t.slots.(l).(i) <- kept;
+          if kept = [] then t.occ.(l) <- t.occ.(l) land lnot (1 lsl i)
+          else
+            let rec scan = function
+              | [] -> ()
+              | tm :: rest ->
+                if tm.deadline < !best then best := tm.deadline;
+                scan rest
+            in
+            scan kept
+        end
+      done
+  done;
+  if !best = max_int then None else Some !best
+
+let rec fire t () =
+  t.anchor <- None;
+  let now = Sim.now t.sim in
+  (* Collect everything due, wheel-wide: the anchor fires at an exact
+     deadline, so at least one timer is due and none were missed. *)
+  let due = ref [] in
+  for l = 0 to levels - 1 do
+    let mask = t.occ.(l) in
+    if mask <> 0 then
+      for i = 0 to slot_count - 1 do
+        if mask land (1 lsl i) <> 0 then begin
+          let slot = t.slots.(l).(i) in
+          let rec any_hit = function
+            | [] -> false
+            | tm :: rest -> (not tm.armed) || tm.deadline <= now || any_hit rest
+          in
+          if any_hit slot then begin
+            let keep, expired = List.partition (fun tm -> tm.armed && tm.deadline > now) slot in
+            t.slots.(l).(i) <- keep;
+            if keep = [] then t.occ.(l) <- t.occ.(l) land lnot (1 lsl i);
+            List.iter (fun tm -> if tm.armed then due := tm :: !due) expired
+          end
+        end
+      done
+  done;
+  let due = List.sort (fun a b -> compare (a.deadline, a.seq) (b.deadline, b.seq)) !due in
+  List.iter
+    (fun tm ->
+      tm.armed <- false;
+      t.live <- t.live - 1;
+      tm.callback ())
+    due;
+  ensure_anchor t
+
+(* Re-derive the anchor from the wheel's exact minimum. Callbacks run
+   during [fire] may have armed new timers (whose fast path already
+   lowered the anchor); this settles the final answer. *)
+and ensure_anchor t =
+  match (min_deadline t, t.anchor) with
+  | None, None -> ()
+  | None, Some (_, h) ->
+    Sim.cancel h;
+    t.anchor <- None
+  | Some d, Some (ad, _) when ad = d -> ()
+  | Some d, prev ->
+    (match prev with Some (_, h) -> Sim.cancel h | None -> ());
+    t.anchor <- Some (d, Sim.at_raw t.sim ~time:d (fire t))
+
+let arm t ~deadline f =
+  let deadline = max deadline (Sim.now t.sim) in
+  (* Capture ambient flow/profiler context now, as [Sim.at] would at
+     push time, so deferred timeouts still attribute causally. *)
+  let tm = { deadline; seq = t.next_seq; callback = Sim.wrap_ambient f; armed = true } in
+  t.next_seq <- t.next_seq + 1;
+  t.live <- t.live + 1;
+  place t tm;
+  (match t.anchor with
+  | Some (ad, _) when ad <= deadline -> ()
+  | Some (_, h) ->
+    Sim.cancel h;
+    t.anchor <- Some (deadline, Sim.at_raw t.sim ~time:deadline (fire t))
+  | None -> t.anchor <- Some (deadline, Sim.at_raw t.sim ~time:deadline (fire t)));
+  tm
+
+let cancel t tm =
+  if tm.armed then begin
+    tm.armed <- false;
+    t.live <- t.live - 1;
+    (* Only cancelling the earliest timer moves the anchor; anything
+       later is swept lazily when its slot is next scanned. *)
+    match t.anchor with
+    | Some (ad, _) when ad = tm.deadline -> ensure_anchor t
+    | _ -> ()
+  end
+
+let next_deadline t = match t.anchor with Some (d, _) -> Some d | None -> None

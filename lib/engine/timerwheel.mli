@@ -1,0 +1,29 @@
+(** Hierarchical timing wheel over {!Sim}: O(1) arm/cancel for the
+    high-churn protocol timers (TCP retransmit and persist), keeping a
+    single event in the simulator heap — the "anchor", pinned to the
+    exact earliest live deadline — instead of one heap entry per flow
+    timer. Timers fire at their exact deadline (no tick quantisation),
+    in (deadline, arm-order) order, so replacing direct [Sim.schedule]
+    uses is behaviour-preserving. Cancellation is lazy: cancelled
+    entries are swept when their slot is next scanned, and the anchor
+    never fires spuriously, so a drained wheel leaves nothing in the
+    simulator queue. *)
+
+type t
+type timer
+
+val create : Sim.t -> t
+
+(** [arm t ~deadline f] schedules [f] for absolute virtual [deadline]
+    (clamped to now). Ambient trace flow / profiler frames are captured
+    at arm time, exactly as [Sim.at] captures them at push time. *)
+val arm : t -> deadline:int -> (unit -> unit) -> timer
+
+(** Idempotent; cancelling a fired timer is a no-op. *)
+val cancel : t -> timer -> unit
+
+(** Armed timers not yet fired or cancelled. *)
+val live : t -> int
+
+(** The anchor's position: earliest live deadline, if any. *)
+val next_deadline : t -> int option

@@ -206,7 +206,7 @@ module Nic = struct
       time >= first && (time - first) mod period_ns < down_ns
     | None -> false
 
-  let send t frame =
+  let send ?owner t frame =
     let len = Bytestruct.length frame in
     if len < 14 then invalid_arg "Netsim: frame shorter than an Ethernet header";
     if not t.attached then ()
@@ -214,9 +214,12 @@ module Nic = struct
     let b = t.bridge in
     t.frames_sent <- t.frames_sent + 1;
     t.bytes_sent <- t.bytes_sent + len;
-    (* Copy at the wire: the sender's buffer is free for reuse, and the
-       bridge observes an immutable frame. *)
-    let wire_frame = Bytestruct.copy frame in
+    (* Zero-copy wire: the frame view rides to the receiver as-is.
+       Either the owner's refcount keeps the backing pktbuf out of its
+       pool until delivery, or (raw senders) the buffer is fresh per
+       send. Corruption is the one fault that writes, and it copies
+       first — see below. *)
+    let wire_frame = frame in
     let now = Engine.Sim.now b.sim in
     let serialisation = int_of_float (float_of_int (len * 8) /. float_of_int t.bandwidth_bps *. 1e9) in
     let start = max now t.tx_free_at in
@@ -271,8 +274,18 @@ module Nic = struct
         Trace.incr c_burst_drop
       end
       else begin
-        if f.Faults.corrupt_p > 0.0 && Engine.Prng.float t.fault_prng 1.0 < f.Faults.corrupt_p
-        then maybe_corrupt t wire_frame;
+        let wire_frame, owner =
+          if f.Faults.corrupt_p > 0.0 && Engine.Prng.float t.fault_prng 1.0 < f.Faults.corrupt_p
+          then begin
+            (* Copy-on-mutate: corruption gets a private copy so the
+               sender's buffer (possibly pooled, possibly shared with a
+               duplicate delivery already in flight) stays pristine. *)
+            let c = Bytestruct.copy wire_frame in
+            maybe_corrupt t c;
+            (c, None)
+          end
+          else (wire_frame, owner)
+        in
         let arrival =
           if f.Faults.jitter_ns > 0 then arrival + Engine.Prng.int t.fault_prng f.Faults.jitter_ns
           else arrival
@@ -286,12 +299,25 @@ module Nic = struct
           end
           else arrival
         in
-        ignore (Engine.Sim.at b.sim ~time:arrival (fun () -> forward b t wire_frame ~time:arrival));
+        let dispatch time =
+          match owner with
+          | None -> ignore (Engine.Sim.at b.sim ~time (fun () -> forward b t wire_frame ~time))
+          | Some pb ->
+            (* One reference per scheduled delivery: the pool cannot
+               recycle the buffer while it is on the wire, and receivers
+               can retain it past the delivery via the ambient. *)
+            Pktbuf.retain pb;
+            ignore
+              (Engine.Sim.at b.sim ~time (fun () ->
+                   Pktbuf.with_current pb (fun () -> forward b t wire_frame ~time);
+                   Pktbuf.release pb))
+        in
+        dispatch arrival;
         if f.Faults.dup_p > 0.0 && Engine.Prng.float t.fault_prng 1.0 < f.Faults.dup_p then begin
           b.duplicated <- b.duplicated + 1;
           Trace.incr c_duplicate;
           let dup_at = arrival + 1 + Engine.Prng.int t.fault_prng 50_000 in
-          ignore (Engine.Sim.at b.sim ~time:dup_at (fun () -> forward b t wire_frame ~time:dup_at))
+          dispatch dup_at
         end
       end
     end

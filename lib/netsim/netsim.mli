@@ -79,12 +79,22 @@ module Nic : sig
   (** Six-byte MAC address of this NIC. *)
   val mac : t -> string
 
-  (** [send t frame] queues a frame for transmission; the frame is copied
-      at the simulated wire, so callers may reuse the buffer. *)
-  val send : t -> Bytestruct.t -> unit
+  (** [send t frame] queues a frame for transmission. The wire is
+      zero-copy: the frame view is delivered as-is, so the sender must
+      not mutate the buffer until delivery. With [?owner], the backing
+      pktbuf is retained per scheduled delivery (duplication schedules
+      two) and released after each, and receivers see it as the ambient
+      {!Pktbuf.current} during delivery — pool recycling waits for the
+      wire. Without [?owner] the caller simply must not reuse the buffer
+      (every in-tree raw sender builds a fresh frame per send). The one
+      fault that writes — corruption — copies the frame first, so even
+      a corrupted delivery never scribbles on the sender's storage. *)
+  val send : ?owner:Pktbuf.t -> t -> Bytestruct.t -> unit
 
   (** Install the receive callback (frames destined to this NIC, broadcast,
-      or flooded by the bridge). *)
+      or flooded by the bridge). The frame is only guaranteed valid for
+      the duration of the callback: retain the ambient pktbuf
+      ([Pktbuf.retain_current]) or copy to keep it longer. *)
   val set_rx : t -> (Bytestruct.t -> unit) -> unit
 
   val frames_sent : t -> int

@@ -35,9 +35,12 @@ let output t ~dst ~ethertype fragments =
   let payload_len = Bytestruct.lenv fragments in
   if payload_len > Devices.Netif.mtu t.netif then
     invalid_arg "Ethernet.output: payload exceeds MTU";
-  (* Assemble header + fragments into a transmit I/O page. *)
-  let page = Devices.Io_page.alloc (Devices.Netif.pool t.netif) in
-  let frame = Bytestruct.sub page 0 (header_bytes + payload_len) in
+  (* Assemble header + fragments into a pooled transmit buffer, and hand
+     the driver ownership: the buffer returns to the pool on the TX
+     response once the wire no longer references it — never while the
+     frame is still in flight on the simulated link. *)
+  let pb = Pktbuf.alloc (Devices.Netif.pool t.netif) in
+  let frame = Pktbuf.view pb ~off:0 ~len:(header_bytes + payload_len) in
   Macaddr.set frame 0 dst;
   Macaddr.set frame 6 (mac t);
   Bytestruct.BE.set_uint16 frame 12 ethertype;
@@ -48,8 +51,6 @@ let output t ~dst ~ethertype fragments =
         off + Bytestruct.length frag)
       header_bytes fragments
   in
-  Mthread.Promise.bind (Devices.Netif.write t.netif frame) (fun () ->
-      Devices.Io_page.recycle (Devices.Netif.pool t.netif) page;
-      Mthread.Promise.return ())
+  Devices.Netif.write ~owner:pb t.netif frame
 
 let unknown_frames t = t.unknown

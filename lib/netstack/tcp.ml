@@ -41,6 +41,20 @@ let c_retransmit = Trace.counter "tcp.retransmits"
 let c_persist = Trace.counter "tcp.persist_probes"
 let c_ooo_evict = Trace.counter "tcp.ooo_evictions"
 let c_wnd_stale = Trace.counter "tcp.stale_window_updates"
+let c_gro_merged = Trace.counter "tcp.gro_coalesced"
+
+(* GRO-style receive coalescing: contiguous in-order segments are parked
+   on the flow and delivered (plus ACKed) as one batch when a PSH
+   arrives, a hole opens, the batch hits [gro_max_bytes], or the flush
+   timer expires. Off by default: immediate per-segment delivery and
+   ACKing is what every committed figure was produced under. *)
+let gro_enabled = ref false
+let gro_flush_delay_ns = ref 100_000
+let gro_max_bytes = 65536
+
+let set_gro ?(flush_delay_ns = 100_000) on =
+  gro_enabled := on;
+  gro_flush_delay_ns := flush_delay_ns
 
 type state =
   | Syn_sent
@@ -96,15 +110,25 @@ type flow = {
   mutable rcv_nxt : Seq.t;
   mutable rcv_wscale : int;
   mutable rx_buffered : int;  (* bytes delivered to [rx] but not yet read *)
-  mutable ooo : (Seq.t * Bytestruct.t) list;  (* ascending seq, disjoint *)
+  (* Reassembly entries and stream chunks may alias pooled driver pages;
+     the [Pktbuf.t option] is the reference held on each one's behalf
+     ([None] = a private copy, nothing to release). *)
+  mutable ooo : (Seq.t * Bytestruct.t * Pktbuf.t option) list;  (* ascending seq, disjoint *)
   rx : Bytestruct.t Mthread.Mstream.t;
+  rx_owners : Pktbuf.t option Queue.t;  (* one entry per [rx] push, FIFO *)
+  mutable read_hold : Pktbuf.t option;  (* ref backing the chunk last returned by [read] *)
+  (* GRO pending batch: reverse-ordered in-order segments not yet pushed. *)
+  mutable gro_rev : (Bytestruct.t * Pktbuf.t option) list;
+  mutable gro_bytes : int;
+  mutable gro_pkts : int;
+  mutable gro_timer : Engine.Sim.handle option;
   (* timers and RTT estimation *)
   mutable rto_ns : int;
   mutable srtt_ns : int;
   mutable rttvar_ns : int;
   mutable rtt_probe : (Seq.t * int) option;
-  mutable rto_timer : Engine.Sim.handle option;
-  mutable persist_timer : Engine.Sim.handle option;
+  mutable rto_timer : Engine.Timerwheel.timer option;
+  mutable persist_timer : Engine.Timerwheel.timer option;
   mutable persist_backoff_ns : int;
   mutable probes_out : int;  (* consecutive unanswered zero-window probes *)
   (* lifecycle *)
@@ -120,6 +144,9 @@ type flow = {
 and engine = {
   sim : Engine.Sim.t;
   ip : Ipv4.t;
+  (* All protocol timers (RTO, persist) live on one hierarchical wheel:
+     O(1) arm/cancel per segment instead of a heap entry per flow timer. *)
+  wheel : Engine.Timerwheel.t;
   dom : Xensim.Domain.t option;
   flows : (key, flow) Hashtbl.t;
   listeners : (int, flow -> unit Mthread.Promise.t) Hashtbl.t;
@@ -195,21 +222,41 @@ let send_rst_for t ~key ~seq ~ack =
 let cancel_rto fl =
   match fl.rto_timer with
   | Some h ->
-    Engine.Sim.cancel h;
+    Engine.Timerwheel.cancel fl.t.wheel h;
     fl.rto_timer <- None
   | None -> ()
 
 let cancel_persist fl =
   match fl.persist_timer with
   | Some h ->
-    Engine.Sim.cancel h;
+    Engine.Timerwheel.cancel fl.t.wheel h;
     fl.persist_timer <- None
   | None -> ()
+
+(* Drop reassembly and coalescing references back to the pool. Data that
+   never reached the stream is discarded — on an abortive close that is
+   RST semantics, and on an orderly one the FIN flush has already run. *)
+let release_rx_refs fl =
+  (match fl.gro_timer with
+  | Some h ->
+    Engine.Sim.cancel h;
+    fl.gro_timer <- None
+  | None -> ());
+  List.iter (fun (_, o) -> Option.iter Pktbuf.release o) fl.gro_rev;
+  fl.gro_rev <- [];
+  fl.gro_bytes <- 0;
+  fl.gro_pkts <- 0;
+  List.iter (fun (_, _, o) -> Option.iter Pktbuf.release o) fl.ooo;
+  fl.ooo <- []
 
 let rec arm_rto fl =
   cancel_rto fl;
   if not (Queue.is_empty fl.rtx) then
-    fl.rto_timer <- Some (Engine.Sim.schedule fl.t.sim ~delay:fl.rto_ns (fun () -> on_rto fl))
+    fl.rto_timer <-
+      Some
+        (Engine.Timerwheel.arm fl.t.wheel
+           ~deadline:(Engine.Sim.now fl.t.sim + fl.rto_ns)
+           (fun () -> on_rto fl))
 
 and on_rto fl =
   fl.rto_timer <- None;
@@ -337,6 +384,7 @@ and fail_flow fl err =
     Queue.clear fl.tx_chunks;
     fl.tx_head_off <- 0;
     fl.tx_buffered <- 0;
+    release_rx_refs fl;
     Hashtbl.remove fl.t.flows fl.key;
     Mthread.Mstream.close fl.rx;
     (match fl.connect_waker with
@@ -357,24 +405,42 @@ let flight_size fl = Seq.diff fl.snd_nxt fl.snd_una
 
 let effective_snd_wnd fl = min fl.snd_wnd fl.cwnd
 
-(* Gather up to [n] bytes from the transmit chunk queue into one buffer. *)
+(* Gather up to [n] bytes from the transmit chunk queue into one buffer.
+   When the head chunk covers the whole segment — the common case, a
+   writer handing us MSS-or-larger buffers — the rtx entry is a view into
+   the writer's own buffer rather than a copy: [write]'s ownership
+   transfer guarantees the bytes stay immutable until acknowledged. *)
 let gather_tx fl n =
-  let out = Bytestruct.create n in
-  let filled = ref 0 in
-  while !filled < n do
-    let chunk = Queue.peek fl.tx_chunks in
-    let avail = Bytestruct.length chunk - fl.tx_head_off in
-    let take = min avail (n - !filled) in
-    Bytestruct.blit chunk fl.tx_head_off out !filled take;
-    filled := !filled + take;
-    if take = avail then begin
+  let head = Queue.peek fl.tx_chunks in
+  let head_avail = Bytestruct.length head - fl.tx_head_off in
+  if head_avail >= n then begin
+    let out = Bytestruct.sub head fl.tx_head_off n in
+    if head_avail = n then begin
       ignore (Queue.pop fl.tx_chunks);
       fl.tx_head_off <- 0
     end
-    else fl.tx_head_off <- fl.tx_head_off + take
-  done;
-  fl.tx_buffered <- fl.tx_buffered - n;
-  out
+    else fl.tx_head_off <- fl.tx_head_off + n;
+    fl.tx_buffered <- fl.tx_buffered - n;
+    out
+  end
+  else begin
+    let out = Bytestruct.create n in
+    let filled = ref 0 in
+    while !filled < n do
+      let chunk = Queue.peek fl.tx_chunks in
+      let avail = Bytestruct.length chunk - fl.tx_head_off in
+      let take = min avail (n - !filled) in
+      Bytestruct.blit chunk fl.tx_head_off out !filled take;
+      filled := !filled + take;
+      if take = avail then begin
+        ignore (Queue.pop fl.tx_chunks);
+        fl.tx_head_off <- 0
+      end
+      else fl.tx_head_off <- fl.tx_head_off + take
+    done;
+    fl.tx_buffered <- fl.tx_buffered - n;
+    out
+  end
 
 let wake_tx_waiters fl =
   while
@@ -466,7 +532,10 @@ and maybe_arm_persist fl =
   then begin
     if fl.persist_backoff_ns = 0 then fl.persist_backoff_ns <- max fl.rto_ns min_rto_ns;
     fl.persist_timer <-
-      Some (Engine.Sim.schedule fl.t.sim ~delay:fl.persist_backoff_ns (fun () -> on_persist fl))
+      Some
+        (Engine.Timerwheel.arm fl.t.wheel
+           ~deadline:(Engine.Sim.now fl.t.sim + fl.persist_backoff_ns)
+           (fun () -> on_persist fl))
   end
 
 and on_persist fl =
@@ -552,11 +621,15 @@ and on_persist fl =
         end);
       fl.persist_backoff_ns <- min (fl.persist_backoff_ns * 2) max_persist_ns;
       fl.persist_timer <-
-        Some (Engine.Sim.schedule fl.t.sim ~delay:fl.persist_backoff_ns (fun () -> on_persist fl))
+        Some
+          (Engine.Timerwheel.arm fl.t.wheel
+             ~deadline:(Engine.Sim.now fl.t.sim + fl.persist_backoff_ns)
+             (fun () -> on_persist fl))
     end
   | Syn_sent | Syn_rcvd | Fin_wait_2 | Time_wait | Closed -> ()
 
 (* ---------- RTT estimation (RFC 6298) ---------- *)
+
 
 let c_rtt_samples = Trace.counter "tcp.rtt_samples"
 
@@ -664,11 +737,15 @@ let handle_ack fl ~old_wnd (seg : Tcp_wire.segment) =
 
 (* ---------- receive path ---------- *)
 
-let deliver_rx fl payload =
-  (* Copy out of the driver page: the view is recycled after this handler
-     returns (zero-copy ends at the application boundary by necessity of
-     the page pool; cf. paper §3.4.1 where GC tracking plays this role). *)
-  let len = Bytestruct.length payload in
+(* Push one chunk to the application stream, recording the pool
+   reference (if any) held on its behalf. The owner must be queued
+   before the push: a pending reader's callback runs inside [push]. *)
+let push_rx fl view owner =
+  Queue.add owner fl.rx_owners;
+  Mthread.Mstream.push fl.rx view
+
+
+let rx_account fl len =
   fl.bytes_received <- fl.bytes_received + len;
   fl.rx_buffered <- fl.rx_buffered + len;
   if Trace.enabled () then
@@ -677,39 +754,55 @@ let deliver_rx fl payload =
       ~cat:Trace.Net
       ~payload:[ ("qlen", Trace.Int fl.rx_buffered) ]
       "tcp.rx_buffered";
-  if Trace.Flight.enabled () then Trace.Flight.watermark "tcp.rx_buffered" fl.rx_buffered;
+  if Trace.Flight.enabled () then Trace.Flight.watermark "tcp.rx_buffered" fl.rx_buffered
+
+let deliver_rx fl ?owner payload =
+  (* Zero-copy to the application boundary: the chunk is a view over the
+     driver's pool page, pinned by its own reference until the reader
+     moves past it (cf. paper §3.4.1 where GC tracking plays this role).
+     Without an owner the payload is already a private copy. *)
+  rx_account fl (Bytestruct.length payload);
+  Option.iter Pktbuf.retain owner;
   if Trace.Dpath.enabled () then
-    Trace.Dpath.measure Trace.Dpath.Deliver ~vcpu_ns:0 (fun () ->
-        Mthread.Mstream.push fl.rx (Bytestruct.copy payload))
-  else Mthread.Mstream.push fl.rx (Bytestruct.copy payload)
+    Trace.Dpath.measure Trace.Dpath.Deliver ~vcpu_ns:0 (fun () -> push_rx fl payload owner)
+  else push_rx fl payload owner
 
 let rec integrate_ooo fl =
   match fl.ooo with
-  | (seq, data) :: rest when Seq.leq seq fl.rcv_nxt ->
+  | (seq, data, owner) :: rest when Seq.leq seq fl.rcv_nxt ->
     let skip = Seq.diff fl.rcv_nxt seq in
     if skip < Bytestruct.length data then begin
       let fresh = Bytestruct.shift data skip in
       let len = Bytestruct.length fresh in
       fl.rcv_nxt <- Seq.add fl.rcv_nxt len;
-      fl.bytes_received <- fl.bytes_received + len;
-      fl.rx_buffered <- fl.rx_buffered + len;
-      Mthread.Mstream.push fl.rx fresh
-    end;
+      rx_account fl len;
+      (* The entry's pool reference transfers to the stream. *)
+      push_rx fl fresh owner
+    end
+    else Option.iter Pktbuf.release owner;
     fl.ooo <- rest;
     integrate_ooo fl
   | _ -> ()
 
-let insert_ooo fl seq data =
+let insert_ooo fl seq data owner =
   (* Keep segments sorted; on an exact seq match keep the longer of the
      two (a retransmission may extend a previously stored segment); keep
-     overlaps (they are trimmed during integration). *)
+     overlaps (they are trimmed during integration). Each stored entry
+     holds its own pool reference; losers release theirs. *)
+  let keep () =
+    Option.iter Pktbuf.retain owner;
+    owner
+  in
   let rec ins = function
-    | [] -> [ (seq, Bytestruct.copy data) ]
-    | (s, d) :: rest when Seq.lt seq s -> (seq, Bytestruct.copy data) :: (s, d) :: rest
-    | (s, d) :: rest when Seq.equal seq s ->
-      if Bytestruct.length data > Bytestruct.length d then (s, Bytestruct.copy data) :: rest
-      else (s, d) :: rest
-    | (s, d) :: rest -> (s, d) :: ins rest
+    | [] -> [ (seq, data, keep ()) ]
+    | (s, d, o) :: rest when Seq.lt seq s -> (seq, data, keep ()) :: (s, d, o) :: rest
+    | (s, d, o) :: rest when Seq.equal seq s ->
+      if Bytestruct.length data > Bytestruct.length d then begin
+        Option.iter Pktbuf.release o;
+        (s, data, keep ()) :: rest
+      end
+      else (s, d, o) :: rest
+    | (s, d, o) :: rest -> (s, d, o) :: ins rest
   in
   let inserted = ins fl.ooo in
   if List.length inserted > max_ooo_segments then begin
@@ -717,7 +810,12 @@ let insert_ooo fl seq data =
        retransmitted. *)
     fl.t.ooo_evictions <- fl.t.ooo_evictions + 1;
     Trace.incr c_ooo_evict;
-    fl.ooo <- (match List.rev inserted with _ :: keep -> List.rev keep | [] -> [])
+    fl.ooo <-
+      (match List.rev inserted with
+      | (_, _, o) :: keep_rev ->
+        Option.iter Pktbuf.release o;
+        List.rev keep_rev
+      | [] -> [])
   end
   else fl.ooo <- inserted
 
@@ -726,10 +824,54 @@ let send_ack fl =
     ~flags:{ Tcp_wire.flags_none with ack = true }
     ~options:[] ~window:(advertised_window fl) ~payload:(Bytestruct.create 0)
 
+(* Deliver the pending GRO batch to the stream as one measured region.
+   Accounting (rcv_nxt, rx_buffered) already happened at append; the
+   flush only moves chunks and their references. ACKing is the caller's
+   business — the normal per-segment ACK logic covers PSH/hole/FIN
+   flushes, and only the timer flush ACKs here. *)
+let gro_flush fl =
+  (match fl.gro_timer with
+  | Some h ->
+    Engine.Sim.cancel h;
+    fl.gro_timer <- None
+  | None -> ());
+  if fl.gro_pkts > 0 then begin
+    let segs = List.rev fl.gro_rev in
+    let pkts = fl.gro_pkts in
+    fl.gro_rev <- [];
+    fl.gro_bytes <- 0;
+    fl.gro_pkts <- 0;
+    if Trace.Dpath.enabled () then
+      Trace.Dpath.measure Trace.Dpath.Deliver ~pkts ~vcpu_ns:0 (fun () ->
+          List.iter (fun (v, o) -> push_rx fl v o) segs)
+    else List.iter (fun (v, o) -> push_rx fl v o) segs
+  end
+
+let gro_timer_flush fl =
+  fl.gro_timer <- None;
+  if fl.gro_pkts > 0 && fl.state <> Closed then begin
+    gro_flush fl;
+    (* The batch's single deferred ACK. *)
+    send_ack fl
+  end
+
+let gro_append fl payload owner =
+  rx_account fl (Bytestruct.length payload);
+  Option.iter Pktbuf.retain owner;
+  fl.gro_rev <- (payload, owner) :: fl.gro_rev;
+  fl.gro_bytes <- fl.gro_bytes + Bytestruct.length payload;
+  fl.gro_pkts <- fl.gro_pkts + 1;
+  if fl.gro_pkts > 1 then Trace.incr c_gro_merged;
+  if fl.gro_timer = None then
+    fl.gro_timer <-
+      Some
+        (Engine.Sim.schedule fl.t.sim ~delay:!gro_flush_delay_ns (fun () -> gro_timer_flush fl))
+
 let enter_time_wait fl =
   fl.state <- Time_wait;
   cancel_rto fl;
   cancel_persist fl;
+  release_rx_refs fl;
   (* Reaching TIME_WAIT means our FIN is acknowledged: [close]'s contract
      is satisfied now, not after the 2-MSL linger. *)
   (match fl.close_waker with
@@ -744,6 +886,7 @@ let finish_close fl =
   fl.state <- Closed;
   cancel_rto fl;
   cancel_persist fl;
+  release_rx_refs fl;
   Hashtbl.remove fl.t.flows fl.key;
   match fl.close_waker with
   | Some u when Mthread.Promise.wakener_pending u -> Mthread.Promise.wakeup u ()
@@ -782,7 +925,11 @@ let update_snd_wnd fl (seg : Tcp_wire.segment) =
   end
   else Trace.incr c_wnd_stale
 
-let rec handle_segment fl (seg : Tcp_wire.segment) =
+(* [owner] is the datagram's reference on the pool buffer backing
+   [seg.payload] ([None] when the payload is a private copy); consumers
+   that outlive this call (stream, reassembly, GRO batch) retain their
+   own references — the datagram's is released by [handle_datagram]. *)
+let rec handle_segment fl ?owner (seg : Tcp_wire.segment) =
   let t = fl.t in
   if seg.flags.Tcp_wire.rst then begin
     match fl.state with
@@ -832,7 +979,8 @@ let rec handle_segment fl (seg : Tcp_wire.segment) =
       | None -> ());
       (* The ACK completing the handshake may carry data: fall through by
          re-processing below. *)
-      if Bytestruct.length seg.payload > 0 || seg.flags.Tcp_wire.fin then handle_segment fl seg
+      if Bytestruct.length seg.payload > 0 || seg.flags.Tcp_wire.fin then
+        handle_segment fl ?owner seg
     | Syn_rcvd -> ()
     | Established | Fin_wait_1 | Fin_wait_2 | Close_wait | Closing | Last_ack | Time_wait ->
       let old_wnd = fl.snd_wnd in
@@ -848,11 +996,35 @@ let rec handle_segment fl (seg : Tcp_wire.segment) =
       if paylen > 0 && (fl.state = Established || fl.state = Fin_wait_1 || fl.state = Fin_wait_2)
       then begin
         if Seq.equal seg.seq fl.rcv_nxt then begin
-          deliver_rx fl seg.payload;
-          fl.rcv_nxt <- Seq.add fl.rcv_nxt paylen;
-          integrate_ooo fl
+          if !gro_enabled then begin
+            (* Coalesce: park the segment; delivery and the ACK are
+               deferred until a flush boundary. *)
+            gro_append fl seg.payload owner;
+            fl.rcv_nxt <- Seq.add fl.rcv_nxt paylen;
+            if fl.ooo <> [] then begin
+              (* This segment may have plugged the hole: drain the batch
+                 first so reassembled data follows it in order. *)
+              gro_flush fl;
+              integrate_ooo fl
+            end;
+            if seg.flags.Tcp_wire.psh || fl.gro_bytes >= gro_max_bytes then gro_flush fl
+            else if fl.gro_pkts > 0 then
+              (* Pure coalesce: suppress the per-segment ACK — the flush
+                 (PSH, hole, FIN or timer) acknowledges the batch. *)
+              had_data := false
+          end
+          else begin
+            deliver_rx fl ?owner seg.payload;
+            fl.rcv_nxt <- Seq.add fl.rcv_nxt paylen;
+            integrate_ooo fl
+          end
         end
-        else if Seq.gt seg.seq fl.rcv_nxt then insert_ooo fl seg.seq seg.payload
+        else if Seq.gt seg.seq fl.rcv_nxt then begin
+          (* A hole stops coalescing: deliver what we have, then let the
+             normal path emit the duplicate ACK. *)
+          if !gro_enabled then gro_flush fl;
+          insert_ooo fl seg.seq seg.payload owner
+        end
         (* else: pure duplicate, just re-ACK *)
       end;
       (* FIN. *)
@@ -860,6 +1032,7 @@ let rec handle_segment fl (seg : Tcp_wire.segment) =
         seg.flags.Tcp_wire.fin && Seq.equal (Seq.add seg.seq paylen) fl.rcv_nxt
       in
       if fin_in_order then begin
+        if !gro_enabled then gro_flush fl;
         fl.rcv_nxt <- Seq.add fl.rcv_nxt 1;
         Mthread.Mstream.close fl.rx;
         (match fl.state with
@@ -916,6 +1089,12 @@ let make_flow t key state =
     rx_buffered = 0;
     ooo = [];
     rx = Mthread.Mstream.create ();
+    rx_owners = Queue.create ();
+    read_hold = None;
+    gro_rev = [];
+    gro_bytes = 0;
+    gro_pkts = 0;
+    gro_timer = None;
     rto_ns = initial_rto_ns;
     srtt_ns = 0;
     rttvar_ns = 0;
@@ -977,17 +1156,30 @@ let handle_datagram t ~src ~dst ~payload =
   | Error _ -> ()
   | Ok seg ->
     t.segs_received <- t.segs_received + 1;
-    (* The payload view aliases a driver page that is recycled when this
-       callback returns; keep a copy for deferred processing. *)
-    let seg = { seg with Tcp_wire.payload = Bytestruct.copy seg.Tcp_wire.payload } in
+    (* The payload view aliases a driver buffer recycled when this
+       callback returns. On the pooled fast path, take a reference
+       instead of copying — processing is deferred behind the vCPU
+       charge, and the reference keeps the page pinned until then. Only
+       frames from outside the pool (loopback, raw injectors, tests)
+       still pay the defensive copy. *)
+    let paylen = Bytestruct.length seg.Tcp_wire.payload in
+    let owner = if paylen > 0 then Pktbuf.retain_current () else None in
+    let seg =
+      match owner with
+      | Some _ -> seg
+      | None ->
+        if paylen > 0 then { seg with Tcp_wire.payload = Bytestruct.copy seg.Tcp_wire.payload }
+        else seg
+    in
     let process () =
       let key = { k_port = seg.dst_port; k_rip = src; k_rport = seg.src_port } in
-      match Hashtbl.find_opt t.flows key with
-      | Some fl -> handle_segment fl seg
+      (match Hashtbl.find_opt t.flows key with
+      | Some fl -> handle_segment fl ?owner seg
       | None ->
         if seg.flags.Tcp_wire.syn && not seg.flags.Tcp_wire.ack then handle_syn t ~src seg
         else if not seg.flags.Tcp_wire.rst then
-          send_rst_for t ~key ~seq:seg.ack ~ack:(Seq.add seg.seq (Bytestruct.length seg.payload))
+          send_rst_for t ~key ~seq:seg.ack ~ack:(Seq.add seg.seq (Bytestruct.length seg.payload)));
+      Option.iter Pktbuf.release owner
     in
     (match t.dom with
     | None -> process ()
@@ -1024,6 +1216,7 @@ let create sim ?dom ip =
     {
       sim;
       ip;
+      wheel = Engine.Timerwheel.create sim;
       dom;
       flows = Hashtbl.create 64;
       listeners = Hashtbl.create 8;
@@ -1099,6 +1292,10 @@ let connect t ~dst ~dst_port =
 let read fl =
   Mthread.Promise.bind (Mthread.Mstream.next fl.rx) (function
     | Some c as chunk ->
+      (* The previous chunk's pool reference drops now: a returned chunk
+         is valid until the next [read] (the Device_sig contract). *)
+      Option.iter Pktbuf.release fl.read_hold;
+      fl.read_hold <- (match Queue.take_opt fl.rx_owners with Some o -> o | None -> None);
       let free_before = rcv_wnd_bytes - fl.rx_buffered in
       fl.rx_buffered <- max 0 (fl.rx_buffered - Bytestruct.length c);
       let free_after = rcv_wnd_bytes - fl.rx_buffered in
@@ -1110,7 +1307,10 @@ let read fl =
         if free_before < fl.mss && free_after >= fl.mss then send_ack fl
       | _ -> ());
       Mthread.Promise.return chunk
-    | None -> Mthread.Promise.return None)
+    | None ->
+      Option.iter Pktbuf.release fl.read_hold;
+      fl.read_hold <- None;
+      Mthread.Promise.return None)
 
 let write fl buf =
   let open Mthread.Promise in
@@ -1126,7 +1326,11 @@ let write fl buf =
           bind p (fun () -> wait_for_room ())
         end
         else begin
-          Queue.add (Bytestruct.copy buf) fl.tx_chunks;
+          (* Ownership transfer: the stack queues the caller's buffer
+             directly — no defensive copy — so the caller must not
+             mutate it after [write]. Segmentation views alias it until
+             the bytes are acknowledged. *)
+          Queue.add buf fl.tx_chunks;
           fl.tx_buffered <- fl.tx_buffered + Bytestruct.length buf;
           try_output fl;
           return ()

@@ -40,11 +40,17 @@ val connect : t -> dst:Ipaddr.t -> dst_port:int -> flow Mthread.Promise.t
 
 (** {1 Flow I/O} *)
 
-(** [read fl] blocks for the next chunk; [None] at end-of-stream. *)
+(** [read fl] blocks for the next chunk; [None] at end-of-stream. The
+    chunk may be a zero-copy view over a pooled driver page and is
+    valid until the next [read] on the same flow — consume or copy it
+    before reading again. *)
 val read : flow -> Bytestruct.t option Mthread.Promise.t
 
 (** [write fl buf] queues bytes for transmission, blocking while the send
-    buffer is full. Fails with {!Connection_reset} after a RST. *)
+    buffer is full. Ownership of [buf] transfers to the stack: the bytes
+    are segmented by reference where possible, so the caller must not
+    mutate [buf] after this call. Fails with {!Connection_reset} after a
+    RST. *)
 val write : flow -> Bytestruct.t -> unit Mthread.Promise.t
 
 (** Half-close our direction (sends FIN after queued data). *)
@@ -62,6 +68,17 @@ val bytes_acked : flow -> int
 
 val bytes_received : flow -> int
 val cwnd : flow -> int
+
+(** {1 GRO-style receive coalescing}
+
+    [set_gro on] parks contiguous in-order segments per flow and
+    delivers (and acknowledges) them as one batch when a PSH arrives, a
+    sequence hole opens, the batch reaches 64 KB, or [flush_delay_ns]
+    (default 100 µs) elapses. Off by default: per-segment immediate
+    delivery and ACKing is what every committed figure assumes. Global,
+    like the netif doorbell-coalescing knob. *)
+
+val set_gro : ?flush_delay_ns:int -> bool -> unit
 
 (** {1 Engine statistics} *)
 

@@ -1,0 +1,86 @@
+(** Pooled, ownership-tracked packet buffers — the zero-copy datapath's
+    currency (paper §5: collapsing the I/O path is the library-OS win).
+
+    A [t] is a fixed-size buffer drawn from a per-device freelist [pool],
+    with an explicit reference count. The driver that allocates a buffer
+    owns one reference; every layer that needs the bytes to outlive its
+    own stack frame takes another with {!retain} and gives it back with
+    {!release}. When the count reaches zero the buffer returns to the
+    freelist — nothing on the steady-state path allocates.
+
+    Pool footprint is accounted through the PVBoot slab allocator
+    ({!Pvboot.Slab_allocator}): each buffer is registered once when the
+    pool grows, so [bytes_reserved] reports the packet-buffer arena the
+    same way the boot-time allocators report theirs. Freelist recycling
+    never touches the slab and never allocates.
+
+    Ownership at each hop is documented in DESIGN.md ("Datapath buffer
+    ownership"). The short version: the netfront owns RX buffers and
+    publishes the current one ambiently ({!with_current}) while the
+    synchronous RX chain runs; any layer that defers work over the
+    payload calls {!retain_current} instead of copying; the app-facing
+    boundary releases on the next read. *)
+
+type t
+type pool
+
+exception Double_free
+(** Raised by {!release} on a buffer whose count already reached zero,
+    and by {!retain} on a freed buffer: both are ownership bugs. *)
+
+(** {1 Pools} *)
+
+(** [create_pool ~name ~buf_bytes ()] makes an empty pool of
+    [buf_bytes]-sized buffers (default 2048 — one wire frame plus room).
+    The pool grows on demand, [grow_batch] buffers at a time. *)
+val create_pool : ?buf_bytes:int -> ?grow_batch:int -> name:string -> unit -> pool
+
+val buf_bytes : pool -> int
+
+(** Buffers currently sitting in the freelist. *)
+val free_buffers : pool -> int
+
+(** Buffers out of the pool with a non-zero reference count. *)
+val outstanding : pool -> int
+
+(** Arena footprint per the slab accounting (grows, never shrinks). *)
+val bytes_reserved : pool -> int
+
+(** {1 Ownership} *)
+
+(** [alloc pool] takes a buffer off the freelist (growing the pool if
+    empty) with a reference count of 1. Contents are not zeroed. *)
+val alloc : pool -> t
+
+(** [retain pb] adds a reference. @raise Double_free if [pb] is free. *)
+val retain : t -> unit
+
+(** [release pb] drops a reference; at zero the buffer returns to its
+    pool's freelist. @raise Double_free if [pb] was already free. *)
+val release : t -> unit
+
+val refs : t -> int
+
+(** {1 Views} *)
+
+(** Full-buffer view sharing the pktbuf's storage. *)
+val storage : t -> Bytestruct.t
+
+(** [view pb ~off ~len] — a window into the buffer, sharing storage. *)
+val view : t -> off:int -> len:int -> Bytestruct.t
+
+(** {1 The ambient current packet}
+
+    The netfront wraps the synchronous RX delivery chain in
+    [with_current pb]; downstream layers that would otherwise copy a
+    payload to survive a deferred callback call [retain_current] and
+    keep the view instead. Outside an RX delivery [current] is [None]
+    and callers fall back to copying — plain-buffer senders (tests,
+    host-socket flows) keep today's semantics. *)
+
+val with_current : t -> (unit -> 'a) -> 'a
+val current : unit -> t option
+
+(** [retain_current ()] retains and returns the ambient buffer, or
+    [None] when the bytes are not pool-backed. *)
+val retain_current : unit -> t option

@@ -818,12 +818,23 @@ module Dpath = struct
 
   type hstat = { h_hop : hop; h_pkts : int; h_vcpu_ns : int; h_alloc_b : float }
   type cell = { mutable pkts : int; mutable vcpu_ns : int; mutable alloc_b : float }
-  type region = { r_idx : int; r_start : float; mutable r_inner : float }
 
   let d_on = ref false
   let enabled () = !d_on
   let cells = Array.init n_hops (fun _ -> { pkts = 0; vcpu_ns = 0; alloc_b = 0. })
-  let stack : region list ref = ref []
+
+  (* The region stack is flat, preallocated, and float-unboxed so that
+     measuring does not itself allocate inside measured regions: a
+     cons/record/boxed-float per region would charge the instrument's own
+     garbage to whichever hop encloses it (tens of thousands of regions
+     per run add megabytes). [Gc.allocated_bytes]'s boxed return is the
+     only unavoidable residue. Depth 64 is far beyond any real nesting;
+     deeper regions saturate and measure as zero rather than crash. *)
+  let max_depth = 64
+  let depth = ref 0
+  let r_idx = Array.make max_depth 0
+  let r_start = Array.make max_depth 0.
+  let r_inner = Array.make max_depth 0.
 
   let reset () =
     Array.iter
@@ -832,7 +843,7 @@ module Dpath = struct
         c.vcpu_ns <- 0;
         c.alloc_b <- 0.)
       cells;
-    stack := []
+    depth := 0
 
   (* Datapath totals double as pull metrics on the monitoring plane when
      both are enabled: zero update-site cost, read at snapshot time. *)
@@ -855,26 +866,38 @@ module Dpath = struct
   let disable () = d_on := false
 
   let enter hop =
-    stack := { r_idx = hop_index hop; r_start = Gc.allocated_bytes (); r_inner = 0. } :: !stack
+    let d = !depth in
+    if d < max_depth then begin
+      r_idx.(d) <- hop_index hop;
+      r_inner.(d) <- 0.;
+      r_start.(d) <- Gc.allocated_bytes ()
+    end;
+    depth := d + 1
 
   let leave ?(pkts = 1) ~vcpu_ns () =
-    match !stack with
-    | [] -> ()
-    | r :: rest ->
-      stack := rest;
-      let total = Gc.allocated_bytes () -. r.r_start in
-      let self = Float.max 0. (total -. r.r_inner) in
-      (match rest with p :: _ -> p.r_inner <- p.r_inner +. total | [] -> ());
-      let c = cells.(r.r_idx) in
+    let d = !depth - 1 in
+    depth := d;
+    if d >= 0 && d < max_depth then begin
+      let total = Gc.allocated_bytes () -. r_start.(d) in
+      let self = if total > r_inner.(d) then total -. r_inner.(d) else 0. in
+      if d > 0 then r_inner.(d - 1) <- r_inner.(d - 1) +. total;
+      let c = cells.(r_idx.(d)) in
       c.pkts <- c.pkts + pkts;
       c.vcpu_ns <- c.vcpu_ns + vcpu_ns;
       c.alloc_b <- c.alloc_b +. self
+    end
 
   let measure hop ?(pkts = 1) ~vcpu_ns f =
     if not !d_on then f ()
     else begin
       enter hop;
-      Fun.protect ~finally:(fun () -> leave ~pkts ~vcpu_ns ()) f
+      match f () with
+      | v ->
+        leave ~pkts ~vcpu_ns ();
+        v
+      | exception e ->
+        leave ~pkts ~vcpu_ns ();
+        raise e
     end
 
   let stats () =

@@ -1,0 +1,129 @@
+open Testlib
+module Pb = Pktbuf
+
+(* ---- pool recycling ---- *)
+
+let test_pool_grow_and_recycle () =
+  let p = Pb.create_pool ~buf_bytes:256 ~grow_batch:4 ~name:"t" () in
+  check_int "pool starts empty" 0 (Pb.free_buffers p);
+  check_int "nothing reserved yet" 0 (Pb.bytes_reserved p);
+  let b = Pb.alloc p in
+  check_int "grew by one batch" 3 (Pb.free_buffers p);
+  check_int "one outstanding" 1 (Pb.outstanding p);
+  check_int "fresh buffer has one ref" 1 (Pb.refs b);
+  (* The slab rounds each buffer up to its size class, so the arena is
+     at least batch * buf_bytes, never exact. *)
+  check_bool "arena covers the batch" true (Pb.bytes_reserved p >= 4 * 256);
+  let reserved = Pb.bytes_reserved p in
+  Pb.release b;
+  check_int "released buffer back on freelist" 4 (Pb.free_buffers p);
+  check_int "none outstanding" 0 (Pb.outstanding p);
+  (* Steady-state recycling: the released buffer comes back around (the
+     freelist is FIFO, so behind its batch-mates) and the slab arena
+     never grows. *)
+  let round = List.init 4 (fun _ -> Pb.alloc p) in
+  check_bool "recycled buffer reuses storage" true
+    (List.exists (fun pb -> Pb.storage pb == Pb.storage b) round);
+  check_int "recycling does not touch the slab" reserved (Pb.bytes_reserved p);
+  List.iter Pb.release round
+
+let test_pool_grows_under_pressure () =
+  let p = Pb.create_pool ~buf_bytes:128 ~grow_batch:2 ~name:"t" () in
+  let bufs = List.init 5 (fun _ -> Pb.alloc p) in
+  check_int "three batches grown" 5 (Pb.outstanding p);
+  check_bool "arena covers every buffer" true (Pb.bytes_reserved p >= 6 * 128);
+  let reserved = Pb.bytes_reserved p in
+  List.iter Pb.release bufs;
+  check_int "all returned" 6 (Pb.free_buffers p);
+  check_int "arena never shrinks" reserved (Pb.bytes_reserved p)
+
+(* ---- ownership bugs must raise ---- *)
+
+let test_double_free_raises () =
+  let p = Pb.create_pool ~buf_bytes:64 ~grow_batch:1 ~name:"t" () in
+  let b = Pb.alloc p in
+  Pb.release b;
+  Alcotest.check_raises "second release" Pb.Double_free (fun () -> Pb.release b);
+  Alcotest.check_raises "retain after free" Pb.Double_free (fun () -> Pb.retain b);
+  (* The failed release must not have corrupted the freelist. *)
+  check_int "buffer parked exactly once" 1 (Pb.free_buffers p);
+  let b2 = Pb.alloc p in
+  check_int "reallocation works" 1 (Pb.refs b2);
+  Pb.release b2
+
+(* ---- refcounts across deferred work ---- *)
+
+(* The RX-chain pattern: the driver owns the buffer for the synchronous
+   delivery, a downstream layer defers work over the payload and keeps
+   its own reference instead of copying. The buffer must stay off the
+   freelist until the deferred callback releases it. *)
+let test_refcount_across_deferred () =
+  let sim = Engine.Sim.create ~seed:1 () in
+  let p = Pb.create_pool ~buf_bytes:64 ~grow_batch:1 ~name:"t" () in
+  let b = Pb.alloc p in
+  Bytestruct.set_uint8 (Pb.storage b) 0 0xab;
+  let seen = ref (-1) in
+  Pb.with_current b (fun () ->
+      match Pb.retain_current () with
+      | None -> Alcotest.fail "ambient buffer must be visible"
+      | Some owner ->
+        check_bool "same buffer" true (owner == b);
+        ignore
+          (Engine.Sim.schedule sim ~delay:1000 (fun () ->
+               seen := Bytestruct.get_uint8 (Pb.storage owner) 0;
+               Pb.release owner)));
+  (* Driver's reference dropped; the deferred consumer's keeps it live. *)
+  Pb.release b;
+  check_int "still referenced by deferred work" 1 (Pb.refs b);
+  check_int "not recycled yet" 1 (Pb.outstanding p);
+  Engine.Sim.run sim;
+  check_int "payload read after driver release" 0xab !seen;
+  check_int "recycled once deferred work finished" 0 (Pb.outstanding p);
+  check_int "back on freelist" 1 (Pb.free_buffers p)
+
+(* ---- the ambient current packet ---- *)
+
+let test_ambient_current_scoping () =
+  let p = Pb.create_pool ~buf_bytes:64 ~grow_batch:1 ~name:"t" () in
+  let b = Pb.alloc p in
+  check_bool "no ambient outside delivery" true (Pb.current () = None);
+  check_bool "retain_current falls back to None" true (Pb.retain_current () = None);
+  Pb.with_current b (fun () ->
+      (match Pb.current () with
+      | Some cur -> check_bool "ambient is the delivered buffer" true (cur == b)
+      | None -> Alcotest.fail "ambient must be set inside with_current"));
+  check_bool "ambient restored on exit" true (Pb.current () = None);
+  (* Exceptions must not leak the ambient binding. *)
+  (try Pb.with_current b (fun () -> raise Exit) with Exit -> ());
+  check_bool "ambient restored on exception" true (Pb.current () = None);
+  check_int "with_current takes no reference of its own" 1 (Pb.refs b);
+  Pb.release b
+
+let test_views_share_storage () =
+  let p = Pb.create_pool ~buf_bytes:64 ~grow_batch:1 ~name:"t" () in
+  let b = Pb.alloc p in
+  let v = Pb.view b ~off:8 ~len:4 in
+  Bytestruct.set_uint8 v 0 0x55;
+  check_int "view aliases the buffer" 0x55 (Bytestruct.get_uint8 (Pb.storage b) 8);
+  check_int "view length" 4 (Bytestruct.length v);
+  Pb.release b
+
+let () =
+  Alcotest.run "pktbuf"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "grow and recycle" `Quick test_pool_grow_and_recycle;
+          Alcotest.test_case "grows under pressure" `Quick test_pool_grows_under_pressure;
+        ] );
+      ( "ownership",
+        [
+          Alcotest.test_case "double free raises" `Quick test_double_free_raises;
+          Alcotest.test_case "refcount across deferred work" `Quick test_refcount_across_deferred;
+        ] );
+      ( "ambient",
+        [
+          Alcotest.test_case "current scoping" `Quick test_ambient_current_scoping;
+          Alcotest.test_case "views share storage" `Quick test_views_share_storage;
+        ] );
+    ]

@@ -66,12 +66,15 @@ if [ $# -eq 0 ]; then
     'bootstorm:10000/ttfr-p99:lower' \
     'bootstorm:10000/ok:higher' \
     'bootstorm:10000/domains-left:lower' \
-    'dpath:ring/pkts:lower' \
-    'dpath:ring/vcpu-ns-per-pkt:lower' \
-    'dpath:netfront/vcpu-ns-per-pkt:lower' \
-    'dpath:tcp/vcpu-ns-per-pkt:lower' \
-    'dpath:app/vcpu-ns-per-pkt:lower' \
-    'dpath:replies:higher'
+    'dpath:base/ring/pkts:lower' \
+    'dpath:base/ring/vcpu-ns-per-pkt:lower' \
+    'dpath:base/netfront/vcpu-ns-per-pkt:lower' \
+    'dpath:base/tcp/vcpu-ns-per-pkt:lower' \
+    'dpath:base/app/vcpu-ns-per-pkt:lower' \
+    'dpath:base/replies:higher' \
+    'dpath:batch/ring/pkts:lower' \
+    'dpath:batch/tcp/vcpu-ns-per-pkt:lower' \
+    'dpath:batch/replies:higher'
 fi
 # (dpath alloc-b-per-pkt is real GC allocation of the binary — compiler-
 # version dependent, so snapshotted for reference but not gated by
