@@ -25,10 +25,12 @@ let experiments =
     ("fleet", "LB + autoscaler under a 100x open-loop ramp", Fleet_bench.run);
     ("bootstorm", "10^2..10^4-domain cold-start storms to first response", Bootstorm.run);
     ("dpath", "per-packet per-hop datapath cost attribution", Dpath.run);
+    ("capture", "wire-capture overhead on the Figure 8 transfer", Capture_bench.run);
     ("micro", "real-time microbenchmarks", Micro.run);
     ("trace-guard", "disabled-tracing overhead guard", Micro.trace_guard);
     ("monitor-guard", "disabled-metrics overhead + figure-8 invariance guard", Micro.monitor_guard);
     ("profile-guard", "disabled-profiler overhead + figure-8 invariance guard", Micro.profile_guard);
+    ("capture-guard", "disabled-capture overhead + figure-8 invariance guard", Micro.capture_guard);
   ]
 
 let run requested trace_out out profile_out flight_dir =

@@ -388,6 +388,70 @@ let profile_guard () =
     fig8_profile_invariance ()
   end
 
+(* ---- capture guard ----
+
+   Same contract again, for the wire-capture plane. The per-vif capture
+   sites in Devices.Netif are `match t.capture with None -> () | Some c
+   -> Capture.record ...` and the bridge's tap dispatch is `match taps
+   with [] -> () | ...`, so with no capture installed (the state every
+   figure runs in) the per-frame cost is one load and one branch —
+   measured for real against the shared pinned budget. Then Figure 8
+   must be byte-identical with a bridge-wide capture attached and
+   recording, because capture only retains references: it draws nothing
+   from the PRNG, schedules nothing and charges no vCPU. *)
+
+let capture_guard_measure () =
+  let cap : Netsim.Capture.t option ref = ref None in
+  let frame = Bytestruct.create 64 in
+  let capture_site i =
+    (match !cap with
+    | None -> ()
+    | Some c -> Netsim.Capture.record c ~dir:Netsim.Tx ~link:0 ~time_ns:i frame);
+    i land 0xff
+  in
+  let base = guard_best guard_baseline in
+  let cost = Float.max 0.0 (guard_best capture_site -. base) in
+  Util.emit ~figure:"capture-guard" ~metric:"disabled-capture-site" ~unit_:"ns/op" cost;
+  Printf.printf "  disabled capture site: %.2f ns/op (baseline %.2f, budget %.1f)\n" cost base
+    guard_budget_ns;
+  if cost > guard_budget_ns then begin
+    Printf.printf "  FAIL: disabled-capture overhead exceeds budget\n";
+    exit 1
+  end
+  else Printf.printf "  OK: within budget\n"
+
+let fig8_capture_invariance () =
+  let saved_results = !Util.results in
+  let off = capture_stdout Fig8.run in
+  Util.capture_worlds := true;
+  let on = capture_stdout Fig8.run in
+  Util.capture_worlds := false;
+  let recorded =
+    List.fold_left (fun acc c -> acc + Netsim.Capture.matched c) 0 !Util.world_captures
+  in
+  Util.close_world_captures ();
+  Util.results := saved_results;
+  Util.emit ~figure:"capture-guard" ~metric:"fig8-byte-identical" ~unit_:"bool"
+    (if off = on then 1.0 else 0.0);
+  if recorded = 0 then begin
+    Printf.printf "  FAIL: the attached captures observed no frames (guard is vacuous)\n";
+    exit 1
+  end;
+  if off = on then
+    Printf.printf
+      "  OK: figure 8 stdout byte-identical with wire capture off/on (%d bytes, %d frames \
+       captured)\n"
+      (String.length off) recorded
+  else begin
+    Printf.printf "  FAIL: attaching a wire capture changed figure 8 output\n";
+    exit 1
+  end
+
+let capture_guard () =
+  Util.header "Capture guard (disabled per-vif capture site, figure-8 invariance)";
+  capture_guard_measure ();
+  fig8_capture_invariance ()
+
 let run () =
   Util.header "Microbenchmarks (real wall-clock, Bechamel)";
   let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in

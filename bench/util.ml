@@ -10,6 +10,17 @@ type world = {
   toolstack : Xensim.Toolstack.t;
 }
 
+(* When [capture_worlds] is set, every world made after that point gets a
+   wire capture attached to its bridge (collected in [world_captures] so
+   the capture guard can close them). The capture-invariance guard flips
+   this around a Figure 8 run to prove a live capture changes nothing. *)
+let capture_worlds = ref false
+let world_captures : Netsim.Capture.t list ref = ref []
+
+let close_world_captures () =
+  List.iter Netsim.Capture.close !world_captures;
+  world_captures := []
+
 let make_world ?(seed = 42) () =
   let sim = Engine.Sim.create ~seed () in
   let hv = Xensim.Hypervisor.create sim in
@@ -17,7 +28,13 @@ let make_world ?(seed = 42) () =
     Xensim.Hypervisor.create_domain hv ~name:"dom0" ~mem_mib:2048 ~platform:Platform.linux_pv ()
   in
   dom0.Xensim.Domain.state <- Xensim.Domain.Running;
-  { sim; hv; dom0; bridge = Netsim.Bridge.create sim; toolstack = Xensim.Toolstack.create hv }
+  let bridge = Netsim.Bridge.create sim in
+  if !capture_worlds then begin
+    let c = Netsim.Capture.create ~name:"bench-cap" () in
+    Netsim.Capture.attach_bridge c bridge;
+    world_captures := c :: !world_captures
+  end;
+  { sim; hv; dom0; bridge; toolstack = Xensim.Toolstack.create hv }
 
 type host = {
   dom : Xensim.Domain.t;

@@ -284,6 +284,16 @@ let boot_cmd =
 let main =
   let doc = "Mirage unikernel construction pipeline on a simulated Xen host" in
   Cmd.group (Cmd.info "mirage_sim" ~version:"1.0" ~doc)
-    [ list_cmd; build_cmd; boot_cmd; Trace_cli.cmd; Profile_cli.cmd; Monitor_cli.cmd; Fleet_cli.cmd ]
+    [
+      list_cmd;
+      build_cmd;
+      boot_cmd;
+      Trace_cli.cmd;
+      Profile_cli.cmd;
+      Monitor_cli.cmd;
+      Fleet_cli.cmd;
+      Pcap_cli.cmd;
+      Ss_cli.cmd;
+    ]
 
 let () = exit (Cmd.eval main)

@@ -65,6 +65,10 @@ type pv = {
   mutable tx_unflushed : int;  (* requests on the ring since last doorbell *)
   mutable tx_flush_pending : bool;
   mutable closed : bool;
+  (* Per-vif wire capture: frames as this guest's device sees them (TX at
+     the ring, RX at delivery), as opposed to a bridge-wide tap. One null
+     check per frame when unset; cleared at disconnect. *)
+  mutable capture : Netsim.Capture.t option;
 }
 
 (* Direct (non-PV) attachment: the NIC is a host-kernel device, so there
@@ -84,6 +88,7 @@ type direct = {
   mutable d_tx_frames : int;
   mutable d_rx_frames : int;
   mutable d_rx_dropped : int;
+  mutable d_capture : Netsim.Capture.t option;
 }
 
 type t = Pv of pv | Direct of direct
@@ -270,6 +275,13 @@ let frontend_handle_rx_responses t () =
                  layer that defers work can retain instead of copying.
                  Releasing the driver's reference afterwards returns the
                  buffer to the pool only if nobody retained. *)
+              (match t.capture with
+              | None -> ()
+              | Some c ->
+                Netsim.Capture.record ~owner:page c ~dir:Netsim.Rx
+                  ~link:(Netsim.Nic.id t.nic)
+                  ~time_ns:(Engine.Sim.now t.hv.Xensim.Hypervisor.sim)
+                  (Pktbuf.view page ~off:0 ~len:size));
               (match t.listener with
               | Some f -> Pktbuf.with_current page (fun () -> f (Pktbuf.view page ~off:0 ~len:size))
               | None -> ());
@@ -347,6 +359,7 @@ let connect hv ~dom ~backend_dom ~nic ?(rx_slots = 512) () =
       tx_unflushed = 0;
       tx_flush_pending = false;
       closed = false;
+      capture = None;
     }
   in
   Xensim.Evtchn.set_handler ev tx_port_back (fun () -> backend_handle_tx t ());
@@ -414,6 +427,13 @@ let direct_handle_frame d frame =
       in
       Xensim.Domain.charge_k d.d_dom ~cost:(direct_rx_cost d size) (fun () ->
           (match span with Some sp -> Trace.finish sp | None -> ());
+          (match d.d_capture with
+          | None -> ()
+          | Some c ->
+            Netsim.Capture.record ~owner:holder c ~dir:Netsim.Rx
+              ~link:(Netsim.Nic.id d.d_nic)
+              ~time_ns:(Engine.Sim.now d.d_dom.Xensim.Domain.sim)
+              view);
           (match d.d_listener with
           | Some f -> Pktbuf.with_current holder (fun () -> f view)
           | None -> ());
@@ -437,6 +457,7 @@ let connect_direct ~dom ~nic ?(frame_tax = false) () =
       d_tx_frames = 0;
       d_rx_frames = 0;
       d_rx_dropped = 0;
+      d_capture = None;
     }
   in
   Netsim.Nic.set_rx nic (fun frame -> direct_handle_frame d frame);
@@ -454,6 +475,13 @@ let direct_write ?owner d frame =
   let len = Bytestruct.length frame in
   if len > mtu_bytes + 14 then invalid_arg "Netif.write: frame exceeds MTU";
   d.d_tx_frames <- d.d_tx_frames + 1;
+  (match d.d_capture with
+  | None -> ()
+  | Some c ->
+    Netsim.Capture.record ?owner c ~dir:Netsim.Tx
+      ~link:(Netsim.Nic.id d.d_nic)
+      ~time_ns:(Engine.Sim.now d.d_dom.Xensim.Domain.sim)
+      frame);
   let span = Trace.span ~dom:d.d_dom.Xensim.Domain.id ~cat:Trace.Device "netif.tx" in
   bind
     (Xensim.Domain.charge d.d_dom ~cost:(direct_tx_cost d len))
@@ -510,6 +538,13 @@ let rec pv_write ?owner t frame =
     Bytestruct.LE.set_uint16 slot 2 len;
     Bytestruct.LE.set_uint32 slot 4 (Int32.of_int gref);
     t.tx_frames <- t.tx_frames + 1;
+    (match t.capture with
+    | None -> ()
+    | Some c ->
+      Netsim.Capture.record ?owner c ~dir:Netsim.Tx
+        ~link:(Netsim.Nic.id t.nic)
+        ~time_ns:(Engine.Sim.now t.hv.Xensim.Hypervisor.sim)
+        frame);
     (* The vCPU does the driver work before the frame reaches the ring —
        this is what makes a busy guest the throughput bottleneck. *)
     let send () =
@@ -556,6 +591,7 @@ let pv_disconnect t =
   Xensim.Evtchn.close ev t.tx_port_front;
   Xensim.Evtchn.close ev t.rx_port_front;
   t.listener <- None;
+  t.capture <- None;
   Trace.gauge_add g_tx_inflight (-Hashtbl.length t.tx_pending);
   Hashtbl.iter
     (fun _ (p : tx_pending) ->
@@ -580,10 +616,14 @@ let disconnect = function
   | Pv t -> pv_disconnect t
   | Direct d ->
     d.d_listener <- None;
+    d.d_capture <- None;
     Netsim.Nic.set_rx d.d_nic (fun _ -> ())
 
 let set_listener t f =
   match t with Pv p -> p.listener <- Some f | Direct d -> d.d_listener <- Some f
+
+let set_capture t c =
+  match t with Pv p -> p.capture <- c | Direct d -> d.d_capture <- c
 
 let tx_frames = function Pv t -> t.tx_frames | Direct d -> d.d_tx_frames
 let rx_frames = function Pv t -> t.rx_frames | Direct d -> d.d_rx_frames

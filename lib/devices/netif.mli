@@ -66,6 +66,16 @@ val write : ?owner:Pktbuf.t -> t -> Bytestruct.t -> unit Mthread.Promise.t
     the view valid instead of copying. *)
 val set_listener : t -> (Bytestruct.t -> unit) -> unit
 
+(** [set_capture t (Some c)] installs a per-vif wire capture: every frame
+    this device transmits ([Tx], as the request reaches the ring) or
+    delivers to its listener ([Rx]) is offered to [c] — the view from
+    one guest's device, as opposed to a bridge-wide
+    {!Netsim.Capture.attach_bridge}. Frames are recorded with this vif's
+    {!Netsim.Nic.id} as the link and pass the capture's filter as usual.
+    [None] (and {!disconnect}) detaches; the cost when unset is one null
+    check per frame. *)
+val set_capture : t -> Netsim.Capture.t option -> unit
+
 (** {1 TSO-style doorbell coalescing}
 
     When enabled, TX requests accumulate on the ring and one

@@ -13,6 +13,17 @@
     the same frames dropped, corrupted, delayed and duplicated at the same
     virtual times. *)
 
+(** Which side of the wire a tapped frame was observed on: [Tx] as it
+    leaves the sending NIC (before the fault layer — frames the wire then
+    drops are still observed leaving, like a capture on the sending
+    host), [Rx] as it is delivered to a receiving NIC (post-fault:
+    corruption, duplicates and reordering are visible, and flooded frames
+    produce one [Rx] observation per receiving port). *)
+type dir = Tx | Rx
+
+(** Returned by {!Bridge.tap}; pass to {!Bridge.untap} to detach. *)
+type tap_handle
+
 (** Per-link fault model. All components compose; {!none} disables every
     one and draws nothing from the PRNG, leaving fault-free runs
     byte-identical to a build without this layer. *)
@@ -78,6 +89,10 @@ module Nic : sig
 
   (** Six-byte MAC address of this NIC. *)
   val mac : t -> string
+
+  (** Bridge-local link id (0, 1, 2… in attachment order), stable for the
+      port's lifetime — the [link] value taps and captures report. *)
+  val id : t -> int
 
   (** [send t frame] queues a frame for transmission. The wire is
       zero-copy: the frame view is delivered as-is, so the sender must
@@ -157,8 +172,20 @@ module Bridge : sig
 
   val fault_counts : t -> fault_counts
 
-  (** [tap t f] observes every frame traversing the bridge (pcap-style). *)
-  val tap : t -> (time_ns:int -> Bytestruct.t -> unit) -> unit
+  (** [tap t f] observes every frame traversing the bridge (pcap-style):
+      once with [dir = Tx] as it leaves the sending NIC — stamped with
+      the virtual time serialisation begins, before the fault layer — and
+      once with [dir = Rx] per NIC it is delivered to. [link] is the
+      observing port's {!Nic.id}. When the frame is pktbuf-backed the
+      backing buffer is the ambient {!Pktbuf.current} during the
+      callback, so observers can retain instead of copying. Returns a
+      handle for {!untap}. With no taps installed the per-frame cost is
+      one null check. *)
+  val tap : t -> (dir:dir -> link:int -> time_ns:int -> Bytestruct.t -> unit) -> tap_handle
+
+  (** [untap t h] detaches a tap; unknown handles are ignored (clean
+      observer teardown is idempotent). *)
+  val untap : t -> tap_handle -> unit
 
   (** An mDNS-like service directory kept on the switch: appliances that
       expose an endpoint advertise [(name, ip, port)] at boot, and the
@@ -185,3 +212,110 @@ val mac_to_string : string -> string
 (** [mac_of_int i] derives a locally-administered unicast MAC from an
     integer — handy for generating fleets of NICs. *)
 val mac_of_int : int -> string
+
+(** The fifth observability plane: wire-level capture.
+
+    A {!Capture.t} is a bounded ring of recent frames matching a
+    pcap-style filter, fed from a bridge tap ({!Capture.attach_bridge})
+    or from per-vif capture points in the device layer (which call
+    {!Capture.record} directly). Frames are held by reference per the
+    pktbuf zero-copy discipline: {!Capture.record} retains the backing
+    pool buffer and ring eviction releases it; only frames with no pool
+    backing are copied, and then only up to the snaplen. {!Capture.to_pcap}
+    renders a real libpcap file (tcpdump/Wireshark-readable);
+    {!Capture.flows_json} is its JSONL sidecar carrying what classic pcap
+    cannot — direction, link id and the {!Trace.Flow} id that
+    [mirage_sim trace waterfall] prints, so a capture and a trace
+    cross-reference.
+
+    Captures also feed the flight recorder: while any capture is live, a
+    {!Trace.Flight.trip} bundle freezes the last few captured frames of
+    the implicated flow (matched by the ["port"]/["rport"] fields of the
+    trip payload). *)
+module Capture : sig
+  (** {1 Filters} *)
+
+  type filter
+
+  (** Matches every frame. *)
+  val filter_all : filter
+
+  (** Parse the capture-filter language:
+      [expr := term (or term)*], [term := fact (and fact)*],
+      [fact := not fact | ( expr ) | prim], with primitives
+      [tcp | udp | icmp | ip | arp], [[src|dst] host A.B.C.D],
+      [[src|dst] port N] and [flag syn|ack|fin|rst|psh|urg] — e.g.
+      ["tcp and port 80 and flag syn"]. The empty string is
+      {!filter_all}. *)
+  val parse_filter : string -> (filter, string) result
+
+  (** [filter_matches f frame] — does [frame] (raw Ethernet) match? *)
+  val filter_matches : filter -> Bytestruct.t -> bool
+
+  (** {1 Capture sessions} *)
+
+  type t
+
+  (** [create ()] makes a capture ring. [capacity] (default 256) bounds
+      retained frames — the ring keeps the most recent matches; [snaplen]
+      (default 65535) caps stored bytes per frame; [filter] defaults to
+      {!filter_all}. The capture is registered with the flight-recorder
+      hook until {!close}. *)
+  val create : ?name:string -> ?capacity:int -> ?snaplen:int -> ?filter:filter -> unit -> t
+
+  val name : t -> string
+
+  (** Feed the capture from every frame crossing a bridge (both
+      directions). Call {!close} (or nothing — taps die with the bridge)
+      to detach. *)
+  val attach_bridge : t -> Bridge.t -> unit
+
+  (** [record c ~dir ~link ~time_ns frame] — offer one frame to the
+      capture (the per-vif capture points call this). Ownership: an
+      explicit [?owner] pktbuf is retained, else the ambient
+      {!Pktbuf.current} is; with neither, the frame bytes are copied up
+      to the snaplen. *)
+  val record : ?owner:Pktbuf.t -> t -> dir:dir -> link:int -> time_ns:int -> Bytestruct.t -> unit
+
+  (** Frames that matched the filter since creation. *)
+  val matched : t -> int
+
+  (** Frames currently held in the ring. *)
+  val stored : t -> int
+
+  (** Matched frames the bounded ring has overwritten (each eviction
+      releases the frame's pktbuf reference). *)
+  val evicted : t -> int
+
+  (** {1 Dumps} *)
+
+  (** One ring entry, oldest first, decoded for display. *)
+  type record_info = {
+    r_t : int;  (** virtual timestamp, ns *)
+    r_dir : dir;
+    r_link : int;
+    r_flow : int;  (** {!Trace.Flow} id, [-1] when none was ambient *)
+    r_len : int;  (** original on-wire length *)
+    r_summary : string;  (** tcpdump-style one-liner *)
+  }
+
+  val records : t -> record_info list
+
+  (** The ring as a classic libpcap file (little-endian, usec
+      timestamps from virtual time, linktype Ethernet). *)
+  val to_pcap : t -> string
+
+  (** JSONL sidecar for {!to_pcap}, one line per packet in file order:
+      [{"idx","t_ns","dir","link","flow","len","summary"}]. *)
+  val flows_json : t -> string
+
+  (** tcpdump-style one-liner for a raw Ethernet frame. *)
+  val summarize : Bytestruct.t -> string
+
+  (** Drop all retained frames (releasing their references). *)
+  val clear : t -> unit
+
+  (** Detach from all bridges, drop retained frames, unregister from the
+      flight-recorder hook. *)
+  val close : t -> unit
+end

@@ -1,0 +1,57 @@
+(* Render the TCP + UDP socket tables the way `ss -tuoni` would: one row
+   per socket with queue depths and per-protocol detail in an info
+   column. Shared by the `mirage_sim ss` CLI and the tests that assert
+   the rendered table matches the state machine's actual state. *)
+
+let ns_str ns =
+  if ns < 1_000_000 then Printf.sprintf "%dus" (ns / 1000)
+  else if ns < 1_000_000_000 then Printf.sprintf "%.1fms" (float_of_int ns /. 1e6)
+  else Printf.sprintf "%.2fs" (float_of_int ns /. 1e9)
+
+let header = Printf.sprintf "%-5s %-12s %6s %7s %-21s %-21s %s" "Netid" "State" "Recv-Q" "Send-Q" "Local" "Peer" "Info"
+
+let tcp_row local (si : Tcp.sock_info) =
+  let peer =
+    match si.Tcp.si_peer with
+    | None -> "*:*"
+    | Some (ip, port) -> Printf.sprintf "%s:%d" (Ipaddr.to_string ip) port
+  in
+  let info =
+    match si.Tcp.si_peer with
+    | None -> ""
+    | Some _ ->
+      Printf.sprintf "cwnd:%d ssthresh:%s srtt:%s rto:%s retx:%d age:%s" si.Tcp.si_cwnd
+        (if si.Tcp.si_ssthresh >= max_int / 2 then "inf" else string_of_int si.Tcp.si_ssthresh)
+        (ns_str si.Tcp.si_srtt_ns) (ns_str si.Tcp.si_rto_ns) si.Tcp.si_retx
+        (ns_str si.Tcp.si_age_ns)
+  in
+  Printf.sprintf "%-5s %-12s %6d %7d %-21s %-21s %s" "tcp" si.Tcp.si_state si.Tcp.si_recv_q
+    si.Tcp.si_send_q
+    (Printf.sprintf "%s:%d" local si.Tcp.si_local_port)
+    peer info
+
+let udp_row local (si : Udp.sock_info) =
+  let info =
+    Printf.sprintf "rx:%d tx:%d idle:%s age:%s" si.Udp.si_rx_datagrams si.Udp.si_tx_datagrams
+      (ns_str si.Udp.si_idle_ns) (ns_str si.Udp.si_age_ns)
+  in
+  Printf.sprintf "%-5s %-12s %6s %7s %-21s %-21s %s" "udp" "UNCONN" "-" "-"
+    (Printf.sprintf "%s:%d" local si.Udp.si_local_port)
+    "*:*" info
+
+let render stack =
+  let local = Ipaddr.to_string (Stack.address stack) in
+  let b = Buffer.create 512 in
+  Buffer.add_string b header;
+  Buffer.add_char b '\n';
+  List.iter
+    (fun si ->
+      Buffer.add_string b (tcp_row local si);
+      Buffer.add_char b '\n')
+    (Tcp.sockets (Stack.tcp stack));
+  List.iter
+    (fun si ->
+      Buffer.add_string b (udp_row local si);
+      Buffer.add_char b '\n')
+    (Udp.sockets (Stack.udp stack));
+  Buffer.contents b

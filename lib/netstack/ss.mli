@@ -1,0 +1,22 @@
+(** `ss`-style rendering of a stack's TCP + UDP socket tables — the
+    operator's "what connections does this appliance have, in what
+    state?" view. Columns: Netid, State, Recv-Q, Send-Q, Local, Peer,
+    then per-protocol detail (cwnd/ssthresh/srtt/rto/retx/age for TCP
+    flows, rx/tx/idle/age for bound UDP ports). Rows come from
+    {!Tcp.sockets} and {!Udp.sockets} and are deterministically
+    ordered. *)
+
+(** The column-header line (no trailing newline). *)
+val header : string
+
+(** [tcp_row local si] — one rendered row; [local] is the stack's own
+    address as a string. *)
+val tcp_row : string -> Tcp.sock_info -> string
+
+val udp_row : string -> Udp.sock_info -> string
+
+(** The full table, header first, one socket per line. *)
+val render : Stack.t -> string
+
+(** Human rendering of a nanosecond duration ([12us], [3.4ms], [1.20s]). *)
+val ns_str : int -> string

@@ -20,7 +20,7 @@ let create sim ?dom ?(announce = true) ~netif config =
   let arp = Arp.create sim eth ~ip:initial.Ipv4.address in
   let ip = Ipv4.create sim eth arp initial in
   let icmp = Icmp4.create sim ?dom ip in
-  let udp = Udp.create sim ip in
+  let udp = Udp.create sim ?dom ip in
   let tcp = Tcp.create sim ?dom ip in
   let t = { eth; arp; ip; icmp; udp; tcp } in
   match config with

@@ -139,6 +139,9 @@ type flow = {
   mutable error : exn option;
   mutable bytes_acked : int;
   mutable bytes_received : int;
+  (* introspection (the ss-style socket table) *)
+  created_ns : int;
+  mutable retx_count : int;  (* this flow's retransmitted segments *)
 }
 
 and engine = {
@@ -305,6 +308,7 @@ and retransmit_entry fl e =
 
 and retransmit_entry_now fl e =
   fl.t.retransmissions <- fl.t.retransmissions + 1;
+  fl.retx_count <- fl.retx_count + 1;
   (* Karn's rule: any retransmission — RTO, fast retransmit, partial-ack
      hole fill or persist probe — invalidates the open RTT probe, since an
      ACK covering it can no longer be attributed to one transmission. *)
@@ -1110,6 +1114,8 @@ let make_flow t key state =
     error = None;
     bytes_acked = 0;
     bytes_received = 0;
+    created_ns = Engine.Sim.now t.sim;
+    retx_count = 0;
   }
 
 let handle_syn t ~src (seg : Tcp_wire.segment) =
@@ -1247,7 +1253,12 @@ let create sim ?dom ip =
        reg "tcp_rto_fires" (fun () -> t.rto_fires);
        reg "tcp_persist_probes" (fun () -> t.persist_probes);
        Trace.Metrics.register_read ~dom ~kind:Trace.Metrics.Gauge "tcp_active_flows" (fun () ->
-           Hashtbl.length t.flows));
+           Hashtbl.length t.flows);
+       Trace.Metrics.register_read ~dom ~kind:Trace.Metrics.Gauge "tcp_flows_established"
+         (fun () ->
+           Hashtbl.fold (fun _ fl n -> if fl.state = Established then n + 1 else n) t.flows 0);
+       Trace.Metrics.register_read ~dom ~kind:Trace.Metrics.Gauge "tcp_listen_ports" (fun () ->
+           Hashtbl.length t.listeners));
   t
 
 let listen t ~port f = Hashtbl.replace t.listeners port f
@@ -1381,6 +1392,74 @@ let state_name fl =
 let bytes_acked fl = fl.bytes_acked
 let bytes_received fl = fl.bytes_received
 let cwnd fl = fl.cwnd
+
+(* ---------- socket-table introspection (the `ss` plane) ---------- *)
+
+type sock_info = {
+  si_state : string;
+  si_local_port : int;
+  si_peer : (Ipaddr.t * int) option;  (* None for LISTEN rows *)
+  si_recv_q : int;
+  si_send_q : int;
+  si_cwnd : int;
+  si_ssthresh : int;
+  si_srtt_ns : int;
+  si_rto_ns : int;
+  si_retx : int;
+  si_age_ns : int;
+}
+
+(* One row per bound listener plus one per flow, deterministically sorted
+   (local port, then peer) — hash-table iteration order must never leak
+   into output that goldens or CLIs print. *)
+let sockets t =
+  let now = Engine.Sim.now t.sim in
+  let listens =
+    Hashtbl.fold
+      (fun port _ acc ->
+        {
+          si_state = "LISTEN";
+          si_local_port = port;
+          si_peer = None;
+          si_recv_q = 0;
+          si_send_q = 0;
+          si_cwnd = 0;
+          si_ssthresh = 0;
+          si_srtt_ns = 0;
+          si_rto_ns = 0;
+          si_retx = 0;
+          si_age_ns = 0;
+        }
+        :: acc)
+      t.listeners []
+  in
+  let flows =
+    Hashtbl.fold
+      (fun key fl acc ->
+        {
+          si_state = state_name fl;
+          si_local_port = key.k_port;
+          si_peer = Some (key.k_rip, key.k_rport);
+          si_recv_q = fl.rx_buffered;
+          (* send-q as ss reports it: bytes accepted from the writer and
+             not yet acknowledged — buffered chunks plus bytes in flight. *)
+          si_send_q = fl.tx_buffered + flight_size fl;
+          si_cwnd = fl.cwnd;
+          si_ssthresh = fl.ssthresh;
+          si_srtt_ns = fl.srtt_ns;
+          si_rto_ns = fl.rto_ns;
+          si_retx = fl.retx_count;
+          si_age_ns = now - fl.created_ns;
+        }
+        :: acc)
+      t.flows []
+  in
+  List.sort
+    (fun a b ->
+      match compare a.si_local_port b.si_local_port with
+      | 0 -> compare a.si_peer b.si_peer
+      | c -> c)
+    (listens @ flows)
 
 let segments_sent t = t.segs_sent
 let segments_received t = t.segs_received

@@ -80,6 +80,31 @@ val cwnd : flow -> int
 
 val set_gro : ?flush_delay_ns:int -> bool -> unit
 
+(** {1 Socket-table introspection}
+
+    The `ss`-style view of the engine: one row per bound listener and one
+    per live flow, with the state machine's actual state and the queue,
+    congestion and retransmission detail an operator would ask a running
+    appliance for. Pure reads over state the engine already maintains —
+    nothing on the segment path changes. *)
+
+type sock_info = {
+  si_state : string;  (** ["LISTEN"], ["ESTABLISHED"], … (see {!state_name}) *)
+  si_local_port : int;
+  si_peer : (Ipaddr.t * int) option;  (** [None] for LISTEN rows *)
+  si_recv_q : int;  (** bytes delivered to the stream, not yet read *)
+  si_send_q : int;  (** bytes accepted from the writer, not yet acked *)
+  si_cwnd : int;  (** congestion window, bytes *)
+  si_ssthresh : int;  (** slow-start threshold, bytes *)
+  si_srtt_ns : int;  (** smoothed RTT (0 until first sample) *)
+  si_rto_ns : int;  (** current retransmission timeout *)
+  si_retx : int;  (** segments this flow has retransmitted *)
+  si_age_ns : int;  (** virtual time since the flow was created *)
+}
+
+(** All rows, sorted by (local port, peer) so output is deterministic. *)
+val sockets : t -> sock_info list
+
 (** {1 Engine statistics} *)
 
 val segments_sent : t -> int

@@ -2,9 +2,22 @@
 
 type callback = src:Ipaddr.t -> src_port:int -> dst_port:int -> payload:Bytestruct.t -> unit
 
+(* Per-bound-port state behind a listener: the introspection surface TCP
+   flows get from their flow records. UDP has no connection state, so the
+   interesting questions are "what is bound, since when, how busy, how
+   recently" — enough to spot a dead consumer or a port being flooded. *)
+type sock = {
+  s_cb : callback;
+  s_bound_ns : int;
+  mutable s_rx : int;  (* datagrams delivered to this port's listener *)
+  mutable s_tx : int;  (* datagrams sent with this as source port *)
+  mutable s_last_ns : int;  (* virtual time of last activity either way *)
+}
+
 type t = {
+  sim : Engine.Sim.t;
   ip : Ipv4.t;
-  listeners : (int, callback) Hashtbl.t;
+  listeners : (int, sock) Hashtbl.t;
   mutable sent : int;
   mutable received : int;
   mutable checksum_failures : int;
@@ -36,15 +49,19 @@ let handle t ~src ~dst ~payload =
         t.received <- t.received + 1;
         let body = Bytestruct.sub payload header_bytes (len - header_bytes) in
         match Hashtbl.find_opt t.listeners dst_port with
-        | Some f -> f ~src ~src_port ~dst_port ~payload:body
+        | Some s ->
+          s.s_rx <- s.s_rx + 1;
+          s.s_last_ns <- Engine.Sim.now t.sim;
+          s.s_cb ~src ~src_port ~dst_port ~payload:body
         | None -> t.no_listener <- t.no_listener + 1
       end
     end
   end
 
-let create _sim ip =
+let create sim ?dom ip =
   let t =
     {
+      sim;
       ip;
       listeners = Hashtbl.create 8;
       sent = 0;
@@ -54,9 +71,24 @@ let create _sim ip =
     }
   in
   Ipv4.set_handler ip ~proto:Ipv4.proto_udp (fun ~src ~dst ~payload -> handle t ~src ~dst ~payload);
+  (if Trace.Metrics.enabled () then
+     match dom with
+     | None -> ()
+     | Some d ->
+       let dom = d.Xensim.Domain.id in
+       let reg name read = Trace.Metrics.register_read ~dom ~kind:Trace.Metrics.Counter name read in
+       reg "udp_datagrams_sent" (fun () -> t.sent);
+       reg "udp_datagrams_received" (fun () -> t.received);
+       reg "udp_checksum_failures" (fun () -> t.checksum_failures);
+       reg "udp_no_listener" (fun () -> t.no_listener);
+       Trace.Metrics.register_read ~dom ~kind:Trace.Metrics.Gauge "udp_bound_ports" (fun () ->
+           Hashtbl.length t.listeners));
   t
 
-let listen t ~port f = Hashtbl.replace t.listeners port f
+let listen t ~port f =
+  Hashtbl.replace t.listeners port
+    { s_cb = f; s_bound_ns = Engine.Sim.now t.sim; s_rx = 0; s_tx = 0; s_last_ns = Engine.Sim.now t.sim }
+
 let unlisten t ~port = Hashtbl.remove t.listeners port
 
 let sendto t ~src_port ~dst ~dst_port payload =
@@ -72,9 +104,39 @@ let sendto t ~src_port ~dst ~dst_port payload =
   let csum = Checksum.ones_complement_list [ pseudo; h; payload ] in
   Bytestruct.BE.set_uint16 h 6 (if csum = 0 then 0xffff else csum);
   t.sent <- t.sent + 1;
+  (match Hashtbl.find_opt t.listeners src_port with
+  | Some s ->
+    s.s_tx <- s.s_tx + 1;
+    s.s_last_ns <- Engine.Sim.now t.sim
+  | None -> ());
   Ipv4.output t.ip ~dst ~proto:Ipv4.proto_udp [ h; payload ]
 
 let datagrams_sent t = t.sent
 let datagrams_received t = t.received
 let checksum_failures t = t.checksum_failures
 let no_listener t = t.no_listener
+
+(* ---------- socket-table introspection (parity with Tcp.sockets) ---------- *)
+
+type sock_info = {
+  si_local_port : int;
+  si_rx_datagrams : int;
+  si_tx_datagrams : int;
+  si_age_ns : int;
+  si_idle_ns : int;
+}
+
+let sockets t =
+  let now = Engine.Sim.now t.sim in
+  Hashtbl.fold
+    (fun port s acc ->
+      {
+        si_local_port = port;
+        si_rx_datagrams = s.s_rx;
+        si_tx_datagrams = s.s_tx;
+        si_age_ns = now - s.s_bound_ns;
+        si_idle_ns = now - s.s_last_ns;
+      }
+      :: acc)
+    t.listeners []
+  |> List.sort (fun a b -> compare a.si_local_port b.si_local_port)

@@ -865,12 +865,27 @@ module Dpath = struct
 
   let disable () = d_on := false
 
+  (* OCaml 5.0/5.1's [Gc.allocated_bytes] folds the live minor-heap
+     region into its result only around collection boundaries, so between
+     minor collections the counter barely moves — and a whole epoch's
+     allocation then lands as one minor-heap-sized lump on whichever
+     region happens to span the collection. That made per-hop attribution
+     a knife-edge on GC phase: an 8-byte/frame change anywhere in the
+     program could swing a hop's exclusive bytes by megabytes. Draining
+     the minor heap right before sampling makes the counter exact at
+     every region edge (~0.4us, and only while the plane is enabled), so
+     attribution depends on what a hop allocates, not on where the GC
+     clock was. *)
+  let sample () =
+    Gc.minor ();
+    Gc.allocated_bytes ()
+
   let enter hop =
     let d = !depth in
     if d < max_depth then begin
       r_idx.(d) <- hop_index hop;
       r_inner.(d) <- 0.;
-      r_start.(d) <- Gc.allocated_bytes ()
+      r_start.(d) <- sample ()
     end;
     depth := d + 1
 
@@ -878,7 +893,7 @@ module Dpath = struct
     let d = !depth - 1 in
     depth := d;
     if d >= 0 && d < max_depth then begin
-      let total = Gc.allocated_bytes () -. r_start.(d) in
+      let total = sample () -. r_start.(d) in
       let self = if total > r_inner.(d) then total -. r_inner.(d) else 0. in
       if d > 0 then r_inner.(d - 1) <- r_inner.(d - 1) +. total;
       let c = cells.(r_idx.(d)) in
@@ -1045,6 +1060,13 @@ module Flight = struct
 
   let rec take n = function [] -> [] | x :: tl -> if n <= 0 then [] else x :: take (n - 1) tl
 
+  (* Wire-capture hook, installed by the capture plane (Netsim.Capture)
+     from above this layer: given the trip's context it returns extra
+     bundle lines — the last few captured frames of the implicated flow —
+     or "" when nothing is captured. *)
+  let capture_hook : (dom:int -> reason:string -> payload:payload -> string) option ref = ref None
+  let set_capture_hook h = capture_hook := h
+
   let build_bundle ~dom ~reason ~payload =
     let b = Buffer.create 4096 in
     Buffer.add_string b
@@ -1073,6 +1095,11 @@ module Flight = struct
                (json_escape s.Metrics.s_name) s.Metrics.s_dom s.Metrics.s_value s.Metrics.s_sum))
         samples
     end;
+    (match !capture_hook with
+    | None -> ()
+    | Some h ->
+      let s = h ~dom ~reason ~payload in
+      if s <> "" then Buffer.add_string b s);
     Buffer.contents b
 
   let trip ?(dom = -1) ?(payload = []) ~reason () =

@@ -502,4 +502,11 @@ module Flight : sig
   (** Drop the domain's ring (domain teardown; postmortem-on-exit trips
       before this). *)
   val unregister_dom : int -> unit
+
+  (** Install (or remove, with [None]) the wire-capture hook: called
+      while building each {!trip} bundle with the trip's context, it
+      returns extra bundle lines — the capture plane ([Netsim.Capture])
+      uses this to freeze the last few captured frames of the implicated
+      flow into the postmortem. Returning [""] appends nothing. *)
+  val set_capture_hook : (dom:int -> reason:string -> payload:payload -> string) option -> unit
 end

@@ -1,0 +1,20 @@
+(* Generates the pinned golden capture for the pcap golden test: the
+   Capture_scenario run (seed 11, bursty loss, filter "tcp and port 80")
+   written as a real libpcap file plus its .flows JSONL sidecar. The
+   committed capture.pcap / capture.flows are this program's output;
+   `dune runtest` re-runs the scenario and diffs. After an intentional
+   wire-format or scenario change, rerun `dune runtest` (the diff
+   fails) and accept the new files with `dune promote`. *)
+
+let () =
+  let arg i d = if Array.length Sys.argv > i then Sys.argv.(i) else d in
+  let pcap_file = arg 1 "capture.pcap" in
+  let flows_file = arg 2 "capture.flows" in
+  let pcap, flows = Testlib.Capture_scenario.run () in
+  let oc = open_out_bin pcap_file in
+  output_string oc pcap;
+  close_out oc;
+  let oc = open_out flows_file in
+  output_string oc flows;
+  close_out oc;
+  Printf.eprintf "wrote %s (%d bytes), %s\n" pcap_file (String.length pcap) flows_file

@@ -158,12 +158,30 @@ let test_corruption_copies_before_mutating () =
 
 let test_tap () =
   let sim, br, a, b = two_nics () in
-  let tapped = ref 0 in
-  Netsim.Bridge.tap br (fun ~time_ns:_ _ -> incr tapped);
+  let tx = ref 0 and rx = ref 0 and tx_link = ref (-1) and rx_link = ref (-1) in
+  let h =
+    Netsim.Bridge.tap br (fun ~dir ~link ~time_ns:_ _ ->
+        match dir with
+        | Netsim.Tx ->
+          incr tx;
+          tx_link := link
+        | Netsim.Rx ->
+          incr rx;
+          rx_link := link)
+  in
   Netsim.Nic.set_rx b (fun _ -> ());
   Netsim.Nic.send a (frame ~dst:(Netsim.Nic.mac b) ~src:(Netsim.Nic.mac a) "x");
   Engine.Sim.run sim;
-  check_int "tap saw frame" 1 !tapped
+  check_int "tap saw tx" 1 !tx;
+  check_int "tap saw rx" 1 !rx;
+  check_int "tx link is sender's" (Netsim.Nic.id a) !tx_link;
+  check_int "rx link is receiver's" (Netsim.Nic.id b) !rx_link;
+  (* untap: a detached observer sees nothing more. *)
+  Netsim.Bridge.untap br h;
+  Netsim.Nic.send a (frame ~dst:(Netsim.Nic.mac b) ~src:(Netsim.Nic.mac a) "y");
+  Engine.Sim.run sim;
+  check_int "untapped: no more tx" 1 !tx;
+  check_int "untapped: no more rx" 1 !rx
 
 let test_counters () =
   let sim, _, a, b = two_nics () in

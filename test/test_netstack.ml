@@ -500,7 +500,8 @@ let test_tcp_abort_resets_peer () =
 let test_tcp_mss_respected () =
   let w, a, b = pair_world () in
   let max_seg = ref 0 in
-  Netsim.Bridge.tap w.bridge (fun ~time_ns:_ frame ->
+  ignore
+  @@ Netsim.Bridge.tap w.bridge (fun ~dir:_ ~link:_ ~time_ns:_ frame ->
       if Bytestruct.length frame >= 34 && Bytestruct.get_uint8 frame 23 = 6 then begin
         let total_len = Bytestruct.BE.get_uint16 frame 16 in
         let ihl = (Bytestruct.get_uint8 frame 14 land 0xf) * 4 in

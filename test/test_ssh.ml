@@ -127,7 +127,9 @@ let test_traffic_is_encrypted () =
   ignore (start_server w server);
   let secret_cmd = "SECRET-COMMAND-MARKER" in
   let wire = Buffer.create 4096 in
-  Netsim.Bridge.tap w.bridge (fun ~time_ns:_ frame -> Buffer.add_string wire (Bytestruct.to_string frame));
+  ignore
+  @@ Netsim.Bridge.tap w.bridge (fun ~dir ~link:_ ~time_ns:_ frame ->
+      if dir = Netsim.Tx then Buffer.add_string wire (Bytestruct.to_string frame));
   run w
     (Ssh.Session.Client.connect w.sim (Netstack.Stack.tcp client.stack)
        ~dst:(Netstack.Stack.address server.stack) ()

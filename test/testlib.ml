@@ -71,3 +71,6 @@ let pattern n =
 
 let qtest ?(count = 100) name gen prop =
   QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+(* The pinned capture scenario (shared with test/golden/gen_capture.exe). *)
+module Capture_scenario = Capture_scenario

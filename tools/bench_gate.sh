@@ -74,7 +74,10 @@ if [ $# -eq 0 ]; then
     'dpath:base/replies:higher' \
     'dpath:batch/ring/pkts:lower' \
     'dpath:batch/tcp/vcpu-ns-per-pkt:lower' \
-    'dpath:batch/replies:higher'
+    'dpath:batch/replies:higher' \
+    'capture:goodput-capture-off:higher' \
+    'capture:goodput-capture-on:higher' \
+    'capture:overhead-pct:lower'
 fi
 # (dpath alloc-b-per-pkt is real GC allocation of the binary — compiler-
 # version dependent, so snapshotted for reference but not gated by

@@ -6,13 +6,13 @@
 #
 # Stages:
 #   1. dune build           — the tree compiles
-#   2. dune runtest         — unit/golden tests plus the trace, monitor
-#                             and profiler guards (disabled-site budgets,
-#                             figure-8 invariance)
+#   2. dune runtest         — unit/golden tests plus the trace, monitor,
+#                             profiler and capture guards (disabled-site
+#                             budgets, figure-8 invariance)
 #   3. tools/check_fmt.sh   — dune + ocamlformat formatting gate
 #   4. tools/bench_gate.sh  — fresh `bench --out` run of the deterministic
-#                             virtual-time experiments (dpath, bootstorm)
-#                             against the committed BENCH_micro.json
+#                             virtual-time experiments (dpath, bootstorm,
+#                             capture) against the committed BENCH_micro.json
 #                             snapshot; every gated metric prints its
 #                             delta even on pass
 set -eu
@@ -30,7 +30,7 @@ tools/check_fmt.sh
 echo "== ci: bench gate (virtual-time metrics) =="
 out=$(mktemp /tmp/ci-bench-XXXXXX.json)
 trap 'rm -f "$out"' EXIT
-dune exec bench/main.exe -- dpath bootstorm --out "$out" >/dev/null
+dune exec bench/main.exe -- dpath bootstorm capture --out "$out" >/dev/null
 tools/bench_gate.sh BENCH_micro.json "$out"
 
 if [ "${CI_FULL:-0}" = 1 ]; then
